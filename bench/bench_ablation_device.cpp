@@ -1,0 +1,58 @@
+/// Ablation: the FPGA device. The reconfiguration time — which drives the
+/// Fixed/Flexible rule and the cost of every Fixed-Pruning switch — differs
+/// per board (ZCU104 ~145 ms, ZCU102 ~170 ms, PYNQ-Z1 ~133 ms at much lower
+/// fabric budget/power). Rebuilding the library per device shows how the
+/// same Runtime Manager adapts: slower reconfiguration shifts it toward the
+/// Flexible accelerator.
+
+#include <cstdio>
+#include <memory>
+
+#include "adaflow/common/strings.hpp"
+#include "adaflow/common/table.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace adaflow;
+  const int runs = bench::bench_runs();
+  bench::print_banner("Ablation: FPGA device",
+                      "Library + Scenario 1+2 per board (CNVW2A2/SynthCIFAR-10)");
+
+  const datasets::DatasetSpec spec = bench::combo_dataset(bench::Combo::kCifarW2A2);
+  const nn::CnvTopology topology = bench::combo_topology(bench::Combo::kCifarW2A2);
+  const edge::WorkloadConfig wl = edge::scenario1_plus_2();
+  const edge::ServerConfig server;
+  core::RuntimeManagerConfig rmc;
+
+  // Reduced sweep: the device comparison needs the shape, not 18 rates.
+  core::LibraryConfig lib_config = bench::standard_library_config();
+  lib_config.rates = {0.0, 0.15, 0.30, 0.45, 0.60, 0.75};
+  lib_config.base_epochs = 6;
+  lib_config.retrain_epochs = 2;
+
+  TextTable table({"device", "reconfig[ms]", "loss_Ada", "loss_FINN", "P_Ada[W]", "P_FINN[W]",
+                   "reconfigs/run", "eff_wrt_FINN"});
+  for (const char* name : {"zcu104", "zcu102", "pynq-z1"}) {
+    const fpga::FpgaDevice device = fpga::device_by_name(name);
+    const std::string cache = bench::cache_dir() + "/" + topology.name + "_" + spec.name + "_" +
+                              name + ".library.tsv";
+    const core::AcceleratorLibrary lib =
+        core::load_or_generate_library(cache, device, lib_config, topology, spec);
+
+    auto ada = edge::run_repeated(
+        wl, [&] { return std::make_unique<core::RuntimeManager>(lib, rmc); }, server, runs);
+    auto finn = edge::run_repeated(
+        wl, [&] { return std::make_unique<core::StaticFinnPolicy>(lib); }, server, runs);
+    table.add_row({device.name, format_double(lib.reconfig_time_s * 1e3, 0),
+                   format_percent(ada.mean.frame_loss(), 2),
+                   format_percent(finn.mean.frame_loss(), 2),
+                   format_double(ada.mean.average_power_w(), 3),
+                   format_double(finn.mean.average_power_w(), 3),
+                   format_double(static_cast<double>(ada.mean.reconfigurations) / runs, 1),
+                   format_ratio(ada.mean.power_efficiency() / finn.mean.power_efficiency())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("note: the zcu104 row reuses the main bench cache only if generated for this "
+              "device; per-device libraries are cached separately.\n");
+  return 0;
+}

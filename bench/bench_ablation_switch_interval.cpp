@@ -1,0 +1,48 @@
+/// Ablation: sensitivity of the Runtime Manager's accelerator-type rule.
+/// The paper selects Fixed-Pruning only when the time since the last model
+/// switch exceeds N x the reconfiguration time and uses N = 10. This bench
+/// sweeps N over the composite Scenario 1+2: small N reconfigures too
+/// eagerly (loses frames); very large N never uses the power-efficient
+/// Fixed accelerators (burns more power).
+
+#include <cstdio>
+#include <memory>
+
+#include "adaflow/common/strings.hpp"
+#include "adaflow/common/table.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace adaflow;
+  const int runs = bench::bench_runs();
+  bench::print_banner("Ablation: switch-interval factor",
+                      "Fixed/Flexible rule threshold sweep, Scenario 1+2 (paper uses 10x)");
+
+  const core::AcceleratorLibrary lib = bench::combo_library(bench::Combo::kCifarW2A2);
+  const edge::WorkloadConfig wl = edge::scenario1_plus_2();
+  const edge::ServerConfig server;
+
+  TextTable table({"factor", "frame_loss", "QoE", "power[W]", "switches/run", "reconfigs/run",
+                   "eff_wrt_FINN"});
+  auto finn = edge::run_repeated(
+      wl, [&] { return std::make_unique<core::StaticFinnPolicy>(lib); }, server, runs);
+
+  for (double factor : {1.0, 5.0, 10.0, 20.0, 1e9}) {
+    core::RuntimeManagerConfig rmc;
+    rmc.switch_interval_factor = factor;
+    auto ada = edge::run_repeated(
+        wl, [&] { return std::make_unique<core::RuntimeManager>(lib, rmc); }, server, runs);
+    table.add_row({factor > 1e6 ? "inf (always Flexible)" : format_double(factor, 0),
+                   format_percent(ada.mean.frame_loss(), 2), format_percent(ada.mean.qoe(), 2),
+                   format_double(ada.mean.average_power_w(), 3),
+                   format_double(static_cast<double>(ada.mean.model_switches) / runs, 1),
+                   format_double(static_cast<double>(ada.mean.reconfigurations) / runs, 1),
+                   format_ratio(ada.mean.power_efficiency() / finn.mean.power_efficiency())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("FINN baseline: loss=%s QoE=%s power=%sW\n",
+              format_percent(finn.mean.frame_loss(), 2).c_str(),
+              format_percent(finn.mean.qoe(), 2).c_str(),
+              format_double(finn.mean.average_power_w(), 3).c_str());
+  return 0;
+}

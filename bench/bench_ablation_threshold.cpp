@@ -1,0 +1,47 @@
+/// Ablation: the user-configurable accuracy threshold. The paper evaluates
+/// at 10% maximum accuracy loss and notes that looser thresholds would buy
+/// more performance/efficiency (more aggressive pruning becomes eligible).
+/// This bench sweeps 5% / 10% / 20% / 40% under Scenario 2.
+
+#include <cstdio>
+#include <memory>
+
+#include "adaflow/common/strings.hpp"
+#include "adaflow/common/table.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace adaflow;
+  const int runs = bench::bench_runs();
+  bench::print_banner("Ablation: accuracy threshold",
+                      "Threshold sweep under Scenario 2 (paper evaluates 10%)");
+
+  const core::AcceleratorLibrary lib = bench::combo_library(bench::Combo::kCifarW2A2);
+  const edge::WorkloadConfig wl = edge::scenario2();
+  const edge::ServerConfig server;
+
+  auto finn = edge::run_repeated(
+      wl, [&] { return std::make_unique<core::StaticFinnPolicy>(lib); }, server, runs);
+
+  TextTable table({"threshold", "frame_loss", "QoE", "avg_accuracy_drop", "power[W]",
+                   "eff_wrt_FINN"});
+  for (double threshold : {0.05, 0.10, 0.20, 0.40}) {
+    core::RuntimeManagerConfig rmc;
+    rmc.accuracy_threshold = threshold;
+    auto ada = edge::run_repeated(
+        wl, [&] { return std::make_unique<core::RuntimeManager>(lib, rmc); }, server, runs);
+    // Average accuracy of processed frames vs the unpruned model.
+    const double avg_acc = ada.mean.processed > 0
+                               ? ada.mean.qoe_accuracy_sum / ada.mean.processed
+                               : 0.0;
+    table.add_row({format_percent(threshold, 0), format_percent(ada.mean.frame_loss(), 2),
+                   format_percent(ada.mean.qoe(), 2),
+                   format_percent(lib.base_accuracy - avg_acc, 2),
+                   format_double(ada.mean.average_power_w(), 3),
+                   format_ratio(ada.mean.power_efficiency() / finn.mean.power_efficiency())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape check: looser thresholds admit faster models -> frame loss should not "
+              "increase, efficiency should not decrease (paper Section VI-B)\n");
+  return 0;
+}

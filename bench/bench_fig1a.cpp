@@ -1,0 +1,33 @@
+/// Figure 1(a): accuracy and throughput (FPS) versus pruning rate for
+/// CNVW2A2 on CIFAR-10 over FINN. Expected shape: FPS grows monotonically
+/// (roughly quadratically) with the pruning rate while accuracy declines,
+/// slowly at first and sharply at aggressive rates.
+
+#include <cstdio>
+
+#include "adaflow/common/strings.hpp"
+#include "adaflow/common/table.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace adaflow;
+  bench::print_banner("Figure 1(a)",
+                      "Accuracy and FPS vs pruning rate, CNVW2A2 on SynthCIFAR-10");
+
+  const core::AcceleratorLibrary lib = bench::combo_library(bench::Combo::kCifarW2A2);
+
+  TextTable table({"pruning_rate", "achieved_rate", "accuracy", "fps", "fps_vs_base"});
+  const double base_fps = lib.versions.front().fps_fixed;
+  for (const core::ModelVersion& v : lib.versions) {
+    table.add_row({format_percent(v.requested_rate, 0), format_percent(v.achieved_rate, 1),
+                   format_percent(v.accuracy, 2), format_double(v.fps_fixed, 1),
+                   format_ratio(v.fps_fixed / base_fps)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const core::ModelVersion& last = lib.versions.back();
+  std::printf("shape check: FPS at 85%% pruning = %s of base; accuracy drop = %s\n",
+              format_ratio(last.fps_fixed / base_fps).c_str(),
+              format_percent(lib.base_accuracy - last.accuracy, 1).c_str());
+  return 0;
+}

@@ -1,0 +1,81 @@
+/// Figure 1(b): Edge-server workload and frame loss over time for the
+/// "No Pruning" baseline (static FINN) and "Pruning Reconf." servers that
+/// switch pruned models via FPGA reconfigurations of 0 / 145 / 290 / 362 ms.
+/// Expected shape: slow reconfigurations (290/362 ms) lose MORE frames than
+/// never switching; the ideal 0 ms switch approaches zero loss.
+
+#include <cstdio>
+#include <memory>
+
+#include "adaflow/common/strings.hpp"
+#include "adaflow/common/table.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace adaflow;
+  bench::print_banner("Figure 1(b)",
+                      "Workload & frame loss vs reconfiguration time (CNVW2A2/SynthCIFAR-10)");
+
+  const core::AcceleratorLibrary lib = bench::combo_library(bench::Combo::kCifarW2A2);
+  const edge::WorkloadConfig workload = edge::scenario2();  // unpredictable load
+  const edge::ServerConfig server;
+  const int runs = bench::bench_runs();
+  core::RuntimeManagerConfig rmc;
+
+  struct Series {
+    std::string name;
+    edge::RepeatedRunResult result;
+  };
+  std::vector<Series> all;
+
+  all.push_back({"No-Pruning(FINN)",
+                 edge::run_repeated(
+                     workload, [&] { return std::make_unique<core::StaticFinnPolicy>(lib); },
+                     server, runs)});
+  for (double reconf_ms : {0.0, 145.0, 290.0, 362.0}) {
+    all.push_back({"Pruning-Reconf@" + format_double(reconf_ms, 0) + "ms",
+                   edge::run_repeated(
+                       workload,
+                       [&] {
+                         return std::make_unique<core::ReconfPruningPolicy>(lib, rmc,
+                                                                            reconf_ms / 1000.0);
+                       },
+                       server, runs)});
+  }
+
+  TextTable totals({"server", "frame_loss", "switches/run", "processed/run"});
+  for (const Series& s : all) {
+    totals.add_row({s.name, format_percent(s.result.mean.frame_loss(), 2),
+                    format_double(static_cast<double>(s.result.mean.model_switches) / runs, 1),
+                    format_double(static_cast<double>(s.result.mean.processed) / runs, 0)});
+  }
+  std::printf("%s\n", totals.render().c_str());
+
+  std::printf("%s\n",
+              bench::render_series(all.front().result.mean.workload_series, "workload [FPS]")
+                  .c_str());
+  for (const Series& s : all) {
+    std::printf("%s\n",
+                bench::render_series(s.result.mean.loss_series, "frame loss % — " + s.name, 100.0)
+                    .c_str());
+  }
+
+  {
+    std::vector<std::pair<std::string, sim::TimeSeries>> exported{
+        {"workload_fps", all.front().result.mean.workload_series}};
+    for (const Series& s : all) {
+      exported.emplace_back(s.name, s.result.mean.loss_series);
+    }
+    bench::export_figure("fig1b", "Fig 1(b) workload & frame loss", "frames / loss fraction",
+                         exported);
+  }
+
+  const double loss_finn = all[0].result.mean.frame_loss();
+  const double loss_0ms = all[1].result.mean.frame_loss();
+  const double loss_362ms = all[4].result.mean.frame_loss();
+  std::printf("shape check: ideal 0ms loss %s < FINN loss %s < slow 362ms loss %s : %s\n",
+              format_percent(loss_0ms, 1).c_str(), format_percent(loss_finn, 1).c_str(),
+              format_percent(loss_362ms, 1).c_str(),
+              (loss_0ms < loss_finn && loss_finn < loss_362ms) ? "OK" : "MISMATCH");
+  return 0;
+}

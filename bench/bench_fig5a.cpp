@@ -1,0 +1,53 @@
+/// Figure 5(a): FPGA resource usage for the original FINN accelerator,
+/// AdaFlow's Flexible-Pruning accelerator, and the Fixed-Pruning
+/// accelerators of every pruned version (CNVW2A2 / CIFAR-10).
+/// Expected shape: Flexible LUTs ~1.92x FINN with identical BRAM;
+/// Fixed LUTs shrink from ~1.5% (5%) to ~46% (85%).
+
+#include <cstdio>
+
+#include "adaflow/common/strings.hpp"
+#include "adaflow/common/table.hpp"
+#include "adaflow/fpga/device.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace adaflow;
+  bench::print_banner("Figure 5(a)",
+                      "FPGA resources: FINN vs Flexible vs Fixed-Pruning (CNVW2A2/SynthCIFAR-10)");
+
+  const core::AcceleratorLibrary lib = bench::combo_library(bench::Combo::kCifarW2A2);
+  const fpga::FpgaDevice device = fpga::zcu104();
+
+  auto row = [&](const std::string& name, const fpga::ResourceUsage& u) {
+    const fpga::Utilization util = utilization(u, device);
+    return std::vector<std::string>{
+        name,
+        format_double(u.luts, 0) + " (" + format_percent(util.luts, 1) + ")",
+        format_double(u.flip_flops, 0) + " (" + format_percent(util.flip_flops, 1) + ")",
+        format_double(u.bram18, 0) + " (" + format_percent(util.bram18, 1) + ")",
+        format_double(u.dsp, 0)};
+  };
+
+  TextTable table({"accelerator", "LUT", "FF", "BRAM18", "DSP"});
+  table.add_row(row("Original-FINN", lib.resources_finn));
+  table.add_row(row("Flexible-Pruning", lib.resources_flexible));
+  for (const core::ModelVersion& v : lib.versions) {
+    if (v.requested_rate == 0.0) {
+      continue;
+    }
+    table.add_row(row("Fixed@" + format_percent(v.requested_rate, 0), v.resources_fixed));
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double flex_factor = lib.resources_flexible.luts / lib.resources_finn.luts;
+  const double drop5 = 1.0 - lib.at_rate(0.05).resources_fixed.luts / lib.resources_finn.luts;
+  const double drop85 = 1.0 - lib.at_rate(0.85).resources_fixed.luts / lib.resources_finn.luts;
+  std::printf("shape check: Flexible LUT = %s of FINN (paper 1.92x); "
+              "Fixed LUT drop %s@5%% .. %s@85%% (paper 1.5%%..46.2%%); "
+              "Flexible BRAM delta = %.0f (paper: none)\n",
+              format_ratio(flex_factor).c_str(), format_percent(drop5, 1).c_str(),
+              format_percent(drop85, 1).c_str(),
+              lib.resources_flexible.bram18 - lib.resources_finn.bram18);
+  return 0;
+}

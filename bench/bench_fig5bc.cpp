@@ -1,0 +1,53 @@
+/// Figure 5(b,c): accuracy versus energy-per-inference for CNVW2A2 on
+/// CIFAR-10 (b) and GTSRB (c), for both Fixed- and Flexible-Pruning
+/// accelerators across all pruning rates.
+/// Expected shape: energy decreases with pruning while accuracy declines;
+/// Fixed points sit left of (cheaper than) their Flexible counterparts.
+/// The paper's highlighted points: 25% pruning cuts energy 1.38x (Flexible)
+/// / 1.64x (Fixed) versus FINN at ~10% accuracy loss.
+
+#include <cstdio>
+
+#include "adaflow/common/strings.hpp"
+#include "adaflow/common/table.hpp"
+#include "common.hpp"
+
+namespace {
+
+void emit(const adaflow::core::AcceleratorLibrary& lib, const char* figure) {
+  using namespace adaflow;
+  std::printf("--- Figure 5(%s): %s / %s ---\n", figure, lib.model_name.c_str(),
+              lib.dataset_name.c_str());
+
+  // Energy per inference at full load: busy power / throughput.
+  const core::ModelVersion& base = lib.unpruned();
+  const double finn_energy = lib.finn_power_busy_w / base.fps_fixed;
+
+  TextTable table({"rate", "accuracy", "E/inf fixed [mJ]", "E/inf flex [mJ]",
+                   "fixed_vs_FINN", "flex_vs_FINN"});
+  for (const core::ModelVersion& v : lib.versions) {
+    const double e_fixed = v.power_busy_fixed_w / v.fps_fixed;
+    const double e_flex = v.power_busy_flexible_w / v.fps_flexible;
+    table.add_row({format_percent(v.requested_rate, 0), format_percent(v.accuracy, 2),
+                   format_double(e_fixed * 1e3, 3), format_double(e_flex * 1e3, 3),
+                   format_ratio(finn_energy / e_fixed), format_ratio(finn_energy / e_flex)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const core::ModelVersion& p25 = lib.at_rate(0.25);
+  std::printf("highlight @25%% pruning: energy reduction %s (Flexible) / %s (Fixed) vs FINN, "
+              "accuracy loss %s (paper: 1.38x / 1.64x at 9.9%%)\n\n",
+              format_ratio(finn_energy / (p25.power_busy_flexible_w / p25.fps_flexible)).c_str(),
+              format_ratio(finn_energy / (p25.power_busy_fixed_w / p25.fps_fixed)).c_str(),
+              format_percent(lib.base_accuracy - p25.accuracy, 1).c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace adaflow;
+  bench::print_banner("Figure 5(b,c)", "Accuracy vs energy per inference (CNVW2A2)");
+  emit(bench::combo_library(bench::Combo::kCifarW2A2), "b");
+  emit(bench::combo_library(bench::Combo::kGtsrbW2A2), "c");
+  return 0;
+}

@@ -1,0 +1,107 @@
+/// Google-benchmark microbenchmarks of the library's primitives: software
+/// conv forward, functional dataflow inference (fixed vs flexible), the
+/// dataflow-aware pruner, threshold folding, and the discrete-event engine.
+
+#include <benchmark/benchmark.h>
+
+#include "adaflow/edge/server.hpp"
+#include "adaflow/hls/accelerator.hpp"
+#include "adaflow/nn/cnv.hpp"
+#include "adaflow/pruning/prune.hpp"
+#include "adaflow/sim/event_queue.hpp"
+
+namespace {
+
+using namespace adaflow;
+
+const nn::Model& model() {
+  static nn::Model m = nn::build_cnv(nn::cnv_w2a2(10, 8), 7);
+  return m;
+}
+
+const hls::FoldingConfig& folding() {
+  static const hls::FoldingConfig f = hls::folding_for_target_fps(model(), 450.0, 100e6);
+  return f;
+}
+
+const hls::CompiledModel& compiled() {
+  static const hls::CompiledModel c = hls::compile_model(model());
+  return c;
+}
+
+const nn::Tensor& image() {
+  static const nn::Tensor img = [] {
+    Rng rng(3);
+    return hls::snap_to_input_grid(nn::Tensor::uniform(nn::Shape{1, 3, 32, 32}, -2, 2, rng),
+                                   hls::InputQuantConfig{});
+  }();
+  return img;
+}
+
+void BM_SoftwareForward(benchmark::State& state) {
+  auto& m = const_cast<nn::Model&>(model());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.forward(image(), false));
+  }
+}
+BENCHMARK(BM_SoftwareForward);
+
+void BM_DataflowInferFixed(benchmark::State& state) {
+  hls::DataflowAccelerator accel(hls::AcceleratorVariant::kFixed, compiled(), folding());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accel.infer_class(image()));
+  }
+}
+BENCHMARK(BM_DataflowInferFixed);
+
+void BM_DataflowInferFlexible(benchmark::State& state) {
+  hls::DataflowAccelerator accel(hls::AcceleratorVariant::kFlexible, compiled(), folding());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accel.infer_class(image()));
+  }
+}
+BENCHMARK(BM_DataflowInferFlexible);
+
+void BM_DataflowAwarePrune(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pruning::dataflow_aware_prune(model(), folding(), rate));
+  }
+}
+BENCHMARK(BM_DataflowAwarePrune)->Arg(25)->Arg(50)->Arg(85);
+
+void BM_CompileModel(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hls::compile_model(model()));
+  }
+}
+BENCHMARK(BM_CompileModel);
+
+void BM_FlexibleModelSwitch(benchmark::State& state) {
+  hls::DataflowAccelerator accel(hls::AcceleratorVariant::kFlexible, compiled(), folding());
+  pruning::PruneResult pr = pruning::dataflow_aware_prune(model(), folding(), 0.5);
+  const hls::CompiledModel pruned = hls::compile_model(pr.model);
+  bool to_pruned = true;
+  for (auto _ : state) {
+    accel.load_model(to_pruned ? pruned : compiled());
+    to_pruned = !to_pruned;
+  }
+}
+BENCHMARK(BM_FlexibleModelSwitch);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule_at(static_cast<double>(i % 97), [&fired] { ++fired; });
+    }
+    q.run_until(100.0);
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+/// Table I: frame loss, QoE, power, and power efficiency for AdaFlow vs the
+/// original FINN, for all four dataset/CNN combinations under Scenarios 1
+/// (stable) and 2 (unpredictable), averaged over repeated 25-second runs.
+/// Expected shape: AdaFlow loses far fewer frames (paper: 0-22% vs 23-32%),
+/// improves QoE, and is 1.0x-1.4x more power-efficient than FINN.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "adaflow/common/strings.hpp"
+#include "adaflow/common/table.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace adaflow;
+  const int runs = bench::bench_runs();
+  bench::print_banner("Table I",
+                      "Frame loss / QoE / power / power efficiency, " + std::to_string(runs) +
+                          " runs per cell (paper: 100)");
+
+  TextTable table({"dataset/model", "scen", "loss_Ada", "loss_FINN", "QoE_Ada", "QoE_FINN",
+                   "P_Ada[W]", "P_FINN[W]", "eff_wrt_FINN"});
+
+  double eff_product = 1.0;
+  int cells = 0;
+  const edge::ServerConfig server;
+  core::RuntimeManagerConfig rmc;  // threshold 10%, interval 10x reconfig
+
+  for (bench::Combo combo : {bench::Combo::kCifarW2A2, bench::Combo::kGtsrbW2A2,
+                             bench::Combo::kCifarW1A2, bench::Combo::kGtsrbW1A2}) {
+    const core::AcceleratorLibrary lib = bench::combo_library(combo);
+    int scenario_id = 1;
+    for (const edge::WorkloadConfig& wl : {edge::scenario1(), edge::scenario2()}) {
+      auto ada = edge::run_repeated(
+          wl, [&] { return std::make_unique<core::RuntimeManager>(lib, rmc); }, server, runs);
+      auto finn = edge::run_repeated(
+          wl, [&] { return std::make_unique<core::StaticFinnPolicy>(lib); }, server, runs);
+      const double eff = ada.mean.power_efficiency() / finn.mean.power_efficiency();
+      eff_product *= eff;
+      ++cells;
+      table.add_row({bench::combo_name(combo), std::to_string(scenario_id),
+                     format_percent(ada.mean.frame_loss(), 2),
+                     format_percent(finn.mean.frame_loss(), 2),
+                     format_percent(ada.mean.qoe(), 2), format_percent(finn.mean.qoe(), 2),
+                     format_double(ada.mean.average_power_w(), 3),
+                     format_double(finn.mean.average_power_w(), 3), format_ratio(eff)});
+      ++scenario_id;
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double geo_mean_eff = std::pow(eff_product, 1.0 / cells);
+  std::printf("shape check: geometric-mean power efficiency w.r.t. FINN = %s "
+              "(paper average: 1.27x; per-cell range 1.01x-1.40x)\n",
+              format_ratio(geo_mean_eff).c_str());
+  return 0;
+}

@@ -1,0 +1,130 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "adaflow/common/strings.hpp"
+#include "adaflow/report/csv.hpp"
+#include "adaflow/report/gnuplot.hpp"
+
+namespace adaflow::bench {
+
+const char* combo_name(Combo combo) {
+  switch (combo) {
+    case Combo::kCifarW2A2:
+      return "CIFAR-10/CNVW2A2";
+    case Combo::kGtsrbW2A2:
+      return "GTSRB/CNVW2A2";
+    case Combo::kCifarW1A2:
+      return "CIFAR-10/CNVW1A2";
+    case Combo::kGtsrbW1A2:
+      return "GTSRB/CNVW1A2";
+  }
+  return "?";
+}
+
+datasets::DatasetSpec combo_dataset(Combo combo) {
+  switch (combo) {
+    case Combo::kCifarW2A2:
+    case Combo::kCifarW1A2:
+      return datasets::synth_cifar10_spec();
+    case Combo::kGtsrbW2A2:
+    case Combo::kGtsrbW1A2:
+      return datasets::synth_gtsrb_spec();
+  }
+  return datasets::synth_cifar10_spec();
+}
+
+nn::CnvTopology combo_topology(Combo combo) {
+  const std::int64_t classes = combo_dataset(combo).classes;
+  switch (combo) {
+    case Combo::kCifarW2A2:
+    case Combo::kGtsrbW2A2:
+      return nn::cnv_w2a2(classes);
+    case Combo::kCifarW1A2:
+    case Combo::kGtsrbW1A2:
+      return nn::cnv_w1a2(classes);
+  }
+  return nn::cnv_w2a2(classes);
+}
+
+core::LibraryConfig standard_library_config() {
+  core::LibraryConfig c;  // 18 rates (0..85% step 5), the paper's sweep
+  c.base_epochs = 8;
+  c.retrain_epochs = 3;
+  c.seed = 7;
+  return c;
+}
+
+std::string cache_dir() {
+  if (const char* env = std::getenv("ADAFLOW_CACHE_DIR")) {
+    return env;
+  }
+  return ".adaflow_cache";
+}
+
+int bench_runs() {
+  if (const char* env = std::getenv("ADAFLOW_RUNS")) {
+    const int runs = std::atoi(env);
+    if (runs > 0) {
+      return runs;
+    }
+  }
+  return 30;
+}
+
+core::AcceleratorLibrary combo_library(Combo combo) {
+  const datasets::DatasetSpec spec = combo_dataset(combo);
+  const nn::CnvTopology topology = combo_topology(combo);
+  const std::string path =
+      cache_dir() + "/" + topology.name + "_" + spec.name + ".library.tsv";
+  return core::load_or_generate_library(path, fpga::zcu104(), standard_library_config(),
+                                        topology, spec);
+}
+
+std::string render_series(const sim::TimeSeries& series, const std::string& name,
+                          double value_scale) {
+  std::string out = "# " + name + " (t[s] value)\n";
+  for (std::size_t i = 0; i < series.values.size(); ++i) {
+    out += format_double(series.time_of(i), 2) + "\t" +
+           format_double(series.values[i] * value_scale, 3) + "\n";
+  }
+  return out;
+}
+
+std::string report_dir() {
+  if (const char* env = std::getenv("ADAFLOW_REPORT_DIR")) {
+    return env;
+  }
+  return "";
+}
+
+void export_figure(const std::string& stem, const std::string& title, const std::string& ylabel,
+                   const std::vector<std::pair<std::string, sim::TimeSeries>>& series) {
+  const std::string dir = report_dir();
+  if (dir.empty() || series.empty()) {
+    return;
+  }
+  const std::string csv_path = dir + "/" + stem + ".csv";
+  report::write_series_csv(csv_path, series);
+
+  report::FigureSpec spec;
+  spec.output_png = stem + ".png";
+  spec.csv_path = stem + ".csv";
+  spec.title = title;
+  spec.ylabel = ylabel;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    spec.curves.push_back(report::Curve{static_cast<int>(i + 2), series[i].first});
+  }
+  report::write_gnuplot(spec, dir + "/" + stem + ".gp");
+  std::printf("[report] wrote %s and %s.gp\n", csv_path.c_str(), (dir + "/" + stem).c_str());
+}
+
+void print_banner(const std::string& artefact, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("AdaFlow reproduction — %s\n", artefact.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace adaflow::bench

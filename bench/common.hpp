@@ -1,0 +1,63 @@
+#pragma once
+
+/// Shared experiment infrastructure for the paper-reproduction benches.
+///
+/// Each bench binary regenerates one table/figure of the paper. They all
+/// need the same design-time artifact — the AdaFlow library of each
+/// (CNN, dataset) pair — which takes CPU-minutes to train, so it is built
+/// once and cached on disk (see cache_dir()).
+///
+/// Environment knobs:
+///   ADAFLOW_RUNS       repetitions per scenario (default 30; paper: 100)
+///   ADAFLOW_CACHE_DIR  library cache directory (default ./.adaflow_cache)
+
+#include <string>
+
+#include "adaflow/core/library_generator.hpp"
+#include "adaflow/core/runtime_manager.hpp"
+#include "adaflow/edge/server.hpp"
+
+namespace adaflow::bench {
+
+/// The four (dataset, model) combinations of the paper's Table I.
+enum class Combo {
+  kCifarW2A2,
+  kGtsrbW2A2,
+  kCifarW1A2,
+  kGtsrbW1A2,
+};
+
+const char* combo_name(Combo combo);
+
+/// Dataset spec / topology of a combo (standard bench scale).
+datasets::DatasetSpec combo_dataset(Combo combo);
+nn::CnvTopology combo_topology(Combo combo);
+
+/// Standard library-generation config used by every bench.
+core::LibraryConfig standard_library_config();
+
+/// Loads (or generates + caches) the library of a combo.
+core::AcceleratorLibrary combo_library(Combo combo);
+
+/// Number of simulation repetitions (ADAFLOW_RUNS, default 30).
+int bench_runs();
+
+std::string cache_dir();
+
+/// Renders a time series as "t  v" rows with fixed precision.
+std::string render_series(const sim::TimeSeries& series, const std::string& name,
+                          double value_scale = 1.0);
+
+/// Directory for CSV + gnuplot artifacts (ADAFLOW_REPORT_DIR); empty means
+/// export disabled.
+std::string report_dir();
+
+/// If reporting is enabled, writes the named series to CSV plus a matching
+/// gnuplot script under report_dir()/<stem>.csv/.gp.
+void export_figure(const std::string& stem, const std::string& title, const std::string& ylabel,
+                   const std::vector<std::pair<std::string, sim::TimeSeries>>& series);
+
+/// Prints a header banner for a bench artefact.
+void print_banner(const std::string& artefact, const std::string& description);
+
+}  // namespace adaflow::bench

@@ -1,0 +1,56 @@
+/// Design-space exploration: what does a pruning rate buy you?
+///
+/// For a CNV-W1A2 on the GTSRB-like dataset, sweep a few pruning rates and
+/// report, per version: achieved rate (after the dataflow-aware adjustment),
+/// accuracy, throughput, latency, fixed-accelerator LUTs and the energy per
+/// inference on both accelerator types. This is the view an engineer uses to
+/// pick the library rates worth shipping.
+
+#include "adaflow/common/logging.hpp"
+#include <cstdio>
+
+#include "adaflow/common/strings.hpp"
+#include "adaflow/common/table.hpp"
+#include "adaflow/core/library_generator.hpp"
+
+int main() {
+  using namespace adaflow;
+  set_log_level(LogLevel::kWarn);
+
+  datasets::DatasetSpec spec = datasets::synth_gtsrb_spec(/*train=*/1290, /*test=*/430);
+  const datasets::SyntheticDataset dataset = datasets::generate(spec);
+  const nn::CnvTopology topology = nn::cnv_w1a2(spec.classes);
+
+  core::LibraryConfig config;
+  config.rates = {0.0, 0.2, 0.4, 0.6, 0.8};
+  config.base_epochs = 6;
+  config.retrain_epochs = 2;
+  core::LibraryGenerator generator(fpga::zcu104(), config);
+  std::printf("Exploring %zu design points for %s on %s...\n", config.rates.size(),
+              topology.name.c_str(), spec.name.c_str());
+  const core::GeneratedLibrary g = generator.generate(topology, dataset);
+
+  TextTable table({"rate", "achieved", "accuracy", "FPS", "latency[ms]", "LUT(fixed)",
+                   "E/inf fixed[mJ]", "E/inf flex[mJ]"});
+  for (const core::ModelVersion& v : g.table.versions) {
+    table.add_row({format_percent(v.requested_rate, 0), format_percent(v.achieved_rate, 1),
+                   format_percent(v.accuracy, 2), format_double(v.fps_fixed, 0),
+                   format_double(v.latency_fixed_s * 1e3, 3),
+                   format_double(v.resources_fixed.luts, 0),
+                   format_double(v.power_busy_fixed_w / v.fps_fixed * 1e3, 3),
+                   format_double(v.power_busy_flexible_w / v.fps_flexible * 1e3, 3)});
+  }
+  std::printf("\n%s\n", table.render().c_str());
+
+  // The classic design-space narrative: pick the knee.
+  const core::ModelVersion* knee = &g.table.versions.front();
+  for (const core::ModelVersion& v : g.table.versions) {
+    if (g.table.base_accuracy - v.accuracy <= 0.10 && v.fps_fixed > knee->fps_fixed) {
+      knee = &v;
+    }
+  }
+  std::printf("knee under a 10%% accuracy budget: %s (%s, %s FPS)\n", knee->version.c_str(),
+              format_percent(knee->accuracy, 1).c_str(),
+              format_double(knee->fps_fixed, 0).c_str());
+  return 0;
+}

@@ -1,0 +1,11 @@
+#include "adaflow/common/error.hpp"
+
+namespace adaflow {
+
+void require(bool condition, const std::string& message) {
+  if (!condition) {
+    throw ConfigError(message);
+  }
+}
+
+}  // namespace adaflow

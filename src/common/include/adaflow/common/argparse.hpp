@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file argparse.hpp
+/// Minimal command-line parser for the tools/ binaries: long options with
+/// values (--rate 0.5 or --rate=0.5), boolean flags, and positionals.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace adaflow {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Boolean flag (--name).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Valued option (--name VALUE or --name=VALUE) with a default.
+  void add_option(const std::string& name, const std::string& help,
+                  const std::string& default_value = "");
+
+  /// Positional argument, in declaration order.
+  void add_positional(const std::string& name, const std::string& help, bool required = true);
+
+  /// Parses argv (excluding the program name). Throws ConfigError on unknown
+  /// options, missing values, or missing required positionals.
+  void parse(const std::vector<std::string>& args);
+  void parse(int argc, const char* const* argv);
+
+  bool flag(const std::string& name) const;
+  const std::string& option(const std::string& name) const;
+  double option_double(const std::string& name) const;
+  std::int64_t option_int(const std::string& name) const;
+  const std::string& positional(const std::string& name) const;
+  bool has(const std::string& name) const;  ///< option explicitly set?
+
+  /// Usage text.
+  std::string help() const;
+
+ private:
+  struct Option {
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool set = false;
+  };
+  struct Positional {
+    std::string name;
+    std::string help;
+    bool required = true;
+    std::string value;
+    bool set = false;
+  };
+
+  const Option& find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<Positional> positionals_;
+};
+
+/// Splits "a,b,c" into parts.
+std::vector<std::string> split(const std::string& s, char sep);
+
+}  // namespace adaflow

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file logging.hpp
+/// Minimal leveled logger used by examples and benches for progress output.
+/// Library code logs sparingly (warnings only); hot paths never log.
+
+#include <sstream>
+#include <string>
+
+namespace adaflow {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits \p message to stderr when \p level passes the threshold.
+void log(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void format_into(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void format_into(std::ostringstream& os, const T& value, const Rest&... rest) {
+  os << value;
+  format_into(os, rest...);
+}
+}  // namespace detail
+
+/// Convenience: log_info("trained ", n, " models").
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() <= LogLevel::kDebug) {
+    std::ostringstream os;
+    detail::format_into(os, args...);
+    log(LogLevel::kDebug, os.str());
+  }
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() <= LogLevel::kInfo) {
+    std::ostringstream os;
+    detail::format_into(os, args...);
+    log(LogLevel::kInfo, os.str());
+  }
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() <= LogLevel::kWarn) {
+    std::ostringstream os;
+    detail::format_into(os, args...);
+    log(LogLevel::kWarn, os.str());
+  }
+}
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  if (log_level() <= LogLevel::kError) {
+    std::ostringstream os;
+    detail::format_into(os, args...);
+    log(LogLevel::kError, os.str());
+  }
+}
+
+}  // namespace adaflow

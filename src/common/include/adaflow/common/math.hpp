@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file math.hpp
+/// Small integer/math helpers shared by the folding, pruning, and resource
+/// models. All are header-only and constexpr where possible.
+
+#include <cstdint>
+#include <numeric>
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow {
+
+/// Ceiling division for non-negative integers.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Rounds \p value up to the next multiple of \p multiple (multiple > 0).
+constexpr std::int64_t round_up(std::int64_t value, std::int64_t multiple) {
+  return ceil_div(value, multiple) * multiple;
+}
+
+/// Rounds \p value down to the previous multiple of \p multiple.
+constexpr std::int64_t round_down(std::int64_t value, std::int64_t multiple) {
+  return (value / multiple) * multiple;
+}
+
+/// True when \p value is divisible by \p divisor (divisor > 0).
+constexpr bool divisible(std::int64_t value, std::int64_t divisor) {
+  return value % divisor == 0;
+}
+
+/// Least common multiple, guarding against zero operands.
+inline std::int64_t lcm_positive(std::int64_t a, std::int64_t b) {
+  require(a > 0 && b > 0, "lcm operands must be positive");
+  return std::lcm(a, b);
+}
+
+/// Clamps \p value into [lo, hi].
+template <typename T>
+constexpr T clamp(T value, T lo, T hi) {
+  return value < lo ? lo : (value > hi ? hi : value);
+}
+
+}  // namespace adaflow

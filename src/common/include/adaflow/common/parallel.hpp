@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file parallel.hpp
+/// A tiny persistent thread pool exposing parallel_for. Used by the training
+/// substrate to spread conv/GEMM work over cores; everything else in AdaFlow
+/// is single-threaded and deterministic.
+
+#include <cstdint>
+#include <functional>
+
+namespace adaflow {
+
+/// Runs fn(i) for i in [0, count) across the global worker pool. Blocks until
+/// all iterations finish. fn must be safe to call concurrently for distinct i.
+/// Falls back to a serial loop for small counts or when only one core exists.
+void parallel_for(std::int64_t count, const std::function<void(std::int64_t)>& fn);
+
+/// Number of workers in the global pool (>= 1).
+int parallel_worker_count();
+
+}  // namespace adaflow

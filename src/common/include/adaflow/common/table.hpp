@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file table.hpp
+/// Plain-text table printer used by benches to emit the paper's tables and
+/// figure series in a stable, diff-friendly format.
+
+#include <string>
+#include <vector>
+
+namespace adaflow {
+
+/// Accumulates rows of cells and renders them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) as a single string.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace adaflow

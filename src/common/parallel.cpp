@@ -1,0 +1,124 @@
+#include "adaflow/common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adaflow {
+
+namespace {
+
+/// Persistent pool: workers sleep until a job (function + iteration range) is
+/// published, grab iterations via an atomic counter, then report completion.
+class Pool {
+ public:
+  Pool() {
+    unsigned n = std::thread::hardware_concurrency();
+    if (n == 0) {
+      n = 1;
+    }
+    // The caller thread also works, so spawn n-1 helpers.
+    for (unsigned i = 1; i < n; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+    worker_count_ = static_cast<int>(n);
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) {
+      w.join();
+    }
+  }
+
+  int worker_count() const { return worker_count_; }
+
+  void run(std::int64_t count, const std::function<void(std::int64_t)>& fn) {
+    if (count <= 0) {
+      return;
+    }
+    if (count == 1 || workers_.empty()) {
+      for (std::int64_t i = 0; i < count; ++i) {
+        fn(i);
+      }
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &fn;
+      total_ = count;
+      next_.store(0);
+      remaining_.store(count);
+      ++generation_;
+    }
+    cv_.notify_all();
+    drain();  // the caller participates
+    // Wait for stragglers still inside fn().
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return remaining_.load() == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void drain() {
+    while (true) {
+      const std::int64_t i = next_.fetch_add(1);
+      if (i >= total_) {
+        return;
+      }
+      (*job_)(i);
+      if (remaining_.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this, seen] { return shutdown_ || generation_ != seen; });
+        if (shutdown_) {
+          return;
+        }
+        seen = generation_;
+      }
+      drain();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  int worker_count_ = 1;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::int64_t)>* job_ = nullptr;
+  std::int64_t total_ = 0;
+  std::atomic<std::int64_t> next_{0};
+  std::atomic<std::int64_t> remaining_{0};
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+Pool& pool() {
+  static Pool p;
+  return p;
+}
+
+}  // namespace
+
+void parallel_for(std::int64_t count, const std::function<void(std::int64_t)>& fn) {
+  pool().run(count, fn);
+}
+
+int parallel_worker_count() { return pool().worker_count(); }
+
+}  // namespace adaflow

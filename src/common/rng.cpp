@@ -1,0 +1,12 @@
+#include "adaflow/common/rng.hpp"
+
+namespace adaflow {
+
+Rng Rng::fork() {
+  // Draw two words to decorrelate the child stream from subsequent parent use.
+  const std::uint64_t a = engine_();
+  const std::uint64_t b = engine_();
+  return Rng(a ^ (b << 1) ^ 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace adaflow

@@ -1,0 +1,50 @@
+#include "adaflow/common/table.hpp"
+
+#include <algorithm>
+
+#include "adaflow/common/error.hpp"
+#include "adaflow/common/strings.hpp"
+
+namespace adaflow {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "table header must not be empty");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(), "table row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += pad_right(row[c], widths[c]);
+      out += (c + 1 == row.size()) ? "\n" : "  ";
+    }
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) {
+    total += w + 2;
+  }
+  out += std::string(total > 2 ? total - 2 : total, '-');
+  out += "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out;
+}
+
+}  // namespace adaflow

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file library.hpp
+/// AdaFlow's Library (paper Section IV-B1): the design-time table of pruned
+/// CNN model versions with their accuracy, throughput, resource and power
+/// profiles, for both accelerator types — Fixed-Pruning (one accelerator per
+/// version, switch = FPGA reconfiguration) and Flexible-Pruning (one
+/// worst-case accelerator per initial CNN, fast model switch).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adaflow/fpga/resources.hpp"
+
+namespace adaflow::core {
+
+/// One pruned CNN model version (a row of the library table).
+struct ModelVersion {
+  std::string version;        ///< e.g. "CNVW2A2@p25"
+  double requested_rate = 0;  ///< library sweep rate (0.00 .. 0.85)
+  double achieved_rate = 0;   ///< after dataflow-aware adjustment
+  double accuracy = 0;        ///< TOP-1 test accuracy after retraining
+
+  // Performance (from the analytical dataflow model).
+  double fps_fixed = 0;
+  double fps_flexible = 0;
+  double latency_fixed_s = 0;
+  double latency_flexible_s = 0;
+
+  // This version's own Fixed-Pruning accelerator.
+  fpga::ResourceUsage resources_fixed;
+  double power_busy_fixed_w = 0;
+  double power_idle_fixed_w = 0;
+
+  // Operating points on the shared Flexible-Pruning accelerator.
+  double power_busy_flexible_w = 0;
+  double power_idle_flexible_w = 0;
+  double flexible_switch_time_s = 0;  ///< fast model-switch cost
+};
+
+/// The library of one (initial CNN, dataset) pair.
+struct AcceleratorLibrary {
+  std::string model_name;
+  std::string dataset_name;
+  double base_accuracy = 0;  ///< accuracy of the unpruned version
+  double clock_hz = 100e6;
+  double reconfig_time_s = 0;  ///< full FPGA reconfiguration
+
+  fpga::ResourceUsage resources_finn;      ///< original FINN (fixed, unpruned)
+  fpga::ResourceUsage resources_flexible;  ///< worst-case flexible accelerator
+  double finn_power_busy_w = 0;
+  double finn_power_idle_w = 0;
+
+  std::vector<ModelVersion> versions;  ///< ascending pruning rate; [0] unpruned
+
+  const ModelVersion& unpruned() const;
+  const ModelVersion& at_rate(double requested_rate) const;  ///< closest row
+  std::size_t index_of(const std::string& version) const;
+};
+
+/// Text (TSV) round-trip for caching generated libraries across bench runs.
+void save_library(const AcceleratorLibrary& library, const std::string& path);
+AcceleratorLibrary load_library(const std::string& path);
+bool library_cache_exists(const std::string& path);
+
+/// Renders the table the Library Generator produces (for examples/benches).
+std::string render_library_table(const AcceleratorLibrary& library);
+
+}  // namespace adaflow::core

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file library_generator.hpp
+/// AdaFlow's design-time step (paper Fig. 4, left): from an initial CNN model
+/// + training dataset + FINN folding configuration, sweep the pruning rate,
+/// retrain every pruned version, compile it for the dataflow, and record the
+/// accuracy / throughput / resource / power profile of each version into the
+/// AcceleratorLibrary consumed by the Runtime Manager.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adaflow/core/library.hpp"
+#include "adaflow/datasets/synthetic.hpp"
+#include "adaflow/fpga/device.hpp"
+#include "adaflow/fpga/power.hpp"
+#include "adaflow/fpga/reconfig.hpp"
+#include "adaflow/hls/accelerator.hpp"
+#include "adaflow/nn/cnv.hpp"
+#include "adaflow/perf/perf.hpp"
+#include "adaflow/pruning/prune.hpp"
+
+namespace adaflow::core {
+
+struct LibraryConfig {
+  /// Pruning-rate sweep; the paper uses 0% to 85% in 5% steps (18 models).
+  std::vector<double> rates = default_rates();
+  int base_epochs = 8;       ///< initial-model training epochs
+  int retrain_epochs = 3;    ///< post-pruning retraining (paper: 40 on GPU)
+  float base_lr = 0.02f;
+  float retrain_lr = 0.005f;
+  std::int64_t batch_size = 32;
+  std::uint64_t seed = 7;
+
+  /// Folding is derived so the unpruned accelerator lands near this
+  /// throughput at the device clock (the paper's CNV operating point).
+  double target_base_fps = 450.0;
+
+  hls::InputQuantConfig input_quant;
+  pruning::PruneOptions prune_options;
+  fpga::ResourceModelConstants resource_constants = fpga::default_resource_constants();
+  fpga::PowerModelConstants power_constants = fpga::default_power_constants();
+
+  /// Relative toggle activity of unfed flexible logic: busy power on the
+  /// flexible accelerator scales between this floor (everything pruned away)
+  /// and 1.0 (worst-case model loaded), quadratically in the active fraction.
+  double flexible_toggle_floor = 0.30;
+
+  static std::vector<double> default_rates();
+};
+
+/// Library plus the design-time artifacts (kept for functional use:
+/// examples run real inferences through these).
+struct GeneratedLibrary {
+  AcceleratorLibrary table;
+  hls::FoldingConfig folding;
+  nn::Model base_model;                         ///< trained unpruned model
+  std::vector<hls::CompiledModel> compiled;     ///< one per version (same order)
+};
+
+class LibraryGenerator {
+ public:
+  LibraryGenerator(fpga::FpgaDevice device, LibraryConfig config)
+      : device_(std::move(device)), config_(std::move(config)) {}
+
+  /// Runs the full design-time flow for one (initial CNN, dataset) pair.
+  GeneratedLibrary generate(const nn::CnvTopology& topology,
+                            const datasets::SyntheticDataset& dataset) const;
+
+  /// Same flow for an arbitrary (untrained) initial model — e.g. the TFC
+  /// fully-connected topology. Quantization precisions are derived from the
+  /// model's first MVTU layer.
+  GeneratedLibrary generate_from(nn::Model initial,
+                                 const datasets::SyntheticDataset& dataset) const;
+
+  const LibraryConfig& config() const { return config_; }
+
+ private:
+  fpga::FpgaDevice device_;
+  LibraryConfig config_;
+};
+
+/// Cache wrapper: loads \p cache_path if present, otherwise generates the
+/// library (table only) and saves it. Keeps bench start-up fast.
+AcceleratorLibrary load_or_generate_library(const std::string& cache_path,
+                                            const fpga::FpgaDevice& device,
+                                            const LibraryConfig& config,
+                                            const nn::CnvTopology& topology,
+                                            const datasets::DatasetSpec& dataset_spec);
+
+}  // namespace adaflow::core

@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file runtime_manager.hpp
+/// AdaFlow's Runtime Manager (paper Section IV-B2) plus the baselines it is
+/// evaluated against.
+///
+/// Model selection: among the library versions whose accuracy stays within
+/// the user's accuracy threshold of the unpruned model, pick the one with
+/// the highest throughput; if several versions can match the incoming FPS,
+/// pick the most accurate of those.
+///
+/// Accelerator-type selection (rule-based criteria): Fixed-Pruning is chosen
+/// only when the time since the last model switch exceeds a predefined
+/// multiple of the FPGA reconfiguration time (the paper uses 10x);
+/// otherwise the Flexible-Pruning accelerator is used so the switch is fast.
+
+#include <memory>
+#include <optional>
+
+#include "adaflow/core/library.hpp"
+#include "adaflow/edge/policy.hpp"
+#include "adaflow/hls/modules.hpp"
+
+namespace adaflow::core {
+
+struct RuntimeManagerConfig {
+  /// Maximum tolerated absolute accuracy drop vs the unpruned model
+  /// (paper: 10%).
+  double accuracy_threshold = 0.10;
+  /// Fixed-Pruning allowed only when the last model switch is older than
+  /// factor * reconfig_time (paper: 10x).
+  double switch_interval_factor = 10.0;
+  /// Hysteresis: ignore incoming-FPS changes smaller than this fraction.
+  double fps_hysteresis = 0.10;
+  /// Headroom applied to the incoming-FPS estimate when matching models.
+  double fps_margin = 1.10;
+  /// Ignore polls before the monitor's rate estimate has a full window.
+  double warmup_s = 0.5;
+  /// Cooldown between decisions: after acting, wait for the estimate window
+  /// to refill before acting again (avoids double-switching on stale data).
+  double min_action_gap_s = 0.4;
+  /// Extra headroom required before moving to a SLOWER (more accurate)
+  /// model; asymmetric hysteresis that stops boundary flapping.
+  double downswitch_margin = 1.2;
+};
+
+/// The AdaFlow Runtime Manager, exposed as an edge serving policy.
+class RuntimeManager final : public edge::ServingPolicy {
+ public:
+  RuntimeManager(const AcceleratorLibrary& library, RuntimeManagerConfig config);
+
+  edge::ServingMode initial_mode() override;
+  std::optional<edge::SwitchAction> on_poll(double now_s, double incoming_fps) override;
+  void on_switch_applied(double now_s, const edge::ServingMode& mode) override;
+
+  /// The model-selection rule in isolation (unit-testable): returns the
+  /// library index chosen for an incoming-FPS demand.
+  std::size_t select_version(double incoming_fps) const;
+
+  /// The type-selection rule in isolation.
+  hls::AcceleratorVariant select_variant(double now_s) const;
+
+  /// Lets the user change the accuracy threshold at runtime (paper: the
+  /// manager re-acts on threshold changes).
+  void set_accuracy_threshold(double threshold);
+
+  std::size_t current_version() const { return current_version_; }
+  hls::AcceleratorVariant current_variant() const { return current_variant_; }
+
+ private:
+  edge::ServingMode mode_for(std::size_t version, hls::AcceleratorVariant variant) const;
+
+  const AcceleratorLibrary& library_;
+  RuntimeManagerConfig config_;
+
+  std::size_t current_version_ = 0;
+  hls::AcceleratorVariant current_variant_ = hls::AcceleratorVariant::kFixed;
+  double last_model_switch_s_ = -1e18;  ///< time of the last applied switch
+  double last_decision_s_ = -1e18;      ///< time of the last issued action
+  double last_acted_fps_ = -1.0;
+  bool threshold_dirty_ = false;
+};
+
+/// Baseline: the original FINN accelerator, statically deployed (never
+/// switches). Uses the unpruned version on its fixed accelerator.
+class StaticFinnPolicy final : public edge::ServingPolicy {
+ public:
+  explicit StaticFinnPolicy(const AcceleratorLibrary& library) : library_(library) {}
+  edge::ServingMode initial_mode() override;
+  std::optional<edge::SwitchAction> on_poll(double, double) override { return std::nullopt; }
+
+ private:
+  const AcceleratorLibrary& library_;
+};
+
+/// Baseline for Fig. 1(b): model switching allowed, but every switch is an
+/// FPGA reconfiguration of a Fixed-Pruning accelerator, with a configurable
+/// reconfiguration time (0 models the ideal zero-cost switch).
+class ReconfPruningPolicy final : public edge::ServingPolicy {
+ public:
+  ReconfPruningPolicy(const AcceleratorLibrary& library, RuntimeManagerConfig config,
+                      double reconfig_time_s);
+  edge::ServingMode initial_mode() override;
+  std::optional<edge::SwitchAction> on_poll(double now_s, double incoming_fps) override;
+  void on_switch_applied(double now_s, const edge::ServingMode& mode) override;
+
+ private:
+  const AcceleratorLibrary& library_;
+  RuntimeManagerConfig config_;
+  double reconfig_time_s_;
+  std::size_t current_version_ = 0;
+  double last_acted_fps_ = -1.0;
+};
+
+/// Shared model-selection rule (used by RuntimeManager and the
+/// reconfiguration baseline): highest-throughput version within the accuracy
+/// threshold, preferring the most accurate one that meets the demand.
+std::size_t select_library_version(const AcceleratorLibrary& library, double incoming_fps,
+                                   double accuracy_threshold, double fps_margin,
+                                   bool use_flexible_fps);
+
+}  // namespace adaflow::core

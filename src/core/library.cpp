@@ -1,0 +1,138 @@
+#include "adaflow/core/library.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "adaflow/common/error.hpp"
+#include "adaflow/common/strings.hpp"
+#include "adaflow/common/table.hpp"
+
+namespace adaflow::core {
+
+const ModelVersion& AcceleratorLibrary::unpruned() const {
+  require(!versions.empty(), "empty library");
+  return versions.front();
+}
+
+const ModelVersion& AcceleratorLibrary::at_rate(double requested_rate) const {
+  require(!versions.empty(), "empty library");
+  const ModelVersion* best = &versions.front();
+  double best_d = std::fabs(best->requested_rate - requested_rate);
+  for (const ModelVersion& v : versions) {
+    const double d = std::fabs(v.requested_rate - requested_rate);
+    if (d < best_d) {
+      best_d = d;
+      best = &v;
+    }
+  }
+  return *best;
+}
+
+std::size_t AcceleratorLibrary::index_of(const std::string& version) const {
+  for (std::size_t i = 0; i < versions.size(); ++i) {
+    if (versions[i].version == version) {
+      return i;
+    }
+  }
+  throw NotFoundError("library version " + version);
+}
+
+namespace {
+constexpr int kCacheVersion = 2;
+
+void write_usage(std::ostream& out, const fpga::ResourceUsage& u) {
+  out << u.luts << '\t' << u.flip_flops << '\t' << u.bram18 << '\t' << u.dsp;
+}
+
+fpga::ResourceUsage read_usage(std::istream& in) {
+  fpga::ResourceUsage u;
+  in >> u.luts >> u.flip_flops >> u.bram18 >> u.dsp;
+  return u;
+}
+}  // namespace
+
+void save_library(const AcceleratorLibrary& library, const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream out(path);
+  require(out.good(), "cannot write library cache " + path);
+  out.precision(17);  // max_digits10: doubles survive the text round-trip
+  out << "adaflow-library\t" << kCacheVersion << '\n';
+  out << library.model_name << '\t' << library.dataset_name << '\n';
+  out << library.base_accuracy << '\t' << library.clock_hz << '\t' << library.reconfig_time_s
+      << '\t' << library.finn_power_busy_w << '\t' << library.finn_power_idle_w << '\n';
+  write_usage(out, library.resources_finn);
+  out << '\n';
+  write_usage(out, library.resources_flexible);
+  out << '\n';
+  out << library.versions.size() << '\n';
+  for (const ModelVersion& v : library.versions) {
+    out << v.version << '\t' << v.requested_rate << '\t' << v.achieved_rate << '\t' << v.accuracy
+        << '\t' << v.fps_fixed << '\t' << v.fps_flexible << '\t' << v.latency_fixed_s << '\t'
+        << v.latency_flexible_s << '\t' << v.power_busy_fixed_w << '\t' << v.power_idle_fixed_w
+        << '\t' << v.power_busy_flexible_w << '\t' << v.power_idle_flexible_w << '\t'
+        << v.flexible_switch_time_s << '\t';
+    write_usage(out, v.resources_fixed);
+    out << '\n';
+  }
+  require(out.good(), "error writing library cache " + path);
+}
+
+AcceleratorLibrary load_library(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot read library cache " + path);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  require(magic == "adaflow-library", path + " is not a library cache");
+  require(version == kCacheVersion, "library cache version mismatch (expected " +
+                                        std::to_string(kCacheVersion) + ")");
+  AcceleratorLibrary lib;
+  in >> lib.model_name >> lib.dataset_name;
+  in >> lib.base_accuracy >> lib.clock_hz >> lib.reconfig_time_s >> lib.finn_power_busy_w >>
+      lib.finn_power_idle_w;
+  lib.resources_finn = read_usage(in);
+  lib.resources_flexible = read_usage(in);
+  std::size_t count = 0;
+  in >> count;
+  require(count <= 4096, "library cache corrupt");
+  lib.versions.resize(count);
+  for (ModelVersion& v : lib.versions) {
+    in >> v.version >> v.requested_rate >> v.achieved_rate >> v.accuracy >> v.fps_fixed >>
+        v.fps_flexible >> v.latency_fixed_s >> v.latency_flexible_s >> v.power_busy_fixed_w >>
+        v.power_idle_fixed_w >> v.power_busy_flexible_w >> v.power_idle_flexible_w >>
+        v.flexible_switch_time_s;
+    v.resources_fixed = read_usage(in);
+  }
+  require(static_cast<bool>(in), "library cache truncated: " + path);
+  return lib;
+}
+
+bool library_cache_exists(const std::string& path) {
+  return std::filesystem::exists(path);
+}
+
+std::string render_library_table(const AcceleratorLibrary& library) {
+  TextTable table({"version", "rate", "achieved", "accuracy", "FPS(fixed)", "FPS(flex)",
+                   "LUT(fixed)", "P_busy(fix)", "P_busy(flex)"});
+  for (const ModelVersion& v : library.versions) {
+    table.add_row({v.version, format_percent(v.requested_rate, 0),
+                   format_percent(v.achieved_rate, 1), format_percent(v.accuracy, 2),
+                   format_double(v.fps_fixed, 1), format_double(v.fps_flexible, 1),
+                   format_double(v.resources_fixed.luts, 0),
+                   format_double(v.power_busy_fixed_w, 3) + "W",
+                   format_double(v.power_busy_flexible_w, 3) + "W"});
+  }
+  std::ostringstream os;
+  os << "Library " << library.model_name << " / " << library.dataset_name
+     << " (base accuracy " << format_percent(library.base_accuracy, 2) << ", reconfig "
+     << format_double(library.reconfig_time_s * 1e3, 0) << " ms)\n"
+     << table.render();
+  return os.str();
+}
+
+}  // namespace adaflow::core

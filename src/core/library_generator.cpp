@@ -1,0 +1,186 @@
+#include "adaflow/core/library_generator.hpp"
+
+#include <cmath>
+
+#include "adaflow/common/logging.hpp"
+#include "adaflow/common/strings.hpp"
+#include "adaflow/nn/trainer.hpp"
+#include "adaflow/pruning/prune.hpp"
+
+namespace adaflow::core {
+
+std::vector<double> LibraryConfig::default_rates() {
+  std::vector<double> rates;
+  for (int p = 0; p <= 85; p += 5) {
+    rates.push_back(static_cast<double>(p) / 100.0);
+  }
+  return rates;
+}
+
+namespace {
+
+std::string version_name(const std::string& model, double rate) {
+  return model + "@p" + std::to_string(static_cast<int>(std::llround(rate * 100)));
+}
+
+}  // namespace
+
+GeneratedLibrary LibraryGenerator::generate(const nn::CnvTopology& topology,
+                                            const datasets::SyntheticDataset& dataset) const {
+  return generate_from(nn::build_cnv(topology, config_.seed), dataset);
+}
+
+GeneratedLibrary LibraryGenerator::generate_from(nn::Model base,
+                                                 const datasets::SyntheticDataset& dataset) const {
+  require(!config_.rates.empty(), "library needs at least one pruning rate");
+  require(config_.rates.front() == 0.0, "the first library rate must be 0 (the unpruned model)");
+
+  // 1. Train the initial model (quantization-aware, Brevitas substitute).
+  {
+    nn::TrainConfig tc;
+    tc.epochs = config_.base_epochs;
+    tc.lr = config_.base_lr;
+    tc.batch_size = config_.batch_size;
+    tc.lr_decay_epochs = {config_.base_epochs * 3 / 4};
+    tc.seed = config_.seed;
+    nn::Trainer(tc).fit(base, dataset.train);
+  }
+
+  // Accuracy is evaluated on images snapped to the accelerator's input grid,
+  // i.e. exactly what the FPGA sees.
+  const nn::LabeledData snapped_test{
+      hls::snap_to_input_grid(dataset.test.images, config_.input_quant), dataset.test.labels};
+
+  // 2. Folding for the worst case (unpruned) model at the target throughput.
+  const hls::FoldingConfig folding =
+      hls::folding_for_target_fps(base, config_.target_base_fps, device_.clock_hz);
+  hls::validate_folding(base, folding);
+
+  const std::vector<hls::MvtuLayerDesc> mvtu_layers = hls::enumerate_mvtu_layers(base);
+  require(!mvtu_layers.empty(), "initial model has no MVTU layers");
+  const int weight_bits = mvtu_layers.front().weight_bits;
+  const int act_bits = mvtu_layers.front().act_bits;
+
+  GeneratedLibrary out;
+  out.folding = folding;
+  out.table.model_name = base.name();
+  out.table.dataset_name = dataset.spec.name;
+  out.table.clock_hz = device_.clock_hz;
+
+  const fpga::PowerModel power(device_, config_.power_constants);
+  const fpga::ReconfigModel reconfig(device_);
+  out.table.reconfig_time_s = reconfig.full_reconfig_seconds();
+
+  // 3. Sweep pruning rates: prune -> retrain -> evaluate -> compile -> model
+  //    performance/resources/power for both accelerator types.
+  hls::CompiledModel worstcase_compiled;
+  for (double rate : config_.rates) {
+    // Pruning at 0% yields a structural copy of the base model.
+    pruning::PruneResult pr = pruning::dataflow_aware_prune(base, folding, rate, config_.prune_options);
+    const double achieved = pr.achieved_rate;
+    nn::Model version_model = std::move(pr.model);
+    if (rate > 0.0) {
+      nn::TrainConfig tc;
+      tc.epochs = config_.retrain_epochs;
+      tc.lr = config_.retrain_lr;
+      tc.batch_size = config_.batch_size;
+      if (config_.retrain_epochs > 1) {
+        tc.lr_decay_epochs = {config_.retrain_epochs - 1};
+      }
+      tc.seed = config_.seed + static_cast<std::uint64_t>(std::llround(rate * 100));
+      nn::Trainer(tc).fit(version_model, dataset.train);
+    }
+    version_model.set_name(version_name(out.table.model_name, rate));
+
+    ModelVersion v;
+    v.version = version_model.name();
+    v.requested_rate = rate;
+    v.achieved_rate = achieved;
+    v.accuracy = nn::Trainer::evaluate(version_model, snapped_test);
+
+    hls::CompiledModel compiled =
+        hls::compile_model(version_model, rate, config_.input_quant);
+    compiled.accuracy = v.accuracy;
+    if (rate == 0.0) {
+      worstcase_compiled = compiled;
+    }
+
+    // Performance on both accelerator types.
+    const perf::PerfReport fixed_perf =
+        perf::analyze(compiled, folding, hls::AcceleratorVariant::kFixed, device_.clock_hz);
+    const perf::PerfReport flex_perf =
+        perf::analyze(compiled, folding, hls::AcceleratorVariant::kFlexible, device_.clock_hz);
+    v.fps_fixed = fixed_perf.fps;
+    v.fps_flexible = flex_perf.fps;
+    v.latency_fixed_s = fixed_perf.latency_s;
+    v.latency_flexible_s = flex_perf.latency_s;
+
+    // This version's Fixed-Pruning accelerator.
+    v.resources_fixed =
+        fpga::accelerator_resources(compiled, folding, hls::AcceleratorVariant::kFixed,
+                                    weight_bits, act_bits, config_.resource_constants);
+    v.power_busy_fixed_w = power.watts(v.resources_fixed, 1.0);
+    v.power_idle_fixed_w = power.watts(v.resources_fixed, 0.0);
+
+    out.compiled.push_back(std::move(compiled));
+    out.table.versions.push_back(std::move(v));
+
+    log_info("library ", out.table.model_name, "/", out.table.dataset_name, " ",
+             out.table.versions.back().version, ": acc=",
+             format_percent(out.table.versions.back().accuracy, 1),
+             " fps_fixed=", format_double(out.table.versions.back().fps_fixed, 0));
+  }
+
+  // 4. Shared accelerators: original FINN (baseline) and the Flexible one.
+  out.table.resources_finn =
+      fpga::accelerator_resources(worstcase_compiled, folding, hls::AcceleratorVariant::kFixed,
+                                  weight_bits, act_bits, config_.resource_constants);
+  out.table.resources_flexible =
+      fpga::accelerator_resources(worstcase_compiled, folding, hls::AcceleratorVariant::kFlexible,
+                                  weight_bits, act_bits, config_.resource_constants);
+  out.table.finn_power_busy_w = power.watts(out.table.resources_finn, 1.0);
+  out.table.finn_power_idle_w = power.watts(out.table.resources_finn, 0.0);
+  out.table.base_accuracy = out.table.versions.front().accuracy;
+
+  // Flexible operating points per version: toggle activity scales with the
+  // fraction of fed units; switch time from the weight reload model.
+  for (std::size_t i = 0; i < out.table.versions.size(); ++i) {
+    ModelVersion& v = out.table.versions[i];
+    // Toggle activity follows the active MAC volume, which shrinks roughly
+    // quadratically with the filter-pruning rate (both producer and consumer
+    // channel counts drop); the floor is the always-clocked control fabric.
+    const double active = 1.0 - v.achieved_rate;
+    const double frac = config_.rates[i] == 0.0
+                            ? 1.0
+                            : config_.flexible_toggle_floor +
+                                  (1.0 - config_.flexible_toggle_floor) * active * active;
+    const double dyn = power.dynamic_watts(out.table.resources_flexible) * frac;
+    v.power_busy_flexible_w = device_.static_power_w + dyn;
+    v.power_idle_flexible_w =
+        device_.static_power_w + dyn * config_.power_constants.idle_activity;
+    v.flexible_switch_time_s = reconfig.flexible_switch_seconds(out.compiled[i]);
+  }
+
+  out.base_model = std::move(base);
+  return out;
+}
+
+AcceleratorLibrary load_or_generate_library(const std::string& cache_path,
+                                            const fpga::FpgaDevice& device,
+                                            const LibraryConfig& config,
+                                            const nn::CnvTopology& topology,
+                                            const datasets::DatasetSpec& dataset_spec) {
+  if (library_cache_exists(cache_path)) {
+    log_info("loading cached library ", cache_path);
+    return load_library(cache_path);
+  }
+  log_info("generating library ", topology.name, "/", dataset_spec.name,
+           " (cache miss: ", cache_path, ")");
+  const datasets::SyntheticDataset dataset = datasets::generate(dataset_spec);
+  LibraryGenerator generator(device, config);
+  GeneratedLibrary generated = generator.generate(topology, dataset);
+  save_library(generated.table, cache_path);
+  return generated.table;
+}
+
+}  // namespace adaflow::core

@@ -1,0 +1,84 @@
+#include "adaflow/core/oracle_policy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace adaflow::core {
+
+OraclePolicy::OraclePolicy(const AcceleratorLibrary& library, RuntimeManagerConfig config,
+                           const edge::WorkloadTrace& trace)
+    : library_(library), config_(config), trace_(trace) {}
+
+edge::ServingMode OraclePolicy::mode_for(std::size_t version,
+                                         hls::AcceleratorVariant variant) const {
+  const ModelVersion& v = library_.versions.at(version);
+  edge::ServingMode mode;
+  mode.model_version = v.version;
+  mode.accuracy = v.accuracy;
+  if (variant == hls::AcceleratorVariant::kFixed) {
+    mode.accelerator = "Fixed@" + v.version;
+    mode.fps = v.fps_fixed;
+    mode.power_busy_w = v.power_busy_fixed_w;
+    mode.power_idle_w = v.power_idle_fixed_w;
+  } else {
+    mode.accelerator = "Flexible";
+    mode.fps = v.fps_flexible;
+    mode.power_busy_w = v.power_busy_flexible_w;
+    mode.power_idle_w = v.power_idle_flexible_w;
+  }
+  return mode;
+}
+
+double OraclePolicy::time_to_next_change(double now_s) const {
+  const std::vector<double>& times = trace_.change_times();
+  auto it = std::upper_bound(times.begin(), times.end(), now_s);
+  if (it == times.end()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return *it - now_s;
+}
+
+edge::ServingMode OraclePolicy::initial_mode() {
+  // The oracle deploys the ideal version for the true initial rate directly.
+  current_version_ = select_library_version(library_, trace_.rate_at(0.0),
+                                            config_.accuracy_threshold, config_.fps_margin,
+                                            /*use_flexible_fps=*/false);
+  current_variant_ = hls::AcceleratorVariant::kFixed;
+  return mode_for(current_version_, current_variant_);
+}
+
+std::optional<edge::SwitchAction> OraclePolicy::on_poll(double now_s, double /*estimate*/) {
+  const double true_rate = trace_.rate_at(now_s);
+  const std::size_t target =
+      select_library_version(library_, true_rate, config_.accuracy_threshold, config_.fps_margin,
+                             current_variant_ == hls::AcceleratorVariant::kFlexible);
+  if (target == current_version_) {
+    return std::nullopt;
+  }
+
+  // Lookahead type rule: a Fixed reconfiguration only pays off when the
+  // workload will hold still long enough.
+  const double stable_for = time_to_next_change(now_s);
+  const hls::AcceleratorVariant variant =
+      stable_for >= config_.switch_interval_factor * library_.reconfig_time_s
+          ? hls::AcceleratorVariant::kFixed
+          : hls::AcceleratorVariant::kFlexible;
+
+  edge::SwitchAction action;
+  action.target = mode_for(target, variant);
+  if (variant == hls::AcceleratorVariant::kFixed) {
+    action.switch_time_s = library_.reconfig_time_s;
+    action.is_reconfiguration = true;
+  } else if (current_variant_ == hls::AcceleratorVariant::kFlexible) {
+    action.switch_time_s = library_.versions.at(target).flexible_switch_time_s;
+    action.is_reconfiguration = false;
+  } else {
+    action.switch_time_s = library_.reconfig_time_s;
+    action.is_reconfiguration = true;
+  }
+  current_version_ = target;
+  current_variant_ = variant;
+  return action;
+}
+
+}  // namespace adaflow::core

@@ -1,0 +1,252 @@
+#include "adaflow/core/runtime_manager.hpp"
+
+#include <cmath>
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow::core {
+
+std::size_t select_library_version(const AcceleratorLibrary& library, double incoming_fps,
+                                   double accuracy_threshold, double fps_margin,
+                                   bool use_flexible_fps) {
+  require(!library.versions.empty(), "empty library");
+  const double accuracy_floor = library.base_accuracy - accuracy_threshold;
+  const double demand = incoming_fps * fps_margin;
+
+  auto fps_of = [&](const ModelVersion& v) {
+    return use_flexible_fps ? v.fps_flexible : v.fps_fixed;
+  };
+
+  // Pass 1: among allowed versions that can match the demand, the most
+  // accurate one (ties broken toward the lower pruning rate == earlier row).
+  std::size_t best_matching = library.versions.size();
+  double best_matching_acc = -1.0;
+  // Pass 2 fallback: the fastest allowed version.
+  std::size_t fastest = library.versions.size();
+  double fastest_fps = -1.0;
+
+  for (std::size_t i = 0; i < library.versions.size(); ++i) {
+    const ModelVersion& v = library.versions[i];
+    if (v.accuracy < accuracy_floor) {
+      continue;
+    }
+    const double fps = fps_of(v);
+    if (fps >= demand && v.accuracy > best_matching_acc) {
+      best_matching_acc = v.accuracy;
+      best_matching = i;
+    }
+    if (fps > fastest_fps) {
+      fastest_fps = fps;
+      fastest = i;
+    }
+  }
+  if (best_matching != library.versions.size()) {
+    return best_matching;
+  }
+  if (fastest != library.versions.size()) {
+    return fastest;
+  }
+  // Nothing passes the accuracy threshold (degenerate config): fall back to
+  // the unpruned model.
+  return 0;
+}
+
+RuntimeManager::RuntimeManager(const AcceleratorLibrary& library, RuntimeManagerConfig config)
+    : library_(library), config_(config) {
+  require(config_.accuracy_threshold >= 0.0, "negative accuracy threshold");
+  require(config_.switch_interval_factor >= 0.0, "negative switch interval factor");
+}
+
+edge::ServingMode RuntimeManager::mode_for(std::size_t version,
+                                           hls::AcceleratorVariant variant) const {
+  const ModelVersion& v = library_.versions.at(version);
+  edge::ServingMode mode;
+  mode.model_version = v.version;
+  if (variant == hls::AcceleratorVariant::kFixed) {
+    mode.accelerator = "Fixed@" + v.version;
+    mode.fps = v.fps_fixed;
+    mode.power_busy_w = v.power_busy_fixed_w;
+    mode.power_idle_w = v.power_idle_fixed_w;
+  } else {
+    mode.accelerator = "Flexible";
+    mode.fps = v.fps_flexible;
+    mode.power_busy_w = v.power_busy_flexible_w;
+    mode.power_idle_w = v.power_idle_flexible_w;
+  }
+  mode.accuracy = v.accuracy;
+  return mode;
+}
+
+edge::ServingMode RuntimeManager::initial_mode() {
+  // Deployment starts on the unpruned model's Fixed accelerator — the same
+  // hardware the Original FINN baseline runs, before any adaptation. The
+  // environment is presumed stable until proven otherwise, so the first
+  // needed switch may use a Fixed accelerator.
+  current_version_ = 0;
+  current_variant_ = hls::AcceleratorVariant::kFixed;
+  last_model_switch_s_ = -1e18;
+  return mode_for(current_version_, current_variant_);
+}
+
+std::size_t RuntimeManager::select_version(double incoming_fps) const {
+  return select_library_version(library_, incoming_fps, config_.accuracy_threshold,
+                                config_.fps_margin,
+                                current_variant_ == hls::AcceleratorVariant::kFlexible);
+}
+
+hls::AcceleratorVariant RuntimeManager::select_variant(double now_s) const {
+  const double interval = config_.switch_interval_factor * library_.reconfig_time_s;
+  return (now_s - last_model_switch_s_) >= interval ? hls::AcceleratorVariant::kFixed
+                                                    : hls::AcceleratorVariant::kFlexible;
+}
+
+void RuntimeManager::set_accuracy_threshold(double threshold) {
+  require(threshold >= 0.0, "negative accuracy threshold");
+  config_.accuracy_threshold = threshold;
+  threshold_dirty_ = true;
+}
+
+std::optional<edge::SwitchAction> RuntimeManager::on_poll(double now_s, double incoming_fps) {
+  if (now_s < config_.warmup_s) {
+    return std::nullopt;  // the monitor's estimate window is still filling
+  }
+  if (now_s - last_decision_s_ < config_.min_action_gap_s) {
+    return std::nullopt;  // estimate still contains pre-switch traffic
+  }
+  // The manager acts on workload changes (and threshold changes); small
+  // estimate jitter is filtered out.
+  if (!threshold_dirty_ && last_acted_fps_ > 0.0) {
+    const double rel = std::fabs(incoming_fps - last_acted_fps_) / last_acted_fps_;
+    if (rel < config_.fps_hysteresis) {
+      return std::nullopt;
+    }
+  }
+  threshold_dirty_ = false;
+
+  const std::size_t target = select_version(incoming_fps);
+  last_acted_fps_ = incoming_fps;
+  if (target == current_version_) {
+    return std::nullopt;
+  }
+
+  // Stickiness: if the current version still serves the demand within the
+  // accuracy threshold, only move for a meaningful accuracy win — the
+  // estimate noise of a Poisson arrival stream must not thrash the FPGA.
+  const ModelVersion& cur = library_.versions.at(current_version_);
+  const ModelVersion& tgt = library_.versions.at(target);
+  const double cur_fps = current_variant_ == hls::AcceleratorVariant::kFlexible
+                             ? cur.fps_flexible
+                             : cur.fps_fixed;
+  const bool current_adequate =
+      cur_fps >= incoming_fps * config_.fps_margin &&
+      cur.accuracy >= library_.base_accuracy - config_.accuracy_threshold;
+  if (current_adequate && tgt.accuracy <= cur.accuracy + 0.005) {
+    return std::nullopt;
+  }
+  // Asymmetric hysteresis: moving to a slower-but-more-accurate model needs
+  // extra headroom, or boundary noise flip-flops between adjacent versions.
+  if (current_adequate && tgt.fps_fixed < cur.fps_fixed &&
+      tgt.fps_fixed < incoming_fps * config_.fps_margin * config_.downswitch_margin) {
+    return std::nullopt;
+  }
+
+  const hls::AcceleratorVariant variant = select_variant(now_s);
+  edge::SwitchAction action;
+  action.target = mode_for(target, variant);
+  if (variant == hls::AcceleratorVariant::kFixed) {
+    // Loading a different Fixed bitstream is always a reconfiguration.
+    action.switch_time_s = library_.reconfig_time_s;
+    action.is_reconfiguration = true;
+  } else if (current_variant_ == hls::AcceleratorVariant::kFlexible) {
+    // Fast in-place model switch.
+    action.switch_time_s = library_.versions.at(target).flexible_switch_time_s;
+    action.is_reconfiguration = false;
+  } else {
+    // "Change of Dataflow": one reconfiguration to bring in the Flexible
+    // accelerator, after which switches are fast.
+    action.switch_time_s = library_.reconfig_time_s;
+    action.is_reconfiguration = true;
+  }
+
+  current_version_ = target;
+  current_variant_ = variant;
+  last_decision_s_ = now_s;
+  return action;
+}
+
+void RuntimeManager::on_switch_applied(double now_s, const edge::ServingMode&) {
+  last_model_switch_s_ = now_s;
+}
+
+edge::ServingMode StaticFinnPolicy::initial_mode() {
+  const ModelVersion& v = library_.unpruned();
+  edge::ServingMode mode;
+  mode.model_version = v.version;
+  mode.accelerator = "OriginalFINN";
+  mode.fps = v.fps_fixed;
+  mode.accuracy = v.accuracy;
+  mode.power_busy_w = library_.finn_power_busy_w;
+  mode.power_idle_w = library_.finn_power_idle_w;
+  return mode;
+}
+
+ReconfPruningPolicy::ReconfPruningPolicy(const AcceleratorLibrary& library,
+                                         RuntimeManagerConfig config, double reconfig_time_s)
+    : library_(library), config_(config), reconfig_time_s_(reconfig_time_s) {}
+
+edge::ServingMode ReconfPruningPolicy::initial_mode() {
+  current_version_ = 0;
+  const ModelVersion& v = library_.unpruned();
+  edge::ServingMode mode;
+  mode.model_version = v.version;
+  mode.accelerator = "Fixed@" + v.version;
+  mode.fps = v.fps_fixed;
+  mode.accuracy = v.accuracy;
+  mode.power_busy_w = v.power_busy_fixed_w;
+  mode.power_idle_w = v.power_idle_fixed_w;
+  return mode;
+}
+
+std::optional<edge::SwitchAction> ReconfPruningPolicy::on_poll(double now_s,
+                                                               double incoming_fps) {
+  if (now_s < config_.warmup_s) {
+    return std::nullopt;
+  }
+  if (last_acted_fps_ > 0.0) {
+    const double rel = std::fabs(incoming_fps - last_acted_fps_) / last_acted_fps_;
+    if (rel < config_.fps_hysteresis) {
+      return std::nullopt;
+    }
+  }
+  const std::size_t target = select_library_version(
+      library_, incoming_fps, config_.accuracy_threshold, config_.fps_margin,
+      /*use_flexible_fps=*/false);
+  last_acted_fps_ = incoming_fps;
+  if (target == current_version_) {
+    return std::nullopt;
+  }
+  const ModelVersion& cur = library_.versions.at(current_version_);
+  const bool current_adequate =
+      cur.fps_fixed >= incoming_fps * config_.fps_margin &&
+      cur.accuracy >= library_.base_accuracy - config_.accuracy_threshold;
+  if (current_adequate &&
+      library_.versions.at(target).accuracy <= cur.accuracy + 0.005) {
+    return std::nullopt;
+  }
+  current_version_ = target;
+  const ModelVersion& v = library_.versions.at(target);
+  edge::SwitchAction action;
+  action.target.model_version = v.version;
+  action.target.accelerator = "Fixed@" + v.version;
+  action.target.fps = v.fps_fixed;
+  action.target.accuracy = v.accuracy;
+  action.target.power_busy_w = v.power_busy_fixed_w;
+  action.target.power_idle_w = v.power_idle_fixed_w;
+  action.switch_time_s = reconfig_time_s_;
+  action.is_reconfiguration = reconfig_time_s_ > 0.0;
+  return action;
+}
+
+void ReconfPruningPolicy::on_switch_applied(double, const edge::ServingMode&) {}
+
+}  // namespace adaflow::core

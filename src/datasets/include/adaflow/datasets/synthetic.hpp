@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file synthetic.hpp
+/// Procedural image-classification datasets standing in for CIFAR-10 and
+/// GTSRB (see DESIGN.md "Substitutions").
+///
+/// Each class is a deterministic composition of an oriented grating, a few
+/// colored blobs and a shape mask, perturbed per sample with phase/position
+/// jitter, color jitter, cross-class distractors and Gaussian pixel noise.
+/// The perturbations are tuned so that a full-width CNV reaches high test
+/// accuracy while pruned (lower-capacity) versions lose accuracy
+/// monotonically — the trade-off the AdaFlow library is built from.
+
+#include <cstdint>
+#include <string>
+
+#include "adaflow/nn/data.hpp"
+
+namespace adaflow::datasets {
+
+/// Parameters of a synthetic dataset.
+struct DatasetSpec {
+  std::string name;
+  int classes = 10;
+  std::int64_t train_count = 2000;
+  std::int64_t test_count = 500;
+  std::int64_t image_size = 32;  ///< square images (channels x size x size)
+  std::int64_t channels = 3;     ///< color planes (3 = RGB, 1 = grayscale)
+  float noise_stddev = 0.35f;    ///< per-pixel Gaussian noise
+  float distractor_strength = 0.35f;  ///< amplitude of other-class features
+  std::uint64_t seed = 42;
+};
+
+/// A generated train/test pair.
+struct SyntheticDataset {
+  DatasetSpec spec;
+  nn::LabeledData train;
+  nn::LabeledData test;
+};
+
+/// Generates the dataset described by \p spec.
+SyntheticDataset generate(const DatasetSpec& spec);
+
+/// CIFAR-10 stand-in: 10 well-separated object-like classes.
+DatasetSpec synth_cifar10_spec(std::int64_t train_count = 1500, std::int64_t test_count = 400);
+
+/// GTSRB stand-in: 43 traffic-sign-like classes with higher inter-class
+/// similarity (classes share shape families and differ in inner glyphs).
+DatasetSpec synth_gtsrb_spec(std::int64_t train_count = 2150, std::int64_t test_count = 430);
+
+/// MNIST stand-in: 10 digit-like grayscale classes at 1x28x28, used by the
+/// fully-connected (TFC/SFC) topologies.
+DatasetSpec synth_mnist_spec(std::int64_t train_count = 1500, std::int64_t test_count = 400);
+
+/// Renders one sample of \p label (exposed for tests and examples).
+nn::Tensor render_sample(const DatasetSpec& spec, int label, adaflow::Rng& rng);
+
+}  // namespace adaflow::datasets

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file policy.hpp
+/// Serving-policy interface between the Edge-server simulator and the
+/// decision logic living above it (AdaFlow's Runtime Manager, the Original
+/// FINN baseline, the reconfiguration-only baseline). The simulator tells
+/// the policy the estimated incoming FPS; the policy answers with the mode
+/// to run and what switching to it costs.
+
+#include <optional>
+#include <string>
+
+namespace adaflow::edge {
+
+/// What the server is currently running: one CNN model version on one
+/// accelerator, with its operating characteristics.
+struct ServingMode {
+  std::string model_version;   ///< e.g. "CNVW2A2@p25"
+  std::string accelerator;     ///< e.g. "Fixed@p25", "Flexible"
+  double fps = 0.0;            ///< service rate of this mode
+  double accuracy = 0.0;       ///< test accuracy of the model version
+  double power_busy_w = 0.0;   ///< board power while processing
+  double power_idle_w = 0.0;   ///< board power while idle / reconfiguring
+};
+
+/// A switch the policy wants performed.
+struct SwitchAction {
+  ServingMode target;
+  double switch_time_s = 0.0;  ///< server stalls this long
+  bool is_reconfiguration = false;  ///< full FPGA reconfiguration?
+};
+
+class ServingPolicy {
+ public:
+  virtual ~ServingPolicy() = default;
+
+  /// Mode loaded at t = 0 (loading it is not charged to the run).
+  virtual ServingMode initial_mode() = 0;
+
+  /// Called at every monitor poll with the current incoming-FPS estimate.
+  /// Returns the switch to perform, or nullopt to keep the current mode.
+  virtual std::optional<SwitchAction> on_poll(double now_s, double incoming_fps) = 0;
+
+  /// Notification that a switch finished (the new mode is live).
+  virtual void on_switch_applied(double now_s, const ServingMode& mode) { (void)now_s; (void)mode; }
+};
+
+}  // namespace adaflow::edge

@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file server.hpp
+/// Discrete-event simulation of an FPGA-equipped Edge inference server
+/// (paper Section V): IoT cameras push frames into a bounded queue; a single
+/// dataflow accelerator drains it at the loaded mode's FPS; a monitor polls
+/// the incoming rate and lets the serving policy switch modes — stalling the
+/// server for the switch duration (fast for Flexible, a full reconfiguration
+/// for Fixed). Frames that arrive into a full queue are lost.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adaflow/edge/policy.hpp"
+#include "adaflow/edge/workload.hpp"
+#include "adaflow/sim/stats.hpp"
+
+namespace adaflow::edge {
+
+struct ServerConfig {
+  std::int64_t queue_capacity = 72;
+  double poll_interval_s = 0.1;      ///< monitor cadence
+  double estimate_window_s = 0.4;    ///< incoming-FPS estimation window
+  double sample_interval_s = 0.5;    ///< time-series sampling cadence
+};
+
+/// One applied mode switch (for Figure 6's annotation track).
+struct SwitchRecord {
+  double time_s = 0.0;
+  std::string model_version;
+  std::string accelerator;
+  bool reconfiguration = false;
+};
+
+struct RunMetrics {
+  std::int64_t arrived = 0;
+  std::int64_t processed = 0;
+  std::int64_t lost = 0;
+  double qoe_accuracy_sum = 0.0;  ///< sum of model accuracy over processed frames
+  double energy_j = 0.0;
+  double duration_s = 0.0;
+  int model_switches = 0;
+  int reconfigurations = 0;
+  std::vector<SwitchRecord> switches;
+
+  sim::TimeSeries workload_series;  ///< incoming FPS per sample window
+  sim::TimeSeries loss_series;      ///< frame-loss fraction per window
+  sim::TimeSeries qoe_series;       ///< QoE per window
+  sim::TimeSeries power_series;     ///< average watts per window
+
+  double frame_loss() const {
+    return arrived > 0 ? static_cast<double>(lost) / static_cast<double>(arrived) : 0.0;
+  }
+  /// QoE = accuracy x fraction of processed frames (paper Section V).
+  double qoe() const {
+    return arrived > 0 ? qoe_accuracy_sum / static_cast<double>(arrived) : 0.0;
+  }
+  double average_power_w() const { return duration_s > 0 ? energy_j / duration_s : 0.0; }
+  /// Processed inferences per watt-second (per joule).
+  double power_efficiency() const { return energy_j > 0 ? processed / energy_j : 0.0; }
+};
+
+/// Runs one full simulation of \p trace under \p policy.
+RunMetrics run_simulation(const WorkloadTrace& trace, ServingPolicy& policy,
+                          const ServerConfig& config, std::uint64_t seed);
+
+/// Averages scalar metrics and series over repeated runs (seeds 0..runs-1
+/// offset by seed_base), constructing a fresh policy per run via \p factory.
+struct RepeatedRunResult {
+  RunMetrics mean;                 ///< scalar fields averaged; series averaged
+  sim::RunningStat frame_loss;
+  sim::RunningStat qoe;
+  sim::RunningStat power;
+};
+
+template <typename PolicyFactory>
+RepeatedRunResult run_repeated(const WorkloadConfig& workload, PolicyFactory&& factory,
+                               const ServerConfig& config, int runs,
+                               std::uint64_t seed_base = 1000) {
+  RepeatedRunResult out;
+  std::vector<sim::TimeSeries> workload_s, loss_s, qoe_s, power_s;
+  RunMetrics total;
+  for (int r = 0; r < runs; ++r) {
+    const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(r);
+    WorkloadTrace trace(workload, seed);
+    auto policy = factory();
+    RunMetrics m = run_simulation(trace, *policy, config, seed ^ 0x5bd1e995ULL);
+    total.arrived += m.arrived;
+    total.processed += m.processed;
+    total.lost += m.lost;
+    total.qoe_accuracy_sum += m.qoe_accuracy_sum;
+    total.energy_j += m.energy_j;
+    total.duration_s += m.duration_s;
+    total.model_switches += m.model_switches;
+    total.reconfigurations += m.reconfigurations;
+    if (r == 0) {
+      total.switches = m.switches;  // representative first run (paper Fig. 6)
+    }
+    out.frame_loss.add(m.frame_loss());
+    out.qoe.add(m.qoe());
+    out.power.add(m.average_power_w());
+    workload_s.push_back(std::move(m.workload_series));
+    loss_s.push_back(std::move(m.loss_series));
+    qoe_s.push_back(std::move(m.qoe_series));
+    power_s.push_back(std::move(m.power_series));
+  }
+  total.workload_series = sim::average_series(workload_s);
+  total.loss_series = sim::average_series(loss_s);
+  total.qoe_series = sim::average_series(qoe_s);
+  total.power_series = sim::average_series(power_s);
+  out.mean = std::move(total);
+  return out;
+}
+
+}  // namespace adaflow::edge

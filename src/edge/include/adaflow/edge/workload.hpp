@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file workload.hpp
+/// Edge workload model (paper Section V): N IoT cameras nominally streaming
+/// at a fixed FPS, with the aggregate incoming rate deviating randomly at
+/// scenario-defined intervals — Scenario 1: +-30% every 5 s (stable),
+/// Scenario 2: +-70% every 500 ms (unpredictable), Scenario 1+2: S1 for the
+/// first 15 s, then S2.
+
+#include <cstdint>
+#include <vector>
+
+#include "adaflow/common/rng.hpp"
+
+namespace adaflow::edge {
+
+/// One phase of workload behaviour.
+struct WorkloadPhase {
+  double deviation = 0.3;   ///< max relative deviation of the rate
+  double interval_s = 5.0;  ///< how often the rate is re-drawn
+  double duration_s = 25.0; ///< phase length
+};
+
+struct WorkloadConfig {
+  int devices = 20;
+  double fps_per_device = 30.0;
+  std::vector<WorkloadPhase> phases;
+
+  double base_rate() const { return devices * fps_per_device; }
+  double total_duration() const;
+};
+
+/// Paper scenarios.
+WorkloadConfig scenario1(double duration_s = 25.0);
+WorkloadConfig scenario2(double duration_s = 25.0);
+WorkloadConfig scenario1_plus_2(double stable_s = 15.0, double total_s = 25.0);
+
+/// Piecewise-constant arrival-rate trace drawn from a config. The rate is
+/// re-drawn at every phase interval boundary as base * (1 + U(-dev, +dev)).
+class WorkloadTrace {
+ public:
+  WorkloadTrace(const WorkloadConfig& config, std::uint64_t seed);
+
+  /// Aggregate incoming FPS at time \p t.
+  double rate_at(double t) const;
+
+  /// Boundaries where the rate changes (for event scheduling).
+  const std::vector<double>& change_times() const { return times_; }
+  double duration() const { return duration_; }
+
+ private:
+  std::vector<double> times_;  ///< segment start times (ascending, begins 0)
+  std::vector<double> rates_;  ///< rate of each segment
+  double duration_ = 0.0;
+};
+
+}  // namespace adaflow::edge

@@ -1,0 +1,212 @@
+#include "adaflow/edge/server.hpp"
+
+#include <deque>
+
+#include "adaflow/common/error.hpp"
+#include "adaflow/common/rng.hpp"
+#include "adaflow/sim/event_queue.hpp"
+
+namespace adaflow::edge {
+
+namespace {
+
+/// All mutable simulation state, shared by the event callbacks.
+struct Sim {
+  const WorkloadTrace& trace;
+  ServingPolicy& policy;
+  const ServerConfig& config;
+  Rng rng;
+  sim::EventQueue queue;
+
+  ServingMode mode;
+  std::int64_t queued = 0;
+  bool processing = false;
+  bool switching = false;
+  bool has_pending_switch = false;
+  SwitchAction pending_switch;
+
+  RunMetrics metrics;
+
+  // Power integration.
+  double last_power_t = 0.0;
+
+  // Incoming-rate estimation: arrival timestamps inside the window.
+  std::deque<double> recent_arrivals;
+
+  // Per-sample-window counters.
+  std::int64_t window_arrived = 0;
+  std::int64_t window_lost = 0;
+  double window_qoe_sum = 0.0;
+  double window_energy_start = 0.0;
+
+  Sim(const WorkloadTrace& t, ServingPolicy& p, const ServerConfig& c, std::uint64_t seed)
+      : trace(t), policy(p), config(c), rng(seed) {}
+
+  double current_power() const {
+    // Busy silicon burns dynamic power; an idle or reconfiguring accelerator
+    // sits at the idle operating point.
+    return (processing && !switching) ? mode.power_busy_w : mode.power_idle_w;
+  }
+
+  void integrate_power() {
+    const double now = queue.now();
+    metrics.energy_j += current_power() * (now - last_power_t);
+    last_power_t = now;
+  }
+
+  void set_mode(const ServingMode& m) {
+    integrate_power();
+    mode = m;
+  }
+
+  void start_next_frame() {
+    if (switching) {
+      return;
+    }
+    if (has_pending_switch && !processing) {
+      begin_switch();
+      return;
+    }
+    if (processing || queued == 0) {
+      return;
+    }
+    integrate_power();
+    processing = true;
+    --queued;
+    require(mode.fps > 0, "serving mode has zero FPS");
+    queue.schedule_in(1.0 / mode.fps, [this] { finish_frame(); });
+  }
+
+  void finish_frame() {
+    integrate_power();
+    processing = false;
+    ++metrics.processed;
+    metrics.qoe_accuracy_sum += mode.accuracy;
+    window_qoe_sum += mode.accuracy;
+    start_next_frame();
+  }
+
+  void begin_switch() {
+    require(has_pending_switch, "no switch pending");
+    integrate_power();
+    switching = true;
+    has_pending_switch = false;
+    const SwitchAction action = pending_switch;
+    ++metrics.model_switches;
+    if (action.is_reconfiguration) {
+      ++metrics.reconfigurations;
+    }
+    metrics.switches.push_back(SwitchRecord{queue.now(), action.target.model_version,
+                                            action.target.accelerator,
+                                            action.is_reconfiguration});
+    queue.schedule_in(action.switch_time_s, [this, action] {
+      integrate_power();
+      switching = false;
+      set_mode(action.target);
+      policy.on_switch_applied(queue.now(), action.target);
+      start_next_frame();
+    });
+  }
+
+  void on_arrival() {
+    ++metrics.arrived;
+    ++window_arrived;
+    recent_arrivals.push_back(queue.now());
+    if (queued >= config.queue_capacity) {
+      ++metrics.lost;
+      ++window_lost;
+    } else {
+      ++queued;
+      start_next_frame();
+    }
+    schedule_next_arrival();
+  }
+
+  void schedule_next_arrival() {
+    const double rate = trace.rate_at(queue.now());
+    if (rate <= 0.0) {
+      // Re-check after the next rate boundary.
+      queue.schedule_in(0.05, [this] { schedule_next_arrival(); });
+      return;
+    }
+    const double dt = rng.exponential(rate);
+    const double when = queue.now() + dt;
+    if (when <= trace.duration()) {
+      queue.schedule_at(when, [this] { on_arrival(); });
+    }
+  }
+
+  double estimate_incoming_fps() {
+    const double now = queue.now();
+    while (!recent_arrivals.empty() && recent_arrivals.front() < now - config.estimate_window_s) {
+      recent_arrivals.pop_front();
+    }
+    const double window = std::min(now, config.estimate_window_s);
+    if (window <= 0.0) {
+      return trace.rate_at(0.0);
+    }
+    return static_cast<double>(recent_arrivals.size()) / window;
+  }
+
+  void on_poll() {
+    if (!switching) {
+      auto action = policy.on_poll(queue.now(), estimate_incoming_fps());
+      if (action.has_value()) {
+        pending_switch = *action;
+        has_pending_switch = true;
+        if (!processing) {
+          begin_switch();
+        }
+      }
+    }
+    const double next = queue.now() + config.poll_interval_s;
+    if (next <= trace.duration()) {
+      queue.schedule_at(next, [this] { on_poll(); });
+    }
+  }
+
+  void on_sample() {
+    integrate_power();
+    const double interval = config.sample_interval_s;
+    metrics.workload_series.values.push_back(static_cast<double>(window_arrived) / interval);
+    metrics.loss_series.values.push_back(
+        window_arrived > 0 ? static_cast<double>(window_lost) / window_arrived : 0.0);
+    metrics.qoe_series.values.push_back(
+        window_arrived > 0 ? window_qoe_sum / static_cast<double>(window_arrived) : 0.0);
+    metrics.power_series.values.push_back((metrics.energy_j - window_energy_start) / interval);
+    window_arrived = 0;
+    window_lost = 0;
+    window_qoe_sum = 0.0;
+    window_energy_start = metrics.energy_j;
+
+    const double next = queue.now() + interval;
+    if (next <= trace.duration() + 1e-9) {
+      queue.schedule_at(next, [this] { on_sample(); });
+    }
+  }
+};
+
+}  // namespace
+
+RunMetrics run_simulation(const WorkloadTrace& trace, ServingPolicy& policy,
+                          const ServerConfig& config, std::uint64_t seed) {
+  Sim sim(trace, policy, config, seed);
+  sim.mode = policy.initial_mode();
+  require(sim.mode.fps > 0, "initial mode must have positive FPS");
+
+  sim.metrics.workload_series.interval_s = config.sample_interval_s;
+  sim.metrics.loss_series.interval_s = config.sample_interval_s;
+  sim.metrics.qoe_series.interval_s = config.sample_interval_s;
+  sim.metrics.power_series.interval_s = config.sample_interval_s;
+
+  sim.schedule_next_arrival();
+  sim.queue.schedule_at(config.poll_interval_s, [&sim] { sim.on_poll(); });
+  sim.queue.schedule_at(config.sample_interval_s, [&sim] { sim.on_sample(); });
+
+  sim.queue.run_until(trace.duration());
+  sim.integrate_power();
+  sim.metrics.duration_s = trace.duration();
+  return sim.metrics;
+}
+
+}  // namespace adaflow::edge

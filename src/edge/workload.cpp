@@ -1,0 +1,62 @@
+#include "adaflow/edge/workload.hpp"
+
+#include <algorithm>
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow::edge {
+
+double WorkloadConfig::total_duration() const {
+  double total = 0.0;
+  for (const WorkloadPhase& p : phases) {
+    total += p.duration_s;
+  }
+  return total;
+}
+
+WorkloadConfig scenario1(double duration_s) {
+  WorkloadConfig c;
+  c.phases = {WorkloadPhase{0.30, 5.0, duration_s}};
+  return c;
+}
+
+WorkloadConfig scenario2(double duration_s) {
+  WorkloadConfig c;
+  c.phases = {WorkloadPhase{0.70, 0.5, duration_s}};
+  return c;
+}
+
+WorkloadConfig scenario1_plus_2(double stable_s, double total_s) {
+  require(total_s > stable_s, "scenario 1+2 needs a second phase");
+  WorkloadConfig c;
+  c.phases = {WorkloadPhase{0.30, 5.0, stable_s}, WorkloadPhase{0.70, 0.5, total_s - stable_s}};
+  return c;
+}
+
+WorkloadTrace::WorkloadTrace(const WorkloadConfig& config, std::uint64_t seed) {
+  require(!config.phases.empty(), "workload needs at least one phase");
+  Rng rng(seed);
+  const double base = config.base_rate();
+
+  double t = 0.0;
+  for (const WorkloadPhase& phase : config.phases) {
+    const double phase_end = t + phase.duration_s;
+    while (t < phase_end - 1e-12) {
+      const double factor = 1.0 + rng.uniform(-phase.deviation, phase.deviation);
+      times_.push_back(t);
+      rates_.push_back(std::max(0.0, base * factor));
+      t = std::min(phase_end, t + phase.interval_s);
+    }
+    t = phase_end;
+  }
+  duration_ = t;
+}
+
+double WorkloadTrace::rate_at(double t) const {
+  // Segments start at times_[i]; find the last boundary <= t.
+  auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t idx = it == times_.begin() ? 0 : static_cast<std::size_t>(it - times_.begin() - 1);
+  return rates_[idx];
+}
+
+}  // namespace adaflow::edge

@@ -1,0 +1,62 @@
+#include "adaflow/fpga/device.hpp"
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow::fpga {
+
+FpgaDevice zcu104() {
+  FpgaDevice d;
+  d.name = "ZCU104 (XCZU7EV)";
+  d.luts = 230400;
+  d.flip_flops = 460800;
+  d.bram18 = 624;
+  d.dsp = 1728;
+  d.clock_hz = 100e6;
+  d.bitstream_bytes = 29.0e6;
+  d.config_bandwidth_bps = 200.0e6;
+  d.static_power_w = 0.66;
+  return d;
+}
+
+FpgaDevice zcu102() {
+  FpgaDevice d;
+  d.name = "ZCU102 (XCZU9EG)";
+  d.luts = 274080;
+  d.flip_flops = 548160;
+  d.bram18 = 1824;
+  d.dsp = 2520;
+  d.clock_hz = 100e6;
+  d.bitstream_bytes = 34.0e6;
+  d.config_bandwidth_bps = 200.0e6;
+  d.static_power_w = 0.72;
+  return d;
+}
+
+FpgaDevice pynq_z1() {
+  FpgaDevice d;
+  d.name = "PYNQ-Z1 (XC7Z020)";
+  d.luts = 53200;
+  d.flip_flops = 106400;
+  d.bram18 = 280;
+  d.dsp = 220;
+  d.clock_hz = 100e6;
+  d.bitstream_bytes = 4.0e6;
+  d.config_bandwidth_bps = 30.0e6;
+  d.static_power_w = 0.25;
+  return d;
+}
+
+FpgaDevice device_by_name(const std::string& name) {
+  if (name == "zcu104") {
+    return zcu104();
+  }
+  if (name == "zcu102") {
+    return zcu102();
+  }
+  if (name == "pynq-z1" || name == "pynqz1") {
+    return pynq_z1();
+  }
+  throw NotFoundError("unknown FPGA device '" + name + "' (zcu104, zcu102, pynq-z1)");
+}
+
+}  // namespace adaflow::fpga

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file device.hpp
+/// FPGA device description. The evaluation platform of the paper is the
+/// Xilinx Zynq UltraScale+ MPSoC ZCU104 (XCZU7EV) clocked at 100 MHz.
+
+#include <cstdint>
+#include <string>
+
+namespace adaflow::fpga {
+
+struct FpgaDevice {
+  std::string name;
+  std::int64_t luts = 0;
+  std::int64_t flip_flops = 0;
+  std::int64_t bram18 = 0;  ///< 18Kb block-RAM units
+  std::int64_t dsp = 0;
+  double clock_hz = 100e6;
+  double bitstream_bytes = 0;       ///< full-device configuration size
+  double config_bandwidth_bps = 0;  ///< PCAP programming throughput
+  double static_power_w = 0;        ///< PL static + PS baseline drawn always
+};
+
+/// ZCU104 (XCZU7EV-2FFVC1156): 230k LUTs, 461k FFs, 312 BRAM36 (624 x 18Kb),
+/// 1728 DSP48. The ~29 MB bitstream over ~200 MB/s PCAP yields the ~145 ms
+/// full reconfiguration the paper measures for the CNV accelerators.
+FpgaDevice zcu104();
+
+/// ZCU102 (XCZU9EG): the larger UltraScale+ evaluation board — bigger
+/// fabric, bigger bitstream, hence a slower full reconfiguration (~170 ms).
+FpgaDevice zcu102();
+
+/// PYNQ-Z1 (XC7Z020): a low-cost Zynq-7000 — small fabric, slow ~30 MB/s
+/// PCAP; its ~4 MB bitstream still takes ~130 ms, and accelerators must fit
+/// a 6x smaller LUT budget.
+FpgaDevice pynq_z1();
+
+/// Looks a device up by name ("zcu104", "zcu102", "pynq-z1"); throws
+/// NotFoundError otherwise. Used by the CLI and device-sweep benches.
+FpgaDevice device_by_name(const std::string& name);
+
+}  // namespace adaflow::fpga

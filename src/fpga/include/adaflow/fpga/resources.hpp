@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file resources.hpp
+/// Analytical FPGA resource estimation for dataflow accelerators (the Vivado
+/// report substitute). Per-module cost formulas follow the FINN-R style:
+/// compute cost scales with the PE x SIMD grid and precision, storage cost
+/// with the quantized weight volume, and control with the channel counts.
+///
+/// Calibration targets from the paper (Fig. 5(a)):
+///  - Flexible-Pruning uses ~1.92x the LUTs of the stock FINN accelerator
+///    and the same BRAM;
+///  - Fixed-Pruning LUTs shrink from -1.5% (5% pruning) to -46% (85%).
+
+#include <cstdint>
+
+#include "adaflow/fpga/device.hpp"
+#include "adaflow/hls/compiled_model.hpp"
+#include "adaflow/hls/folding.hpp"
+#include "adaflow/hls/modules.hpp"
+
+namespace adaflow::fpga {
+
+struct ResourceUsage {
+  double luts = 0;
+  double flip_flops = 0;
+  double bram18 = 0;
+  double dsp = 0;
+
+  ResourceUsage& operator+=(const ResourceUsage& other);
+  friend ResourceUsage operator+(ResourceUsage a, const ResourceUsage& b) { return a += b; }
+};
+
+/// Utilization fractions (0..1) of a usage against a device budget.
+struct Utilization {
+  double luts = 0;
+  double flip_flops = 0;
+  double bram18 = 0;
+  double dsp = 0;
+};
+
+Utilization utilization(const ResourceUsage& usage, const FpgaDevice& device);
+
+/// Tunable constants of the estimator (exposed for the calibration tests).
+struct ResourceModelConstants {
+  double lut_per_mac_bit = 1.6;     ///< per PE*SIMD lane, per weight-bit*act-bit
+  double lut_per_weight_bit = 0.16; ///< distributed weight storage + decode
+  double lut_per_threshold = 18.0;  ///< per PE, per threshold comparator
+  double lut_module_base = 420.0;   ///< stream control/FIFO per module
+  double lut_per_channel = 6.0;     ///< stream width adaptation
+  double ff_per_lut = 1.1;
+  double bram_weight_threshold_bits = 32 * 1024;  ///< larger banks go to BRAM
+  double flexible_lut_factor = 1.92;  ///< paper-measured overall LUT growth
+  double flexible_ff_factor = 1.55;
+  double top_level_luts = 1800.0;  ///< DMA + AXI interconnect + shell glue
+  double top_level_bram = 8.0;
+};
+
+ResourceModelConstants default_resource_constants();
+
+/// Resource usage of one MVTU stage (fixed-variant formulas).
+ResourceUsage mvtu_resources(const hls::CompiledStage& stage, const hls::LayerFolding& folding,
+                             int weight_bits, int act_bits,
+                             const ResourceModelConstants& k = default_resource_constants());
+
+/// Resource usage of a pool stage.
+ResourceUsage pool_resources(const hls::CompiledStage& stage, int act_bits,
+                             const ResourceModelConstants& k = default_resource_constants());
+
+/// Whole-accelerator usage. For the Flexible variant the geometry of
+/// \p synthesis_model (worst case) is costed and the paper-calibrated
+/// flexibility factors are applied; BRAM does not grow (Fig. 5(a)).
+ResourceUsage accelerator_resources(const hls::CompiledModel& synthesis_model,
+                                    const hls::FoldingConfig& folding,
+                                    hls::AcceleratorVariant variant, int weight_bits,
+                                    int act_bits,
+                                    const ResourceModelConstants& k = default_resource_constants());
+
+}  // namespace adaflow::fpga

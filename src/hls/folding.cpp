@@ -1,0 +1,145 @@
+#include "adaflow/hls/folding.hpp"
+
+#include <algorithm>
+
+#include "adaflow/common/math.hpp"
+
+namespace adaflow::hls {
+
+std::vector<MvtuLayerDesc> enumerate_mvtu_layers(const nn::Model& model) {
+  std::vector<MvtuLayerDesc> out;
+  const std::vector<nn::Shape> shapes = model.shapes_for_batch(1);
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    const nn::Layer& layer = model.layer(i);
+    if (layer.kind() == nn::LayerKind::kConv2d) {
+      const auto& conv = model.layer_as<nn::Conv2d>(i);
+      MvtuLayerDesc d;
+      d.model_index = i;
+      d.is_conv = true;
+      d.name = conv.name();
+      d.ch_in = conv.config().in_channels;
+      d.ch_out = conv.config().out_channels;
+      d.kernel = conv.config().kernel;
+      d.in_dim = shapes[i][2];
+      d.out_dim = shapes[i + 1][2];
+      d.weight_bits = conv.quant().weight_bits;
+      d.act_bits = conv.quant().act_bits;
+      out.push_back(d);
+    } else if (layer.kind() == nn::LayerKind::kLinear) {
+      const auto& fc = model.layer_as<nn::Linear>(i);
+      MvtuLayerDesc d;
+      d.model_index = i;
+      d.is_conv = false;
+      d.name = fc.name();
+      d.ch_in = fc.in_features();
+      d.ch_out = fc.out_features();
+      d.kernel = 1;
+      d.in_dim = 1;
+      d.out_dim = 1;
+      d.weight_bits = fc.quant().weight_bits;
+      d.act_bits = fc.quant().act_bits;
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+void validate_folding(const nn::Model& model, const FoldingConfig& folding) {
+  const std::vector<MvtuLayerDesc> layers = enumerate_mvtu_layers(model);
+  if (layers.size() != folding.layers.size()) {
+    throw FoldingError("folding has " + std::to_string(folding.layers.size()) +
+                       " entries for " + std::to_string(layers.size()) + " MVTU layers");
+  }
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const MvtuLayerDesc& d = layers[i];
+    const LayerFolding& f = folding.layers[i];
+    if (f.pe <= 0 || f.simd <= 0) {
+      throw FoldingError(d.name + ": PE/SIMD must be positive");
+    }
+    if (!divisible(d.ch_out, f.pe)) {
+      throw FoldingError(d.name + ": PE=" + std::to_string(f.pe) +
+                         " does not divide ch_out=" + std::to_string(d.ch_out));
+    }
+    if (!divisible(d.ch_in, f.simd)) {
+      throw FoldingError(d.name + ": SIMD=" + std::to_string(f.simd) +
+                         " does not divide ch_in=" + std::to_string(d.ch_in));
+    }
+  }
+}
+
+std::int64_t largest_divisor_at_most(std::int64_t value, std::int64_t cap) {
+  require(value > 0 && cap > 0, "divisor search needs positive operands");
+  for (std::int64_t d = std::min(value, cap); d >= 1; --d) {
+    if (value % d == 0) {
+      return d;
+    }
+  }
+  return 1;
+}
+
+std::int64_t mvtu_layer_cycles(const MvtuLayerDesc& layer, const LayerFolding& folding) {
+  const std::int64_t out_pixels = layer.out_dim * layer.out_dim;
+  const std::int64_t neuron_folds = ceil_div(layer.ch_out, folding.pe);
+  const std::int64_t synapse_folds = ceil_div(layer.kernel * layer.kernel * layer.ch_in, folding.simd);
+  return out_pixels * neuron_folds * synapse_folds;
+}
+
+FoldingConfig folding_for_target_fps(const nn::Model& model, double target_fps, double clock_hz) {
+  require(target_fps > 0 && clock_hz > 0, "target fps and clock must be positive");
+  const std::vector<MvtuLayerDesc> layers = enumerate_mvtu_layers(model);
+  FoldingConfig folding;
+  folding.layers.assign(layers.size(), LayerFolding{1, 1});
+
+  const auto target_cycles = static_cast<std::int64_t>(clock_hz / target_fps);
+
+  // Greedily raise the parallelism of the current bottleneck. Each step tries
+  // the next-larger valid divisor for either PE or SIMD of that layer.
+  while (true) {
+    std::size_t bottleneck = 0;
+    std::int64_t worst = 0;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      const std::int64_t c = mvtu_layer_cycles(layers[i], folding.layers[i]);
+      if (c > worst) {
+        worst = c;
+        bottleneck = i;
+      }
+    }
+    if (worst <= target_cycles) {
+      break;
+    }
+
+    const MvtuLayerDesc& d = layers[bottleneck];
+    LayerFolding& f = folding.layers[bottleneck];
+
+    // Candidate upgrades: next divisor of ch_out above pe, next divisor of
+    // ch_in above simd. Pick the one with the smaller resulting parallelism
+    // product (cheapest hardware step).
+    std::int64_t next_pe = 0;
+    for (std::int64_t p = f.pe + 1; p <= d.ch_out; ++p) {
+      if (d.ch_out % p == 0) {
+        next_pe = p;
+        break;
+      }
+    }
+    std::int64_t next_simd = 0;
+    for (std::int64_t s = f.simd + 1; s <= d.ch_in; ++s) {
+      if (d.ch_in % s == 0) {
+        next_simd = s;
+        break;
+      }
+    }
+    if (next_pe == 0 && next_simd == 0) {
+      break;  // fully unrolled; target unreachable
+    }
+    const std::int64_t cost_pe = next_pe == 0 ? INT64_MAX : next_pe * f.simd;
+    const std::int64_t cost_simd = next_simd == 0 ? INT64_MAX : f.pe * next_simd;
+    if (cost_pe <= cost_simd) {
+      f.pe = next_pe;
+    } else {
+      f.simd = next_simd;
+    }
+  }
+  return folding;
+}
+
+}  // namespace adaflow::hls

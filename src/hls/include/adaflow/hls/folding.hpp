@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file folding.hpp
+/// Dataflow folding configuration — the "FINN configuration file" of the
+/// paper. Each MVTU layer (conv or fully-connected) is folded by PE (output
+/// parallelism; must divide the layer's output channels / neurons) and SIMD
+/// (input parallelism; must divide the layer's input channels / features).
+///
+/// These divisibility rules are exactly the constraints the Dataflow-Aware
+/// Pruning of Section IV-A1 has to respect:
+///   (ch_out_i - r_i) mod PE_i      == 0
+///   (ch_out_i - r_i) mod SIMD_i+1  == 0
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adaflow/nn/model.hpp"
+
+namespace adaflow::hls {
+
+/// Per-MVTU folding parameters.
+struct LayerFolding {
+  std::int64_t pe = 1;
+  std::int64_t simd = 1;
+};
+
+/// One folding entry per MVTU layer, in graph order (convs then FCs).
+struct FoldingConfig {
+  std::vector<LayerFolding> layers;
+};
+
+/// Structural description of one MVTU layer extracted from a model.
+struct MvtuLayerDesc {
+  std::size_t model_index = 0;  ///< index of the Conv2d/Linear in the model
+  bool is_conv = true;
+  std::string name;
+  std::int64_t ch_in = 0;    ///< input channels (conv) or features (fc)
+  std::int64_t ch_out = 0;   ///< output channels (conv) or neurons (fc)
+  std::int64_t kernel = 1;   ///< kernel size (1 for fc)
+  std::int64_t in_dim = 0;   ///< input spatial dim (1 for fc)
+  std::int64_t out_dim = 0;  ///< output spatial dim (1 for fc)
+  int weight_bits = 0;
+  int act_bits = 0;
+};
+
+/// Enumerates the MVTU layers (Conv2d + Linear) of \p model in graph order,
+/// resolving spatial dimensions from the model's input shape.
+std::vector<MvtuLayerDesc> enumerate_mvtu_layers(const nn::Model& model);
+
+/// Validates PE | ch_out and SIMD | ch_in for every layer; throws
+/// FoldingError with the offending layer's name otherwise.
+void validate_folding(const nn::Model& model, const FoldingConfig& folding);
+
+/// Derives a folding whose steady-state throughput is closest to
+/// \p target_fps at \p clock_hz without exceeding per-layer parallelism that
+/// the channel counts allow. Greedy: repeatedly doubles the parallelism of
+/// the bottleneck layer until the target is met or no divisor remains.
+FoldingConfig folding_for_target_fps(const nn::Model& model, double target_fps, double clock_hz);
+
+/// Largest divisor of \p value that is <= \p cap.
+std::int64_t largest_divisor_at_most(std::int64_t value, std::int64_t cap);
+
+/// Steady-state cycles one MVTU layer needs per frame under a folding:
+/// out_pixels * (ch_out / pe) * (kernel^2 * ch_in / simd).
+/// This primitive is shared with the perf model (src/perf) so the folding
+/// search and the reported throughput can never disagree.
+std::int64_t mvtu_layer_cycles(const MvtuLayerDesc& layer, const LayerFolding& folding);
+
+}  // namespace adaflow::hls

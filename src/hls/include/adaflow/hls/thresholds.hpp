@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file thresholds.hpp
+/// FINN threshold folding: BatchNorm + n-bit activation collapse into integer
+/// comparisons on the MVTU accumulator. The output level of a channel is the
+/// number of thresholds the (signed) accumulator crosses.
+///
+/// Thresholds are extracted by monotone binary search over the integer
+/// accumulator range against the *float* reference pipeline, so the
+/// ThresholdUnit reproduces the software model's activation levels except at
+/// float round-off boundary collisions (measure-zero on random data).
+
+#include <cstdint>
+#include <vector>
+
+#include "adaflow/nn/batchnorm.hpp"
+#include "adaflow/nn/quant.hpp"
+
+namespace adaflow::hls {
+
+/// Per-output-channel threshold set.
+struct ChannelThresholds {
+  /// +1: level increases with the accumulator (BN scale >= 0);
+  /// -1: decreases (negative BN scale) — comparisons use the negated acc.
+  int direction = 1;
+  /// Ascending integer thresholds T_1..T_L (L = 2^act_bits - 1):
+  /// level = #( k : direction*acc >= T_k ).
+  std::vector<std::int64_t> thresholds;
+};
+
+/// Threshold bank of one MVTU layer.
+struct ThresholdBank {
+  std::vector<ChannelThresholds> channels;
+  int act_bits = 2;
+
+  bool empty() const { return channels.empty(); }
+
+  /// Applies the thresholds of \p channel to an accumulator value.
+  std::int32_t apply(std::int64_t channel, std::int64_t acc) const;
+};
+
+/// Builds the bank for a layer whose accumulator has value acc*acc_scale,
+/// followed by a BN affine (scale/shift per channel) and an n-bit activation
+/// quantizer. \p acc_magnitude bounds |acc| (sum of |weight level| * max
+/// input level), used as the search range.
+ThresholdBank fold_thresholds(const nn::AffineChannel& bn, float acc_scale,
+                              const nn::QuantSpec& act, std::int64_t acc_magnitude);
+
+}  // namespace adaflow::hls

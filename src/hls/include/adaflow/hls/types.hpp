@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file types.hpp
+/// Integer feature-map types flowing through the HLS module models. The real
+/// FINN dataflow moves small integers (quantized activations) between
+/// streaming modules; the functional simulation does the same.
+
+#include <cstdint>
+#include <vector>
+
+#include "adaflow/nn/tensor.hpp"
+
+namespace adaflow::hls {
+
+/// Integer feature map in CHW layout (one sample).
+struct IntImage {
+  std::int64_t channels = 0;
+  std::int64_t height = 0;
+  std::int64_t width = 0;
+  std::vector<std::int32_t> data;
+
+  IntImage() = default;
+  IntImage(std::int64_t c, std::int64_t h, std::int64_t w)
+      : channels(c), height(h), width(w),
+        data(static_cast<std::size_t>(c * h * w), 0) {}
+
+  std::int32_t& at(std::int64_t c, std::int64_t y, std::int64_t x) {
+    return data[static_cast<std::size_t>((c * height + y) * width + x)];
+  }
+  std::int32_t at(std::int64_t c, std::int64_t y, std::int64_t x) const {
+    return data[static_cast<std::size_t>((c * height + y) * width + x)];
+  }
+  std::int64_t size() const { return channels * height * width; }
+};
+
+/// Fixed-point input quantizer configuration (the 8-bit image interface).
+struct InputQuantConfig {
+  float scale = 1.0f / 16.0f;  ///< value = level * scale
+  std::int32_t min_level = -128;
+  std::int32_t max_level = 127;
+};
+
+/// Quantizes one [1, C, H, W] float image to integer levels.
+IntImage quantize_input(const nn::Tensor& image, const InputQuantConfig& config);
+
+/// Snaps a batch of float images onto the input-quantizer grid (what the
+/// accelerator "sees"); used so software accuracy evaluation matches the
+/// dataflow accelerator bit-for-bit at the input boundary.
+nn::Tensor snap_to_input_grid(const nn::Tensor& images, const InputQuantConfig& config);
+
+}  // namespace adaflow::hls

@@ -1,0 +1,78 @@
+#include "adaflow/hls/thresholds.hpp"
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow::hls {
+
+std::int32_t ThresholdBank::apply(std::int64_t channel, std::int64_t acc) const {
+  const ChannelThresholds& t = channels[static_cast<std::size_t>(channel)];
+  const std::int64_t v = t.direction >= 0 ? acc : -acc;
+  std::int32_t level = 0;
+  for (std::int64_t thr : t.thresholds) {
+    if (v >= thr) {
+      ++level;
+    } else {
+      break;  // thresholds ascend
+    }
+  }
+  return level;
+}
+
+ThresholdBank fold_thresholds(const nn::AffineChannel& bn, float acc_scale,
+                              const nn::QuantSpec& act, std::int64_t acc_magnitude) {
+  require(act.quantized_acts(), "threshold folding needs quantized activations");
+  require(acc_magnitude >= 0, "negative accumulator magnitude");
+
+  ThresholdBank bank;
+  bank.act_bits = act.act_bits;
+  const std::int64_t level_count = nn::act_level_max(act.act_bits);
+  bank.channels.resize(bn.scale.size());
+
+  for (std::size_t c = 0; c < bn.scale.size(); ++c) {
+    ChannelThresholds& ct = bank.channels[c];
+    ct.direction = bn.scale[c] >= 0.0f ? 1 : -1;
+
+    // Float reference for a *signed* accumulator value, identical to the
+    // software pipeline: acc -> BN affine -> activation level.
+    auto level_of = [&](std::int64_t acc) {
+      const float pre = static_cast<float>(acc) * acc_scale;
+      const float bn_out = bn.scale[c] * pre + bn.shift[c];
+      return nn::quantize_act_level(bn_out, act.act_scale, act.act_bits);
+    };
+
+    // With dir applied, level_of(dir * v) is non-decreasing in v.
+    auto level_dir = [&](std::int64_t v) {
+      return level_of(ct.direction >= 0 ? v : -v);
+    };
+
+    ct.thresholds.reserve(static_cast<std::size_t>(level_count));
+    const std::int64_t lo_bound = -acc_magnitude;
+    const std::int64_t hi_bound = acc_magnitude;
+    for (std::int64_t k = 1; k <= level_count; ++k) {
+      // Smallest v in range with level_dir(v) >= k; out-of-range cases clamp
+      // to one-past-the-bound so the comparison never fires / always fires.
+      std::int64_t lo = lo_bound;
+      std::int64_t hi = hi_bound;
+      if (level_dir(hi_bound) < k) {
+        ct.thresholds.push_back(hi_bound + 1);  // unreachable level
+        continue;
+      }
+      if (level_dir(lo_bound) >= k) {
+        ct.thresholds.push_back(lo_bound);  // always crossed
+        continue;
+      }
+      while (lo + 1 < hi) {
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        if (level_dir(mid) >= k) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      ct.thresholds.push_back(hi);
+    }
+  }
+  return bank;
+}
+
+}  // namespace adaflow::hls

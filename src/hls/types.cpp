@@ -1,0 +1,34 @@
+#include "adaflow/hls/types.hpp"
+
+#include <cmath>
+
+#include "adaflow/common/error.hpp"
+#include "adaflow/common/math.hpp"
+
+namespace adaflow::hls {
+
+namespace {
+std::int32_t level_of(float value, const InputQuantConfig& config) {
+  const float r = std::nearbyint(value / config.scale);
+  return clamp(static_cast<std::int32_t>(r), config.min_level, config.max_level);
+}
+}  // namespace
+
+IntImage quantize_input(const nn::Tensor& image, const InputQuantConfig& config) {
+  require(image.rank() == 4 && image.dim(0) == 1, "quantize_input expects [1, C, H, W]");
+  IntImage out(image.dim(1), image.dim(2), image.dim(3));
+  for (std::int64_t i = 0; i < image.size(); ++i) {
+    out.data[static_cast<std::size_t>(i)] = level_of(image[i], config);
+  }
+  return out;
+}
+
+nn::Tensor snap_to_input_grid(const nn::Tensor& images, const InputQuantConfig& config) {
+  nn::Tensor out(images.shape());
+  for (std::int64_t i = 0; i < images.size(); ++i) {
+    out[i] = static_cast<float>(level_of(images[i], config)) * config.scale;
+  }
+  return out;
+}
+
+}  // namespace adaflow::hls

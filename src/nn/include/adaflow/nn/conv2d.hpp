@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file conv2d.hpp
+/// 2-D convolution with optional quantization-aware weights. Implemented as
+/// im2col + GEMM; batch samples are processed in parallel.
+
+#include "adaflow/nn/layer.hpp"
+#include "adaflow/nn/quant.hpp"
+
+namespace adaflow::nn {
+
+/// Static configuration of a convolution layer.
+struct Conv2dConfig {
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t kernel = 3;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+};
+
+class Conv2d final : public Layer {
+ public:
+  /// Creates the layer with He-normal initialized shadow weights.
+  Conv2d(std::string name, Conv2dConfig config, QuantSpec quant, Rng& rng);
+
+  /// Creates the layer with externally supplied weights (used by the pruner
+  /// when rebuilding a smaller model). \p weight is [out, in*k*k].
+  Conv2d(std::string name, Conv2dConfig config, QuantSpec quant, Tensor weight);
+
+  LayerKind kind() const override { return LayerKind::kConv2d; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&weight_}; }
+  Shape output_shape(const Shape& input) const override;
+
+  const Conv2dConfig& config() const { return config_; }
+  const QuantSpec& quant() const { return quant_; }
+
+  /// Shadow (float) weight matrix, shape [out_channels, in_channels*k*k].
+  const Tensor& weight() const { return weight_.value; }
+  Tensor& mutable_weight() { return weight_.value; }
+
+  /// Weights as the forward pass sees them: quantized levels*scale when the
+  /// layer is quantized, the shadow weights otherwise.
+  Tensor effective_weight() const;
+
+  /// Integer levels + scale for export to the HLS MVTU (requires quantized
+  /// weights; throws otherwise).
+  QuantizedWeights export_quantized() const;
+
+  std::int64_t output_dim(std::int64_t input_dim) const;
+
+ private:
+  Conv2dConfig config_;
+  QuantSpec quant_;
+  Param weight_;
+
+  // Forward caches for backward.
+  Tensor cached_input_;
+  Tensor cached_effective_weight_;
+};
+
+/// Copies one sample's [C,H,W] block into an im2col matrix with
+/// [C*k*k] rows and [out_h*out_w] columns. Exposed for the HLS SWU tests.
+void im2col(const float* input, std::int64_t channels, std::int64_t height, std::int64_t width,
+            std::int64_t kernel, std::int64_t stride, std::int64_t pad, float* col);
+
+/// Adjoint of im2col: scatters the column matrix back, accumulating overlaps.
+void col2im(const float* col, std::int64_t channels, std::int64_t height, std::int64_t width,
+            std::int64_t kernel, std::int64_t stride, std::int64_t pad, float* input);
+
+}  // namespace adaflow::nn

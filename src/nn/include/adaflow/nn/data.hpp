@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file data.hpp
+/// Lightweight labeled-image container exchanged between the dataset
+/// generators and the trainer (keeps adaflow_nn independent of
+/// adaflow_datasets).
+
+#include <vector>
+
+#include "adaflow/nn/tensor.hpp"
+
+namespace adaflow::nn {
+
+/// A set of images [N, C, H, W] with integer class labels of length N.
+struct LabeledData {
+  Tensor images;
+  std::vector<int> labels;
+
+  std::int64_t count() const { return images.empty() ? 0 : images.dim(0); }
+
+  /// Copies sample \p i into a [1, C, H, W] tensor.
+  Tensor sample(std::int64_t i) const;
+
+  /// Copies the index-selected subset (used for batching and splits).
+  LabeledData subset(const std::vector<std::int64_t>& indices) const;
+};
+
+}  // namespace adaflow::nn

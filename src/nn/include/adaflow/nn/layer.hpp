@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file layer.hpp
+/// Layer interface for the sequential training graph. Layers own their
+/// parameters (value + gradient pairs) and cache whatever the backward pass
+/// needs during forward.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaflow/nn/tensor.hpp"
+
+namespace adaflow::nn {
+
+/// A trainable parameter: value and accumulated gradient of equal shape.
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(Tensor v) : value(std::move(v)), grad(value.shape()) {}
+  Param() = default;
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+/// Kind tags used by the compiler/pruner to walk the graph structurally.
+enum class LayerKind {
+  kConv2d,
+  kLinear,
+  kMaxPool2d,
+  kBatchNorm,
+  kQuantAct,
+};
+
+const char* layer_kind_name(LayerKind kind);
+
+/// Abstract sequential layer.
+class Layer {
+ public:
+  explicit Layer(std::string name) : name_(std::move(name)) {}
+  virtual ~Layer() = default;
+
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  const std::string& name() const { return name_; }
+  virtual LayerKind kind() const = 0;
+
+  /// Computes the layer output. When \p training is true the layer caches
+  /// activations for backward and uses batch statistics where relevant.
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Propagates \p grad_output to the input, accumulating parameter grads.
+  /// Must follow a forward(…, training=true) on the same batch.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Output shape for a given input shape (batch dim included).
+  virtual Shape output_shape(const Shape& input) const = 0;
+
+ private:
+  std::string name_;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace adaflow::nn

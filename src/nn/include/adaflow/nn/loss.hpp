@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file loss.hpp
+/// Softmax cross-entropy loss and top-1 accuracy.
+
+#include <cstdint>
+#include <vector>
+
+#include "adaflow/nn/tensor.hpp"
+
+namespace adaflow::nn {
+
+/// Result of a loss evaluation over one batch.
+struct LossResult {
+  double loss = 0.0;     ///< mean cross-entropy over the batch
+  std::int64_t correct = 0;  ///< top-1 hits in the batch
+  Tensor grad;           ///< d(mean loss)/d(logits), same shape as logits
+};
+
+/// Computes softmax cross-entropy on logits [N, classes] against labels.
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels);
+
+/// Top-1 predictions for logits [N, classes].
+std::vector<int> argmax_rows(const Tensor& logits);
+
+}  // namespace adaflow::nn

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file optimizer.hpp
+/// SGD with momentum and decoupled weight decay — the retraining optimizer
+/// used after every pruning step (paper: lr 0.001, decay 0.1).
+
+#include <vector>
+
+#include "adaflow/nn/layer.hpp"
+
+namespace adaflow::nn {
+
+struct SgdConfig {
+  float lr = 0.01f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+};
+
+class Sgd {
+ public:
+  explicit Sgd(SgdConfig config) : config_(config) {}
+
+  float lr() const { return config_.lr; }
+  void set_lr(float lr) { config_.lr = lr; }
+
+  /// Applies one update to each parameter from its accumulated gradient.
+  /// Velocity buffers are keyed by parameter identity (pointer), so the same
+  /// optimizer instance must be reused across steps of one model.
+  void step(const std::vector<Param*>& params);
+
+ private:
+  SgdConfig config_;
+  std::vector<Tensor> velocity_;
+  std::vector<Param*> bound_;
+};
+
+}  // namespace adaflow::nn

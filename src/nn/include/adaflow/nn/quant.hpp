@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file quant.hpp
+/// Quantization-aware-training primitives (the Brevitas substitute).
+///
+/// Weights keep a float "shadow" copy; the forward pass sees quantized values
+/// and gradients flow to the shadow through a straight-through estimator
+/// (STE). Supported weight precisions match the paper's models: 1-bit
+/// (CNVW1A2) and 2-bit narrow-range (CNVW2A2). Activations use unsigned
+/// uniform quantization (2-bit for both models).
+
+#include <cstdint>
+
+#include "adaflow/nn/tensor.hpp"
+
+namespace adaflow::nn {
+
+/// Per-layer quantization configuration.
+struct QuantSpec {
+  /// Weight bit-width: 0 = float (no quantization), 1 = binary {-1,+1},
+  /// 2 = narrow-range 2-bit {-1, 0, +1}.
+  int weight_bits = 0;
+  /// Activation bit-width for QuantAct layers: 0 = plain ReLU, else n-bit
+  /// unsigned levels {0 .. 2^n - 1} * act_scale.
+  int act_bits = 0;
+  /// Step size of the activation quantizer.
+  float act_scale = 0.5f;
+
+  bool quantized_weights() const { return weight_bits > 0; }
+  bool quantized_acts() const { return act_bits > 0; }
+};
+
+/// Result of quantizing a weight tensor: integer levels plus a common scale,
+/// so that w_q = scale * level. The levels are what the HLS MVTU consumes.
+struct QuantizedWeights {
+  Tensor levels;  ///< integer-valued floats in {-1, 0, +1} (or {-1,+1} for 1-bit)
+  float scale = 1.0f;
+};
+
+/// Quantizes \p shadow to \p bits (1 or 2). The scale is the mean absolute
+/// value of the tensor (the ℓ1 heuristic used by BinaryConnect/Brevitas),
+/// which keeps the quantizer zero-free for 1-bit and symmetric for 2-bit.
+QuantizedWeights quantize_weights(const Tensor& shadow, int bits);
+
+/// Integer level of a single value under the weight quantizer.
+float quantize_weight_level(float value, float scale, int bits);
+
+/// Maximum integer activation level for a bit-width (2 bits -> 3).
+constexpr std::int64_t act_level_max(int bits) { return (std::int64_t{1} << bits) - 1; }
+
+/// Forward value of the activation quantizer: clamp(round(x / s), 0, max) * s.
+float quantize_act(float x, float scale, int bits);
+
+/// Integer level the activation quantizer assigns to \p x.
+std::int64_t quantize_act_level(float x, float scale, int bits);
+
+/// STE gradient mask for the activation quantizer: 1 inside the representable
+/// range (pre-activation between 0 and (max + 0.5) * scale), else 0.
+float act_ste_mask(float x, float scale, int bits);
+
+}  // namespace adaflow::nn

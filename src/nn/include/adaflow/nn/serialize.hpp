@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file serialize.hpp
+/// Binary model save/load — the reproduction's stand-in for the ONNX export
+/// step of the paper's pruning flow. Round-trips the full training state
+/// (shadow weights, BN statistics, quant specs) of a sequential model.
+
+#include <iosfwd>
+#include <string>
+
+#include "adaflow/nn/model.hpp"
+
+namespace adaflow::nn {
+
+/// Writes \p model to a stream in the AdaFlow binary format.
+void save_model(const Model& model, std::ostream& out);
+
+/// Reads a model previously written by save_model. Throws Error on a
+/// malformed stream.
+Model load_model(std::istream& in);
+
+/// File-path convenience wrappers.
+void save_model_file(const Model& model, const std::string& path);
+Model load_model_file(const std::string& path);
+
+}  // namespace adaflow::nn

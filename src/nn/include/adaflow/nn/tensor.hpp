@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file tensor.hpp
+/// Dense float tensor in NCHW layout, the numeric workhorse of the training
+/// substrate. Deliberately minimal: contiguous storage, shape bookkeeping,
+/// and the indexing helpers the layers need — no views, no broadcasting.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adaflow/common/error.hpp"
+#include "adaflow/common/rng.hpp"
+
+namespace adaflow::nn {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Contiguous float tensor with row-major (last index fastest) layout.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Allocates and fills with \p value.
+  Tensor(Shape shape, float value);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value) { return Tensor(std::move(shape), value); }
+
+  /// He-normal initialization for a weight tensor with \p fan_in inputs.
+  static Tensor he_normal(Shape shape, std::int64_t fan_in, Rng& rng);
+
+  /// Uniform random values in [lo, hi).
+  static Tensor uniform(Shape shape, float lo, float hi, Rng& rng);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t rank() const { return static_cast<std::int64_t>(shape_.size()); }
+  std::int64_t dim(std::int64_t i) const { return shape_.at(static_cast<std::size_t>(i)); }
+  std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  /// 4-D accessor (n, c, h, w); the tensor must be rank 4.
+  float& at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    return data_[static_cast<std::size_t>(index4(n, c, h, w))];
+  }
+  float at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const {
+    return data_[static_cast<std::size_t>(index4(n, c, h, w))];
+  }
+
+  /// 2-D accessor (r, c); the tensor must be rank 2.
+  float& at2(std::int64_t r, std::int64_t c) {
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+  float at2(std::int64_t r, std::int64_t c) const {
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+
+  /// Linear index of (n, c, h, w).
+  std::int64_t index4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const {
+    return ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+  }
+
+  /// Sets every element to \p value.
+  void fill(float value);
+
+  /// Reinterprets the tensor with a new shape of identical element count.
+  Tensor reshaped(Shape new_shape) const;
+
+  /// Element count sanity: product of dims.
+  static std::int64_t element_count(const Shape& shape);
+
+  /// Human-readable shape, e.g. "[64, 3, 32, 32]".
+  std::string shape_string() const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Throws ShapeError unless the two shapes are identical.
+void check_same_shape(const Tensor& a, const Tensor& b, const std::string& context);
+
+}  // namespace adaflow::nn

@@ -1,0 +1,169 @@
+#include "adaflow/nn/batchnorm.hpp"
+
+#include <cmath>
+
+namespace adaflow::nn {
+
+namespace {
+// Iterates (outer, channel, inner) where rank-4 maps to (N, C, H*W) and
+// rank-2 maps to (N, C, 1).
+struct Geometry {
+  std::int64_t outer;
+  std::int64_t channels;
+  std::int64_t inner;
+};
+
+Geometry geometry(const Shape& shape, std::int64_t channels, const std::string& name) {
+  if (shape.size() == 4) {
+    if (shape[1] != channels) {
+      throw ShapeError("batchnorm " + name + " channel mismatch");
+    }
+    return {shape[0], channels, shape[2] * shape[3]};
+  }
+  if (shape.size() == 2) {
+    if (shape[1] != channels) {
+      throw ShapeError("batchnorm " + name + " feature mismatch");
+    }
+    return {shape[0], channels, 1};
+  }
+  throw ShapeError("batchnorm expects rank-2 or rank-4 input");
+}
+}  // namespace
+
+BatchNorm::BatchNorm(std::string name, std::int64_t channels, float momentum, float eps)
+    : Layer(std::move(name)), channels_(channels), momentum_(momentum), eps_(eps) {
+  require(channels > 0, "batchnorm channels must be positive");
+  gamma_ = Param(Tensor::full(Shape{channels}, 1.0f));
+  beta_ = Param(Tensor::zeros(Shape{channels}));
+  running_mean_.assign(static_cast<std::size_t>(channels), 0.0f);
+  running_var_.assign(static_cast<std::size_t>(channels), 1.0f);
+}
+
+Shape BatchNorm::output_shape(const Shape& input) const {
+  geometry(input, channels_, name());
+  return input;
+}
+
+AffineChannel BatchNorm::inference_affine() const {
+  AffineChannel affine;
+  affine.scale.resize(static_cast<std::size_t>(channels_));
+  affine.shift.resize(static_cast<std::size_t>(channels_));
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    const float inv_std = 1.0f / std::sqrt(running_var_[i] + eps_);
+    affine.scale[i] = gamma_.value[c] * inv_std;
+    affine.shift[i] = beta_.value[c] - gamma_.value[c] * running_mean_[i] * inv_std;
+  }
+  return affine;
+}
+
+void BatchNorm::set_statistics(std::vector<float> mean, std::vector<float> var) {
+  require(static_cast<std::int64_t>(mean.size()) == channels_ &&
+              static_cast<std::int64_t>(var.size()) == channels_,
+          "batchnorm statistics size mismatch");
+  running_mean_ = std::move(mean);
+  running_var_ = std::move(var);
+}
+
+void BatchNorm::set_affine(Tensor gamma, Tensor beta) {
+  require(gamma.size() == channels_ && beta.size() == channels_, "batchnorm affine size mismatch");
+  gamma_.value = std::move(gamma);
+  gamma_.grad = Tensor(Shape{channels_});
+  beta_.value = std::move(beta);
+  beta_.grad = Tensor(Shape{channels_});
+}
+
+Tensor BatchNorm::forward(const Tensor& input, bool training) {
+  const Geometry g = geometry(input.shape(), channels_, name());
+  Tensor output(input.shape());
+
+  if (!training) {
+    const AffineChannel affine = inference_affine();
+    for (std::int64_t n = 0; n < g.outer; ++n) {
+      for (std::int64_t c = 0; c < g.channels; ++c) {
+        const auto ci = static_cast<std::size_t>(c);
+        const float* in = input.data() + (n * g.channels + c) * g.inner;
+        float* out = output.data() + (n * g.channels + c) * g.inner;
+        for (std::int64_t i = 0; i < g.inner; ++i) {
+          out[i] = affine.scale[ci] * in[i] + affine.shift[ci];
+        }
+      }
+    }
+    return output;
+  }
+
+  const double count = static_cast<double>(g.outer * g.inner);
+  cached_normalized_ = Tensor(input.shape());
+  cached_batch_std_.assign(static_cast<std::size_t>(channels_), 1.0f);
+  cached_per_channel_ = g.outer * g.inner;
+
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    double sum = 0.0;
+    double sq_sum = 0.0;
+    for (std::int64_t n = 0; n < g.outer; ++n) {
+      const float* in = input.data() + (n * g.channels + c) * g.inner;
+      for (std::int64_t i = 0; i < g.inner; ++i) {
+        sum += in[i];
+        sq_sum += static_cast<double>(in[i]) * in[i];
+      }
+    }
+    const double mean = sum / count;
+    const double var = sq_sum / count - mean * mean;
+    const float std_dev = static_cast<float>(std::sqrt(var + eps_));
+    const auto ci = static_cast<std::size_t>(c);
+    cached_batch_std_[ci] = std_dev;
+
+    running_mean_[ci] = (1.0f - momentum_) * running_mean_[ci] + momentum_ * static_cast<float>(mean);
+    running_var_[ci] = (1.0f - momentum_) * running_var_[ci] + momentum_ * static_cast<float>(var);
+
+    for (std::int64_t n = 0; n < g.outer; ++n) {
+      const float* in = input.data() + (n * g.channels + c) * g.inner;
+      float* norm = cached_normalized_.data() + (n * g.channels + c) * g.inner;
+      float* out = output.data() + (n * g.channels + c) * g.inner;
+      for (std::int64_t i = 0; i < g.inner; ++i) {
+        const float x_hat = (in[i] - static_cast<float>(mean)) / std_dev;
+        norm[i] = x_hat;
+        out[i] = gamma_.value[c] * x_hat + beta_.value[c];
+      }
+    }
+  }
+  return output;
+}
+
+Tensor BatchNorm::backward(const Tensor& grad_output) {
+  require(!cached_normalized_.empty(), "batchnorm backward without forward");
+  const Geometry g = geometry(grad_output.shape(), channels_, name());
+  Tensor grad_input(grad_output.shape());
+  const double count = static_cast<double>(cached_per_channel_);
+
+  for (std::int64_t c = 0; c < g.channels; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    double dgamma = 0.0;
+    double dbeta = 0.0;
+    for (std::int64_t n = 0; n < g.outer; ++n) {
+      const float* dy = grad_output.data() + (n * g.channels + c) * g.inner;
+      const float* x_hat = cached_normalized_.data() + (n * g.channels + c) * g.inner;
+      for (std::int64_t i = 0; i < g.inner; ++i) {
+        dgamma += static_cast<double>(dy[i]) * x_hat[i];
+        dbeta += dy[i];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(dgamma);
+    beta_.grad[c] += static_cast<float>(dbeta);
+
+    const float inv_std = 1.0f / cached_batch_std_[ci];
+    const float k = gamma_.value[c] * inv_std;
+    for (std::int64_t n = 0; n < g.outer; ++n) {
+      const float* dy = grad_output.data() + (n * g.channels + c) * g.inner;
+      const float* x_hat = cached_normalized_.data() + (n * g.channels + c) * g.inner;
+      float* dx = grad_input.data() + (n * g.channels + c) * g.inner;
+      for (std::int64_t i = 0; i < g.inner; ++i) {
+        dx[i] = k * (dy[i] - static_cast<float>(dbeta / count) -
+                     x_hat[i] * static_cast<float>(dgamma / count));
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace adaflow::nn

@@ -1,0 +1,43 @@
+#include "adaflow/nn/quant_act.hpp"
+
+namespace adaflow::nn {
+
+QuantAct::QuantAct(std::string name, QuantSpec quant) : Layer(std::move(name)), quant_(quant) {
+  require(quant_.act_bits >= 0 && quant_.act_bits <= 8, "activation bits out of range");
+  require(quant_.act_scale > 0.0f, "activation scale must be positive");
+}
+
+Tensor QuantAct::forward(const Tensor& input, bool training) {
+  Tensor output(input.shape());
+  if (quant_.quantized_acts()) {
+    for (std::int64_t i = 0; i < input.size(); ++i) {
+      output[i] = quantize_act(input[i], quant_.act_scale, quant_.act_bits);
+    }
+  } else {
+    for (std::int64_t i = 0; i < input.size(); ++i) {
+      output[i] = input[i] > 0.0f ? input[i] : 0.0f;
+    }
+  }
+  if (training) {
+    cached_input_ = input;
+  }
+  return output;
+}
+
+Tensor QuantAct::backward(const Tensor& grad_output) {
+  require(!cached_input_.empty(), "quant_act backward without forward");
+  Tensor grad_input(grad_output.shape());
+  if (quant_.quantized_acts()) {
+    for (std::int64_t i = 0; i < grad_output.size(); ++i) {
+      grad_input[i] =
+          grad_output[i] * act_ste_mask(cached_input_[i], quant_.act_scale, quant_.act_bits);
+    }
+  } else {
+    for (std::int64_t i = 0; i < grad_output.size(); ++i) {
+      grad_input[i] = cached_input_[i] > 0.0f ? grad_output[i] : 0.0f;
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace adaflow::nn

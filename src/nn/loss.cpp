@@ -1,0 +1,67 @@
+#include "adaflow/nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels) {
+  require(logits.rank() == 2, "loss expects rank-2 logits");
+  const std::int64_t batch = logits.dim(0);
+  const std::int64_t classes = logits.dim(1);
+  require(static_cast<std::int64_t>(labels.size()) == batch, "labels/batch mismatch");
+
+  LossResult result;
+  result.grad = Tensor(logits.shape());
+  double total = 0.0;
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* row = logits.data() + n * classes;
+    float* grow = result.grad.data() + n * classes;
+    const int label = labels[static_cast<std::size_t>(n)];
+    require(label >= 0 && label < classes, "label out of range");
+
+    float max_logit = row[0];
+    std::int64_t arg = 0;
+    for (std::int64_t c = 1; c < classes; ++c) {
+      if (row[c] > max_logit) {
+        max_logit = row[c];
+        arg = c;
+      }
+    }
+    if (arg == label) {
+      ++result.correct;
+    }
+
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      denom += std::exp(static_cast<double>(row[c] - max_logit));
+    }
+    const double log_denom = std::log(denom);
+    total += -(static_cast<double>(row[label] - max_logit) - log_denom);
+
+    for (std::int64_t c = 0; c < classes; ++c) {
+      const double p = std::exp(static_cast<double>(row[c] - max_logit)) / denom;
+      grow[c] = static_cast<float>((p - (c == label ? 1.0 : 0.0)) / static_cast<double>(batch));
+    }
+  }
+  result.loss = total / static_cast<double>(batch);
+  return result;
+}
+
+std::vector<int> argmax_rows(const Tensor& logits) {
+  require(logits.rank() == 2, "argmax expects rank-2 logits");
+  const std::int64_t batch = logits.dim(0);
+  const std::int64_t classes = logits.dim(1);
+  std::vector<int> out(static_cast<std::size_t>(batch));
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* row = logits.data() + n * classes;
+    out[static_cast<std::size_t>(n)] =
+        static_cast<int>(std::max_element(row, row + classes) - row);
+  }
+  return out;
+}
+
+}  // namespace adaflow::nn

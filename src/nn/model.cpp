@@ -1,0 +1,110 @@
+#include "adaflow/nn/model.hpp"
+
+namespace adaflow::nn {
+
+const char* layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv2d:
+      return "Conv2d";
+    case LayerKind::kLinear:
+      return "Linear";
+    case LayerKind::kMaxPool2d:
+      return "MaxPool2d";
+    case LayerKind::kBatchNorm:
+      return "BatchNorm";
+    case LayerKind::kQuantAct:
+      return "QuantAct";
+  }
+  return "?";
+}
+
+Model::Model(std::string name, Shape input_shape)
+    : name_(std::move(name)), input_shape_(std::move(input_shape)) {
+  require(input_shape_.size() == 3, "model input shape must be {C, H, W}");
+}
+
+void Model::add(LayerPtr layer) {
+  require(layer != nullptr, "null layer");
+  layers_.push_back(std::move(layer));
+}
+
+std::vector<std::size_t> Model::indices_of(LayerKind kind) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i]->kind() == kind) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<Shape> Model::shapes_for_batch(std::int64_t batch) const {
+  std::vector<Shape> shapes;
+  Shape s{batch, input_shape_[0], input_shape_[1], input_shape_[2]};
+  shapes.push_back(s);
+  for (const auto& layer : layers_) {
+    s = layer->output_shape(s);
+    shapes.push_back(s);
+  }
+  return shapes;
+}
+
+Tensor Model::forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : layers_) {
+    x = layer->forward(x, training);
+  }
+  return x;
+}
+
+void Model::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+}
+
+std::vector<Param*> Model::params() {
+  std::vector<Param*> out;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->params()) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+void Model::zero_grad() {
+  for (Param* p : params()) {
+    p->zero_grad();
+  }
+}
+
+std::int64_t Model::param_count() const {
+  std::int64_t n = 0;
+  for (const auto& layer : layers_) {
+    for (Param* p : const_cast<Layer&>(*layer).params()) {
+      n += p->value.size();
+    }
+  }
+  return n;
+}
+
+std::int64_t Model::mac_count() const {
+  std::int64_t macs = 0;
+  const std::vector<Shape> shapes = shapes_for_batch(1);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i]->kind() == LayerKind::kConv2d) {
+      const auto& conv = layer_as<Conv2d>(i);
+      const Shape& out = shapes[i + 1];
+      macs += out[2] * out[3] * conv.config().out_channels * conv.config().in_channels *
+              conv.config().kernel * conv.config().kernel;
+    } else if (layers_[i]->kind() == LayerKind::kLinear) {
+      const auto& fc = layer_as<Linear>(i);
+      macs += fc.in_features() * fc.out_features();
+    }
+  }
+  return macs;
+}
+
+}  // namespace adaflow::nn

@@ -1,0 +1,28 @@
+#include "adaflow/nn/optimizer.hpp"
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow::nn {
+
+void Sgd::step(const std::vector<Param*>& params) {
+  if (bound_.empty()) {
+    bound_ = params;
+    velocity_.reserve(params.size());
+    for (Param* p : params) {
+      velocity_.emplace_back(p->value.shape());
+    }
+  }
+  require(bound_ == params, "optimizer bound to a different parameter set");
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Param& p = *params[i];
+    Tensor& v = velocity_[i];
+    for (std::int64_t j = 0; j < p.value.size(); ++j) {
+      const float g = p.grad[j] + config_.weight_decay * p.value[j];
+      v[j] = config_.momentum * v[j] - config_.lr * g;
+      p.value[j] += v[j];
+    }
+  }
+}
+
+}  // namespace adaflow::nn

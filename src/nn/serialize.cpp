@@ -1,0 +1,262 @@
+#include "adaflow/nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <ostream>
+
+namespace adaflow::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'D', 'F', 'M'};
+constexpr std::int32_t kVersion = 1;
+
+void write_raw(std::ostream& out, const void* data, std::size_t size) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+}
+
+void write_i64(std::ostream& out, std::int64_t v) { write_raw(out, &v, sizeof(v)); }
+void write_i32(std::ostream& out, std::int32_t v) { write_raw(out, &v, sizeof(v)); }
+void write_f32(std::ostream& out, float v) { write_raw(out, &v, sizeof(v)); }
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_i64(out, static_cast<std::int64_t>(s.size()));
+  write_raw(out, s.data(), s.size());
+}
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  write_i64(out, t.rank());
+  for (std::int64_t i = 0; i < t.rank(); ++i) {
+    write_i64(out, t.dim(i));
+  }
+  write_raw(out, t.data(), static_cast<std::size_t>(t.size()) * sizeof(float));
+}
+
+void write_floats(std::ostream& out, const std::vector<float>& v) {
+  write_i64(out, static_cast<std::int64_t>(v.size()));
+  write_raw(out, v.data(), v.size() * sizeof(float));
+}
+
+void write_quant(std::ostream& out, const QuantSpec& q) {
+  write_i32(out, q.weight_bits);
+  write_i32(out, q.act_bits);
+  write_f32(out, q.act_scale);
+}
+
+void read_raw(std::istream& in, void* data, std::size_t size) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (!in) {
+    throw Error("truncated model stream");
+  }
+}
+
+std::int64_t read_i64(std::istream& in) {
+  std::int64_t v = 0;
+  read_raw(in, &v, sizeof(v));
+  return v;
+}
+
+std::int32_t read_i32(std::istream& in) {
+  std::int32_t v = 0;
+  read_raw(in, &v, sizeof(v));
+  return v;
+}
+
+float read_f32(std::istream& in) {
+  float v = 0;
+  read_raw(in, &v, sizeof(v));
+  return v;
+}
+
+std::string read_string(std::istream& in) {
+  const std::int64_t n = read_i64(in);
+  if (n < 0 || n > (1 << 20)) {
+    throw Error("bad string length in model stream");
+  }
+  std::string s(static_cast<std::size_t>(n), '\0');
+  read_raw(in, s.data(), s.size());
+  return s;
+}
+
+Tensor read_tensor(std::istream& in) {
+  const std::int64_t rank = read_i64(in);
+  if (rank < 0 || rank > 8) {
+    throw Error("bad tensor rank in model stream");
+  }
+  Shape shape(static_cast<std::size_t>(rank));
+  for (auto& d : shape) {
+    d = read_i64(in);
+  }
+  Tensor t(shape);
+  read_raw(in, t.data(), static_cast<std::size_t>(t.size()) * sizeof(float));
+  return t;
+}
+
+std::vector<float> read_floats(std::istream& in) {
+  const std::int64_t n = read_i64(in);
+  if (n < 0 || n > (1 << 28)) {
+    throw Error("bad float vector length in model stream");
+  }
+  std::vector<float> v(static_cast<std::size_t>(n));
+  read_raw(in, v.data(), v.size() * sizeof(float));
+  return v;
+}
+
+QuantSpec read_quant(std::istream& in) {
+  QuantSpec q;
+  q.weight_bits = read_i32(in);
+  q.act_bits = read_i32(in);
+  q.act_scale = read_f32(in);
+  return q;
+}
+
+}  // namespace
+
+void save_model(const Model& model, std::ostream& out) {
+  write_raw(out, kMagic, sizeof(kMagic));
+  write_i32(out, kVersion);
+  write_string(out, model.name());
+  write_i64(out, static_cast<std::int64_t>(model.input_shape().size()));
+  for (std::int64_t d : model.input_shape()) {
+    write_i64(out, d);
+  }
+  write_i64(out, static_cast<std::int64_t>(model.size()));
+
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    const Layer& layer = model.layer(i);
+    write_i32(out, static_cast<std::int32_t>(layer.kind()));
+    write_string(out, layer.name());
+    switch (layer.kind()) {
+      case LayerKind::kConv2d: {
+        const auto& conv = model.layer_as<Conv2d>(i);
+        write_i64(out, conv.config().in_channels);
+        write_i64(out, conv.config().out_channels);
+        write_i64(out, conv.config().kernel);
+        write_i64(out, conv.config().stride);
+        write_i64(out, conv.config().pad);
+        write_quant(out, conv.quant());
+        write_tensor(out, conv.weight());
+        break;
+      }
+      case LayerKind::kLinear: {
+        const auto& fc = model.layer_as<Linear>(i);
+        write_i64(out, fc.in_features());
+        write_i64(out, fc.out_features());
+        write_quant(out, fc.quant());
+        write_tensor(out, fc.weight());
+        break;
+      }
+      case LayerKind::kMaxPool2d: {
+        write_i64(out, model.layer_as<MaxPool2d>(i).kernel());
+        break;
+      }
+      case LayerKind::kBatchNorm: {
+        const auto& bn = model.layer_as<BatchNorm>(i);
+        write_i64(out, bn.channels());
+        write_f32(out, bn.eps());
+        write_tensor(out, bn.gamma());
+        write_tensor(out, bn.beta());
+        write_floats(out, bn.running_mean());
+        write_floats(out, bn.running_var());
+        break;
+      }
+      case LayerKind::kQuantAct: {
+        write_quant(out, model.layer_as<QuantAct>(i).quant());
+        break;
+      }
+    }
+  }
+}
+
+Model load_model(std::istream& in) {
+  char magic[4];
+  read_raw(in, magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw Error("not an AdaFlow model stream");
+  }
+  const std::int32_t version = read_i32(in);
+  if (version != kVersion) {
+    throw Error("unsupported model version " + std::to_string(version));
+  }
+  const std::string name = read_string(in);
+  const std::int64_t input_rank = read_i64(in);
+  if (input_rank != 3) {
+    throw Error("model input shape must be rank 3");
+  }
+  Shape input(3);
+  for (auto& d : input) {
+    d = read_i64(in);
+  }
+  Model model(name, input);
+
+  const std::int64_t layer_count = read_i64(in);
+  if (layer_count < 0 || layer_count > 4096) {
+    throw Error("bad layer count");
+  }
+  for (std::int64_t i = 0; i < layer_count; ++i) {
+    const auto kind = static_cast<LayerKind>(read_i32(in));
+    const std::string layer_name = read_string(in);
+    switch (kind) {
+      case LayerKind::kConv2d: {
+        Conv2dConfig cfg;
+        cfg.in_channels = read_i64(in);
+        cfg.out_channels = read_i64(in);
+        cfg.kernel = read_i64(in);
+        cfg.stride = read_i64(in);
+        cfg.pad = read_i64(in);
+        QuantSpec q = read_quant(in);
+        Tensor w = read_tensor(in);
+        model.add(std::make_unique<Conv2d>(layer_name, cfg, q, std::move(w)));
+        break;
+      }
+      case LayerKind::kLinear: {
+        const std::int64_t in_f = read_i64(in);
+        const std::int64_t out_f = read_i64(in);
+        QuantSpec q = read_quant(in);
+        Tensor w = read_tensor(in);
+        model.add(std::make_unique<Linear>(layer_name, in_f, out_f, q, std::move(w)));
+        break;
+      }
+      case LayerKind::kMaxPool2d: {
+        model.add(std::make_unique<MaxPool2d>(layer_name, read_i64(in)));
+        break;
+      }
+      case LayerKind::kBatchNorm: {
+        const std::int64_t channels = read_i64(in);
+        const float eps = read_f32(in);
+        auto bn = std::make_unique<BatchNorm>(layer_name, channels, 0.1f, eps);
+        Tensor gamma = read_tensor(in);
+        Tensor beta = read_tensor(in);
+        bn->set_affine(std::move(gamma), std::move(beta));
+        std::vector<float> mean = read_floats(in);
+        std::vector<float> var = read_floats(in);
+        bn->set_statistics(std::move(mean), std::move(var));
+        model.add(std::move(bn));
+        break;
+      }
+      case LayerKind::kQuantAct: {
+        model.add(std::make_unique<QuantAct>(layer_name, read_quant(in)));
+        break;
+      }
+      default:
+        throw Error("unknown layer kind in model stream");
+    }
+  }
+  return model;
+}
+
+void save_model_file(const Model& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  require(out.good(), "cannot open " + path + " for writing");
+  save_model(model, out);
+}
+
+Model load_model_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), "cannot open " + path);
+  return load_model(in);
+}
+
+}  // namespace adaflow::nn

@@ -1,0 +1,77 @@
+#include "adaflow/nn/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace adaflow::nn {
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(element_count(shape_)), 0.0f);
+}
+
+Tensor::Tensor(Shape shape, float value) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(element_count(shape_)), value);
+}
+
+Tensor Tensor::he_normal(Shape shape, std::int64_t fan_in, Rng& rng) {
+  require(fan_in > 0, "he_normal fan_in must be positive");
+  Tensor t(std::move(shape));
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, float lo, float hi, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+void Tensor::fill(float value) {
+  for (auto& v : data_) {
+    v = value;
+  }
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (element_count(new_shape) != size()) {
+    throw ShapeError("reshape from " + shape_string() + " changes element count");
+  }
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+std::int64_t Tensor::element_count(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    if (d < 0) {
+      throw ShapeError("negative dimension");
+    }
+    n *= d;
+  }
+  return n;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    os << (i ? ", " : "") << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+void check_same_shape(const Tensor& a, const Tensor& b, const std::string& context) {
+  if (a.shape() != b.shape()) {
+    throw ShapeError(context + ": " + a.shape_string() + " vs " + b.shape_string());
+  }
+}
+
+}  // namespace adaflow::nn

@@ -1,0 +1,61 @@
+#include "adaflow/perf/perf.hpp"
+
+#include <cmath>
+
+#include "adaflow/common/error.hpp"
+#include "adaflow/common/math.hpp"
+
+namespace adaflow::perf {
+
+PerfModelConstants default_perf_constants() { return PerfModelConstants{}; }
+
+std::int64_t stage_cycles(const hls::CompiledStage& stage, const hls::LayerFolding* folding) {
+  const auto& d = stage.desc;
+  if (d.kind == hls::StageKind::kPool) {
+    return d.out_dim * d.out_dim;  // one pooled window per cycle, channels unrolled
+  }
+  require(folding != nullptr, "MVTU stage needs folding");
+  const std::int64_t out_pixels = d.out_dim * d.out_dim;
+  const std::int64_t neuron_folds = ceil_div(d.ch_out, folding->pe);
+  const std::int64_t synapse_folds = ceil_div(d.kernel * d.kernel * d.ch_in, folding->simd);
+  return out_pixels * neuron_folds * synapse_folds;
+}
+
+PerfReport analyze(const hls::CompiledModel& model, const hls::FoldingConfig& folding,
+                   hls::AcceleratorVariant variant, double clock_hz,
+                   const PerfModelConstants& k) {
+  require(clock_hz > 0, "clock must be positive");
+  const std::vector<std::size_t> mvtu_indices = model.mvtu_stage_indices();
+  require(mvtu_indices.size() == folding.layers.size(), "folding/stage count mismatch");
+
+  PerfReport report;
+  std::size_t mvtu_ordinal = 0;
+  std::int64_t worst = 0;
+  double total_cycles = 0.0;
+
+  for (const hls::CompiledStage& stage : model.stages) {
+    const hls::LayerFolding* f = nullptr;
+    if (stage.desc.kind != hls::StageKind::kPool) {
+      f = &folding.layers[mvtu_ordinal++];
+    }
+    std::int64_t cycles = stage_cycles(stage, f);
+    if (variant == hls::AcceleratorVariant::kFlexible) {
+      cycles = static_cast<std::int64_t>(
+          std::ceil(static_cast<double>(cycles) * (1.0 + k.flexible_iteration_overhead) +
+                    k.flexible_setup_cycles));
+    }
+    report.stages.push_back(StagePerf{stage.desc.name, cycles});
+    total_cycles += static_cast<double>(cycles);
+    if (cycles > worst) {
+      worst = cycles;
+      report.bottleneck = stage.desc.name;
+    }
+  }
+
+  report.initiation_interval_cycles = worst;
+  report.fps = clock_hz / static_cast<double>(worst);
+  report.latency_s = total_cycles / clock_hz;
+  return report;
+}
+
+}  // namespace adaflow::perf

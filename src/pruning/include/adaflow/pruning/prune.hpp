@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file prune.hpp
+/// Dataflow-Aware filter pruning (paper Section IV-A1).
+///
+/// Starting from an initial CNN and the FINN folding configuration, the
+/// pruner removes, per conv layer, the filters with the smallest ℓ1 norm
+/// (Li et al., ICLR'17), after adjusting the per-layer amount r_i so that the
+/// surviving channel count satisfies the MVTU constraints
+///   (ch_out_i - r_i) mod PE_i     == 0
+///   (ch_out_i - r_i) mod SIMD_i+1 == 0
+/// (iteratively decreasing r_i until both hold). The pruned model is a new
+/// nn::Model with sliced weights/BN statistics, ready for retraining.
+
+#include <cstdint>
+#include <vector>
+
+#include "adaflow/hls/folding.hpp"
+#include "adaflow/nn/model.hpp"
+
+namespace adaflow::pruning {
+
+/// Outcome for one conv layer.
+struct LayerPruneInfo {
+  std::size_t conv_index = 0;          ///< layer index in the base model
+  std::int64_t original_channels = 0;
+  std::int64_t kept_channels = 0;
+  std::vector<std::int64_t> kept_filters;  ///< sorted indices into the base filters
+};
+
+/// A pruned model plus bookkeeping.
+struct PruneResult {
+  nn::Model model;
+  double requested_rate = 0.0;
+  double achieved_rate = 0.0;  ///< pruned filters / total filters (after adjustment)
+  std::vector<LayerPruneInfo> layers;
+};
+
+/// Extension knobs for the pruner.
+struct PruneOptions {
+  /// Also prune hidden fully-connected neurons (the paper's constraint text
+  /// covers "neurons, in the case of a fully-connected layer"; its
+  /// evaluation prunes conv filters only, so this defaults off).
+  bool prune_fc_neurons = false;
+};
+
+/// ℓ1 norms of each filter (row) of a conv layer's shadow weights.
+std::vector<double> l1_filter_norms(const nn::Conv2d& conv);
+
+/// ℓ1 norms of each neuron (row) of a linear layer's shadow weights.
+std::vector<double> l1_neuron_norms(const nn::Linear& fc);
+
+/// Largest keep-count <= target satisfying keep % pe == 0 and
+/// keep % simd_next == 0... i.e. the paper's iterative r_i decrease: returns
+/// the smallest valid keep >= target (keep never exceeds ch_out; ch_out
+/// itself always satisfies the constraints of a valid base folding).
+std::int64_t adjust_keep_count(std::int64_t ch_out, std::int64_t target_keep, std::int64_t pe,
+                               std::int64_t simd_next);
+
+/// Prunes \p base at \p rate (fraction of filters to remove, 0..1) under the
+/// base model's \p folding. The result's folding-visible channel counts are
+/// guaranteed to satisfy validate_folding against the same folding (flexible
+/// accelerator) and against a re-derived folding (fixed accelerator).
+PruneResult dataflow_aware_prune(const nn::Model& base, const hls::FoldingConfig& folding,
+                                 double rate, const PruneOptions& options = {});
+
+}  // namespace adaflow::pruning

@@ -1,0 +1,83 @@
+#include "adaflow/report/csv.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "adaflow/common/error.hpp"
+#include "adaflow/common/strings.hpp"
+
+namespace adaflow::report {
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "csv header must not be empty");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(), "csv row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::render() const {
+  std::string out;
+  auto emit = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out += escape(row[i]);
+      out += (i + 1 == row.size()) ? "\n" : ",";
+    }
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return out;
+}
+
+void CsvWriter::write(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream out(path);
+  require(out.good(), "cannot write " + path);
+  out << render();
+  require(out.good(), "error writing " + path);
+}
+
+void write_series_csv(const std::string& path,
+                      const std::vector<std::pair<std::string, sim::TimeSeries>>& series) {
+  require(!series.empty(), "no series to export");
+  std::vector<std::string> header{"time_s"};
+  std::size_t rows = series.front().second.values.size();
+  for (const auto& [name, s] : series) {
+    header.push_back(name);
+    rows = std::min(rows, s.values.size());
+  }
+  CsvWriter csv(std::move(header));
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<std::string> row{format_double(series.front().second.time_of(i), 3)};
+    for (const auto& [name, s] : series) {
+      (void)name;
+      row.push_back(format_double(s.values[i], 6));
+    }
+    csv.add_row(std::move(row));
+  }
+  csv.write(path);
+}
+
+}  // namespace adaflow::report

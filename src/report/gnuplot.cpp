@@ -1,0 +1,44 @@
+#include "adaflow/report/gnuplot.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow::report {
+
+std::string render_gnuplot(const FigureSpec& spec) {
+  require(!spec.curves.empty(), "figure needs at least one curve");
+  std::string out;
+  out += "set terminal pngcairo size 900,540\n";
+  out += "set output '" + spec.output_png + "'\n";
+  out += "set datafile separator ','\n";
+  out += "set key outside right\n";
+  out += "set grid\n";
+  out += "set title '" + spec.title + "'\n";
+  out += "set xlabel '" + spec.xlabel + "'\n";
+  out += "set ylabel '" + spec.ylabel + "'\n";
+  out += "plot ";
+  for (std::size_t i = 0; i < spec.curves.size(); ++i) {
+    const Curve& c = spec.curves[i];
+    if (i != 0) {
+      out += ", \\\n     ";
+    }
+    out += "'" + spec.csv_path + "' using 1:" + std::to_string(c.column) +
+           " with lines lw 2 title '" + c.title + "'";
+  }
+  out += "\n";
+  return out;
+}
+
+void write_gnuplot(const FigureSpec& spec, const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream out(path);
+  require(out.good(), "cannot write " + path);
+  out << render_gnuplot(spec);
+}
+
+}  // namespace adaflow::report

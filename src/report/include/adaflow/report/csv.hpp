@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file csv.hpp
+/// CSV export for bench results — time series and tables — so the paper's
+/// figures can be regenerated with any plotting tool (a matching gnuplot
+/// script emitter lives in gnuplot.hpp).
+
+#include <string>
+#include <vector>
+
+#include "adaflow/sim/stats.hpp"
+
+namespace adaflow::report {
+
+/// Accumulates rows of numeric/text cells and writes RFC-4180-ish CSV
+/// (quotes cells containing separators or quotes).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the CSV document.
+  std::string render() const;
+
+  /// Writes to \p path, creating parent directories.
+  void write(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Escapes one cell per CSV quoting rules.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes aligned time series to CSV: a time column plus one value column
+/// per named series (all series must share the interval; rows are truncated
+/// to the shortest).
+void write_series_csv(const std::string& path,
+                      const std::vector<std::pair<std::string, sim::TimeSeries>>& series);
+
+}  // namespace adaflow::report

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file gnuplot.hpp
+/// Emits gnuplot scripts that plot the CSVs written by csv.hpp, one per
+/// paper figure. The scripts are plain text artifacts — running gnuplot is
+/// left to the user (it is not a build dependency).
+
+#include <string>
+#include <vector>
+
+namespace adaflow::report {
+
+/// One curve of a figure: CSV column (1-based, after the time column) and a
+/// legend label.
+struct Curve {
+  int column = 2;
+  std::string title;
+};
+
+struct FigureSpec {
+  std::string output_png;  ///< e.g. "fig6a.png"
+  std::string csv_path;    ///< data file the curves read from
+  std::string title;
+  std::string xlabel = "time [s]";
+  std::string ylabel;
+  std::vector<Curve> curves;
+};
+
+/// Renders a gnuplot script for one figure.
+std::string render_gnuplot(const FigureSpec& spec);
+
+/// Writes the script next to the CSV (path = spec.csv_path + ".gp" unless
+/// overridden).
+void write_gnuplot(const FigureSpec& spec, const std::string& path);
+
+}  // namespace adaflow::report

@@ -1,0 +1,21 @@
+#include "adaflow/sim/event_queue.hpp"
+
+namespace adaflow::sim {
+
+void EventQueue::schedule_at(double when, EventFn fn) {
+  require(when >= now_, "cannot schedule into the past");
+  heap_.push(Entry{when, next_sequence_++, std::move(fn)});
+}
+
+void EventQueue::run_until(double t_end) {
+  while (!heap_.empty() && heap_.top().when <= t_end) {
+    // Copy out before pop: the callback may schedule new events.
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.when;
+    e.fn();
+  }
+  now_ = t_end;
+}
+
+}  // namespace adaflow::sim

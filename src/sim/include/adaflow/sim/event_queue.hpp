@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// Minimal discrete-event simulation engine: a time-ordered queue of
+/// callbacks with a monotonically advancing clock. Events scheduled at equal
+/// times fire in insertion order (stable), which keeps runs deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  double now() const { return now_; }
+
+  /// Schedules \p fn at absolute time \p when (>= now).
+  void schedule_at(double when, EventFn fn);
+
+  /// Schedules \p fn \p delay seconds from now.
+  void schedule_in(double delay, EventFn fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Runs events in time order until the queue empties or the clock would
+  /// pass \p t_end; the clock finishes exactly at t_end.
+  void run_until(double t_end);
+
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    double when;
+    std::uint64_t sequence;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+}  // namespace adaflow::sim

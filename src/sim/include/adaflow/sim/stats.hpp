@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file stats.hpp
+/// Aggregation helpers for simulation outputs: running mean/stddev and
+/// fixed-interval time series (the paper's per-interval frame-loss / QoE
+/// curves).
+
+#include <cstdint>
+#include <vector>
+
+namespace adaflow::sim {
+
+/// Welford running mean and (sample) standard deviation.
+class RunningStat {
+ public:
+  void add(double x);
+  std::int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A sampled time series with a fixed sampling interval.
+struct TimeSeries {
+  double interval_s = 0.5;
+  std::vector<double> values;
+
+  double time_of(std::size_t i) const { return static_cast<double>(i + 1) * interval_s; }
+};
+
+/// Element-wise mean of equally shaped series (averaging the 100 runs).
+TimeSeries average_series(const std::vector<TimeSeries>& runs);
+
+}  // namespace adaflow::sim

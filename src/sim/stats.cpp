@@ -1,0 +1,49 @@
+#include "adaflow/sim/stats.hpp"
+
+#include <cmath>
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow::sim {
+
+void RunningStat::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::stddev() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+TimeSeries average_series(const std::vector<TimeSeries>& runs) {
+  require(!runs.empty(), "no series to average");
+  TimeSeries out;
+  out.interval_s = runs.front().interval_s;
+  std::size_t len = runs.front().values.size();
+  for (const TimeSeries& r : runs) {
+    len = std::min(len, r.values.size());
+  }
+  out.values.assign(len, 0.0);
+  for (const TimeSeries& r : runs) {
+    for (std::size_t i = 0; i < len; ++i) {
+      out.values[i] += r.values[i];
+    }
+  }
+  for (double& v : out.values) {
+    v /= static_cast<double>(runs.size());
+  }
+  return out;
+}
+
+}  // namespace adaflow::sim

@@ -1,0 +1,100 @@
+#include "adaflow/common/argparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("tool", "test parser");
+  p.add_flag("verbose", "chatty output");
+  p.add_option("rate", "pruning rate", "0.5");
+  p.add_option("name", "a string");
+  p.add_positional("input", "input file");
+  return p;
+}
+
+TEST(ArgParse, DefaultsApply) {
+  ArgParser p = make_parser();
+  p.parse({"file.bin"});
+  EXPECT_FALSE(p.flag("verbose"));
+  EXPECT_DOUBLE_EQ(p.option_double("rate"), 0.5);
+  EXPECT_EQ(p.positional("input"), "file.bin");
+}
+
+TEST(ArgParse, SeparateValueSyntax) {
+  ArgParser p = make_parser();
+  p.parse({"--rate", "0.75", "x"});
+  EXPECT_DOUBLE_EQ(p.option_double("rate"), 0.75);
+  EXPECT_TRUE(p.has("rate"));
+}
+
+TEST(ArgParse, EqualsValueSyntax) {
+  ArgParser p = make_parser();
+  p.parse({"--name=hello", "x"});
+  EXPECT_EQ(p.option("name"), "hello");
+}
+
+TEST(ArgParse, FlagsHaveNoValue) {
+  ArgParser p = make_parser();
+  p.parse({"--verbose", "x"});
+  EXPECT_TRUE(p.flag("verbose"));
+  EXPECT_THROW(
+      {
+        ArgParser q = make_parser();
+        q.parse({"--verbose=1", "x"});
+      },
+      ConfigError);
+}
+
+TEST(ArgParse, UnknownOptionRejected) {
+  ArgParser p = make_parser();
+  EXPECT_THROW(p.parse({"--nope", "x"}), ConfigError);
+}
+
+TEST(ArgParse, MissingValueRejected) {
+  ArgParser p = make_parser();
+  EXPECT_THROW(p.parse({"x", "--rate"}), ConfigError);
+}
+
+TEST(ArgParse, MissingRequiredPositionalRejected) {
+  ArgParser p = make_parser();
+  EXPECT_THROW(p.parse({"--verbose"}), ConfigError);
+}
+
+TEST(ArgParse, ExtraPositionalRejected) {
+  ArgParser p = make_parser();
+  EXPECT_THROW(p.parse({"a", "b"}), ConfigError);
+}
+
+TEST(ArgParse, NumericValidation) {
+  ArgParser p = make_parser();
+  p.parse({"--rate", "abc", "x"});
+  EXPECT_THROW(p.option_double("rate"), ConfigError);
+}
+
+TEST(ArgParse, IntOption) {
+  ArgParser p("t", "d");
+  p.add_option("n", "count", "3");
+  p.parse({});
+  EXPECT_EQ(p.option_int("n"), 3);
+}
+
+TEST(ArgParse, HelpMentionsEverything) {
+  ArgParser p = make_parser();
+  const std::string h = p.help();
+  EXPECT_NE(h.find("--rate"), std::string::npos);
+  EXPECT_NE(h.find("--verbose"), std::string::npos);
+  EXPECT_NE(h.find("<input>"), std::string::npos);
+}
+
+TEST(ArgParse, SplitHelper) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("solo", ','), (std::vector<std::string>{"solo"}));
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+}  // namespace
+}  // namespace adaflow

@@ -1,0 +1,36 @@
+#include "adaflow/common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adaflow {
+namespace {
+
+TEST(Error, RequirePassesOnTrue) { EXPECT_NO_THROW(require(true, "nope")); }
+
+TEST(Error, RequireThrowsConfigError) {
+  EXPECT_THROW(require(false, "broken"), ConfigError);
+}
+
+TEST(Error, RequireMessagePropagates) {
+  try {
+    require(false, "bad knob");
+    FAIL() << "should have thrown";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad knob"), std::string::npos);
+  }
+}
+
+TEST(Error, HierarchyCatchableAsBase) {
+  EXPECT_THROW(throw ShapeError("x"), Error);
+  EXPECT_THROW(throw FoldingError("x"), Error);
+  EXPECT_THROW(throw NotFoundError("x"), Error);
+  EXPECT_THROW(throw ConfigError("x"), Error);
+}
+
+TEST(Error, MessagesArePrefixedByKind) {
+  EXPECT_NE(std::string(ShapeError("m").what()).find("shape error"), std::string::npos);
+  EXPECT_NE(std::string(FoldingError("m").what()).find("folding error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adaflow

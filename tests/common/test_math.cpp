@@ -1,0 +1,56 @@
+#include "adaflow/common/math.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adaflow {
+namespace {
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 5), 2);
+  EXPECT_EQ(ceil_div(11, 5), 3);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(1, 1), 1);
+}
+
+TEST(Math, RoundUpDown) {
+  EXPECT_EQ(round_up(7, 4), 8);
+  EXPECT_EQ(round_up(8, 4), 8);
+  EXPECT_EQ(round_down(7, 4), 4);
+  EXPECT_EQ(round_down(8, 4), 8);
+}
+
+TEST(Math, Divisible) {
+  EXPECT_TRUE(divisible(12, 3));
+  EXPECT_FALSE(divisible(13, 3));
+  EXPECT_TRUE(divisible(0, 7));
+}
+
+TEST(Math, LcmPositive) {
+  EXPECT_EQ(lcm_positive(4, 6), 12);
+  EXPECT_EQ(lcm_positive(5, 1), 5);
+  EXPECT_THROW(lcm_positive(0, 3), ConfigError);
+}
+
+TEST(Math, Clamp) {
+  EXPECT_EQ(clamp(5, 0, 10), 5);
+  EXPECT_EQ(clamp(-1, 0, 10), 0);
+  EXPECT_EQ(clamp(11, 0, 10), 10);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+class RoundUpProperty : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {};
+
+TEST_P(RoundUpProperty, ResultIsMultipleAndAtLeastValue) {
+  const auto [value, multiple] = GetParam();
+  const std::int64_t r = round_up(value, multiple);
+  EXPECT_EQ(r % multiple, 0);
+  EXPECT_GE(r, value);
+  EXPECT_LT(r - value, multiple);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RoundUpProperty,
+                         ::testing::Combine(::testing::Values(0, 1, 7, 63, 64, 65, 1000),
+                                            ::testing::Values(1, 2, 3, 8, 64)));
+
+}  // namespace
+}  // namespace adaflow

@@ -1,0 +1,44 @@
+#include "adaflow/common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace adaflow {
+namespace {
+
+TEST(Parallel, VisitsEveryIndexExactlyOnce) {
+  constexpr std::int64_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for(kCount, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(Parallel, ZeroCountIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, SingleIterationRunsInline) {
+  int value = 0;
+  parallel_for(1, [&](std::int64_t i) { value = static_cast<int>(i) + 42; });
+  EXPECT_EQ(value, 42);
+}
+
+TEST(Parallel, RepeatedInvocationsAreStable) {
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    parallel_for(100, [&](std::int64_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(Parallel, WorkerCountIsPositive) { EXPECT_GE(parallel_worker_count(), 1); }
+
+}  // namespace
+}  // namespace adaflow

@@ -1,0 +1,42 @@
+#include "adaflow/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, ColumnsAreAligned) {
+  TextTable t({"a", "b"});
+  t.add_row({"xxxx", "y"});
+  const std::string out = t.render();
+  // Header line must be padded to the width of the longest cell.
+  const std::size_t first_newline = out.find('\n');
+  const std::size_t second_newline = out.find('\n', first_newline + 1);
+  const std::size_t third_newline = out.find('\n', second_newline + 1);
+  const std::string header = out.substr(0, first_newline);
+  const std::string row = out.substr(second_newline + 1, third_newline - second_newline - 1);
+  EXPECT_EQ(header.size(), row.size());
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ConfigError);
+}
+
+TEST(TextTable, RejectsEmptyHeader) { EXPECT_THROW(TextTable({}), ConfigError); }
+
+}  // namespace
+}  // namespace adaflow

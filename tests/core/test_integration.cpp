@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adaflow/core/library_generator.hpp"
+#include "adaflow/core/runtime_manager.hpp"
+#include "adaflow/edge/server.hpp"
+#include "testing/fixtures.hpp"
+
+namespace adaflow::core {
+namespace {
+
+/// One small generated library shared by the integration tests (generation
+/// trains 3 CNN versions, which dominates this suite's runtime).
+const GeneratedLibrary& generated() {
+  static const GeneratedLibrary g = [] {
+    LibraryConfig lc;
+    lc.rates = {0.0, 0.3, 0.6};
+    lc.base_epochs = 3;
+    lc.retrain_epochs = 1;
+    lc.seed = 5;
+    LibraryGenerator gen(fpga::zcu104(), lc);
+    return gen.generate(testing::tiny_topology(), testing::tiny_cifar());
+  }();
+  return g;
+}
+
+TEST(Integration, LibraryHasOneRowPerRate) {
+  const AcceleratorLibrary& lib = generated().table;
+  ASSERT_EQ(lib.versions.size(), 3u);
+  EXPECT_EQ(lib.versions[0].requested_rate, 0.0);
+  EXPECT_EQ(lib.base_accuracy, lib.versions[0].accuracy);
+}
+
+TEST(Integration, ThroughputGrowsAccuracyShrinksWithPruning) {
+  const AcceleratorLibrary& lib = generated().table;
+  EXPECT_GT(lib.versions[1].fps_fixed, lib.versions[0].fps_fixed);
+  EXPECT_GT(lib.versions[2].fps_fixed, lib.versions[1].fps_fixed);
+  // Heavily pruned version cannot beat the unpruned accuracy (tiny tolerance
+  // for retraining noise).
+  EXPECT_LT(lib.versions[2].accuracy, lib.versions[0].accuracy + 0.02);
+}
+
+TEST(Integration, FlexibleCostsMoreLutsSameBram) {
+  const AcceleratorLibrary& lib = generated().table;
+  EXPECT_NEAR(lib.resources_flexible.luts / lib.resources_finn.luts, 1.92, 0.01);
+  EXPECT_DOUBLE_EQ(lib.resources_flexible.bram18, lib.resources_finn.bram18);
+}
+
+TEST(Integration, FlexibleSwitchBeatsReconfigByOrdersOfMagnitude) {
+  const AcceleratorLibrary& lib = generated().table;
+  for (const ModelVersion& v : lib.versions) {
+    EXPECT_LT(v.flexible_switch_time_s * 20, lib.reconfig_time_s);
+  }
+}
+
+TEST(Integration, GeneratedVersionsRunOnFlexibleAccelerator) {
+  const GeneratedLibrary& g = generated();
+  hls::DataflowAccelerator flex(hls::AcceleratorVariant::kFlexible, g.compiled[0], g.folding);
+  for (const hls::CompiledModel& version : g.compiled) {
+    EXPECT_NO_THROW(flex.load_model(version)) << version.version;
+    EXPECT_GE(flex.infer_class(testing::tiny_cifar().test.sample(0)), 0);
+  }
+}
+
+TEST(Integration, AdaFlowBeatsStaticFinnOnBothScenarios) {
+  const AcceleratorLibrary& lib = generated().table;
+  edge::ServerConfig sc;
+  RuntimeManagerConfig rmc;
+  constexpr int kRuns = 5;
+
+  for (const edge::WorkloadConfig& wl : {edge::scenario1(), edge::scenario2()}) {
+    auto ada = edge::run_repeated(
+        wl, [&] { return std::make_unique<RuntimeManager>(lib, rmc); }, sc, kRuns);
+    auto finn = edge::run_repeated(
+        wl, [&] { return std::make_unique<StaticFinnPolicy>(lib); }, sc, kRuns);
+
+    // The paper's headline shape: lower frame loss, higher QoE, better
+    // power efficiency than the statically deployed FINN accelerator.
+    EXPECT_LT(ada.mean.frame_loss(), finn.mean.frame_loss());
+    EXPECT_GT(ada.mean.qoe(), finn.mean.qoe());
+    EXPECT_GT(ada.mean.power_efficiency(), finn.mean.power_efficiency());
+  }
+}
+
+TEST(Integration, Scenario1PlusTwoChangesAcceleratorType) {
+  const AcceleratorLibrary& lib = generated().table;
+  edge::ServerConfig sc;
+  RuntimeManagerConfig rmc;
+  edge::WorkloadTrace trace(edge::scenario1_plus_2(), 1001);
+  RuntimeManager rm(lib, rmc);
+  edge::RunMetrics m = edge::run_simulation(trace, rm, sc, 2002);
+  EXPECT_GT(m.model_switches, 0);
+  // Late (unstable) phase switches should include flexible fast switches.
+  bool any_fast = false;
+  for (const edge::SwitchRecord& s : m.switches) {
+    any_fast |= !s.reconfiguration && s.accelerator == "Flexible";
+  }
+  EXPECT_TRUE(any_fast || m.model_switches <= 2)
+      << "unstable phase should have produced fast flexible switches";
+}
+
+TEST(Integration, CacheRoundTripThroughLoadOrGenerate) {
+  const std::string path = ::testing::TempDir() + "/integration_lib.tsv";
+  std::remove(path.c_str());
+  LibraryConfig lc;
+  lc.rates = {0.0, 0.5};
+  lc.base_epochs = 1;
+  lc.retrain_epochs = 1;
+  datasets::DatasetSpec spec = datasets::synth_cifar10_spec(120, 60);
+  AcceleratorLibrary first =
+      load_or_generate_library(path, fpga::zcu104(), lc, testing::tiny_topology(), spec);
+  EXPECT_TRUE(library_cache_exists(path));
+  AcceleratorLibrary second =
+      load_or_generate_library(path, fpga::zcu104(), lc, testing::tiny_topology(), spec);
+  ASSERT_EQ(second.versions.size(), first.versions.size());
+  EXPECT_DOUBLE_EQ(second.versions[1].fps_fixed, first.versions[1].fps_fixed);
+  EXPECT_DOUBLE_EQ(second.versions[1].accuracy, first.versions[1].accuracy);
+}
+
+}  // namespace
+}  // namespace adaflow::core

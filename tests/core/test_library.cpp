@@ -1,0 +1,113 @@
+#include "adaflow/core/library.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace adaflow::core {
+namespace {
+
+AcceleratorLibrary sample_library() {
+  AcceleratorLibrary lib;
+  lib.model_name = "CNVW2A2";
+  lib.dataset_name = "SynthCIFAR10";
+  lib.base_accuracy = 0.95;
+  lib.clock_hz = 100e6;
+  lib.reconfig_time_s = 0.145;
+  lib.resources_finn = {15000, 16000, 14, 0};
+  lib.resources_flexible = {28800, 24800, 14, 0};
+  lib.finn_power_busy_w = 1.07;
+  lib.finn_power_idle_w = 0.8;
+  for (int p : {0, 25, 50}) {
+    ModelVersion v;
+    v.version = "CNVW2A2@p" + std::to_string(p);
+    v.requested_rate = p / 100.0;
+    v.achieved_rate = p / 100.0 * 0.9;
+    v.accuracy = 0.95 - p * 0.002;
+    v.fps_fixed = 500.0 * (1.0 + p / 25.0);
+    v.fps_flexible = v.fps_fixed * 0.99;
+    v.latency_fixed_s = 0.002;
+    v.latency_flexible_s = 0.00201;
+    v.resources_fixed = {15000.0 - p * 50, 16000.0, 14, 0};
+    v.power_busy_fixed_w = 1.05 - p * 0.001;
+    v.power_idle_fixed_w = 0.8;
+    v.power_busy_flexible_w = 1.3;
+    v.power_idle_flexible_w = 0.9;
+    v.flexible_switch_time_s = 0.0005;
+    lib.versions.push_back(v);
+  }
+  return lib;
+}
+
+TEST(Library, UnprunedIsFirst) {
+  AcceleratorLibrary lib = sample_library();
+  EXPECT_EQ(lib.unpruned().requested_rate, 0.0);
+}
+
+TEST(Library, AtRateFindsClosest) {
+  AcceleratorLibrary lib = sample_library();
+  EXPECT_DOUBLE_EQ(lib.at_rate(0.24).requested_rate, 0.25);
+  EXPECT_DOUBLE_EQ(lib.at_rate(0.9).requested_rate, 0.50);
+  EXPECT_DOUBLE_EQ(lib.at_rate(0.0).requested_rate, 0.0);
+}
+
+TEST(Library, IndexOfByName) {
+  AcceleratorLibrary lib = sample_library();
+  EXPECT_EQ(lib.index_of("CNVW2A2@p25"), 1u);
+  EXPECT_THROW(lib.index_of("nope"), NotFoundError);
+}
+
+TEST(Library, SaveLoadRoundTrip) {
+  AcceleratorLibrary lib = sample_library();
+  const std::string path = ::testing::TempDir() + "/adaflow_lib_cache.tsv";
+  save_library(lib, path);
+  EXPECT_TRUE(library_cache_exists(path));
+  AcceleratorLibrary loaded = load_library(path);
+
+  EXPECT_EQ(loaded.model_name, lib.model_name);
+  EXPECT_EQ(loaded.dataset_name, lib.dataset_name);
+  EXPECT_DOUBLE_EQ(loaded.base_accuracy, lib.base_accuracy);
+  EXPECT_DOUBLE_EQ(loaded.reconfig_time_s, lib.reconfig_time_s);
+  EXPECT_DOUBLE_EQ(loaded.resources_flexible.luts, lib.resources_flexible.luts);
+  ASSERT_EQ(loaded.versions.size(), lib.versions.size());
+  for (std::size_t i = 0; i < lib.versions.size(); ++i) {
+    EXPECT_EQ(loaded.versions[i].version, lib.versions[i].version);
+    EXPECT_DOUBLE_EQ(loaded.versions[i].accuracy, lib.versions[i].accuracy);
+    EXPECT_DOUBLE_EQ(loaded.versions[i].fps_fixed, lib.versions[i].fps_fixed);
+    EXPECT_DOUBLE_EQ(loaded.versions[i].flexible_switch_time_s,
+                     lib.versions[i].flexible_switch_time_s);
+    EXPECT_DOUBLE_EQ(loaded.versions[i].resources_fixed.luts,
+                     lib.versions[i].resources_fixed.luts);
+  }
+}
+
+TEST(Library, LoadRejectsGarbageFile) {
+  const std::string path = ::testing::TempDir() + "/adaflow_lib_garbage.tsv";
+  {
+    std::ofstream out(path);
+    out << "not a library\n";
+  }
+  EXPECT_THROW(load_library(path), ConfigError);
+}
+
+TEST(Library, LoadMissingFileThrows) {
+  EXPECT_THROW(load_library("/nonexistent/lib.tsv"), ConfigError);
+}
+
+TEST(Library, RenderTableContainsAllVersions) {
+  AcceleratorLibrary lib = sample_library();
+  const std::string table = render_library_table(lib);
+  for (const ModelVersion& v : lib.versions) {
+    EXPECT_NE(table.find(v.version), std::string::npos);
+  }
+  EXPECT_NE(table.find("SynthCIFAR10"), std::string::npos);
+}
+
+TEST(Library, EmptyLibraryAccessorsThrow) {
+  AcceleratorLibrary lib;
+  EXPECT_THROW(lib.unpruned(), ConfigError);
+  EXPECT_THROW(lib.at_rate(0.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace adaflow::core

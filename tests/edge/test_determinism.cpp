@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "adaflow/common/error.hpp"
+#include "adaflow/edge/server.hpp"
+
+namespace adaflow::edge {
+namespace {
+
+class FixedModePolicy : public ServingPolicy {
+ public:
+  ServingMode initial_mode() override {
+    ServingMode m;
+    m.model_version = "v";
+    m.accelerator = "a";
+    m.fps = 550.0;
+    m.accuracy = 0.9;
+    m.power_busy_w = 1.0;
+    m.power_idle_w = 0.7;
+    return m;
+  }
+  std::optional<SwitchAction> on_poll(double, double) override { return std::nullopt; }
+};
+
+TEST(Determinism, IdenticalSeedsGiveIdenticalRuns) {
+  WorkloadConfig wl = scenario2(10.0);
+  for (int rep = 0; rep < 3; ++rep) {
+    WorkloadTrace t1(wl, 9);
+    WorkloadTrace t2(wl, 9);
+    FixedModePolicy p1;
+    FixedModePolicy p2;
+    RunMetrics a = run_simulation(t1, p1, ServerConfig{}, 33);
+    RunMetrics b = run_simulation(t2, p2, ServerConfig{}, 33);
+    EXPECT_EQ(a.arrived, b.arrived);
+    EXPECT_EQ(a.processed, b.processed);
+    EXPECT_EQ(a.lost, b.lost);
+    EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+    EXPECT_EQ(a.loss_series.values, b.loss_series.values);
+  }
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  WorkloadConfig wl = scenario2(10.0);
+  WorkloadTrace t1(wl, 9);
+  WorkloadTrace t2(wl, 10);
+  FixedModePolicy p1;
+  FixedModePolicy p2;
+  RunMetrics a = run_simulation(t1, p1, ServerConfig{}, 33);
+  RunMetrics b = run_simulation(t2, p2, ServerConfig{}, 34);
+  EXPECT_NE(a.arrived, b.arrived);
+}
+
+}  // namespace
+}  // namespace adaflow::edge

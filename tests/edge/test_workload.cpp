@@ -1,0 +1,79 @@
+#include "adaflow/edge/workload.hpp"
+
+#include "adaflow/common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adaflow::edge {
+namespace {
+
+TEST(Workload, PaperScenarios) {
+  WorkloadConfig s1 = scenario1();
+  ASSERT_EQ(s1.phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(s1.phases[0].deviation, 0.30);
+  EXPECT_DOUBLE_EQ(s1.phases[0].interval_s, 5.0);
+  EXPECT_DOUBLE_EQ(s1.base_rate(), 600.0);  // 20 devices x 30 FPS
+
+  WorkloadConfig s2 = scenario2();
+  EXPECT_DOUBLE_EQ(s2.phases[0].deviation, 0.70);
+  EXPECT_DOUBLE_EQ(s2.phases[0].interval_s, 0.5);
+
+  WorkloadConfig s12 = scenario1_plus_2();
+  ASSERT_EQ(s12.phases.size(), 2u);
+  EXPECT_DOUBLE_EQ(s12.phases[0].duration_s, 15.0);
+  EXPECT_DOUBLE_EQ(s12.phases[1].duration_s, 10.0);
+  EXPECT_DOUBLE_EQ(s12.total_duration(), 25.0);
+}
+
+TEST(Workload, TraceRespectsDeviationBounds) {
+  WorkloadTrace trace(scenario2(), 5);
+  for (double t = 0.0; t < trace.duration(); t += 0.1) {
+    const double r = trace.rate_at(t);
+    EXPECT_GE(r, 600.0 * 0.3 - 1e-9);
+    EXPECT_LE(r, 600.0 * 1.7 + 1e-9);
+  }
+}
+
+TEST(Workload, Scenario1ChangesEveryFiveSeconds) {
+  WorkloadTrace trace(scenario1(), 7);
+  // Within one 5s window the rate is constant.
+  EXPECT_DOUBLE_EQ(trace.rate_at(0.1), trace.rate_at(4.9));
+  EXPECT_DOUBLE_EQ(trace.rate_at(5.1), trace.rate_at(9.9));
+  EXPECT_EQ(trace.change_times().size(), 5u);
+}
+
+TEST(Workload, Scenario2HasManySegments) {
+  WorkloadTrace trace(scenario2(), 7);
+  EXPECT_EQ(trace.change_times().size(), 50u);  // 25 s / 0.5 s
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  WorkloadTrace a(scenario2(), 11);
+  WorkloadTrace b(scenario2(), 11);
+  for (double t = 0.0; t < 25.0; t += 0.25) {
+    EXPECT_DOUBLE_EQ(a.rate_at(t), b.rate_at(t));
+  }
+  WorkloadTrace c(scenario2(), 12);
+  bool any_different = false;
+  for (double t = 0.0; t < 25.0; t += 0.25) {
+    any_different |= a.rate_at(t) != c.rate_at(t);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Workload, CompositeScenarioShiftsBehaviourAt15s) {
+  WorkloadTrace trace(scenario1_plus_2(), 3);
+  // Stable phase: constant over [10, 15).
+  EXPECT_DOUBLE_EQ(trace.rate_at(10.2), trace.rate_at(14.8));
+  // Unstable phase boundaries every 0.5 s after 15 s; count segments.
+  EXPECT_EQ(trace.change_times().size(), 3u + 20u);
+  EXPECT_DOUBLE_EQ(trace.duration(), 25.0);
+}
+
+TEST(Workload, EmptyPhasesRejected) {
+  WorkloadConfig c;
+  EXPECT_THROW(WorkloadTrace(c, 1), ConfigError);
+}
+
+}  // namespace
+}  // namespace adaflow::edge

@@ -1,0 +1,26 @@
+#include "adaflow/fpga/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adaflow::fpga {
+namespace {
+
+TEST(Device, Zcu104Budget) {
+  const FpgaDevice d = zcu104();
+  EXPECT_EQ(d.luts, 230400);
+  EXPECT_EQ(d.bram18, 624);
+  EXPECT_EQ(d.dsp, 1728);
+  EXPECT_DOUBLE_EQ(d.clock_hz, 100e6);
+}
+
+TEST(Device, ReconfigurationNearPaperValue) {
+  const FpgaDevice d = zcu104();
+  const double t = d.bitstream_bytes / d.config_bandwidth_bps;
+  // The paper's CNV reconfiguration on ZCU104 is ~145 ms.
+  EXPECT_NEAR(t, 0.145, 0.01);
+}
+
+TEST(Device, StaticPowerPositive) { EXPECT_GT(zcu104().static_power_w, 0.0); }
+
+}  // namespace
+}  // namespace adaflow::fpga

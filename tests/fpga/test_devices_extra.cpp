@@ -1,0 +1,37 @@
+#include <gtest/gtest.h>
+
+#include "adaflow/common/error.hpp"
+#include "adaflow/fpga/device.hpp"
+
+namespace adaflow::fpga {
+namespace {
+
+TEST(Devices, LookupByName) {
+  EXPECT_EQ(device_by_name("zcu104").name, zcu104().name);
+  EXPECT_EQ(device_by_name("zcu102").name, zcu102().name);
+  EXPECT_EQ(device_by_name("pynq-z1").name, pynq_z1().name);
+  EXPECT_EQ(device_by_name("pynqz1").name, pynq_z1().name);
+  EXPECT_THROW(device_by_name("virtex-2"), NotFoundError);
+}
+
+TEST(Devices, BudgetsOrderedBySize) {
+  EXPECT_LT(pynq_z1().luts, zcu104().luts);
+  EXPECT_LT(zcu104().luts, zcu102().luts);
+  EXPECT_LT(pynq_z1().bram18, zcu104().bram18);
+}
+
+TEST(Devices, ReconfigurationTimesDiffer) {
+  auto reconf = [](const FpgaDevice& d) { return d.bitstream_bytes / d.config_bandwidth_bps; };
+  // Bigger device = bigger bitstream = slower reconfiguration at equal
+  // bandwidth; the PYNQ's slow PCAP keeps it in the same ballpark.
+  EXPECT_LT(reconf(zcu104()), reconf(zcu102()));
+  EXPECT_GT(reconf(pynq_z1()), 0.1);
+}
+
+TEST(Devices, StaticPowerScalesWithFabric) {
+  EXPECT_LT(pynq_z1().static_power_w, zcu104().static_power_w);
+  EXPECT_LT(zcu104().static_power_w, zcu102().static_power_w);
+}
+
+}  // namespace
+}  // namespace adaflow::fpga

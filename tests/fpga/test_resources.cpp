@@ -1,0 +1,119 @@
+#include "adaflow/fpga/resources.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adaflow/pruning/prune.hpp"
+#include "testing/fixtures.hpp"
+
+namespace adaflow::fpga {
+namespace {
+
+using testing::tiny_folding;
+using testing::trained_cnv_w2a2;
+
+const hls::CompiledModel& base_compiled() {
+  static const hls::CompiledModel m = hls::compile_model(trained_cnv_w2a2());
+  return m;
+}
+
+TEST(Resources, AdditionWorks) {
+  ResourceUsage a{1, 2, 3, 4};
+  ResourceUsage b{10, 20, 30, 40};
+  ResourceUsage c = a + b;
+  EXPECT_EQ(c.luts, 11);
+  EXPECT_EQ(c.flip_flops, 22);
+  EXPECT_EQ(c.bram18, 33);
+  EXPECT_EQ(c.dsp, 44);
+}
+
+TEST(Resources, UtilizationFractions) {
+  const FpgaDevice d = zcu104();
+  ResourceUsage u{23040, 46080, 62.4, 172.8};
+  Utilization util = utilization(u, d);
+  EXPECT_NEAR(util.luts, 0.1, 1e-9);
+  EXPECT_NEAR(util.flip_flops, 0.1, 1e-9);
+  EXPECT_NEAR(util.bram18, 0.1, 1e-9);
+  EXPECT_NEAR(util.dsp, 0.1, 1e-9);
+}
+
+TEST(Resources, FlexibleLutFactorMatchesPaper) {
+  // Paper Fig. 5(a): Flexible uses ~1.92x the LUTs of original FINN.
+  const ResourceUsage fixed = accelerator_resources(
+      base_compiled(), tiny_folding(), hls::AcceleratorVariant::kFixed, 2, 2);
+  const ResourceUsage flex = accelerator_resources(
+      base_compiled(), tiny_folding(), hls::AcceleratorVariant::kFlexible, 2, 2);
+  EXPECT_NEAR(flex.luts / fixed.luts, 1.92, 1e-6);
+}
+
+TEST(Resources, FlexibleDoesNotIncreaseBram) {
+  // Paper Fig. 5(a): no BRAM increase for the Flexible accelerator.
+  const ResourceUsage fixed = accelerator_resources(
+      base_compiled(), tiny_folding(), hls::AcceleratorVariant::kFixed, 2, 2);
+  const ResourceUsage flex = accelerator_resources(
+      base_compiled(), tiny_folding(), hls::AcceleratorVariant::kFlexible, 2, 2);
+  EXPECT_DOUBLE_EQ(flex.bram18, fixed.bram18);
+  EXPECT_DOUBLE_EQ(flex.dsp, fixed.dsp);
+}
+
+TEST(Resources, NoDspForLowPrecision) {
+  const ResourceUsage fixed = accelerator_resources(
+      base_compiled(), tiny_folding(), hls::AcceleratorVariant::kFixed, 2, 2);
+  EXPECT_DOUBLE_EQ(fixed.dsp, 0.0);
+}
+
+/// Fixed-Pruning LUT usage must shrink monotonically-ish with pruning and
+/// land in the paper's band: a couple percent at 5%, tens of percent at 85%.
+TEST(Resources, FixedPruningLutReductionShape) {
+  const ResourceUsage base = accelerator_resources(
+      base_compiled(), tiny_folding(), hls::AcceleratorVariant::kFixed, 2, 2);
+
+  auto lut_drop = [&](double rate) {
+    pruning::PruneResult pr =
+        pruning::dataflow_aware_prune(trained_cnv_w2a2(), tiny_folding(), rate);
+    hls::CompiledModel compiled = hls::compile_model(pr.model);
+    const ResourceUsage u = accelerator_resources(compiled, tiny_folding(),
+                                                  hls::AcceleratorVariant::kFixed, 2, 2);
+    return 1.0 - u.luts / base.luts;
+  };
+
+  const double at5 = lut_drop(0.05);
+  const double at85 = lut_drop(0.85);
+  EXPECT_GE(at5, 0.0);
+  EXPECT_LE(at5, 0.10);   // paper: 1.5%
+  EXPECT_GE(at85, 0.25);  // paper: 46.2%
+  EXPECT_LE(at85, 0.60);
+  EXPECT_GT(at85, at5);
+}
+
+TEST(Resources, BramFollowsWeightVolumeThreshold) {
+  ResourceModelConstants k;
+  hls::CompiledStage big;
+  big.desc.kind = hls::StageKind::kConv;
+  big.desc.ch_in = 64;
+  big.desc.ch_out = 64;
+  big.desc.kernel = 3;
+  big.desc.in_dim = 8;
+  big.desc.out_dim = 6;
+  // 64*64*9*2 bits = 73728 > threshold -> BRAM storage.
+  ResourceUsage u = mvtu_resources(big, hls::LayerFolding{4, 4}, 2, 2, k);
+  EXPECT_GT(u.bram18, 1.0);
+}
+
+TEST(Resources, PoolCostScalesWithChannels) {
+  hls::CompiledStage a;
+  a.desc.kind = hls::StageKind::kPool;
+  a.desc.ch_in = 8;
+  hls::CompiledStage b = a;
+  b.desc.ch_in = 64;
+  EXPECT_LT(pool_resources(a, 2).luts, pool_resources(b, 2).luts);
+}
+
+TEST(Resources, MvtuRequiresQuantizedPrecision) {
+  hls::CompiledStage s;
+  s.desc.ch_in = 4;
+  s.desc.ch_out = 4;
+  EXPECT_THROW(mvtu_resources(s, hls::LayerFolding{1, 1}, 0, 2), ConfigError);
+}
+
+}  // namespace
+}  // namespace adaflow::fpga

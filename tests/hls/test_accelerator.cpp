@@ -1,0 +1,151 @@
+#include "adaflow/hls/accelerator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adaflow/nn/loss.hpp"
+#include "adaflow/nn/trainer.hpp"
+#include "adaflow/pruning/prune.hpp"
+#include "testing/fixtures.hpp"
+
+namespace adaflow::hls {
+namespace {
+
+using testing::tiny_cifar;
+using testing::tiny_folding;
+using testing::trained_cnv_w2a2;
+
+struct AccelFixtures {
+  InputQuantConfig iq;
+  CompiledModel compiled;
+  nn::LabeledData snapped_test;
+
+  AccelFixtures() {
+    compiled = compile_model(trained_cnv_w2a2(), 0.0, iq);
+    snapped_test.images = snap_to_input_grid(tiny_cifar().test.images, iq);
+    snapped_test.labels = tiny_cifar().test.labels;
+  }
+};
+
+const AccelFixtures& fixtures() {
+  static const AccelFixtures f;
+  return f;
+}
+
+TEST(Accelerator, MatchesSoftwareModelPredictions) {
+  const AccelFixtures& f = fixtures();
+  DataflowAccelerator accel(AcceleratorVariant::kFixed, f.compiled, tiny_folding());
+
+  nn::Model& sw = const_cast<nn::Model&>(trained_cnv_w2a2());
+  nn::Tensor logits = sw.forward(f.snapped_test.images, false);
+  const std::vector<int> sw_pred = nn::argmax_rows(logits);
+
+  int agree = 0;
+  const int n = static_cast<int>(f.snapped_test.count());
+  for (int i = 0; i < n; ++i) {
+    if (accel.infer_class(f.snapped_test.sample(i)) == sw_pred[static_cast<std::size_t>(i)]) {
+      ++agree;
+    }
+  }
+  // Integer accumulation differs from float only at threshold round-off
+  // boundaries; require >= 97% prediction agreement.
+  EXPECT_GE(agree, n * 97 / 100) << agree << "/" << n;
+}
+
+TEST(Accelerator, FixedAndFlexibleAreFunctionallyIdentical) {
+  const AccelFixtures& f = fixtures();
+  DataflowAccelerator fixed(AcceleratorVariant::kFixed, f.compiled, tiny_folding());
+  DataflowAccelerator flex(AcceleratorVariant::kFlexible, f.compiled, tiny_folding());
+  for (int i = 0; i < 20; ++i) {
+    nn::Tensor img = f.snapped_test.sample(i);
+    EXPECT_EQ(fixed.infer_logits(img), flex.infer_logits(img)) << "sample " << i;
+  }
+}
+
+TEST(Accelerator, AccuracyCloseToSoftware) {
+  const AccelFixtures& f = fixtures();
+  DataflowAccelerator accel(AcceleratorVariant::kFixed, f.compiled, tiny_folding());
+  nn::Model& sw = const_cast<nn::Model&>(trained_cnv_w2a2());
+  const double sw_acc = nn::Trainer::evaluate(sw, f.snapped_test);
+  const double hw_acc = accelerator_accuracy(accel, f.snapped_test);
+  EXPECT_NEAR(hw_acc, sw_acc, 0.03);
+}
+
+TEST(Accelerator, FlexibleLoadsPrunedModelWithoutReconfig) {
+  const AccelFixtures& f = fixtures();
+  DataflowAccelerator flex(AcceleratorVariant::kFlexible, f.compiled, tiny_folding());
+
+  pruning::PruneResult pr =
+      pruning::dataflow_aware_prune(trained_cnv_w2a2(), tiny_folding(), 0.5);
+  pr.model.set_name("pruned50");
+  CompiledModel pruned = compile_model(pr.model, 0.5, f.iq);
+
+  EXPECT_NO_THROW(flex.load_model(pruned));
+  EXPECT_EQ(flex.loaded_version(), "pruned50");
+
+  // The pruned model on flexible matches its own software forward.
+  nn::Tensor img = f.snapped_test.sample(0);
+  const int hw = flex.infer_class(img);
+  nn::Tensor logits = pr.model.forward(img, false);
+  EXPECT_EQ(hw, nn::argmax_rows(logits)[0]);
+}
+
+TEST(Accelerator, FixedRefusesPrunedModel) {
+  const AccelFixtures& f = fixtures();
+  DataflowAccelerator fixed(AcceleratorVariant::kFixed, f.compiled, tiny_folding());
+  pruning::PruneResult pr =
+      pruning::dataflow_aware_prune(trained_cnv_w2a2(), tiny_folding(), 0.5);
+  CompiledModel pruned = compile_model(pr.model, 0.5, f.iq);
+  EXPECT_THROW(fixed.load_model(pruned), FoldingError);
+}
+
+TEST(Accelerator, PrunedModelReducesPipelineIterations) {
+  const AccelFixtures& f = fixtures();
+  DataflowAccelerator flex(AcceleratorVariant::kFlexible, f.compiled, tiny_folding());
+  nn::Tensor img = f.snapped_test.sample(0);
+
+  flex.infer_class(img);
+  const std::int64_t full_iters = flex.last_stats().total_pipeline_iterations();
+  EXPECT_EQ(flex.last_stats().total_idle_unit_ops(), 0);
+
+  pruning::PruneResult pr =
+      pruning::dataflow_aware_prune(trained_cnv_w2a2(), tiny_folding(), 0.6);
+  flex.load_model(compile_model(pr.model, 0.6, f.iq));
+  flex.infer_class(img);
+  const std::int64_t pruned_iters = flex.last_stats().total_pipeline_iterations();
+
+  // Roughly quadratic reduction: at 60% pruning expect well below half.
+  EXPECT_LT(pruned_iters, full_iters / 2);
+  // MaxPool units synthesized for the worst case now run partially unfed.
+  EXPECT_GT(flex.last_stats().total_idle_unit_ops(), 0);
+}
+
+TEST(Accelerator, ReloadingWorstCaseRestoresBehaviour) {
+  const AccelFixtures& f = fixtures();
+  DataflowAccelerator flex(AcceleratorVariant::kFlexible, f.compiled, tiny_folding());
+  nn::Tensor img = f.snapped_test.sample(3);
+  const std::vector<float> before = flex.infer_logits(img);
+
+  pruning::PruneResult pr =
+      pruning::dataflow_aware_prune(trained_cnv_w2a2(), tiny_folding(), 0.7);
+  flex.load_model(compile_model(pr.model, 0.7, f.iq));
+  flex.load_model(f.compiled);  // back to the worst case
+  EXPECT_EQ(flex.infer_logits(img), before);
+}
+
+TEST(Accelerator, StatsSizedPerStage) {
+  const AccelFixtures& f = fixtures();
+  DataflowAccelerator accel(AcceleratorVariant::kFixed, f.compiled, tiny_folding());
+  accel.infer_class(f.snapped_test.sample(0));
+  EXPECT_EQ(accel.last_stats().mvtu_stages.size(), 8u);
+  EXPECT_EQ(accel.last_stats().pool_stages.size(), 2u);
+}
+
+TEST(Accelerator, FoldingCountValidatedAtConstruction) {
+  const AccelFixtures& f = fixtures();
+  FoldingConfig bad;
+  bad.layers.assign(3, LayerFolding{1, 1});
+  EXPECT_THROW(DataflowAccelerator(AcceleratorVariant::kFixed, f.compiled, bad), FoldingError);
+}
+
+}  // namespace
+}  // namespace adaflow::hls

@@ -1,0 +1,90 @@
+#include "adaflow/hls/compiled_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "testing/fixtures.hpp"
+
+namespace adaflow::hls {
+namespace {
+
+using testing::trained_cnv_w2a2;
+
+TEST(CompiledModel, StageSequenceMatchesTopology) {
+  CompiledModel m = compile_model(trained_cnv_w2a2());
+  // 6 convs + 2 pools + 2 fcs = 10 stages.
+  ASSERT_EQ(m.stages.size(), 10u);
+  EXPECT_EQ(m.stages[0].desc.kind, StageKind::kConv);
+  EXPECT_EQ(m.stages[2].desc.kind, StageKind::kPool);  // after conv0, conv1
+  EXPECT_EQ(m.stages[5].desc.kind, StageKind::kPool);
+  EXPECT_EQ(m.stages[8].desc.kind, StageKind::kFc);
+  EXPECT_EQ(m.stages[9].desc.kind, StageKind::kFc);
+  EXPECT_EQ(m.classes, 10);
+}
+
+TEST(CompiledModel, MvtuStageIndicesSkipPools) {
+  CompiledModel m = compile_model(trained_cnv_w2a2());
+  const std::vector<std::size_t> idx = m.mvtu_stage_indices();
+  ASSERT_EQ(idx.size(), 8u);
+  for (std::size_t i : idx) {
+    EXPECT_NE(m.stages[i].desc.kind, StageKind::kPool);
+  }
+}
+
+TEST(CompiledModel, HiddenStagesHaveThresholdsClassifierDoesNot) {
+  CompiledModel m = compile_model(trained_cnv_w2a2());
+  const std::vector<std::size_t> idx = m.mvtu_stage_indices();
+  for (std::size_t k = 0; k + 1 < idx.size(); ++k) {
+    EXPECT_FALSE(m.stages[idx[k]].thresholds.empty())
+        << "hidden MVTU " << k << " must have folded thresholds";
+  }
+  EXPECT_TRUE(m.stages[idx.back()].thresholds.empty());
+}
+
+TEST(CompiledModel, WeightLevelsAreTernary) {
+  CompiledModel m = compile_model(trained_cnv_w2a2());
+  for (const CompiledStage& s : m.stages) {
+    for (std::int8_t w : s.weight_levels) {
+      EXPECT_GE(w, -1);
+      EXPECT_LE(w, 1);
+    }
+  }
+}
+
+TEST(CompiledModel, AccScaleChainsThroughActScale) {
+  InputQuantConfig iq;
+  CompiledModel m = compile_model(trained_cnv_w2a2(), 0.0, iq);
+  // Stage 0 accumulator scale = input scale * its weight scale.
+  EXPECT_FLOAT_EQ(m.stages[0].acc_scale, iq.scale * m.stages[0].weight_scale);
+  // Stage 1 consumes 2-bit activations at act_scale = 0.5.
+  EXPECT_FLOAT_EQ(m.stages[1].acc_scale, 0.5f * m.stages[1].weight_scale);
+}
+
+TEST(CompiledModel, GeometryMatchesModelShapes) {
+  CompiledModel m = compile_model(trained_cnv_w2a2());
+  EXPECT_EQ(m.stages[0].desc.in_dim, 32);
+  EXPECT_EQ(m.stages[0].desc.out_dim, 30);
+  EXPECT_EQ(m.stages[0].desc.ch_in, 3);
+  EXPECT_EQ(m.stages[0].desc.ch_out, 8);
+  EXPECT_EQ(m.stages[2].desc.in_dim, 28);
+  EXPECT_EQ(m.stages[2].desc.out_dim, 14);
+}
+
+TEST(CompiledModel, PruningRateAttached) {
+  CompiledModel m = compile_model(trained_cnv_w2a2(), 0.35);
+  EXPECT_DOUBLE_EQ(m.pruning_rate, 0.35);
+}
+
+TEST(CompiledModel, RejectsFloatModel) {
+  // A model without quantized weights cannot be lowered.
+  Rng rng(1);
+  nn::Model m("float", nn::Shape{1, 4, 4});
+  m.add(std::make_unique<nn::Conv2d>(
+      "c", nn::Conv2dConfig{.in_channels = 1, .out_channels = 1, .kernel = 3}, nn::QuantSpec{},
+      rng));
+  EXPECT_THROW(compile_model(m), ConfigError);
+}
+
+}  // namespace
+}  // namespace adaflow::hls

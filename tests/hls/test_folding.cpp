@@ -1,0 +1,94 @@
+#include "adaflow/hls/folding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.hpp"
+
+namespace adaflow::hls {
+namespace {
+
+using testing::trained_cnv_w2a2;
+
+TEST(Folding, EnumeratesConvAndFcLayers) {
+  const std::vector<MvtuLayerDesc> layers = enumerate_mvtu_layers(trained_cnv_w2a2());
+  ASSERT_EQ(layers.size(), 8u);  // 6 convs + 2 FCs
+  EXPECT_TRUE(layers[0].is_conv);
+  EXPECT_EQ(layers[0].ch_in, 3);
+  EXPECT_EQ(layers[0].ch_out, 8);
+  EXPECT_EQ(layers[0].in_dim, 32);
+  EXPECT_EQ(layers[0].out_dim, 30);
+  EXPECT_FALSE(layers[6].is_conv);
+  EXPECT_EQ(layers[7].ch_out, 10);
+}
+
+TEST(Folding, ValidateAcceptsUnitFolding) {
+  FoldingConfig f;
+  f.layers.assign(8, LayerFolding{1, 1});
+  EXPECT_NO_THROW(validate_folding(trained_cnv_w2a2(), f));
+}
+
+TEST(Folding, ValidateRejectsWrongCount) {
+  FoldingConfig f;
+  f.layers.assign(3, LayerFolding{1, 1});
+  EXPECT_THROW(validate_folding(trained_cnv_w2a2(), f), FoldingError);
+}
+
+TEST(Folding, ValidateRejectsNonDividingPe) {
+  FoldingConfig f;
+  f.layers.assign(8, LayerFolding{1, 1});
+  f.layers[0].pe = 3;  // ch_out = 8, not divisible
+  EXPECT_THROW(validate_folding(trained_cnv_w2a2(), f), FoldingError);
+}
+
+TEST(Folding, ValidateRejectsNonDividingSimd) {
+  FoldingConfig f;
+  f.layers.assign(8, LayerFolding{1, 1});
+  f.layers[1].simd = 3;  // ch_in = 8, not divisible
+  EXPECT_THROW(validate_folding(trained_cnv_w2a2(), f), FoldingError);
+}
+
+TEST(Folding, LargestDivisorAtMost) {
+  EXPECT_EQ(largest_divisor_at_most(12, 5), 4);
+  EXPECT_EQ(largest_divisor_at_most(12, 12), 12);
+  EXPECT_EQ(largest_divisor_at_most(7, 6), 1);
+  EXPECT_EQ(largest_divisor_at_most(16, 3), 2);
+}
+
+TEST(Folding, MvtuLayerCyclesFormula) {
+  MvtuLayerDesc d;
+  d.ch_in = 8;
+  d.ch_out = 16;
+  d.kernel = 3;
+  d.out_dim = 10;
+  // out_pixels(100) * neuron folds(16/4) * synapse folds(72/2)
+  EXPECT_EQ(mvtu_layer_cycles(d, LayerFolding{4, 2}), 100 * 4 * 36);
+  EXPECT_EQ(mvtu_layer_cycles(d, LayerFolding{1, 1}), 100 * 16 * 72);
+}
+
+TEST(Folding, TargetFpsReached) {
+  const nn::Model& model = trained_cnv_w2a2();
+  const double clock = 100e6;
+  for (double target : {100.0, 450.0, 1000.0}) {
+    FoldingConfig f = folding_for_target_fps(model, target, clock);
+    EXPECT_NO_THROW(validate_folding(model, f));
+    const std::vector<MvtuLayerDesc> layers = enumerate_mvtu_layers(model);
+    std::int64_t worst = 0;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      worst = std::max(worst, mvtu_layer_cycles(layers[i], f.layers[i]));
+    }
+    EXPECT_LE(clock / static_cast<double>(worst) + 1e-6, target * 8.0)
+        << "greedy overshoot too large";
+    EXPECT_GE(clock / static_cast<double>(worst) + 1e-6, target)
+        << "target " << target << " not reached";
+  }
+}
+
+TEST(Folding, UnreachableTargetFullyUnrolls) {
+  // An absurd target stops at full unroll instead of looping forever.
+  const nn::Model& model = trained_cnv_w2a2();
+  FoldingConfig f = folding_for_target_fps(model, 1e12, 100e6);
+  EXPECT_NO_THROW(validate_folding(model, f));
+}
+
+}  // namespace
+}  // namespace adaflow::hls

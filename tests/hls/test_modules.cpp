@@ -1,0 +1,175 @@
+#include "adaflow/hls/modules.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adaflow::hls {
+namespace {
+
+TEST(Swu, MatchesManualWindow) {
+  SlidingWindowUnit swu(2, 1, 0);
+  IntImage in(1, 3, 3);
+  for (std::int64_t i = 0; i < 9; ++i) {
+    in.data[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(i);
+  }
+  ModuleStats stats;
+  WindowBuffer buf = swu.run(in, &stats);
+  EXPECT_EQ(buf.rows, 4);   // 1 channel * 2 * 2
+  EXPECT_EQ(buf.cols, 4);   // 2x2 output
+  // Window at output (0,0): 0,1,3,4 in (kh,kw) order.
+  EXPECT_EQ(buf.at(0, 0), 0);
+  EXPECT_EQ(buf.at(1, 0), 1);
+  EXPECT_EQ(buf.at(2, 0), 3);
+  EXPECT_EQ(buf.at(3, 0), 4);
+  EXPECT_EQ(stats.pipeline_iterations, 9);
+}
+
+TEST(Swu, PaddingZeroFills) {
+  SlidingWindowUnit swu(3, 1, 1);
+  IntImage in(1, 2, 2);
+  in.data = {1, 2, 3, 4};
+  WindowBuffer buf = swu.run(in, nullptr);
+  EXPECT_EQ(buf.cols, 4);
+  // Top-left window's first element is padding.
+  EXPECT_EQ(buf.at(0, 0), 0);
+}
+
+TEST(Mvtu, SimpleDotProduct) {
+  // 1 output channel, 1 input channel, k=1, PE=SIMD=1, no thresholds.
+  MatrixVectorThresholdUnit mvtu(AcceleratorVariant::kFixed, 1, 1, 1, 1, 1);
+  mvtu.load(1, 1, {2}, ThresholdBank{});
+  WindowBuffer buf;
+  buf.rows = 1;
+  buf.cols = 3;
+  buf.data = {5, -1, 0};
+  ModuleStats stats;
+  IntImage out = mvtu.run(buf, 1, 3, &stats);
+  EXPECT_EQ(out.data[0], 10);
+  EXPECT_EQ(out.data[1], -2);
+  EXPECT_EQ(out.data[2], 0);
+  EXPECT_EQ(stats.pipeline_iterations, 3);  // 3 pixels * 1 nf * 1 sf
+}
+
+TEST(Mvtu, FoldingDoesNotChangeResult) {
+  // 4 outputs, 8 inputs: run with (PE, SIMD) in {(1,1),(2,4),(4,8)} and
+  // expect identical accumulators.
+  std::vector<std::int8_t> weights(4 * 8);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = static_cast<std::int8_t>((i % 3) - 1);
+  }
+  WindowBuffer buf;
+  buf.rows = 8;
+  buf.cols = 2;
+  buf.data = {1, 2, 3, 0, -1, 2, 1, 1, 0, 3, 1, -2, 2, 0, 1, 2};
+
+  std::vector<IntImage> results;
+  for (auto [pe, simd] : std::vector<std::pair<int, int>>{{1, 1}, {2, 4}, {4, 8}}) {
+    MatrixVectorThresholdUnit mvtu(AcceleratorVariant::kFixed, 8, 4, 1, pe, simd);
+    mvtu.load(8, 4, weights, ThresholdBank{});
+    results.push_back(mvtu.run(buf, 1, 2, nullptr));
+  }
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    EXPECT_EQ(results[r].data, results[0].data);
+  }
+}
+
+TEST(Mvtu, PipelineIterationsFollowFolding) {
+  std::vector<std::int8_t> weights(4 * 8, 1);
+  WindowBuffer buf;
+  buf.rows = 8;
+  buf.cols = 5;
+  buf.data.assign(40, 1);
+  MatrixVectorThresholdUnit mvtu(AcceleratorVariant::kFixed, 8, 4, 1, 2, 4);
+  mvtu.load(8, 4, weights, ThresholdBank{});
+  ModuleStats stats;
+  mvtu.run(buf, 1, 5, &stats);
+  // 5 pixels * (4/2) neuron folds * (8/4) synapse folds = 20.
+  EXPECT_EQ(stats.pipeline_iterations, 20);
+}
+
+TEST(Mvtu, FixedRefusesDifferentGeometry) {
+  MatrixVectorThresholdUnit mvtu(AcceleratorVariant::kFixed, 8, 4, 1, 2, 4);
+  EXPECT_THROW(mvtu.load(4, 4, std::vector<std::int8_t>(16, 0), ThresholdBank{}), FoldingError);
+  EXPECT_THROW(mvtu.load(8, 2, std::vector<std::int8_t>(16, 0), ThresholdBank{}), FoldingError);
+}
+
+TEST(Mvtu, FlexibleAcceptsSmallerGeometry) {
+  MatrixVectorThresholdUnit mvtu(AcceleratorVariant::kFlexible, 8, 4, 1, 2, 4);
+  EXPECT_NO_THROW(mvtu.load(8, 2, std::vector<std::int8_t>(16, 0), ThresholdBank{}));
+  EXPECT_THROW(mvtu.load(16, 4, std::vector<std::int8_t>(64, 0), ThresholdBank{}), FoldingError);
+}
+
+TEST(Mvtu, FlexibleRuntimeChannelsMustKeepLanesFed) {
+  MatrixVectorThresholdUnit mvtu(AcceleratorVariant::kFlexible, 8, 4, 1, 2, 4);
+  // ch_out = 3 not divisible by PE = 2.
+  EXPECT_THROW(mvtu.load(8, 3, std::vector<std::int8_t>(24, 0), ThresholdBank{}), FoldingError);
+  // ch_in = 6 not divisible by SIMD = 4.
+  EXPECT_THROW(mvtu.load(6, 4, std::vector<std::int8_t>(24, 0), ThresholdBank{}), FoldingError);
+}
+
+TEST(Mvtu, WeightSizeValidated) {
+  MatrixVectorThresholdUnit mvtu(AcceleratorVariant::kFixed, 8, 4, 1, 1, 1);
+  EXPECT_THROW(mvtu.load(8, 4, std::vector<std::int8_t>(31, 0), ThresholdBank{}), ConfigError);
+}
+
+TEST(Mvtu, AppliesThresholds) {
+  MatrixVectorThresholdUnit mvtu(AcceleratorVariant::kFixed, 1, 1, 1, 1, 1);
+  ThresholdBank bank;
+  bank.act_bits = 2;
+  ChannelThresholds ct;
+  ct.direction = 1;
+  ct.thresholds = {2, 5, 9};
+  bank.channels = {ct};
+  mvtu.load(1, 1, {1}, bank);
+  WindowBuffer buf;
+  buf.rows = 1;
+  buf.cols = 4;
+  buf.data = {0, 3, 6, 20};
+  IntImage out = mvtu.run(buf, 1, 4, nullptr);
+  EXPECT_EQ(out.data[0], 0);
+  EXPECT_EQ(out.data[1], 1);
+  EXPECT_EQ(out.data[2], 2);
+  EXPECT_EQ(out.data[3], 3);
+}
+
+TEST(MaxPool, FixedPoolsChannels) {
+  MaxPoolUnit pool(AcceleratorVariant::kFixed, 2, 2);
+  pool.set_channels(2);
+  IntImage in(2, 2, 2);
+  in.data = {1, 5, 2, 3, /*ch1*/ 9, 0, 0, 0};
+  ModuleStats stats;
+  IntImage out = pool.run(in, &stats);
+  EXPECT_EQ(out.channels, 2);
+  EXPECT_EQ(out.data[0], 5);
+  EXPECT_EQ(out.data[1], 9);
+  EXPECT_EQ(stats.idle_unit_ops, 0);
+}
+
+TEST(MaxPool, FlexibleCountsIdleUnits) {
+  MaxPoolUnit pool(AcceleratorVariant::kFlexible, 8, 2);
+  pool.set_channels(2);  // 6 of 8 unrolled units unfed
+  IntImage in(2, 4, 4);
+  ModuleStats stats;
+  pool.run(in, &stats);
+  // 2x2 output windows = 4; idle = 4 * (8 - 2).
+  EXPECT_EQ(stats.idle_unit_ops, 4 * 6);
+  EXPECT_EQ(stats.pipeline_iterations, 4);
+}
+
+TEST(MaxPool, FixedRefusesChannelChange) {
+  MaxPoolUnit pool(AcceleratorVariant::kFixed, 4, 2);
+  EXPECT_THROW(pool.set_channels(2), FoldingError);
+  EXPECT_NO_THROW(pool.set_channels(4));
+}
+
+TEST(MaxPool, FlexibleRefusesOverCapacity) {
+  MaxPoolUnit pool(AcceleratorVariant::kFlexible, 4, 2);
+  EXPECT_THROW(pool.set_channels(8), FoldingError);
+}
+
+TEST(VariantName, Strings) {
+  EXPECT_STREQ(variant_name(AcceleratorVariant::kFixed), "Fixed");
+  EXPECT_STREQ(variant_name(AcceleratorVariant::kFlexible), "Flexible");
+}
+
+}  // namespace
+}  // namespace adaflow::hls

@@ -1,0 +1,96 @@
+#include "adaflow/hls/thresholds.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adaflow::hls {
+namespace {
+
+nn::QuantSpec act2() {
+  nn::QuantSpec q;
+  q.act_bits = 2;
+  q.act_scale = 0.5f;
+  return q;
+}
+
+/// Reference: the float pipeline the thresholds were folded from.
+std::int64_t reference_level(const nn::AffineChannel& bn, std::size_t c, float acc_scale,
+                             const nn::QuantSpec& act, std::int64_t acc) {
+  const float pre = static_cast<float>(acc) * acc_scale;
+  const float bn_out = bn.scale[c] * pre + bn.shift[c];
+  return nn::quantize_act_level(bn_out, act.act_scale, act.act_bits);
+}
+
+TEST(Thresholds, MatchesFloatPipelineExhaustively) {
+  nn::AffineChannel bn;
+  bn.scale = {0.7f, -0.3f, 0.05f};
+  bn.shift = {0.1f, 0.4f, -0.2f};
+  const float acc_scale = 0.013f;
+  const std::int64_t magnitude = 200;
+  ThresholdBank bank = fold_thresholds(bn, acc_scale, act2(), magnitude);
+  ASSERT_EQ(bank.channels.size(), 3u);
+
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::int64_t acc = -magnitude; acc <= magnitude; ++acc) {
+      EXPECT_EQ(bank.apply(static_cast<std::int64_t>(c), acc),
+                reference_level(bn, c, acc_scale, act2(), acc))
+          << "channel " << c << " acc " << acc;
+    }
+  }
+}
+
+TEST(Thresholds, NegativeBnScaleFlipsDirection) {
+  nn::AffineChannel bn;
+  bn.scale = {-1.0f};
+  bn.shift = {0.5f};
+  ThresholdBank bank = fold_thresholds(bn, 0.01f, act2(), 1000);
+  EXPECT_EQ(bank.channels[0].direction, -1);
+  // Level must be non-increasing in acc.
+  std::int32_t prev = 3;
+  for (std::int64_t acc = -1000; acc <= 1000; acc += 10) {
+    const std::int32_t level = bank.apply(0, acc);
+    EXPECT_LE(level, prev);
+    prev = level;
+  }
+}
+
+TEST(Thresholds, ThresholdsAscend) {
+  nn::AffineChannel bn;
+  bn.scale = {0.9f};
+  bn.shift = {-0.1f};
+  ThresholdBank bank = fold_thresholds(bn, 0.02f, act2(), 500);
+  const auto& t = bank.channels[0].thresholds;
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_LE(t[0], t[1]);
+  EXPECT_LE(t[1], t[2]);
+}
+
+TEST(Thresholds, UnreachableLevelNeverFires) {
+  // A huge negative shift makes every level unreachable in range.
+  nn::AffineChannel bn;
+  bn.scale = {0.001f};
+  bn.shift = {-100.0f};
+  ThresholdBank bank = fold_thresholds(bn, 0.001f, act2(), 100);
+  for (std::int64_t acc = -100; acc <= 100; acc += 5) {
+    EXPECT_EQ(bank.apply(0, acc), 0);
+  }
+}
+
+TEST(Thresholds, AlwaysOnChannelSaturates) {
+  nn::AffineChannel bn;
+  bn.scale = {0.001f};
+  bn.shift = {100.0f};
+  ThresholdBank bank = fold_thresholds(bn, 0.001f, act2(), 100);
+  for (std::int64_t acc = -100; acc <= 100; acc += 5) {
+    EXPECT_EQ(bank.apply(0, acc), 3);
+  }
+}
+
+TEST(Thresholds, RequiresQuantizedActs) {
+  nn::AffineChannel bn;
+  bn.scale = {1.0f};
+  bn.shift = {0.0f};
+  EXPECT_THROW(fold_thresholds(bn, 1.0f, nn::QuantSpec{}, 10), ConfigError);
+}
+
+}  // namespace
+}  // namespace adaflow::hls

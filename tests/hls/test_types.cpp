@@ -1,0 +1,58 @@
+#include "adaflow/hls/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adaflow::hls {
+namespace {
+
+TEST(InputQuant, LevelsFollowScale) {
+  InputQuantConfig cfg;
+  cfg.scale = 0.25f;
+  nn::Tensor img(nn::Shape{1, 1, 1, 4});
+  img[0] = 0.0f;
+  img[1] = 0.26f;
+  img[2] = -0.5f;
+  img[3] = 100.0f;  // clamps
+  IntImage q = quantize_input(img, cfg);
+  EXPECT_EQ(q.data[0], 0);
+  EXPECT_EQ(q.data[1], 1);
+  EXPECT_EQ(q.data[2], -2);
+  EXPECT_EQ(q.data[3], 127);
+}
+
+TEST(InputQuant, SnapIsIdempotent) {
+  InputQuantConfig cfg;
+  Rng rng(1);
+  nn::Tensor img = nn::Tensor::uniform(nn::Shape{2, 3, 4, 4}, -3, 3, rng);
+  nn::Tensor snapped = snap_to_input_grid(img, cfg);
+  nn::Tensor twice = snap_to_input_grid(snapped, cfg);
+  for (std::int64_t i = 0; i < img.size(); ++i) {
+    EXPECT_EQ(snapped[i], twice[i]);
+  }
+}
+
+TEST(InputQuant, SnapMatchesQuantizeTimesScale) {
+  InputQuantConfig cfg;
+  Rng rng(2);
+  nn::Tensor img = nn::Tensor::uniform(nn::Shape{1, 3, 8, 8}, -4, 4, rng);
+  nn::Tensor snapped = snap_to_input_grid(img, cfg);
+  IntImage q = quantize_input(img, cfg);
+  for (std::int64_t i = 0; i < img.size(); ++i) {
+    EXPECT_FLOAT_EQ(snapped[i], static_cast<float>(q.data[static_cast<std::size_t>(i)]) * cfg.scale);
+  }
+}
+
+TEST(InputQuant, RejectsBatchedInput) {
+  nn::Tensor img(nn::Shape{2, 3, 4, 4});
+  EXPECT_THROW(quantize_input(img, InputQuantConfig{}), ConfigError);
+}
+
+TEST(IntImage, AccessorsAreCHW) {
+  IntImage img(2, 3, 4);
+  img.at(1, 2, 3) = 42;
+  EXPECT_EQ(img.data[1 * 12 + 2 * 4 + 3], 42);
+  EXPECT_EQ(img.size(), 24);
+}
+
+}  // namespace
+}  // namespace adaflow::hls

@@ -1,0 +1,80 @@
+#include "adaflow/nn/cnv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adaflow::nn {
+namespace {
+
+TEST(Cnv, W2A2Topology) {
+  const CnvTopology t = cnv_w2a2(10, 8);
+  EXPECT_EQ(t.name, "CNVW2A2");
+  EXPECT_EQ(t.conv_channels, (std::vector<std::int64_t>{8, 8, 16, 16, 32, 32}));
+  EXPECT_EQ(t.quant.weight_bits, 2);
+  EXPECT_EQ(t.quant.act_bits, 2);
+}
+
+TEST(Cnv, W1A2OnlyChangesWeightBits) {
+  const CnvTopology t = cnv_w1a2(43, 8);
+  EXPECT_EQ(t.name, "CNVW1A2");
+  EXPECT_EQ(t.quant.weight_bits, 1);
+  EXPECT_EQ(t.quant.act_bits, 2);
+  EXPECT_EQ(t.classes, 43);
+}
+
+TEST(Cnv, FullScaleChannels) {
+  const CnvTopology t = cnv_w2a2(10, 1);
+  EXPECT_EQ(t.conv_channels, (std::vector<std::int64_t>{64, 64, 128, 128, 256, 256}));
+}
+
+TEST(Cnv, SpatialDimsFollowValidConvsAndPools) {
+  const CnvTopology t = cnv_w2a2(10, 8);
+  // 32 ->30 ->28 ->14 ->12 ->10 ->5 ->3 ->1
+  EXPECT_EQ(cnv_spatial_dims(t), (std::vector<std::int64_t>{30, 14, 12, 5, 3, 1}));
+}
+
+TEST(Cnv, BuildProducesRunnableModel) {
+  const CnvTopology t = cnv_w2a2(10, 8);
+  Model m = build_cnv(t, 3);
+  Rng rng(4);
+  Tensor in = Tensor::uniform(Shape{2, 3, 32, 32}, -1, 1, rng);
+  Tensor out = m.forward(in, false);
+  EXPECT_EQ(out.shape(), (Shape{2, 10}));
+}
+
+TEST(Cnv, LayerSequenceIsConvBnActWithPools) {
+  const CnvTopology t = cnv_w2a2(10, 8);
+  Model m = build_cnv(t, 3);
+  EXPECT_EQ(m.indices_of(LayerKind::kConv2d).size(), 6u);
+  EXPECT_EQ(m.indices_of(LayerKind::kMaxPool2d).size(), 2u);
+  EXPECT_EQ(m.indices_of(LayerKind::kLinear).size(), 2u);
+  // Each conv followed by BN then QuantAct.
+  for (std::size_t i : m.indices_of(LayerKind::kConv2d)) {
+    EXPECT_EQ(m.layer(i + 1).kind(), LayerKind::kBatchNorm);
+    EXPECT_EQ(m.layer(i + 2).kind(), LayerKind::kQuantAct);
+  }
+}
+
+TEST(Cnv, DeterministicInitializationPerSeed) {
+  const CnvTopology t = cnv_w2a2(10, 8);
+  Model a = build_cnv(t, 9);
+  Model b = build_cnv(t, 9);
+  const auto& wa = a.layer_as<Conv2d>(0).weight();
+  const auto& wb = b.layer_as<Conv2d>(0).weight();
+  for (std::int64_t i = 0; i < wa.size(); ++i) {
+    EXPECT_EQ(wa[i], wb[i]);
+  }
+}
+
+TEST(Cnv, ScaleDivOneRejectedOnlyIfInvalid) {
+  EXPECT_THROW(cnv_w2a2(10, 0), ConfigError);
+}
+
+TEST(Cnv, MinimumChannelFloor) {
+  const CnvTopology t = cnv_w2a2(10, 64);
+  for (std::int64_t c : t.conv_channels) {
+    EXPECT_GE(c, 4);
+  }
+}
+
+}  // namespace
+}  // namespace adaflow::nn

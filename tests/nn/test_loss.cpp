@@ -1,0 +1,90 @@
+#include "adaflow/nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adaflow::nn {
+namespace {
+
+TEST(Loss, UniformLogitsGiveLogClasses) {
+  Tensor logits(Shape{1, 4});  // all zeros -> uniform softmax
+  LossResult r = softmax_cross_entropy(logits, {2});
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-6);
+}
+
+TEST(Loss, ConfidentCorrectPredictionHasLowLoss) {
+  Tensor logits(Shape{1, 3});
+  logits[1] = 20.0f;
+  LossResult r = softmax_cross_entropy(logits, {1});
+  EXPECT_LT(r.loss, 1e-6);
+  EXPECT_EQ(r.correct, 1);
+}
+
+TEST(Loss, GradientSumsToZeroPerRow) {
+  Tensor logits(Shape{2, 5});
+  logits[0] = 1.0f;
+  logits[7] = -2.0f;
+  LossResult r = softmax_cross_entropy(logits, {0, 3});
+  for (std::int64_t n = 0; n < 2; ++n) {
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < 5; ++c) {
+      sum += r.grad.at2(n, c);
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(Loss, GradientMatchesNumeric) {
+  Rng rng(3);
+  Tensor logits = Tensor::uniform(Shape{3, 4}, -2, 2, rng);
+  const std::vector<int> labels{1, 0, 3};
+  LossResult r = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::int64_t idx : {0L, 5L, 11L}) {
+    Tensor up = logits;
+    up[idx] += eps;
+    Tensor down = logits;
+    down[idx] -= eps;
+    const double numeric = (softmax_cross_entropy(up, labels).loss -
+                            softmax_cross_entropy(down, labels).loss) /
+                           (2.0 * eps);
+    EXPECT_NEAR(r.grad[idx], numeric, 1e-3);
+  }
+}
+
+TEST(Loss, CorrectCountsTop1) {
+  Tensor logits(Shape{3, 2});
+  logits.at2(0, 0) = 1.0f;  // predicts 0
+  logits.at2(1, 1) = 1.0f;  // predicts 1
+  logits.at2(2, 0) = 1.0f;  // predicts 0
+  LossResult r = softmax_cross_entropy(logits, {0, 1, 1});
+  EXPECT_EQ(r.correct, 2);
+}
+
+TEST(Loss, LabelOutOfRangeThrows) {
+  Tensor logits(Shape{1, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}), ConfigError);
+  EXPECT_THROW(softmax_cross_entropy(logits, {-1}), ConfigError);
+}
+
+TEST(Loss, LargeLogitsAreNumericallyStable) {
+  Tensor logits(Shape{1, 2});
+  logits[0] = 1000.0f;
+  logits[1] = -1000.0f;
+  LossResult r = softmax_cross_entropy(logits, {0});
+  EXPECT_TRUE(std::isfinite(r.loss));
+  EXPECT_LT(r.loss, 1e-6);
+}
+
+TEST(Loss, ArgmaxRows) {
+  Tensor logits(Shape{2, 3});
+  logits.at2(0, 2) = 5.0f;
+  logits.at2(1, 0) = 1.0f;
+  const std::vector<int> pred = argmax_rows(logits);
+  EXPECT_EQ(pred[0], 2);
+  EXPECT_EQ(pred[1], 0);
+}
+
+}  // namespace
+}  // namespace adaflow::nn

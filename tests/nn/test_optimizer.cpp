@@ -1,0 +1,64 @@
+#include "adaflow/nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adaflow::nn {
+namespace {
+
+TEST(Sgd, PlainStepMovesAgainstGradient) {
+  Param p(Tensor::full(Shape{2}, 1.0f));
+  p.grad.fill(0.5f);
+  Sgd opt(SgdConfig{.lr = 0.1f, .momentum = 0.0f, .weight_decay = 0.0f});
+  opt.step({&p});
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f - 0.1f * 0.5f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p(Tensor::full(Shape{1}, 0.0f));
+  Sgd opt(SgdConfig{.lr = 1.0f, .momentum = 0.5f, .weight_decay = 0.0f});
+  p.grad.fill(1.0f);
+  opt.step({&p});  // v = -1, x = -1
+  p.grad.fill(1.0f);
+  opt.step({&p});  // v = -0.5 - 1 = -1.5, x = -2.5
+  EXPECT_FLOAT_EQ(p.value[0], -2.5f);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Param p(Tensor::full(Shape{1}, 2.0f));
+  p.grad.fill(0.0f);
+  Sgd opt(SgdConfig{.lr = 0.1f, .momentum = 0.0f, .weight_decay = 0.5f});
+  opt.step({&p});
+  EXPECT_FLOAT_EQ(p.value[0], 2.0f - 0.1f * 0.5f * 2.0f);
+}
+
+TEST(Sgd, RejectsRebindingToOtherParams) {
+  Param a(Tensor(Shape{1}));
+  Param b(Tensor(Shape{1}));
+  Sgd opt(SgdConfig{});
+  opt.step({&a});
+  EXPECT_THROW(opt.step({&b}), ConfigError);
+}
+
+TEST(Sgd, LrSetterApplies) {
+  Param p(Tensor::full(Shape{1}, 0.0f));
+  Sgd opt(SgdConfig{.lr = 1.0f, .momentum = 0.0f, .weight_decay = 0.0f});
+  opt.set_lr(0.25f);
+  EXPECT_FLOAT_EQ(opt.lr(), 0.25f);
+  p.grad.fill(1.0f);
+  opt.step({&p});
+  EXPECT_FLOAT_EQ(p.value[0], -0.25f);
+}
+
+TEST(Sgd, QuadraticConverges) {
+  // Minimize f(x) = (x - 3)^2 by hand-computed gradients.
+  Param p(Tensor::full(Shape{1}, 0.0f));
+  Sgd opt(SgdConfig{.lr = 0.1f, .momentum = 0.9f, .weight_decay = 0.0f});
+  for (int i = 0; i < 200; ++i) {
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    opt.step({&p});
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 1e-3);
+}
+
+}  // namespace
+}  // namespace adaflow::nn

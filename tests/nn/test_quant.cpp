@@ -1,0 +1,95 @@
+#include "adaflow/nn/quant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adaflow::nn {
+namespace {
+
+TEST(Quant, OneBitSignsEverything) {
+  Tensor w(Shape{4});
+  w[0] = 0.5f;
+  w[1] = -0.1f;
+  w[2] = 0.0f;  // ties go positive
+  w[3] = -2.0f;
+  QuantizedWeights q = quantize_weights(w, 1);
+  EXPECT_EQ(q.levels[0], 1.0f);
+  EXPECT_EQ(q.levels[1], -1.0f);
+  EXPECT_EQ(q.levels[2], 1.0f);
+  EXPECT_EQ(q.levels[3], -1.0f);
+  EXPECT_NEAR(q.scale, (0.5f + 0.1f + 0.0f + 2.0f) / 4.0f, 1e-6);
+}
+
+TEST(Quant, TwoBitIsNarrowRangeTernary) {
+  Tensor w(Shape{3});
+  w[0] = 1.0f;
+  w[1] = -1.0f;
+  w[2] = 0.01f;
+  QuantizedWeights q = quantize_weights(w, 2);
+  EXPECT_EQ(q.levels[0], 1.0f);
+  EXPECT_EQ(q.levels[1], -1.0f);
+  EXPECT_EQ(q.levels[2], 0.0f);
+}
+
+TEST(Quant, RejectsUnsupportedBitWidths) {
+  Tensor w(Shape{1});
+  EXPECT_THROW(quantize_weights(w, 0), ConfigError);
+  EXPECT_THROW(quantize_weights(w, 3), ConfigError);
+}
+
+TEST(Quant, ActLevelMax) {
+  EXPECT_EQ(act_level_max(1), 1);
+  EXPECT_EQ(act_level_max(2), 3);
+  EXPECT_EQ(act_level_max(4), 15);
+}
+
+TEST(Quant, ActQuantizerClampsAndRounds) {
+  const float s = 0.5f;
+  EXPECT_EQ(quantize_act_level(-1.0f, s, 2), 0);
+  EXPECT_EQ(quantize_act_level(0.0f, s, 2), 0);
+  EXPECT_EQ(quantize_act_level(0.26f, s, 2), 1);
+  EXPECT_EQ(quantize_act_level(0.5f, s, 2), 1);
+  EXPECT_EQ(quantize_act_level(1.3f, s, 2), 3);
+  EXPECT_EQ(quantize_act_level(10.0f, s, 2), 3);
+  EXPECT_EQ(quantize_act(0.6f, s, 2), 0.5f);
+}
+
+TEST(Quant, ActQuantIsMonotone) {
+  const float s = 0.5f;
+  std::int64_t prev = 0;
+  for (float x = -2.0f; x < 4.0f; x += 0.01f) {
+    const std::int64_t level = quantize_act_level(x, s, 2);
+    EXPECT_GE(level, prev);
+    prev = level;
+  }
+}
+
+TEST(Quant, SteMaskCoversRepresentableRange) {
+  const float s = 0.5f;
+  EXPECT_EQ(act_ste_mask(0.3f, s, 2), 1.0f);   // inside
+  EXPECT_EQ(act_ste_mask(-1.0f, s, 2), 0.0f);  // below
+  EXPECT_EQ(act_ste_mask(3.0f, s, 2), 0.0f);   // above (max is 1.5 + 0.25)
+  EXPECT_EQ(act_ste_mask(1.5f, s, 2), 1.0f);   // top level still trainable
+}
+
+TEST(Quant, WeightLevelTimesScaleApproximatesValue) {
+  Rng rng(2);
+  Tensor w = Tensor::uniform(Shape{256}, -1.0f, 1.0f, rng);
+  QuantizedWeights q = quantize_weights(w, 2);
+  for (std::int64_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::fabs(q.levels[i] * q.scale - w[i]), std::max(0.51f * q.scale, std::fabs(w[i])));
+  }
+}
+
+TEST(Quant, ZeroScaleGuard) {
+  Tensor w(Shape{4});  // all zeros -> scale would be 0; must not divide by it
+  QuantizedWeights q = quantize_weights(w, 2);
+  EXPECT_GT(q.scale, 0.0f);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(q.levels[i], 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace adaflow::nn

@@ -1,0 +1,72 @@
+#include "adaflow/nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "adaflow/nn/trainer.hpp"
+#include "testing/fixtures.hpp"
+
+namespace adaflow::nn {
+namespace {
+
+TEST(Serialize, RoundTripPreservesStructure) {
+  const Model& original = testing::trained_cnv_w2a2();
+  std::stringstream buffer;
+  save_model(original, buffer);
+  Model restored = load_model(buffer);
+
+  EXPECT_EQ(restored.name(), original.name());
+  EXPECT_EQ(restored.input_shape(), original.input_shape());
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored.layer(i).kind(), original.layer(i).kind());
+    EXPECT_EQ(restored.layer(i).name(), original.layer(i).name());
+  }
+}
+
+TEST(Serialize, RoundTripPreservesPredictions) {
+  // A restored model must produce bit-identical logits.
+  Model& original = const_cast<Model&>(testing::trained_cnv_w2a2());
+  std::stringstream buffer;
+  save_model(original, buffer);
+  Model restored = load_model(buffer);
+
+  const auto& data = testing::tiny_cifar().test;
+  Tensor a = original.forward(data.sample(0), false);
+  Tensor b = restored.forward(data.sample(0), false);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream buffer("this is not a model");
+  EXPECT_THROW(load_model(buffer), Error);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  const Model& original = testing::trained_cnv_w2a2();
+  std::stringstream buffer;
+  save_model(original, buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_model(truncated), Error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const Model& original = testing::trained_cnv_w2a2();
+  const std::string path = ::testing::TempDir() + "/adaflow_model.bin";
+  save_model_file(original, path);
+  Model restored = load_model_file(path);
+  EXPECT_EQ(restored.name(), original.name());
+  EXPECT_EQ(restored.param_count(), original.param_count());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_model_file("/nonexistent/path/model.bin"), ConfigError);
+}
+
+}  // namespace
+}  // namespace adaflow::nn

@@ -1,0 +1,98 @@
+#include "adaflow/nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.hpp"
+
+namespace adaflow::nn {
+namespace {
+
+TEST(Trainer, AugmentPreservesShape) {
+  Rng rng(1);
+  Tensor images = Tensor::uniform(Shape{4, 3, 8, 8}, -1, 1, rng);
+  Tensor out = augment_batch(images, 2, rng);
+  EXPECT_EQ(out.shape(), images.shape());
+}
+
+TEST(Trainer, AugmentWithZeroPadOnlyFlips) {
+  Rng rng(2);
+  Tensor images = Tensor::uniform(Shape{1, 1, 4, 4}, -1, 1, rng);
+  Tensor out = augment_batch(images, 0, rng);
+  // Either identical or horizontally flipped.
+  bool identical = true;
+  bool flipped = true;
+  for (std::int64_t y = 0; y < 4; ++y) {
+    for (std::int64_t x = 0; x < 4; ++x) {
+      identical &= out.at4(0, 0, y, x) == images.at4(0, 0, y, x);
+      flipped &= out.at4(0, 0, y, x) == images.at4(0, 0, y, 3 - x);
+    }
+  }
+  EXPECT_TRUE(identical || flipped);
+}
+
+TEST(Trainer, LabeledDataSubset) {
+  LabeledData data;
+  data.images = Tensor(Shape{3, 1, 2, 2});
+  data.images[0] = 1.0f;   // sample 0 starts with 1
+  data.images[4] = 2.0f;   // sample 1 starts with 2
+  data.images[8] = 3.0f;   // sample 2 starts with 3
+  data.labels = {7, 8, 9};
+  LabeledData sub = data.subset({2, 0});
+  EXPECT_EQ(sub.count(), 2);
+  EXPECT_EQ(sub.labels[0], 9);
+  EXPECT_EQ(sub.labels[1], 7);
+  EXPECT_FLOAT_EQ(sub.images[0], 3.0f);
+  EXPECT_FLOAT_EQ(sub.images[4], 1.0f);
+}
+
+TEST(Trainer, SampleExtractsOneImage) {
+  LabeledData data;
+  data.images = Tensor(Shape{2, 1, 2, 2});
+  data.images[5] = 4.0f;
+  data.labels = {0, 1};
+  Tensor s = data.sample(1);
+  EXPECT_EQ(s.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(s[1], 4.0f);
+}
+
+TEST(Trainer, LossDecreasesOverTraining) {
+  const auto& dataset = testing::tiny_cifar();
+  Model model = build_cnv(testing::tiny_topology(), 21);
+  TrainConfig tc;
+  tc.epochs = 3;
+  tc.lr = 0.02f;
+  tc.seed = 21;
+  const std::vector<EpochStats> stats = Trainer(tc).fit(model, dataset.train);
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_LT(stats.back().train_loss, stats.front().train_loss);
+  EXPECT_GT(stats.back().train_accuracy, stats.front().train_accuracy);
+}
+
+TEST(Trainer, TrainedModelBeatsChance) {
+  const auto& dataset = testing::tiny_cifar();
+  // The shared fixture model was trained on this dataset.
+  Model& model = const_cast<Model&>(testing::trained_cnv_w2a2());
+  const double acc = Trainer::evaluate(model, dataset.test);
+  EXPECT_GT(acc, 0.35);  // chance is 0.1
+}
+
+TEST(Trainer, EvaluateEmptyDataIsZero) {
+  Model model = build_cnv(testing::tiny_topology(), 22);
+  LabeledData empty;
+  EXPECT_EQ(Trainer::evaluate(model, empty), 0.0);
+}
+
+TEST(Trainer, DeterministicForSameSeed) {
+  const auto& dataset = testing::tiny_cifar();
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.seed = 5;
+  Model a = build_cnv(testing::tiny_topology(), 33);
+  Model b = build_cnv(testing::tiny_topology(), 33);
+  const auto sa = Trainer(tc).fit(a, dataset.train);
+  const auto sb = Trainer(tc).fit(b, dataset.train);
+  EXPECT_DOUBLE_EQ(sa[0].train_loss, sb[0].train_loss);
+}
+
+}  // namespace
+}  // namespace adaflow::nn

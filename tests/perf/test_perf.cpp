@@ -1,0 +1,126 @@
+#include "adaflow/perf/perf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adaflow/hls/accelerator.hpp"
+#include "adaflow/pruning/prune.hpp"
+#include "testing/fixtures.hpp"
+
+namespace adaflow::perf {
+namespace {
+
+using testing::tiny_folding;
+using testing::trained_cnv_w2a2;
+
+const hls::CompiledModel& base_compiled() {
+  static const hls::CompiledModel m = hls::compile_model(trained_cnv_w2a2());
+  return m;
+}
+
+TEST(Perf, FpsIsClockOverBottleneck) {
+  PerfReport r = analyze(base_compiled(), tiny_folding(), hls::AcceleratorVariant::kFixed, 100e6);
+  ASSERT_FALSE(r.stages.empty());
+  std::int64_t worst = 0;
+  for (const StagePerf& s : r.stages) {
+    worst = std::max(worst, s.cycles);
+  }
+  EXPECT_EQ(r.initiation_interval_cycles, worst);
+  EXPECT_DOUBLE_EQ(r.fps, 100e6 / static_cast<double>(worst));
+}
+
+TEST(Perf, LatencyIsSumOfStages) {
+  PerfReport r = analyze(base_compiled(), tiny_folding(), hls::AcceleratorVariant::kFixed, 100e6);
+  double total = 0;
+  for (const StagePerf& s : r.stages) {
+    total += static_cast<double>(s.cycles);
+  }
+  EXPECT_DOUBLE_EQ(r.latency_s, total / 100e6);
+  EXPECT_GT(r.latency_s, 1.0 / r.fps - 1e-12);
+}
+
+TEST(Perf, BottleneckNamed) {
+  PerfReport r = analyze(base_compiled(), tiny_folding(), hls::AcceleratorVariant::kFixed, 100e6);
+  EXPECT_FALSE(r.bottleneck.empty());
+}
+
+/// The analytical model must agree with the functional dataflow simulation:
+/// predicted MVTU cycles == executed pipeline iterations per stage.
+TEST(Perf, CrossCheckAgainstFunctionalSimulation) {
+  hls::DataflowAccelerator accel(hls::AcceleratorVariant::kFixed, base_compiled(),
+                                 tiny_folding());
+  Rng rng(3);
+  nn::Tensor img = nn::Tensor::uniform(nn::Shape{1, 3, 32, 32}, -1, 1, rng);
+  accel.infer_class(img);
+  const hls::InferenceStats& stats = accel.last_stats();
+
+  PerfReport r = analyze(base_compiled(), tiny_folding(), hls::AcceleratorVariant::kFixed, 100e6);
+
+  // Collect predicted MVTU cycles (non-pool stages) in order.
+  std::vector<std::int64_t> predicted;
+  std::size_t mvtu_ordinal = 0;
+  const std::vector<std::size_t> idx = base_compiled().mvtu_stage_indices();
+  for (std::size_t i : idx) {
+    (void)i;
+    predicted.push_back(0);
+    ++mvtu_ordinal;
+  }
+  mvtu_ordinal = 0;
+  for (std::size_t si = 0; si < base_compiled().stages.size(); ++si) {
+    if (base_compiled().stages[si].desc.kind != hls::StageKind::kPool) {
+      predicted[mvtu_ordinal++] = r.stages[si].cycles;
+    }
+  }
+
+  ASSERT_EQ(stats.mvtu_stages.size(), predicted.size());
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    EXPECT_EQ(stats.mvtu_stages[i].pipeline_iterations, predicted[i]) << "stage " << i;
+  }
+}
+
+TEST(Perf, FlexibleSlightlySlowerThanFixed) {
+  PerfReport fixed =
+      analyze(base_compiled(), tiny_folding(), hls::AcceleratorVariant::kFixed, 100e6);
+  PerfReport flex =
+      analyze(base_compiled(), tiny_folding(), hls::AcceleratorVariant::kFlexible, 100e6);
+  EXPECT_LT(flex.fps, fixed.fps);
+  EXPECT_GT(flex.latency_s, fixed.latency_s);
+  // Paper: up to 3.7% latency difference, 0.67% average. Allow <= 6%.
+  EXPECT_LT((flex.latency_s - fixed.latency_s) / fixed.latency_s, 0.06);
+}
+
+TEST(Perf, PruningIncreasesFps) {
+  pruning::PruneResult pr =
+      pruning::dataflow_aware_prune(trained_cnv_w2a2(), tiny_folding(), 0.5);
+  hls::CompiledModel pruned = hls::compile_model(pr.model);
+  PerfReport base =
+      analyze(base_compiled(), tiny_folding(), hls::AcceleratorVariant::kFixed, 100e6);
+  PerfReport fast = analyze(pruned, tiny_folding(), hls::AcceleratorVariant::kFixed, 100e6);
+  EXPECT_GT(fast.fps, base.fps * 1.5);
+}
+
+TEST(Perf, FpsMonotoneNonDecreasingWithPruning) {
+  double prev_fps = 0.0;
+  for (int p = 0; p <= 85; p += 5) {
+    pruning::PruneResult pr =
+        pruning::dataflow_aware_prune(trained_cnv_w2a2(), tiny_folding(), p / 100.0);
+    hls::CompiledModel compiled = hls::compile_model(pr.model);
+    PerfReport r = analyze(compiled, tiny_folding(), hls::AcceleratorVariant::kFixed, 100e6);
+    EXPECT_GE(r.fps, prev_fps - 1e-9) << "rate " << p;
+    prev_fps = r.fps;
+  }
+}
+
+TEST(Perf, StageCyclesPoolFormula) {
+  hls::CompiledStage pool;
+  pool.desc.kind = hls::StageKind::kPool;
+  pool.desc.out_dim = 14;
+  EXPECT_EQ(stage_cycles(pool, nullptr), 14 * 14);
+}
+
+TEST(Perf, RejectsBadClock) {
+  EXPECT_THROW(analyze(base_compiled(), tiny_folding(), hls::AcceleratorVariant::kFixed, 0.0),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace adaflow::perf

@@ -1,0 +1,153 @@
+#include "adaflow/pruning/prune.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adaflow/nn/trainer.hpp"
+#include "testing/fixtures.hpp"
+
+namespace adaflow::pruning {
+namespace {
+
+using testing::tiny_folding;
+using testing::trained_cnv_w2a2;
+
+TEST(AdjustKeep, ExactWhenAlreadyDivisible) {
+  EXPECT_EQ(adjust_keep_count(16, 8, 4, 2), 8);
+  EXPECT_EQ(adjust_keep_count(16, 12, 4, 1), 12);
+}
+
+TEST(AdjustKeep, RoundsUpToConstraint) {
+  // keep must be divisible by 4 and 3 -> lcm 12.
+  EXPECT_EQ(adjust_keep_count(24, 7, 4, 3), 12);
+  EXPECT_EQ(adjust_keep_count(24, 13, 4, 3), 24);
+}
+
+TEST(AdjustKeep, NeverExceedsChannels) {
+  EXPECT_EQ(adjust_keep_count(8, 8, 2, 1), 8);
+  EXPECT_EQ(adjust_keep_count(8, 9, 2, 1), 8);
+}
+
+TEST(AdjustKeep, MinimumOneRoundedUp) {
+  EXPECT_EQ(adjust_keep_count(8, 0, 2, 1), 2);
+  EXPECT_EQ(adjust_keep_count(8, 1, 2, 1), 2);
+}
+
+TEST(AdjustKeep, BaseMustSatisfyOwnConstraints) {
+  EXPECT_THROW(adjust_keep_count(10, 4, 4, 1), FoldingError);
+}
+
+TEST(L1Norms, RanksByAbsoluteSum) {
+  nn::Conv2dConfig cfg{.in_channels = 1, .out_channels = 2, .kernel = 1};
+  nn::Tensor w(nn::Shape{2, 1});
+  w[0] = -3.0f;
+  w[1] = 0.5f;
+  nn::Conv2d conv("c", cfg, nn::QuantSpec{}, std::move(w));
+  const std::vector<double> norms = l1_filter_norms(conv);
+  EXPECT_DOUBLE_EQ(norms[0], 3.0);
+  EXPECT_DOUBLE_EQ(norms[1], 0.5);
+}
+
+TEST(Prune, ZeroRateIsStructuralCopy) {
+  const nn::Model& base = trained_cnv_w2a2();
+  PruneResult r = dataflow_aware_prune(base, tiny_folding(), 0.0);
+  EXPECT_EQ(r.achieved_rate, 0.0);
+  EXPECT_EQ(r.model.param_count(), base.param_count());
+  // Identical predictions.
+  const auto& data = testing::tiny_cifar().test;
+  nn::Tensor a = const_cast<nn::Model&>(base).forward(data.sample(0), false);
+  nn::Tensor b = r.model.forward(data.sample(0), false);
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Prune, RemovesLowestNormFilters) {
+  const nn::Model& base = trained_cnv_w2a2();
+  PruneResult r = dataflow_aware_prune(base, tiny_folding(), 0.5);
+  for (const LayerPruneInfo& info : r.layers) {
+    const auto& conv = base.layer_as<nn::Conv2d>(info.conv_index);
+    const std::vector<double> norms = l1_filter_norms(conv);
+    // Every kept filter must have norm >= every removed filter's norm.
+    double min_kept = 1e30;
+    for (std::int64_t k : info.kept_filters) {
+      min_kept = std::min(min_kept, norms[static_cast<std::size_t>(k)]);
+    }
+    std::vector<bool> kept(norms.size(), false);
+    for (std::int64_t k : info.kept_filters) {
+      kept[static_cast<std::size_t>(k)] = true;
+    }
+    for (std::size_t f = 0; f < norms.size(); ++f) {
+      if (!kept[f]) {
+        EXPECT_LE(norms[f], min_kept + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Prune, PrunedModelRunsForward) {
+  const nn::Model& base = trained_cnv_w2a2();
+  PruneResult r = dataflow_aware_prune(base, tiny_folding(), 0.6);
+  const auto& data = testing::tiny_cifar().test;
+  nn::Tensor out = r.model.forward(data.sample(0), false);
+  EXPECT_EQ(out.dim(1), 10);
+}
+
+TEST(Prune, PrunedModelTrainable) {
+  const nn::Model& base = trained_cnv_w2a2();
+  PruneResult r = dataflow_aware_prune(base, tiny_folding(), 0.5);
+  nn::TrainConfig tc;
+  tc.epochs = 1;
+  tc.lr = 0.005f;
+  EXPECT_NO_THROW(nn::Trainer(tc).fit(r.model, testing::tiny_cifar().train));
+}
+
+TEST(Prune, RejectsInvalidRates) {
+  const nn::Model& base = trained_cnv_w2a2();
+  EXPECT_THROW(dataflow_aware_prune(base, tiny_folding(), 1.0), ConfigError);
+  EXPECT_THROW(dataflow_aware_prune(base, tiny_folding(), -0.1), ConfigError);
+}
+
+/// The paper's central property: for EVERY pruning rate, the surviving
+/// channel counts satisfy the folding constraints of the worst-case
+/// (flexible) accelerator — (ch_out - r) % PE == 0 and % SIMD_next == 0.
+class PruneRateProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PruneRateProperty, FoldingConstraintsHoldAfterPruning) {
+  const double rate = static_cast<double>(GetParam()) / 100.0;
+  const nn::Model& base = trained_cnv_w2a2();
+  const hls::FoldingConfig& folding = tiny_folding();
+  PruneResult r = dataflow_aware_prune(base, folding, rate);
+
+  // The pruned model must validate against the SAME folding (it will run on
+  // the flexible accelerator synthesized for the base model).
+  EXPECT_NO_THROW(hls::validate_folding(r.model, folding));
+
+  // Achieved rate never exceeds the requested rate.
+  EXPECT_LE(r.achieved_rate, rate + 1e-9);
+
+  // Monotone bookkeeping: kept channels within [1, original].
+  for (const LayerPruneInfo& info : r.layers) {
+    EXPECT_GE(info.kept_channels, 1);
+    EXPECT_LE(info.kept_channels, info.original_channels);
+    EXPECT_EQ(static_cast<std::int64_t>(info.kept_filters.size()), info.kept_channels);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLibraryRates, PruneRateProperty,
+                         ::testing::Values(0, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60, 65,
+                                           70, 75, 80, 85, 90, 95));
+
+TEST(Prune, AchievedRateGrowsWithRequestedRate) {
+  const nn::Model& base = trained_cnv_w2a2();
+  double prev = -1.0;
+  for (int p = 0; p <= 85; p += 5) {
+    PruneResult r = dataflow_aware_prune(base, tiny_folding(), p / 100.0);
+    EXPECT_GE(r.achieved_rate, prev - 1e-9);
+    prev = r.achieved_rate;
+  }
+}
+
+}  // namespace
+}  // namespace adaflow::pruning

@@ -1,0 +1,71 @@
+#include "adaflow/report/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow::report {
+namespace {
+
+TEST(Csv, RendersHeaderAndRows) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "2"});
+  EXPECT_EQ(csv.render(), "a,b\n1,2\n");
+  EXPECT_EQ(csv.row_count(), 1u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, ArityChecked) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"only"}), ConfigError);
+  EXPECT_THROW(CsvWriter({}), ConfigError);
+}
+
+TEST(Csv, WritesFileWithDirectories) {
+  const std::string path = ::testing::TempDir() + "/adaflow_csv/sub/out.csv";
+  CsvWriter csv({"x"});
+  csv.add_row({"42"});
+  csv.write(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "42");
+}
+
+TEST(Csv, SeriesExportAlignsColumns) {
+  sim::TimeSeries a;
+  a.interval_s = 0.5;
+  a.values = {1.0, 2.0, 3.0};
+  sim::TimeSeries b;
+  b.interval_s = 0.5;
+  b.values = {10.0, 20.0};
+  const std::string path = ::testing::TempDir() + "/adaflow_series.csv";
+  write_series_csv(path, {{"a", a}, {"b", b}});
+
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "time_s,a,b");
+  int rows = 0;
+  while (std::getline(in, line)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2);  // truncated to the shorter series
+}
+
+TEST(Csv, SeriesExportRejectsEmpty) {
+  EXPECT_THROW(write_series_csv("/tmp/x.csv", {}), ConfigError);
+}
+
+}  // namespace
+}  // namespace adaflow::report

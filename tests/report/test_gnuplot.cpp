@@ -1,0 +1,49 @@
+#include "adaflow/report/gnuplot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow::report {
+namespace {
+
+FigureSpec sample_spec() {
+  FigureSpec spec;
+  spec.output_png = "fig6a.png";
+  spec.csv_path = "fig6a.csv";
+  spec.title = "Frame loss";
+  spec.ylabel = "loss [%]";
+  spec.curves = {{2, "AdaFlow"}, {3, "FINN"}};
+  return spec;
+}
+
+TEST(Gnuplot, ScriptReferencesAllCurves) {
+  const std::string script = render_gnuplot(sample_spec());
+  EXPECT_NE(script.find("fig6a.png"), std::string::npos);
+  EXPECT_NE(script.find("using 1:2"), std::string::npos);
+  EXPECT_NE(script.find("using 1:3"), std::string::npos);
+  EXPECT_NE(script.find("AdaFlow"), std::string::npos);
+  EXPECT_NE(script.find("FINN"), std::string::npos);
+  EXPECT_NE(script.find("separator ','"), std::string::npos);
+}
+
+TEST(Gnuplot, RejectsEmptyFigure) {
+  FigureSpec spec = sample_spec();
+  spec.curves.clear();
+  EXPECT_THROW(render_gnuplot(spec), ConfigError);
+}
+
+TEST(Gnuplot, WritesScriptFile) {
+  const std::string path = ::testing::TempDir() + "/adaflow_fig.gp";
+  write_gnuplot(sample_spec(), path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_NE(first.find("pngcairo"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adaflow::report

@@ -1,0 +1,80 @@
+#include "adaflow/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace adaflow::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsPastHorizonStayQueued) {
+  EventQueue q;
+  bool fired = false;
+  q.schedule_at(5.0, [&] { fired = true; });
+  q.run_until(4.0);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(6.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, CallbacksCanScheduleMore) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 5) {
+      q.schedule_in(1.0, tick);
+    }
+  };
+  q.schedule_at(0.0, tick);
+  q.run_until(10.0);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(EventQueue, NowAdvancesToEventTime) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule_at(2.5, [&] { seen = q.now(); });
+  q.run_until(3.0);
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+}
+
+TEST(EventQueue, SchedulingIntoPastThrows) {
+  EventQueue q;
+  q.schedule_at(1.0, [] {});
+  q.run_until(2.0);
+  EXPECT_THROW(q.schedule_at(1.5, [] {}), ConfigError);
+}
+
+TEST(EventQueue, ScheduleInUsesRelativeTime) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(1.0, [&] { q.schedule_in(0.5, [&] { fired_at = q.now(); }); });
+  q.run_until(2.0);
+  EXPECT_DOUBLE_EQ(fired_at, 1.5);
+}
+
+}  // namespace
+}  // namespace adaflow::sim

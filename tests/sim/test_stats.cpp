@@ -1,0 +1,62 @@
+#include "adaflow/sim/stats.hpp"
+
+#include "adaflow/common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adaflow::sim {
+namespace {
+
+TEST(RunningStat, MeanAndStddev) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, SingleSampleHasZeroStddev) {
+  RunningStat s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(TimeSeries, TimeOfSamples) {
+  TimeSeries ts;
+  ts.interval_s = 0.5;
+  ts.values = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(ts.time_of(0), 0.5);
+  EXPECT_DOUBLE_EQ(ts.time_of(2), 1.5);
+}
+
+TEST(AverageSeries, ElementwiseMean) {
+  TimeSeries a;
+  a.values = {1.0, 2.0, 3.0};
+  TimeSeries b;
+  b.values = {3.0, 4.0, 5.0};
+  TimeSeries avg = average_series({a, b});
+  EXPECT_EQ(avg.values, (std::vector<double>{2.0, 3.0, 4.0}));
+}
+
+TEST(AverageSeries, TruncatesToShortest) {
+  TimeSeries a;
+  a.values = {1.0, 2.0, 3.0};
+  TimeSeries b;
+  b.values = {3.0, 4.0};
+  TimeSeries avg = average_series({a, b});
+  EXPECT_EQ(avg.values.size(), 2u);
+}
+
+TEST(AverageSeries, EmptyInputThrows) {
+  EXPECT_THROW(average_series({}), ConfigError);
+}
+
+}  // namespace
+}  // namespace adaflow::sim

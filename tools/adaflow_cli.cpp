@@ -1,0 +1,292 @@
+/// adaflow — command-line front end to the library.
+///
+/// Subcommands:
+///   devices                              list supported FPGA device budgets
+///   train      --model M --dataset D --out FILE      train an initial model
+///   prune      --in FILE --rate R --out FILE         dataflow-aware pruning
+///   eval       --in FILE --dataset D                 top-1 test accuracy
+///   library    --model M --dataset D --out FILE      generate a library
+///   show       --library FILE                        print a library table
+///   simulate   --library FILE --scenario S           run the Edge simulation
+///
+/// Models: cnv-w2a2, cnv-w1a2, tfc-w1a2. Datasets: cifar, gtsrb, mnist.
+
+#include <cstdio>
+#include <memory>
+
+#include "adaflow/common/argparse.hpp"
+#include "adaflow/common/logging.hpp"
+#include "adaflow/common/strings.hpp"
+#include "adaflow/common/table.hpp"
+#include "adaflow/core/library_generator.hpp"
+#include "adaflow/core/runtime_manager.hpp"
+#include "adaflow/edge/server.hpp"
+#include "adaflow/nn/mlp.hpp"
+#include "adaflow/nn/serialize.hpp"
+#include "adaflow/nn/trainer.hpp"
+
+namespace {
+
+using namespace adaflow;
+
+datasets::DatasetSpec dataset_by_name(const std::string& name) {
+  if (name == "cifar") {
+    return datasets::synth_cifar10_spec();
+  }
+  if (name == "gtsrb") {
+    return datasets::synth_gtsrb_spec();
+  }
+  if (name == "mnist") {
+    return datasets::synth_mnist_spec();
+  }
+  throw NotFoundError("unknown dataset '" + name + "' (cifar, gtsrb, mnist)");
+}
+
+nn::Model model_by_name(const std::string& name, std::int64_t classes, std::uint64_t seed) {
+  if (name == "cnv-w2a2") {
+    return nn::build_cnv(nn::cnv_w2a2(classes), seed);
+  }
+  if (name == "cnv-w1a2") {
+    return nn::build_cnv(nn::cnv_w1a2(classes), seed);
+  }
+  if (name == "tfc-w1a2") {
+    return nn::build_mlp(nn::tfc_w1a2(classes), seed);
+  }
+  throw NotFoundError("unknown model '" + name + "' (cnv-w2a2, cnv-w1a2, tfc-w1a2)");
+}
+
+int cmd_devices(const std::vector<std::string>&) {
+  TextTable table({"device", "LUT", "FF", "BRAM18", "DSP", "reconfig[ms]", "static[W]"});
+  for (const char* name : {"zcu104", "zcu102", "pynq-z1"}) {
+    const fpga::FpgaDevice d = fpga::device_by_name(name);
+    table.add_row({d.name, std::to_string(d.luts), std::to_string(d.flip_flops),
+                   std::to_string(d.bram18), std::to_string(d.dsp),
+                   format_double(d.bitstream_bytes / d.config_bandwidth_bps * 1e3, 0),
+                   format_double(d.static_power_w, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_train(const std::vector<std::string>& args) {
+  ArgParser parser("adaflow train", "train an initial quantized model");
+  parser.add_option("model", "cnv-w2a2 | cnv-w1a2 | tfc-w1a2", "cnv-w2a2");
+  parser.add_option("dataset", "cifar | gtsrb | mnist", "cifar");
+  parser.add_option("epochs", "training epochs", "8");
+  parser.add_option("seed", "rng seed", "7");
+  parser.add_option("out", "output model file", "model.bin");
+  parser.parse(args);
+
+  const datasets::DatasetSpec spec = dataset_by_name(parser.option("dataset"));
+  const datasets::SyntheticDataset data = datasets::generate(spec);
+  nn::Model model = model_by_name(parser.option("model"), spec.classes,
+                                  static_cast<std::uint64_t>(parser.option_int("seed")));
+  require(model.input_shape()[0] == spec.channels && model.input_shape()[1] == spec.image_size,
+          "model '" + parser.option("model") + "' does not fit dataset '" +
+              parser.option("dataset") + "'");
+
+  nn::TrainConfig tc;
+  tc.epochs = static_cast<int>(parser.option_int("epochs"));
+  tc.lr = 0.02f;
+  tc.lr_decay_epochs = {tc.epochs * 3 / 4};
+  std::printf("training %s on %s (%d epochs)...\n", model.name().c_str(), spec.name.c_str(),
+              tc.epochs);
+  const auto stats = nn::Trainer(tc).fit(model, data.train);
+  const double acc = nn::Trainer::evaluate(model, data.test);
+  std::printf("final train loss %.3f, test accuracy %s\n", stats.back().train_loss,
+              format_percent(acc, 2).c_str());
+  nn::save_model_file(model, parser.option("out"));
+  std::printf("saved %s\n", parser.option("out").c_str());
+  return 0;
+}
+
+int cmd_prune(const std::vector<std::string>& args) {
+  ArgParser parser("adaflow prune", "dataflow-aware pruning of a trained model");
+  parser.add_option("in", "input model file", "model.bin");
+  parser.add_option("rate", "pruning rate (0..1)", "0.5");
+  parser.add_option("target-fps", "folding target for the base dataflow", "450");
+  parser.add_option("out", "output model file", "pruned.bin");
+  parser.add_flag("fc-neurons", "also prune hidden fully-connected neurons");
+  parser.parse(args);
+
+  nn::Model base = nn::load_model_file(parser.option("in"));
+  const hls::FoldingConfig folding =
+      hls::folding_for_target_fps(base, parser.option_double("target-fps"), 100e6);
+  pruning::PruneOptions options;
+  options.prune_fc_neurons = parser.flag("fc-neurons");
+  pruning::PruneResult pr =
+      pruning::dataflow_aware_prune(base, folding, parser.option_double("rate"), options);
+
+  std::printf("requested rate %s, achieved %s (after PE/SIMD adjustment)\n",
+              format_percent(pr.requested_rate, 0).c_str(),
+              format_percent(pr.achieved_rate, 1).c_str());
+  for (const pruning::LayerPruneInfo& info : pr.layers) {
+    std::printf("  layer %zu: %lld -> %lld channels\n", info.conv_index,
+                static_cast<long long>(info.original_channels),
+                static_cast<long long>(info.kept_channels));
+  }
+  nn::save_model_file(pr.model, parser.option("out"));
+  std::printf("saved %s (retrain it with `adaflow train`-like settings before deploying)\n",
+              parser.option("out").c_str());
+  return 0;
+}
+
+int cmd_eval(const std::vector<std::string>& args) {
+  ArgParser parser("adaflow eval", "top-1 test accuracy of a saved model");
+  parser.add_option("in", "model file", "model.bin");
+  parser.add_option("dataset", "cifar | gtsrb | mnist", "cifar");
+  parser.parse(args);
+
+  nn::Model model = nn::load_model_file(parser.option("in"));
+  const datasets::SyntheticDataset data = datasets::generate(dataset_by_name(parser.option("dataset")));
+  const double acc = nn::Trainer::evaluate(model, data.test);
+  std::printf("%s on %s: top-1 accuracy %s\n", model.name().c_str(),
+              data.spec.name.c_str(), format_percent(acc, 2).c_str());
+  return 0;
+}
+
+int cmd_library(const std::vector<std::string>& args) {
+  ArgParser parser("adaflow library", "generate an AdaFlow library (design-time step)");
+  parser.add_option("model", "cnv-w2a2 | cnv-w1a2 | tfc-w1a2", "cnv-w2a2");
+  parser.add_option("dataset", "cifar | gtsrb | mnist", "cifar");
+  parser.add_option("rates", "comma list of pruning rates", "0,0.25,0.5,0.75");
+  parser.add_option("device", "zcu104 | zcu102 | pynq-z1", "zcu104");
+  parser.add_option("epochs", "base training epochs", "8");
+  parser.add_option("retrain-epochs", "per-version retraining epochs", "3");
+  parser.add_option("out", "output library file", "library.tsv");
+  parser.add_flag("fc-neurons", "also prune hidden fully-connected neurons");
+  parser.parse(args);
+
+  core::LibraryConfig config;
+  config.rates.clear();
+  for (const std::string& r : split(parser.option("rates"), ',')) {
+    config.rates.push_back(std::stod(r));
+  }
+  config.base_epochs = static_cast<int>(parser.option_int("epochs"));
+  config.retrain_epochs = static_cast<int>(parser.option_int("retrain-epochs"));
+  config.prune_options.prune_fc_neurons = parser.flag("fc-neurons");
+
+  const datasets::DatasetSpec spec = dataset_by_name(parser.option("dataset"));
+  const datasets::SyntheticDataset data = datasets::generate(spec);
+  nn::Model initial = model_by_name(parser.option("model"), spec.classes, config.seed);
+
+  core::LibraryGenerator generator(fpga::device_by_name(parser.option("device")), config);
+  const core::GeneratedLibrary generated = generator.generate_from(std::move(initial), data);
+  core::save_library(generated.table, parser.option("out"));
+  std::printf("%s\nsaved %s\n", core::render_library_table(generated.table).c_str(),
+              parser.option("out").c_str());
+  return 0;
+}
+
+int cmd_show(const std::vector<std::string>& args) {
+  ArgParser parser("adaflow show", "print a saved library table");
+  parser.add_option("library", "library file", "library.tsv");
+  parser.parse(args);
+  const core::AcceleratorLibrary lib = core::load_library(parser.option("library"));
+  std::printf("%s", core::render_library_table(lib).c_str());
+  return 0;
+}
+
+int cmd_simulate(const std::vector<std::string>& args) {
+  ArgParser parser("adaflow simulate", "Edge-server simulation against a library");
+  parser.add_option("library", "library file", "library.tsv");
+  parser.add_option("scenario", "1 | 2 | 1+2", "1+2");
+  parser.add_option("runs", "repetitions", "20");
+  parser.add_option("policy", "adaflow | finn | reconf", "adaflow");
+  parser.add_option("threshold", "accuracy threshold (fraction)", "0.10");
+  parser.parse(args);
+
+  const core::AcceleratorLibrary lib = core::load_library(parser.option("library"));
+  edge::WorkloadConfig workload;
+  const std::string scenario = parser.option("scenario");
+  if (scenario == "1") {
+    workload = edge::scenario1();
+  } else if (scenario == "2") {
+    workload = edge::scenario2();
+  } else if (scenario == "1+2") {
+    workload = edge::scenario1_plus_2();
+  } else {
+    throw ConfigError("unknown scenario '" + scenario + "'");
+  }
+
+  core::RuntimeManagerConfig rmc;
+  rmc.accuracy_threshold = parser.option_double("threshold");
+  const std::string policy = parser.option("policy");
+  const int runs = static_cast<int>(parser.option_int("runs"));
+
+  auto factory = [&]() -> std::unique_ptr<edge::ServingPolicy> {
+    if (policy == "adaflow") {
+      return std::make_unique<core::RuntimeManager>(lib, rmc);
+    }
+    if (policy == "finn") {
+      return std::make_unique<core::StaticFinnPolicy>(lib);
+    }
+    if (policy == "reconf") {
+      return std::make_unique<core::ReconfPruningPolicy>(lib, rmc, lib.reconfig_time_s);
+    }
+    throw ConfigError("unknown policy '" + policy + "'");
+  };
+  const edge::RepeatedRunResult r =
+      edge::run_repeated(workload, factory, edge::ServerConfig{}, runs);
+
+  std::printf("policy=%s scenario=%s runs=%d\n", policy.c_str(), scenario.c_str(), runs);
+  std::printf("frame loss   %s (stddev %s)\n", format_percent(r.mean.frame_loss(), 2).c_str(),
+              format_percent(r.frame_loss.stddev(), 2).c_str());
+  std::printf("QoE          %s\n", format_percent(r.mean.qoe(), 2).c_str());
+  std::printf("avg power    %s W\n", format_double(r.mean.average_power_w(), 3).c_str());
+  std::printf("efficiency   %s inferences/J\n",
+              format_double(r.mean.power_efficiency(), 1).c_str());
+  std::printf("switches     %.1f per run (%.1f reconfigurations)\n",
+              static_cast<double>(r.mean.model_switches) / runs,
+              static_cast<double>(r.mean.reconfigurations) / runs);
+  return 0;
+}
+
+int dispatch(int argc, char** argv) {
+  const std::string usage =
+      "usage: adaflow <devices|train|prune|eval|library|show|simulate> [options]\n";
+  if (argc < 2) {
+    std::fprintf(stderr, "%s", usage.c_str());
+    return 2;
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> rest;
+  for (int i = 2; i < argc; ++i) {
+    rest.emplace_back(argv[i]);
+  }
+  if (command == "devices") {
+    return cmd_devices(rest);
+  }
+  if (command == "train") {
+    return cmd_train(rest);
+  }
+  if (command == "prune") {
+    return cmd_prune(rest);
+  }
+  if (command == "eval") {
+    return cmd_eval(rest);
+  }
+  if (command == "library") {
+    return cmd_library(rest);
+  }
+  if (command == "show") {
+    return cmd_show(rest);
+  }
+  if (command == "simulate") {
+    return cmd_simulate(rest);
+  }
+  std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), usage.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  adaflow::set_log_level(adaflow::LogLevel::kWarn);
+  try {
+    return dispatch(argc, argv);
+  } catch (const adaflow::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
