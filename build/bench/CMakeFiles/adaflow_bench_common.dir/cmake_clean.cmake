@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaflow_bench_common.dir/common.cpp.o"
+  "CMakeFiles/adaflow_bench_common.dir/common.cpp.o.d"
+  "libadaflow_bench_common.a"
+  "libadaflow_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaflow_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

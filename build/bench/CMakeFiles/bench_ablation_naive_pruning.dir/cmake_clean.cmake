@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_naive_pruning.dir/bench_ablation_naive_pruning.cpp.o"
+  "CMakeFiles/bench_ablation_naive_pruning.dir/bench_ablation_naive_pruning.cpp.o.d"
+  "bench_ablation_naive_pruning"
+  "bench_ablation_naive_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_naive_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

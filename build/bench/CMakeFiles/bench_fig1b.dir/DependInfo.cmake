@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig1b.cpp" "bench/CMakeFiles/bench_fig1b.dir/bench_fig1b.cpp.o" "gcc" "bench/CMakeFiles/bench_fig1b.dir/bench_fig1b.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/adaflow_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/adaflow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/adaflow_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/pruning/CMakeFiles/adaflow_pruning.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/adaflow_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/adaflow_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/adaflow_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adaflow_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/adaflow_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/adaflow_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adaflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adaflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

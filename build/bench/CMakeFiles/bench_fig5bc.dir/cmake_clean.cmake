@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5bc.dir/bench_fig5bc.cpp.o"
+  "CMakeFiles/bench_fig5bc.dir/bench_fig5bc.cpp.o.d"
+  "bench_fig5bc"
+  "bench_fig5bc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5bc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

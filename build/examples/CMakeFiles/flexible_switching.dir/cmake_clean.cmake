@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexible_switching.dir/flexible_switching.cpp.o"
+  "CMakeFiles/flexible_switching.dir/flexible_switching.cpp.o.d"
+  "flexible_switching"
+  "flexible_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexible_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveillance_server.dir/surveillance_server.cpp.o"
+  "CMakeFiles/surveillance_server.dir/surveillance_server.cpp.o.d"
+  "surveillance_server"
+  "surveillance_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveillance_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

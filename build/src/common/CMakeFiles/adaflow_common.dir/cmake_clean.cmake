@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaflow_common.dir/argparse.cpp.o"
+  "CMakeFiles/adaflow_common.dir/argparse.cpp.o.d"
+  "CMakeFiles/adaflow_common.dir/error.cpp.o"
+  "CMakeFiles/adaflow_common.dir/error.cpp.o.d"
+  "CMakeFiles/adaflow_common.dir/logging.cpp.o"
+  "CMakeFiles/adaflow_common.dir/logging.cpp.o.d"
+  "CMakeFiles/adaflow_common.dir/parallel.cpp.o"
+  "CMakeFiles/adaflow_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/adaflow_common.dir/rng.cpp.o"
+  "CMakeFiles/adaflow_common.dir/rng.cpp.o.d"
+  "CMakeFiles/adaflow_common.dir/strings.cpp.o"
+  "CMakeFiles/adaflow_common.dir/strings.cpp.o.d"
+  "CMakeFiles/adaflow_common.dir/table.cpp.o"
+  "CMakeFiles/adaflow_common.dir/table.cpp.o.d"
+  "libadaflow_common.a"
+  "libadaflow_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaflow_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaflow_core.dir/library.cpp.o"
+  "CMakeFiles/adaflow_core.dir/library.cpp.o.d"
+  "CMakeFiles/adaflow_core.dir/library_generator.cpp.o"
+  "CMakeFiles/adaflow_core.dir/library_generator.cpp.o.d"
+  "CMakeFiles/adaflow_core.dir/oracle_policy.cpp.o"
+  "CMakeFiles/adaflow_core.dir/oracle_policy.cpp.o.d"
+  "CMakeFiles/adaflow_core.dir/runtime_manager.cpp.o"
+  "CMakeFiles/adaflow_core.dir/runtime_manager.cpp.o.d"
+  "libadaflow_core.a"
+  "libadaflow_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaflow_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaflow_datasets.dir/synthetic.cpp.o"
+  "CMakeFiles/adaflow_datasets.dir/synthetic.cpp.o.d"
+  "libadaflow_datasets.a"
+  "libadaflow_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaflow_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

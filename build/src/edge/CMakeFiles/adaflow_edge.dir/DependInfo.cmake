@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edge/server.cpp" "src/edge/CMakeFiles/adaflow_edge.dir/server.cpp.o" "gcc" "src/edge/CMakeFiles/adaflow_edge.dir/server.cpp.o.d"
+  "/root/repo/src/edge/workload.cpp" "src/edge/CMakeFiles/adaflow_edge.dir/workload.cpp.o" "gcc" "src/edge/CMakeFiles/adaflow_edge.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/adaflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adaflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaflow_edge.dir/server.cpp.o"
+  "CMakeFiles/adaflow_edge.dir/server.cpp.o.d"
+  "CMakeFiles/adaflow_edge.dir/workload.cpp.o"
+  "CMakeFiles/adaflow_edge.dir/workload.cpp.o.d"
+  "libadaflow_edge.a"
+  "libadaflow_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaflow_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/device.cpp" "src/fpga/CMakeFiles/adaflow_fpga.dir/device.cpp.o" "gcc" "src/fpga/CMakeFiles/adaflow_fpga.dir/device.cpp.o.d"
+  "/root/repo/src/fpga/power.cpp" "src/fpga/CMakeFiles/adaflow_fpga.dir/power.cpp.o" "gcc" "src/fpga/CMakeFiles/adaflow_fpga.dir/power.cpp.o.d"
+  "/root/repo/src/fpga/reconfig.cpp" "src/fpga/CMakeFiles/adaflow_fpga.dir/reconfig.cpp.o" "gcc" "src/fpga/CMakeFiles/adaflow_fpga.dir/reconfig.cpp.o.d"
+  "/root/repo/src/fpga/resources.cpp" "src/fpga/CMakeFiles/adaflow_fpga.dir/resources.cpp.o" "gcc" "src/fpga/CMakeFiles/adaflow_fpga.dir/resources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hls/CMakeFiles/adaflow_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adaflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adaflow_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

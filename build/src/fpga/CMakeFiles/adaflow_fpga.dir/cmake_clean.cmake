@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaflow_fpga.dir/device.cpp.o"
+  "CMakeFiles/adaflow_fpga.dir/device.cpp.o.d"
+  "CMakeFiles/adaflow_fpga.dir/power.cpp.o"
+  "CMakeFiles/adaflow_fpga.dir/power.cpp.o.d"
+  "CMakeFiles/adaflow_fpga.dir/reconfig.cpp.o"
+  "CMakeFiles/adaflow_fpga.dir/reconfig.cpp.o.d"
+  "CMakeFiles/adaflow_fpga.dir/resources.cpp.o"
+  "CMakeFiles/adaflow_fpga.dir/resources.cpp.o.d"
+  "libadaflow_fpga.a"
+  "libadaflow_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaflow_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

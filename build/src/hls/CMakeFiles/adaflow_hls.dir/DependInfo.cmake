@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/accelerator.cpp" "src/hls/CMakeFiles/adaflow_hls.dir/accelerator.cpp.o" "gcc" "src/hls/CMakeFiles/adaflow_hls.dir/accelerator.cpp.o.d"
+  "/root/repo/src/hls/compiled_model.cpp" "src/hls/CMakeFiles/adaflow_hls.dir/compiled_model.cpp.o" "gcc" "src/hls/CMakeFiles/adaflow_hls.dir/compiled_model.cpp.o.d"
+  "/root/repo/src/hls/folding.cpp" "src/hls/CMakeFiles/adaflow_hls.dir/folding.cpp.o" "gcc" "src/hls/CMakeFiles/adaflow_hls.dir/folding.cpp.o.d"
+  "/root/repo/src/hls/modules.cpp" "src/hls/CMakeFiles/adaflow_hls.dir/modules.cpp.o" "gcc" "src/hls/CMakeFiles/adaflow_hls.dir/modules.cpp.o.d"
+  "/root/repo/src/hls/thresholds.cpp" "src/hls/CMakeFiles/adaflow_hls.dir/thresholds.cpp.o" "gcc" "src/hls/CMakeFiles/adaflow_hls.dir/thresholds.cpp.o.d"
+  "/root/repo/src/hls/types.cpp" "src/hls/CMakeFiles/adaflow_hls.dir/types.cpp.o" "gcc" "src/hls/CMakeFiles/adaflow_hls.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/adaflow_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adaflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaflow_hls.dir/accelerator.cpp.o"
+  "CMakeFiles/adaflow_hls.dir/accelerator.cpp.o.d"
+  "CMakeFiles/adaflow_hls.dir/compiled_model.cpp.o"
+  "CMakeFiles/adaflow_hls.dir/compiled_model.cpp.o.d"
+  "CMakeFiles/adaflow_hls.dir/folding.cpp.o"
+  "CMakeFiles/adaflow_hls.dir/folding.cpp.o.d"
+  "CMakeFiles/adaflow_hls.dir/modules.cpp.o"
+  "CMakeFiles/adaflow_hls.dir/modules.cpp.o.d"
+  "CMakeFiles/adaflow_hls.dir/thresholds.cpp.o"
+  "CMakeFiles/adaflow_hls.dir/thresholds.cpp.o.d"
+  "CMakeFiles/adaflow_hls.dir/types.cpp.o"
+  "CMakeFiles/adaflow_hls.dir/types.cpp.o.d"
+  "libadaflow_hls.a"
+  "libadaflow_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaflow_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/cnv.cpp" "src/nn/CMakeFiles/adaflow_nn.dir/cnv.cpp.o" "gcc" "src/nn/CMakeFiles/adaflow_nn.dir/cnv.cpp.o.d"
+  "/root/repo/src/nn/layers/batchnorm.cpp" "src/nn/CMakeFiles/adaflow_nn.dir/layers/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/adaflow_nn.dir/layers/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/layers/conv2d.cpp" "src/nn/CMakeFiles/adaflow_nn.dir/layers/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/adaflow_nn.dir/layers/conv2d.cpp.o.d"
+  "/root/repo/src/nn/layers/linear.cpp" "src/nn/CMakeFiles/adaflow_nn.dir/layers/linear.cpp.o" "gcc" "src/nn/CMakeFiles/adaflow_nn.dir/layers/linear.cpp.o.d"
+  "/root/repo/src/nn/layers/maxpool2d.cpp" "src/nn/CMakeFiles/adaflow_nn.dir/layers/maxpool2d.cpp.o" "gcc" "src/nn/CMakeFiles/adaflow_nn.dir/layers/maxpool2d.cpp.o.d"
+  "/root/repo/src/nn/layers/quant_act.cpp" "src/nn/CMakeFiles/adaflow_nn.dir/layers/quant_act.cpp.o" "gcc" "src/nn/CMakeFiles/adaflow_nn.dir/layers/quant_act.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/adaflow_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/adaflow_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/adaflow_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/adaflow_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/adaflow_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/adaflow_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/adaflow_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/adaflow_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/quant.cpp" "src/nn/CMakeFiles/adaflow_nn.dir/quant.cpp.o" "gcc" "src/nn/CMakeFiles/adaflow_nn.dir/quant.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/adaflow_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/adaflow_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/adaflow_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/adaflow_nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/adaflow_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/adaflow_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/adaflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaflow_nn.dir/cnv.cpp.o"
+  "CMakeFiles/adaflow_nn.dir/cnv.cpp.o.d"
+  "CMakeFiles/adaflow_nn.dir/layers/batchnorm.cpp.o"
+  "CMakeFiles/adaflow_nn.dir/layers/batchnorm.cpp.o.d"
+  "CMakeFiles/adaflow_nn.dir/layers/conv2d.cpp.o"
+  "CMakeFiles/adaflow_nn.dir/layers/conv2d.cpp.o.d"
+  "CMakeFiles/adaflow_nn.dir/layers/linear.cpp.o"
+  "CMakeFiles/adaflow_nn.dir/layers/linear.cpp.o.d"
+  "CMakeFiles/adaflow_nn.dir/layers/maxpool2d.cpp.o"
+  "CMakeFiles/adaflow_nn.dir/layers/maxpool2d.cpp.o.d"
+  "CMakeFiles/adaflow_nn.dir/layers/quant_act.cpp.o"
+  "CMakeFiles/adaflow_nn.dir/layers/quant_act.cpp.o.d"
+  "CMakeFiles/adaflow_nn.dir/loss.cpp.o"
+  "CMakeFiles/adaflow_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/adaflow_nn.dir/mlp.cpp.o"
+  "CMakeFiles/adaflow_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/adaflow_nn.dir/model.cpp.o"
+  "CMakeFiles/adaflow_nn.dir/model.cpp.o.d"
+  "CMakeFiles/adaflow_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/adaflow_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/adaflow_nn.dir/quant.cpp.o"
+  "CMakeFiles/adaflow_nn.dir/quant.cpp.o.d"
+  "CMakeFiles/adaflow_nn.dir/serialize.cpp.o"
+  "CMakeFiles/adaflow_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/adaflow_nn.dir/tensor.cpp.o"
+  "CMakeFiles/adaflow_nn.dir/tensor.cpp.o.d"
+  "CMakeFiles/adaflow_nn.dir/trainer.cpp.o"
+  "CMakeFiles/adaflow_nn.dir/trainer.cpp.o.d"
+  "libadaflow_nn.a"
+  "libadaflow_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaflow_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

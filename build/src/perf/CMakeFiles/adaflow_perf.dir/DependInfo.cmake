@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/perf.cpp" "src/perf/CMakeFiles/adaflow_perf.dir/perf.cpp.o" "gcc" "src/perf/CMakeFiles/adaflow_perf.dir/perf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hls/CMakeFiles/adaflow_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adaflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adaflow_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

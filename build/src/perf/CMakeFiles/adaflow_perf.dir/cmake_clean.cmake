@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaflow_perf.dir/perf.cpp.o"
+  "CMakeFiles/adaflow_perf.dir/perf.cpp.o.d"
+  "libadaflow_perf.a"
+  "libadaflow_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaflow_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

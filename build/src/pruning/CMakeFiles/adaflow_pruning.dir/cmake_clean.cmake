@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaflow_pruning.dir/prune.cpp.o"
+  "CMakeFiles/adaflow_pruning.dir/prune.cpp.o.d"
+  "libadaflow_pruning.a"
+  "libadaflow_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaflow_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaflow_report.dir/csv.cpp.o"
+  "CMakeFiles/adaflow_report.dir/csv.cpp.o.d"
+  "CMakeFiles/adaflow_report.dir/gnuplot.cpp.o"
+  "CMakeFiles/adaflow_report.dir/gnuplot.cpp.o.d"
+  "libadaflow_report.a"
+  "libadaflow_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaflow_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaflow_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/adaflow_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/adaflow_sim.dir/stats.cpp.o"
+  "CMakeFiles/adaflow_sim.dir/stats.cpp.o.d"
+  "libadaflow_sim.a"
+  "libadaflow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaflow_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadaflow_sim.a"
+)

@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_argparse.cpp" "tests/CMakeFiles/adaflow_tests.dir/common/test_argparse.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/common/test_argparse.cpp.o.d"
+  "/root/repo/tests/common/test_error.cpp" "tests/CMakeFiles/adaflow_tests.dir/common/test_error.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/common/test_error.cpp.o.d"
+  "/root/repo/tests/common/test_math.cpp" "tests/CMakeFiles/adaflow_tests.dir/common/test_math.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/common/test_math.cpp.o.d"
+  "/root/repo/tests/common/test_parallel.cpp" "tests/CMakeFiles/adaflow_tests.dir/common/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/common/test_parallel.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/adaflow_tests.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_strings.cpp" "tests/CMakeFiles/adaflow_tests.dir/common/test_strings.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/common/test_strings.cpp.o.d"
+  "/root/repo/tests/common/test_table.cpp" "tests/CMakeFiles/adaflow_tests.dir/common/test_table.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/common/test_table.cpp.o.d"
+  "/root/repo/tests/core/test_integration.cpp" "tests/CMakeFiles/adaflow_tests.dir/core/test_integration.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/core/test_integration.cpp.o.d"
+  "/root/repo/tests/core/test_integration_mlp.cpp" "tests/CMakeFiles/adaflow_tests.dir/core/test_integration_mlp.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/core/test_integration_mlp.cpp.o.d"
+  "/root/repo/tests/core/test_library.cpp" "tests/CMakeFiles/adaflow_tests.dir/core/test_library.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/core/test_library.cpp.o.d"
+  "/root/repo/tests/core/test_oracle_policy.cpp" "tests/CMakeFiles/adaflow_tests.dir/core/test_oracle_policy.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/core/test_oracle_policy.cpp.o.d"
+  "/root/repo/tests/core/test_runtime_manager.cpp" "tests/CMakeFiles/adaflow_tests.dir/core/test_runtime_manager.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/core/test_runtime_manager.cpp.o.d"
+  "/root/repo/tests/datasets/test_synthetic.cpp" "tests/CMakeFiles/adaflow_tests.dir/datasets/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/datasets/test_synthetic.cpp.o.d"
+  "/root/repo/tests/edge/test_determinism.cpp" "tests/CMakeFiles/adaflow_tests.dir/edge/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/edge/test_determinism.cpp.o.d"
+  "/root/repo/tests/edge/test_server.cpp" "tests/CMakeFiles/adaflow_tests.dir/edge/test_server.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/edge/test_server.cpp.o.d"
+  "/root/repo/tests/edge/test_workload.cpp" "tests/CMakeFiles/adaflow_tests.dir/edge/test_workload.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/edge/test_workload.cpp.o.d"
+  "/root/repo/tests/fpga/test_device.cpp" "tests/CMakeFiles/adaflow_tests.dir/fpga/test_device.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/fpga/test_device.cpp.o.d"
+  "/root/repo/tests/fpga/test_devices_extra.cpp" "tests/CMakeFiles/adaflow_tests.dir/fpga/test_devices_extra.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/fpga/test_devices_extra.cpp.o.d"
+  "/root/repo/tests/fpga/test_power.cpp" "tests/CMakeFiles/adaflow_tests.dir/fpga/test_power.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/fpga/test_power.cpp.o.d"
+  "/root/repo/tests/fpga/test_reconfig.cpp" "tests/CMakeFiles/adaflow_tests.dir/fpga/test_reconfig.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/fpga/test_reconfig.cpp.o.d"
+  "/root/repo/tests/fpga/test_resources.cpp" "tests/CMakeFiles/adaflow_tests.dir/fpga/test_resources.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/fpga/test_resources.cpp.o.d"
+  "/root/repo/tests/hls/test_accelerator.cpp" "tests/CMakeFiles/adaflow_tests.dir/hls/test_accelerator.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/hls/test_accelerator.cpp.o.d"
+  "/root/repo/tests/hls/test_compiled_model.cpp" "tests/CMakeFiles/adaflow_tests.dir/hls/test_compiled_model.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/hls/test_compiled_model.cpp.o.d"
+  "/root/repo/tests/hls/test_folding.cpp" "tests/CMakeFiles/adaflow_tests.dir/hls/test_folding.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/hls/test_folding.cpp.o.d"
+  "/root/repo/tests/hls/test_modules.cpp" "tests/CMakeFiles/adaflow_tests.dir/hls/test_modules.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/hls/test_modules.cpp.o.d"
+  "/root/repo/tests/hls/test_thresholds.cpp" "tests/CMakeFiles/adaflow_tests.dir/hls/test_thresholds.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/hls/test_thresholds.cpp.o.d"
+  "/root/repo/tests/hls/test_types.cpp" "tests/CMakeFiles/adaflow_tests.dir/hls/test_types.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/hls/test_types.cpp.o.d"
+  "/root/repo/tests/nn/test_batchnorm.cpp" "tests/CMakeFiles/adaflow_tests.dir/nn/test_batchnorm.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/nn/test_batchnorm.cpp.o.d"
+  "/root/repo/tests/nn/test_cnv.cpp" "tests/CMakeFiles/adaflow_tests.dir/nn/test_cnv.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/nn/test_cnv.cpp.o.d"
+  "/root/repo/tests/nn/test_conv2d.cpp" "tests/CMakeFiles/adaflow_tests.dir/nn/test_conv2d.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/nn/test_conv2d.cpp.o.d"
+  "/root/repo/tests/nn/test_linear.cpp" "tests/CMakeFiles/adaflow_tests.dir/nn/test_linear.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/nn/test_linear.cpp.o.d"
+  "/root/repo/tests/nn/test_loss.cpp" "tests/CMakeFiles/adaflow_tests.dir/nn/test_loss.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/nn/test_loss.cpp.o.d"
+  "/root/repo/tests/nn/test_maxpool.cpp" "tests/CMakeFiles/adaflow_tests.dir/nn/test_maxpool.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/nn/test_maxpool.cpp.o.d"
+  "/root/repo/tests/nn/test_mlp.cpp" "tests/CMakeFiles/adaflow_tests.dir/nn/test_mlp.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/nn/test_mlp.cpp.o.d"
+  "/root/repo/tests/nn/test_model.cpp" "tests/CMakeFiles/adaflow_tests.dir/nn/test_model.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/nn/test_model.cpp.o.d"
+  "/root/repo/tests/nn/test_optimizer.cpp" "tests/CMakeFiles/adaflow_tests.dir/nn/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/nn/test_optimizer.cpp.o.d"
+  "/root/repo/tests/nn/test_quant.cpp" "tests/CMakeFiles/adaflow_tests.dir/nn/test_quant.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/nn/test_quant.cpp.o.d"
+  "/root/repo/tests/nn/test_quant_act.cpp" "tests/CMakeFiles/adaflow_tests.dir/nn/test_quant_act.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/nn/test_quant_act.cpp.o.d"
+  "/root/repo/tests/nn/test_serialize.cpp" "tests/CMakeFiles/adaflow_tests.dir/nn/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/nn/test_serialize.cpp.o.d"
+  "/root/repo/tests/nn/test_tensor.cpp" "tests/CMakeFiles/adaflow_tests.dir/nn/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/nn/test_tensor.cpp.o.d"
+  "/root/repo/tests/nn/test_trainer.cpp" "tests/CMakeFiles/adaflow_tests.dir/nn/test_trainer.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/nn/test_trainer.cpp.o.d"
+  "/root/repo/tests/perf/test_perf.cpp" "tests/CMakeFiles/adaflow_tests.dir/perf/test_perf.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/perf/test_perf.cpp.o.d"
+  "/root/repo/tests/pruning/test_prune.cpp" "tests/CMakeFiles/adaflow_tests.dir/pruning/test_prune.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/pruning/test_prune.cpp.o.d"
+  "/root/repo/tests/pruning/test_prune_fc.cpp" "tests/CMakeFiles/adaflow_tests.dir/pruning/test_prune_fc.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/pruning/test_prune_fc.cpp.o.d"
+  "/root/repo/tests/report/test_csv.cpp" "tests/CMakeFiles/adaflow_tests.dir/report/test_csv.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/report/test_csv.cpp.o.d"
+  "/root/repo/tests/report/test_gnuplot.cpp" "tests/CMakeFiles/adaflow_tests.dir/report/test_gnuplot.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/report/test_gnuplot.cpp.o.d"
+  "/root/repo/tests/sim/test_event_queue.cpp" "tests/CMakeFiles/adaflow_tests.dir/sim/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/sim/test_event_queue.cpp.o.d"
+  "/root/repo/tests/sim/test_stats.cpp" "tests/CMakeFiles/adaflow_tests.dir/sim/test_stats.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/sim/test_stats.cpp.o.d"
+  "/root/repo/tests/testing/fixtures.cpp" "tests/CMakeFiles/adaflow_tests.dir/testing/fixtures.cpp.o" "gcc" "tests/CMakeFiles/adaflow_tests.dir/testing/fixtures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adaflow_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/adaflow_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/adaflow_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adaflow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/adaflow_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/adaflow_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/pruning/CMakeFiles/adaflow_pruning.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/adaflow_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/adaflow_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/adaflow_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/adaflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

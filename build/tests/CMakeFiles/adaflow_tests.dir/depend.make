@@ -1,0 +1,2 @@
+# Empty dependencies file for adaflow_tests.
+# This may be replaced when dependencies are built.

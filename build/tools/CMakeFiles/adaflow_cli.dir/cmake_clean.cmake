@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaflow_cli.dir/adaflow_cli.cpp.o"
+  "CMakeFiles/adaflow_cli.dir/adaflow_cli.cpp.o.d"
+  "adaflow"
+  "adaflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaflow_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
