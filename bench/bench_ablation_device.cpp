@@ -48,7 +48,7 @@ int main() {
                    format_percent(finn.mean.frame_loss(), 2),
                    format_double(ada.mean.average_power_w(), 3),
                    format_double(finn.mean.average_power_w(), 3),
-                   format_double(static_cast<double>(ada.mean.reconfigurations) / runs, 1),
+                   format_double(static_cast<double>(ada.mean.reconfigurations), 1),
                    format_ratio(ada.mean.power_efficiency() / finn.mean.power_efficiency())});
   }
   std::printf("%s\n", table.render().c_str());

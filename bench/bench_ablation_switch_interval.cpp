@@ -35,8 +35,8 @@ int main() {
     table.add_row({factor > 1e6 ? "inf (always Flexible)" : format_double(factor, 0),
                    format_percent(ada.mean.frame_loss(), 2), format_percent(ada.mean.qoe(), 2),
                    format_double(ada.mean.average_power_w(), 3),
-                   format_double(static_cast<double>(ada.mean.model_switches) / runs, 1),
-                   format_double(static_cast<double>(ada.mean.reconfigurations) / runs, 1),
+                   format_double(static_cast<double>(ada.mean.model_switches), 1),
+                   format_double(static_cast<double>(ada.mean.reconfigurations), 1),
                    format_ratio(ada.mean.power_efficiency() / finn.mean.power_efficiency())});
   }
   std::printf("%s\n", table.render().c_str());

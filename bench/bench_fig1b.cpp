@@ -46,8 +46,8 @@ int main() {
   TextTable totals({"server", "frame_loss", "switches/run", "processed/run"});
   for (const Series& s : all) {
     totals.add_row({s.name, format_percent(s.result.mean.frame_loss(), 2),
-                    format_double(static_cast<double>(s.result.mean.model_switches) / runs, 1),
-                    format_double(static_cast<double>(s.result.mean.processed) / runs, 0)});
+                    format_double(static_cast<double>(s.result.mean.model_switches), 1),
+                    format_double(static_cast<double>(s.result.mean.processed), 0)});
   }
   std::printf("%s\n", totals.render().c_str());
 

@@ -44,8 +44,8 @@ int main() {
     totals.add_row({e.name, "AdaFlow", format_percent(ada.mean.frame_loss(), 2),
                     format_percent(ada.mean.qoe(), 2),
                     format_double(ada.mean.average_power_w(), 3),
-                    format_double(static_cast<double>(ada.mean.model_switches) / runs, 1),
-                    format_double(static_cast<double>(ada.mean.reconfigurations) / runs, 1)});
+                    format_double(static_cast<double>(ada.mean.model_switches), 1),
+                    format_double(static_cast<double>(ada.mean.reconfigurations), 1)});
     totals.add_row({e.name, "Orig.FINN", format_percent(finn.mean.frame_loss(), 2),
                     format_percent(finn.mean.qoe(), 2),
                     format_double(finn.mean.average_power_w(), 3), "0", "0"});

@@ -70,7 +70,7 @@ int main() {
                    format_percent(r.mean.qoe(), 2),
                    format_double(r.mean.average_power_w(), 3),
                    format_double(r.mean.power_efficiency(), 1),
-                   format_double(static_cast<double>(r.mean.model_switches) / kRuns, 1)});
+                   format_double(static_cast<double>(r.mean.model_switches), 1)});
   };
   add("Original FINN (static)", finn);
   add("Pruning + reconfig only", reconf);

@@ -42,6 +42,10 @@ struct RuntimeManagerConfig {
   /// Extra headroom required before moving to a SLOWER (more accurate)
   /// model; asymmetric hysteresis that stops boundary flapping.
   double downswitch_margin = 1.2;
+  /// After a reconfiguration fails for good, avoid Fixed-Pruning (i.e. force
+  /// the Flexible safety net) for this long — a flaky PR controller must not
+  /// be handed another bitstream immediately.
+  double reconfig_failure_hold_s = 5.0;
 };
 
 /// The AdaFlow Runtime Manager, exposed as an edge serving policy.
@@ -52,6 +56,19 @@ class RuntimeManager final : public edge::ServingPolicy {
   edge::ServingMode initial_mode() override;
   std::optional<edge::SwitchAction> on_poll(double now_s, double incoming_fps) override;
   void on_switch_applied(double now_s, const edge::ServingMode& mode) override;
+
+  /// Self-healing: rolls the version/variant bookkeeping back to the mode
+  /// that is actually live, and — when a Fixed-Pruning reconfiguration
+  /// failed — answers with the paper's always-available safety net, the
+  /// Flexible accelerator running the same target version. A failed fallback
+  /// (or a failed fast switch) returns nullopt: stay on the live mode.
+  std::optional<edge::SwitchAction> on_switch_failed(double now_s,
+                                                     const edge::SwitchAction& action) override;
+
+  /// Load shedding: when the server queue saturates, jump to the fastest
+  /// version inside the accuracy threshold on the Flexible accelerator (a
+  /// reconfiguration mid-overload would only deepen the backlog if avoidable).
+  std::optional<edge::SwitchAction> on_overload(double now_s, double incoming_fps) override;
 
   /// The model-selection rule in isolation (unit-testable): returns the
   /// library index chosen for an incoming-FPS demand.
@@ -75,8 +92,13 @@ class RuntimeManager final : public edge::ServingPolicy {
 
   std::size_t current_version_ = 0;
   hls::AcceleratorVariant current_variant_ = hls::AcceleratorVariant::kFixed;
-  double last_model_switch_s_ = -1e18;  ///< time of the last applied switch
-  double last_decision_s_ = -1e18;      ///< time of the last issued action
+  // What the hardware actually runs (differs from current_* only while a
+  // switch is in flight; on_switch_failed rolls current_* back to it).
+  std::size_t live_version_ = 0;
+  hls::AcceleratorVariant live_variant_ = hls::AcceleratorVariant::kFixed;
+  double last_model_switch_s_ = -1e18;   ///< time of the last applied switch
+  double last_decision_s_ = -1e18;       ///< time of the last issued action
+  double last_switch_failure_s_ = -1e18; ///< time of the last abandoned reconfig
   double last_acted_fps_ = -1.0;
   bool threshold_dirty_ = false;
 };

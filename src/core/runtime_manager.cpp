@@ -55,6 +55,16 @@ RuntimeManager::RuntimeManager(const AcceleratorLibrary& library, RuntimeManager
     : library_(library), config_(config) {
   require(config_.accuracy_threshold >= 0.0, "negative accuracy threshold");
   require(config_.switch_interval_factor >= 0.0, "negative switch interval factor");
+  require(config_.reconfig_failure_hold_s >= 0.0, "negative reconfig failure hold");
+  // Fail fast on broken library rows — a zero-FPS mode discovered mid-run
+  // would otherwise surface as an inexplicable simulation error.
+  require(!library_.versions.empty(), "empty library");
+  for (const ModelVersion& v : library_.versions) {
+    require(std::isfinite(v.fps_fixed) && v.fps_fixed > 0.0,
+            "library version '" + v.version + "' has non-positive Fixed FPS");
+    require(std::isfinite(v.fps_flexible) && v.fps_flexible > 0.0,
+            "library version '" + v.version + "' has non-positive Flexible FPS");
+  }
 }
 
 edge::ServingMode RuntimeManager::mode_for(std::size_t version,
@@ -84,7 +94,10 @@ edge::ServingMode RuntimeManager::initial_mode() {
   // needed switch may use a Fixed accelerator.
   current_version_ = 0;
   current_variant_ = hls::AcceleratorVariant::kFixed;
+  live_version_ = 0;
+  live_variant_ = hls::AcceleratorVariant::kFixed;
   last_model_switch_s_ = -1e18;
+  last_switch_failure_s_ = -1e18;
   return mode_for(current_version_, current_variant_);
 }
 
@@ -95,6 +108,11 @@ std::size_t RuntimeManager::select_version(double incoming_fps) const {
 }
 
 hls::AcceleratorVariant RuntimeManager::select_variant(double now_s) const {
+  // A recently failed reconfiguration pins the choice to the Flexible safety
+  // net: the PR controller gets a cool-off before another bitstream load.
+  if (now_s - last_switch_failure_s_ < config_.reconfig_failure_hold_s) {
+    return hls::AcceleratorVariant::kFlexible;
+  }
   const double interval = config_.switch_interval_factor * library_.reconfig_time_s;
   return (now_s - last_model_switch_s_) >= interval ? hls::AcceleratorVariant::kFixed
                                                     : hls::AcceleratorVariant::kFlexible;
@@ -174,8 +192,89 @@ std::optional<edge::SwitchAction> RuntimeManager::on_poll(double now_s, double i
   return action;
 }
 
-void RuntimeManager::on_switch_applied(double now_s, const edge::ServingMode&) {
+void RuntimeManager::on_switch_applied(double now_s, const edge::ServingMode& mode) {
   last_model_switch_s_ = now_s;
+  live_variant_ = mode.accelerator == "Flexible" ? hls::AcceleratorVariant::kFlexible
+                                                 : hls::AcceleratorVariant::kFixed;
+  live_version_ = library_.index_of(mode.model_version);
+}
+
+std::optional<edge::SwitchAction> RuntimeManager::on_switch_failed(
+    double now_s, const edge::SwitchAction& action) {
+  // The advertised mode never went live: roll the bookkeeping back so future
+  // decisions reason from the hardware's actual state instead of silently
+  // assuming the failed target.
+  current_version_ = live_version_;
+  current_variant_ = live_variant_;
+  last_acted_fps_ = -1.0;  // force a re-evaluation on the next poll
+  if (!action.is_reconfiguration) {
+    return std::nullopt;  // a fast switch failed; nothing cheaper exists
+  }
+  last_switch_failure_s_ = now_s;
+  if (action.target.accelerator == "Flexible") {
+    return std::nullopt;  // the safety net itself failed to load; stay put
+  }
+  // Fixed-Pruning reconfiguration failed: fall back to the same model version
+  // on the Flexible accelerator — fast if Flexible is already loaded, one
+  // "Change of Dataflow" reconfiguration otherwise.
+  const std::size_t version = library_.index_of(action.target.model_version);
+  edge::SwitchAction fallback;
+  fallback.target = mode_for(version, hls::AcceleratorVariant::kFlexible);
+  if (live_variant_ == hls::AcceleratorVariant::kFlexible) {
+    fallback.switch_time_s = library_.versions.at(version).flexible_switch_time_s;
+    fallback.is_reconfiguration = false;
+  } else {
+    fallback.switch_time_s = library_.reconfig_time_s;
+    fallback.is_reconfiguration = true;
+  }
+  current_version_ = version;
+  current_variant_ = hls::AcceleratorVariant::kFlexible;
+  last_decision_s_ = now_s;
+  return fallback;
+}
+
+std::optional<edge::SwitchAction> RuntimeManager::on_overload(double now_s, double incoming_fps) {
+  if (now_s - last_decision_s_ < config_.min_action_gap_s) {
+    return std::nullopt;  // an action is already in flight or just applied
+  }
+  // The queue is saturating: find the fastest version inside the accuracy
+  // threshold and shed load onto it, regardless of the accuracy preference
+  // the normal selection rule would apply.
+  const double accuracy_floor = library_.base_accuracy - config_.accuracy_threshold;
+  std::size_t fastest = current_version_;
+  double fastest_fps = -1.0;
+  for (std::size_t i = 0; i < library_.versions.size(); ++i) {
+    const ModelVersion& v = library_.versions[i];
+    if (v.accuracy < accuracy_floor) {
+      continue;
+    }
+    if (v.fps_flexible > fastest_fps) {
+      fastest_fps = v.fps_flexible;
+      fastest = i;
+    }
+  }
+  if (fastest == current_version_ &&
+      current_variant_ == hls::AcceleratorVariant::kFlexible) {
+    return std::nullopt;  // already draining as fast as the library allows
+  }
+  if (fastest == current_version_ && current_variant_ == hls::AcceleratorVariant::kFixed &&
+      library_.versions.at(fastest).fps_fixed >= fastest_fps) {
+    return std::nullopt;  // the Fixed variant of the same version is no slower
+  }
+  edge::SwitchAction action;
+  action.target = mode_for(fastest, hls::AcceleratorVariant::kFlexible);
+  if (current_variant_ == hls::AcceleratorVariant::kFlexible) {
+    action.switch_time_s = library_.versions.at(fastest).flexible_switch_time_s;
+    action.is_reconfiguration = false;
+  } else {
+    action.switch_time_s = library_.reconfig_time_s;
+    action.is_reconfiguration = true;
+  }
+  current_version_ = fastest;
+  current_variant_ = hls::AcceleratorVariant::kFlexible;
+  last_decision_s_ = now_s;
+  last_acted_fps_ = incoming_fps;
+  return action;
 }
 
 edge::ServingMode StaticFinnPolicy::initial_mode() {

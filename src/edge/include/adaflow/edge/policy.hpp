@@ -43,6 +43,26 @@ class ServingPolicy {
 
   /// Notification that a switch finished (the new mode is live).
   virtual void on_switch_applied(double now_s, const ServingMode& mode) { (void)now_s; (void)mode; }
+
+  /// Notification that \p action failed for good: every bounded retry was
+  /// exhausted, so the target mode never loaded and the pre-switch mode is
+  /// still live. Implementations must roll back any bookkeeping they advanced
+  /// when issuing the action. Return a cheaper fallback switch to try instead
+  /// (AdaFlow: the always-available Flexible accelerator), or nullopt to stay
+  /// on the current mode.
+  virtual std::optional<SwitchAction> on_switch_failed(double now_s, const SwitchAction& action) {
+    (void)now_s;
+    (void)action;
+    return std::nullopt;
+  }
+
+  /// Consulted by the load shedder when the server queue saturates. Return a
+  /// switch to the fastest acceptable mode to drain the backlog, or nullopt.
+  virtual std::optional<SwitchAction> on_overload(double now_s, double incoming_fps) {
+    (void)now_s;
+    (void)incoming_fps;
+    return std::nullopt;
+  }
 };
 
 }  // namespace adaflow::edge

@@ -7,22 +7,62 @@
 /// the incoming rate and lets the serving policy switch modes — stalling the
 /// server for the switch duration (fast for Flexible, a full reconfiguration
 /// for Fixed). Frames that arrive into a full queue are lost.
+///
+/// The server optionally consults a faults::FaultInjector and defends itself
+/// with a self-healing layer: switch timeout + bounded exponential-backoff
+/// retry, policy-driven fallback (Fixed -> Flexible), a watchdog for stalled
+/// in-flight frames, and load shedding when the queue saturates. Disabling
+/// FaultToleranceConfig::enabled yields the unhardened baseline that
+/// bench_faults compares against.
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "adaflow/common/error.hpp"
 #include "adaflow/edge/policy.hpp"
 #include "adaflow/edge/workload.hpp"
 #include "adaflow/sim/stats.hpp"
 
+namespace adaflow::faults {
+class FaultInjector;
+}
+
 namespace adaflow::edge {
+
+/// Self-healing knobs. Timeouts are relative to the nominal cost of the
+/// guarded operation so one config works for both the ~145 ms Fixed
+/// reconfiguration and the sub-ms Flexible switch.
+struct FaultToleranceConfig {
+  bool enabled = true;
+  /// A switch is declared hung after factor x its nominal time.
+  double switch_timeout_factor = 3.0;
+  double min_switch_timeout_s = 0.02;
+  /// A supervised load aborts at the first bad status readback, a fraction
+  /// of the way into the transfer; the unhardened server has no supervision
+  /// and always pays the full (possibly inflated) load time.
+  double failure_detect_fraction = 0.25;
+  /// Bounded retries of a failed/hung switch before asking the policy for a
+  /// fallback via on_switch_failed.
+  int max_switch_retries = 2;
+  /// First retry waits this long; each further retry doubles it.
+  double retry_backoff_s = 0.05;
+  /// An in-flight frame is declared stalled after factor x its service time.
+  double watchdog_timeout_factor = 10.0;
+  double min_watchdog_timeout_s = 0.05;
+  /// Recovering from a stall re-loads the current mode's weights.
+  double recovery_reload_s = 0.002;
+  /// on_overload fires when the queue is this full.
+  double shed_queue_fraction = 0.85;
+};
 
 struct ServerConfig {
   std::int64_t queue_capacity = 72;
   double poll_interval_s = 0.1;      ///< monitor cadence
   double estimate_window_s = 0.4;    ///< incoming-FPS estimation window
   double sample_interval_s = 0.5;    ///< time-series sampling cadence
+  FaultToleranceConfig fault_tolerance;
 };
 
 /// One applied mode switch (for Figure 6's annotation track).
@@ -44,6 +84,8 @@ struct RunMetrics {
   int reconfigurations = 0;
   std::vector<SwitchRecord> switches;
 
+  sim::FaultStats faults;  ///< robustness observability (zero without injector)
+
   sim::TimeSeries workload_series;  ///< incoming FPS per sample window
   sim::TimeSeries loss_series;      ///< frame-loss fraction per window
   sim::TimeSeries qoe_series;       ///< QoE per window
@@ -61,14 +103,18 @@ struct RunMetrics {
   double power_efficiency() const { return energy_j > 0 ? processed / energy_j : 0.0; }
 };
 
-/// Runs one full simulation of \p trace under \p policy.
+/// Runs one full simulation of \p trace under \p policy. \p injector may be
+/// null (fault-free run); when set, the same (schedule, seed) pair replays
+/// bit-identically.
 RunMetrics run_simulation(const WorkloadTrace& trace, ServingPolicy& policy,
-                          const ServerConfig& config, std::uint64_t seed);
+                          const ServerConfig& config, std::uint64_t seed,
+                          faults::FaultInjector* injector = nullptr);
 
 /// Averages scalar metrics and series over repeated runs (seeds 0..runs-1
 /// offset by seed_base), constructing a fresh policy per run via \p factory.
 struct RepeatedRunResult {
-  RunMetrics mean;                 ///< scalar fields averaged; series averaged
+  RunMetrics mean;                 ///< per-run means: scalars divided by runs
+                                   ///< (counts rounded), series averaged
   sim::RunningStat frame_loss;
   sim::RunningStat qoe;
   sim::RunningStat power;
@@ -78,6 +124,7 @@ template <typename PolicyFactory>
 RepeatedRunResult run_repeated(const WorkloadConfig& workload, PolicyFactory&& factory,
                                const ServerConfig& config, int runs,
                                std::uint64_t seed_base = 1000) {
+  require(runs > 0, "run_repeated needs runs > 0");
   RepeatedRunResult out;
   std::vector<sim::TimeSeries> workload_s, loss_s, qoe_s, power_s;
   RunMetrics total;
@@ -94,6 +141,7 @@ RepeatedRunResult run_repeated(const WorkloadConfig& workload, PolicyFactory&& f
     total.duration_s += m.duration_s;
     total.model_switches += m.model_switches;
     total.reconfigurations += m.reconfigurations;
+    total.faults.accumulate(m.faults);
     if (r == 0) {
       total.switches = m.switches;  // representative first run (paper Fig. 6)
     }
@@ -105,6 +153,22 @@ RepeatedRunResult run_repeated(const WorkloadConfig& workload, PolicyFactory&& f
     qoe_s.push_back(std::move(m.qoe_series));
     power_s.push_back(std::move(m.power_series));
   }
+  // Scalars become per-run means so they read on the same scale as one run;
+  // dividing numerators and denominators alike keeps the ratio accessors
+  // (frame_loss, qoe, average_power_w) consistent with the pooled ratios.
+  auto mean_count = [runs](std::int64_t v) {
+    return static_cast<std::int64_t>(
+        std::llround(static_cast<double>(v) / static_cast<double>(runs)));
+  };
+  total.arrived = mean_count(total.arrived);
+  total.processed = mean_count(total.processed);
+  total.lost = mean_count(total.lost);
+  total.qoe_accuracy_sum /= runs;
+  total.energy_j /= runs;
+  total.duration_s /= runs;
+  total.model_switches = static_cast<int>(mean_count(total.model_switches));
+  total.reconfigurations = static_cast<int>(mean_count(total.reconfigurations));
+  total.faults.divide(runs);
   total.workload_series = sim::average_series(workload_s);
   total.loss_series = sim::average_series(loss_s);
   total.qoe_series = sim::average_series(qoe_s);

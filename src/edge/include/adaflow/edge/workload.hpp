@@ -28,6 +28,11 @@ struct WorkloadConfig {
 
   double base_rate() const { return devices * fps_per_device; }
   double total_duration() const;
+
+  /// Throws ConfigError naming the offending field (and phase index) on
+  /// non-positive device counts, negative/NaN rates, deviations, intervals
+  /// or durations. Called by WorkloadTrace before sampling.
+  void validate() const;
 };
 
 /// Paper scenarios.

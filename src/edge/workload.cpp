@@ -1,10 +1,30 @@
 #include "adaflow/edge/workload.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 #include "adaflow/common/error.hpp"
 
 namespace adaflow::edge {
+
+void WorkloadConfig::validate() const {
+  require(devices > 0, "workload devices must be > 0, got " + std::to_string(devices));
+  require(std::isfinite(fps_per_device) && fps_per_device > 0.0,
+          "workload fps_per_device must be a finite positive rate, got " +
+              std::to_string(fps_per_device));
+  require(!phases.empty(), "workload needs at least one phase");
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const WorkloadPhase& p = phases[i];
+    const std::string where = "workload phase " + std::to_string(i) + ": ";
+    require(std::isfinite(p.deviation) && p.deviation >= 0.0 && p.deviation <= 1.0,
+            where + "deviation must be in [0, 1], got " + std::to_string(p.deviation));
+    require(std::isfinite(p.interval_s) && p.interval_s > 0.0,
+            where + "interval_s must be finite and > 0, got " + std::to_string(p.interval_s));
+    require(std::isfinite(p.duration_s) && p.duration_s > 0.0,
+            where + "duration_s must be finite and > 0, got " + std::to_string(p.duration_s));
+  }
+}
 
 double WorkloadConfig::total_duration() const {
   double total = 0.0;
@@ -34,7 +54,7 @@ WorkloadConfig scenario1_plus_2(double stable_s, double total_s) {
 }
 
 WorkloadTrace::WorkloadTrace(const WorkloadConfig& config, std::uint64_t seed) {
-  require(!config.phases.empty(), "workload needs at least one phase");
+  config.validate();
   Rng rng(seed);
   const double base = config.base_rate();
 

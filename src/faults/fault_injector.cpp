@@ -1,0 +1,155 @@
+#include "adaflow/faults/fault_injector.hpp"
+
+#include <cmath>
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow::faults {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kReconfigFailure:
+      return "reconfig-failure";
+    case FaultKind::kReconfigSlowdown:
+      return "reconfig-slowdown";
+    case FaultKind::kMonitorDropout:
+      return "monitor-dropout";
+    case FaultKind::kMonitorNoise:
+      return "monitor-noise";
+    case FaultKind::kAcceleratorStall:
+      return "accelerator-stall";
+    case FaultKind::kQueueBurst:
+      return "queue-burst";
+  }
+  return "unknown";
+}
+
+void FaultSchedule::validate() const {
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const FaultSpec& f = faults[i];
+    const std::string where = "fault schedule entry " + std::to_string(i) + " (" +
+                              fault_kind_name(f.kind) + "): ";
+    require(std::isfinite(f.start_s) && f.start_s >= 0.0, where + "start_s must be finite >= 0");
+    require(std::isfinite(f.end_s) && f.end_s >= f.start_s,
+            where + "end_s must be finite >= start_s");
+    require(std::isfinite(f.probability) && f.probability >= 0.0 && f.probability <= 1.0,
+            where + "probability must be in [0, 1]");
+    require(std::isfinite(f.magnitude) && f.magnitude >= 0.0,
+            where + "magnitude must be finite >= 0");
+  }
+}
+
+FaultSchedule reconfig_failure_storm(double start_s, double end_s, double probability,
+                                     double slowdown) {
+  FaultSchedule s;
+  s.faults.push_back(FaultSpec{FaultKind::kReconfigFailure, start_s, end_s, probability, 1.0});
+  s.faults.push_back(FaultSpec{FaultKind::kReconfigSlowdown, start_s, end_s, 0.5, slowdown});
+  return s;
+}
+
+FaultSchedule flaky_edge_schedule(double duration_s) {
+  FaultSchedule s;
+  s.faults.push_back(FaultSpec{FaultKind::kMonitorNoise, 0.0, duration_s, 0.3, 0.4});
+  s.faults.push_back(FaultSpec{FaultKind::kMonitorDropout, 0.0, duration_s, 0.1, 1.0});
+  s.faults.push_back(
+      FaultSpec{FaultKind::kAcceleratorStall, 0.25 * duration_s, 0.5 * duration_s, 0.002, 1.5});
+  s.faults.push_back(
+      FaultSpec{FaultKind::kQueueBurst, 0.6 * duration_s, 0.7 * duration_s, 1.0, 1.8});
+  return s;
+}
+
+FaultInjector::FaultInjector(FaultSchedule schedule, std::uint64_t seed)
+    : schedule_(std::move(schedule)), rng_(seed) {
+  schedule_.validate();
+  burst_counted_.assign(schedule_.faults.size(), 0);
+}
+
+bool FaultInjector::draw(const FaultSpec& spec) {
+  if (spec.probability >= 1.0) {
+    return true;
+  }
+  if (spec.probability <= 0.0) {
+    return false;
+  }
+  return rng_.bernoulli(spec.probability);
+}
+
+FaultInjector::SwitchOutcome FaultInjector::on_switch_attempt(double now_s,
+                                                              bool is_reconfiguration) {
+  SwitchOutcome out;
+  if (!is_reconfiguration) {
+    return out;  // the Flexible fast switch has no bitstream to corrupt
+  }
+  for (const FaultSpec& f : schedule_.faults) {
+    if (now_s < f.start_s || now_s >= f.end_s) {
+      continue;
+    }
+    if (f.kind == FaultKind::kReconfigFailure && !out.fail && draw(f)) {
+      out.fail = true;
+      ++injected_[static_cast<int>(f.kind)];
+    } else if (f.kind == FaultKind::kReconfigSlowdown && draw(f)) {
+      out.time_factor *= f.magnitude;
+      ++injected_[static_cast<int>(f.kind)];
+    }
+  }
+  return out;
+}
+
+FaultInjector::PollOutcome FaultInjector::on_rate_poll(double now_s) {
+  PollOutcome out;
+  for (const FaultSpec& f : schedule_.faults) {
+    if (now_s < f.start_s || now_s >= f.end_s) {
+      continue;
+    }
+    if (f.kind == FaultKind::kMonitorDropout && !out.dropout && draw(f)) {
+      out.dropout = true;
+      ++injected_[static_cast<int>(f.kind)];
+    } else if (f.kind == FaultKind::kMonitorNoise && draw(f)) {
+      out.noise_factor *= 1.0 + rng_.uniform(-f.magnitude, f.magnitude);
+      ++injected_[static_cast<int>(f.kind)];
+    }
+  }
+  return out;
+}
+
+double FaultInjector::stall_seconds(double now_s) {
+  double stall = 0.0;
+  for (const FaultSpec& f : schedule_.faults) {
+    if (f.kind != FaultKind::kAcceleratorStall || now_s < f.start_s || now_s >= f.end_s) {
+      continue;
+    }
+    if (draw(f)) {
+      stall += f.magnitude;
+      ++injected_[static_cast<int>(f.kind)];
+    }
+  }
+  return stall;
+}
+
+double FaultInjector::arrival_rate_factor(double now_s) {
+  double factor = 1.0;
+  for (std::size_t i = 0; i < schedule_.faults.size(); ++i) {
+    const FaultSpec& f = schedule_.faults[i];
+    if (f.kind != FaultKind::kQueueBurst || now_s < f.start_s || now_s >= f.end_s) {
+      continue;
+    }
+    factor *= f.magnitude;
+    if (!burst_counted_[i]) {
+      burst_counted_[i] = 1;
+      ++injected_[static_cast<int>(f.kind)];
+    }
+  }
+  return factor;
+}
+
+int FaultInjector::injected(FaultKind kind) const { return injected_[static_cast<int>(kind)]; }
+
+int FaultInjector::injected_total() const {
+  int total = 0;
+  for (int count : injected_) {
+    total += count;
+  }
+  return total;
+}
+
+}  // namespace adaflow::faults

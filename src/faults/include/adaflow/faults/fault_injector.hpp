@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file fault_injector.hpp
+/// Deterministic fault injection for the Edge-serving simulation.
+///
+/// Real ZCU104-class deployments do not reconfigure in exactly ~145 ms every
+/// time: partial-reconfiguration loads abort or hang, the rate monitor
+/// glitches, an in-flight frame can stall the accelerator, and the camera
+/// fleet occasionally bursts past the provisioned rate. The FaultInjector
+/// replays such events from an explicit schedule, drawing every probabilistic
+/// decision from its own seeded Rng so a (schedule, seed) pair yields a
+/// bit-identical run every time — faults are as reproducible as the workload.
+///
+/// The injector is passive: the Edge server consults it at well-defined
+/// points (switch attempt, monitor poll, frame start, arrival scheduling) and
+/// reacts according to its fault-tolerance configuration.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adaflow/common/rng.hpp"
+
+namespace adaflow::faults {
+
+enum class FaultKind {
+  kReconfigFailure,   ///< a reconfiguration aborts; the old configuration stays
+  kReconfigSlowdown,  ///< a switch takes `magnitude` x its nominal time
+  kMonitorDropout,    ///< a rate poll returns the previous (stale) estimate
+  kMonitorNoise,      ///< a rate poll is perturbed by +-`magnitude` relative error
+  kAcceleratorStall,  ///< the in-flight frame hangs for `magnitude` seconds
+  kQueueBurst,        ///< arrival rate is multiplied by `magnitude` in the window
+};
+
+inline constexpr int kFaultKindCount = 6;
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One scheduled fault: \p kind is armed during [start_s, end_s) and fires
+/// with \p probability at each opportunity (each switch attempt, poll, frame
+/// start ...). \p magnitude is kind-specific (see FaultKind).
+struct FaultSpec {
+  FaultKind kind = FaultKind::kReconfigFailure;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double probability = 1.0;
+  double magnitude = 1.0;
+};
+
+struct FaultSchedule {
+  std::vector<FaultSpec> faults;
+
+  /// Throws ConfigError on negative/NaN times, probability outside [0, 1],
+  /// inverted windows, or negative magnitudes.
+  void validate() const;
+};
+
+/// Canned schedule: every reconfiguration attempted in [start_s, end_s) fails
+/// with \p probability, and surviving ones run \p slowdown x slower half the
+/// time — the "flaky PR controller" scenario used by bench_faults. The
+/// default slowdown stays inside the hardened server's 3x supervision
+/// budget; pass a larger factor to exercise the timeout/abort path instead.
+FaultSchedule reconfig_failure_storm(double start_s, double end_s, double probability = 0.9,
+                                     double slowdown = 2.0);
+
+/// Canned schedule: noisy monitor (+-40%), occasional dropouts, sporadic
+/// accelerator stalls and one arrival burst — a generally hostile edge box.
+FaultSchedule flaky_edge_schedule(double duration_s);
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultSchedule schedule, std::uint64_t seed);
+
+  /// Outcome of one switch attempt (retries consult the injector again).
+  struct SwitchOutcome {
+    bool fail = false;         ///< the switch aborts; the target mode never loads
+    double time_factor = 1.0;  ///< actual switch time = factor x nominal
+  };
+  /// Only reconfigurations are subject to kReconfigFailure/kReconfigSlowdown;
+  /// the Flexible fast switch involves no bitstream and is the safety net.
+  SwitchOutcome on_switch_attempt(double now_s, bool is_reconfiguration);
+
+  /// Outcome of one monitor poll.
+  struct PollOutcome {
+    bool dropout = false;       ///< estimate is stale: reuse the last reported one
+    double noise_factor = 1.0;  ///< multiply the estimate by this
+  };
+  PollOutcome on_rate_poll(double now_s);
+
+  /// Seconds the frame started at \p now_s hangs before completing
+  /// (0 = healthy frame).
+  double stall_seconds(double now_s);
+
+  /// Multiplier applied to the workload arrival rate at \p now_s (>1 during
+  /// a kQueueBurst window). Deterministic: bursts ignore `probability`.
+  double arrival_rate_factor(double now_s);
+
+  /// Number of manifested faults of one kind / in total so far.
+  int injected(FaultKind kind) const;
+  int injected_total() const;
+
+ private:
+  bool draw(const FaultSpec& spec);
+
+  FaultSchedule schedule_;
+  Rng rng_;
+  int injected_[kFaultKindCount] = {};
+  std::vector<char> burst_counted_;  ///< each burst window counted once
+};
+
+}  // namespace adaflow::faults

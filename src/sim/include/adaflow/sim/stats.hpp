@@ -39,4 +39,47 @@ struct TimeSeries {
 /// Element-wise mean of equally shaped series (averaging the 100 runs).
 TimeSeries average_series(const std::vector<TimeSeries>& runs);
 
+/// Robustness counters of one simulated run: faults that manifested, how the
+/// server reacted, and how long it spent off its policy-chosen operating
+/// point. Injected counts come from the FaultInjector; reaction counts from
+/// the Edge server's fault-tolerance machinery.
+struct FaultStats {
+  // Faults that manifested.
+  std::int64_t reconfig_failures_injected = 0;
+  std::int64_t reconfig_slowdowns_injected = 0;
+  std::int64_t monitor_dropouts = 0;
+  std::int64_t monitor_noise_events = 0;
+  std::int64_t stalls_injected = 0;
+  std::int64_t burst_windows = 0;
+
+  // How the server reacted.
+  std::int64_t switch_failures = 0;    ///< failed switch attempts observed
+  std::int64_t switch_timeouts = 0;    ///< switches aborted by the timeout
+  std::int64_t switch_retries = 0;     ///< backoff retries issued
+  std::int64_t fallbacks = 0;          ///< policy-supplied fallback actions tried
+  std::int64_t switches_abandoned = 0; ///< episodes given up (old mode kept)
+  std::int64_t stalls_recovered = 0;   ///< frames dropped by the stall watchdog
+  std::int64_t overload_sheds = 0;     ///< load-shedding switches applied
+
+  // Degraded operation: time between a fault manifesting and full recovery.
+  double time_degraded_s = 0.0;
+  double recovery_time_sum_s = 0.0;
+  std::int64_t recoveries = 0;
+
+  std::int64_t total_injected() const {
+    return reconfig_failures_injected + reconfig_slowdowns_injected + monitor_dropouts +
+           monitor_noise_events + stalls_injected + burst_windows;
+  }
+  double degraded_fraction(double duration_s) const {
+    return duration_s > 0.0 ? time_degraded_s / duration_s : 0.0;
+  }
+  double mean_time_to_recovery_s() const {
+    return recoveries > 0 ? recovery_time_sum_s / static_cast<double>(recoveries) : 0.0;
+  }
+
+  void accumulate(const FaultStats& other);
+  /// In-place mean over \p runs (counts rounded to nearest).
+  void divide(int runs);
+};
+
 }  // namespace adaflow::sim

@@ -46,4 +46,47 @@ TimeSeries average_series(const std::vector<TimeSeries>& runs) {
   return out;
 }
 
+void FaultStats::accumulate(const FaultStats& other) {
+  reconfig_failures_injected += other.reconfig_failures_injected;
+  reconfig_slowdowns_injected += other.reconfig_slowdowns_injected;
+  monitor_dropouts += other.monitor_dropouts;
+  monitor_noise_events += other.monitor_noise_events;
+  stalls_injected += other.stalls_injected;
+  burst_windows += other.burst_windows;
+  switch_failures += other.switch_failures;
+  switch_timeouts += other.switch_timeouts;
+  switch_retries += other.switch_retries;
+  fallbacks += other.fallbacks;
+  switches_abandoned += other.switches_abandoned;
+  stalls_recovered += other.stalls_recovered;
+  overload_sheds += other.overload_sheds;
+  time_degraded_s += other.time_degraded_s;
+  recovery_time_sum_s += other.recovery_time_sum_s;
+  recoveries += other.recoveries;
+}
+
+void FaultStats::divide(int runs) {
+  require(runs > 0, "FaultStats::divide needs runs > 0");
+  auto mean_count = [runs](std::int64_t v) {
+    return static_cast<std::int64_t>(
+        std::llround(static_cast<double>(v) / static_cast<double>(runs)));
+  };
+  reconfig_failures_injected = mean_count(reconfig_failures_injected);
+  reconfig_slowdowns_injected = mean_count(reconfig_slowdowns_injected);
+  monitor_dropouts = mean_count(monitor_dropouts);
+  monitor_noise_events = mean_count(monitor_noise_events);
+  stalls_injected = mean_count(stalls_injected);
+  burst_windows = mean_count(burst_windows);
+  switch_failures = mean_count(switch_failures);
+  switch_timeouts = mean_count(switch_timeouts);
+  switch_retries = mean_count(switch_retries);
+  fallbacks = mean_count(fallbacks);
+  switches_abandoned = mean_count(switches_abandoned);
+  stalls_recovered = mean_count(stalls_recovered);
+  overload_sheds = mean_count(overload_sheds);
+  time_degraded_s /= static_cast<double>(runs);
+  recovery_time_sum_s /= static_cast<double>(runs);
+  recoveries = mean_count(recoveries);
+}
+
 }  // namespace adaflow::sim

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
+#include "adaflow/common/error.hpp"
+
 namespace adaflow::core {
 namespace {
 
@@ -218,6 +223,139 @@ TEST(RuntimeManager, RejectsBadConfig) {
   RuntimeManagerConfig bad = config();
   bad.accuracy_threshold = -1.0;
   EXPECT_THROW(RuntimeManager(lib, bad), ConfigError);
+}
+
+TEST(RuntimeManager, RejectsZeroFpsLibrary) {
+  AcceleratorLibrary lib = rule_library();
+  lib.versions[1].fps_fixed = 0.0;
+  try {
+    RuntimeManager rm(lib, config());
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    // The error must name the broken version so the user can fix the row.
+    EXPECT_NE(std::string(e.what()).find("M@p25"), std::string::npos);
+  }
+  lib.versions[1].fps_fixed = 700.0;
+  lib.versions[2].fps_flexible = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(RuntimeManager(lib, config()), ConfigError);
+}
+
+TEST(RuntimeManager, WarmupSuppressesEarlyPolls) {
+  AcceleratorLibrary lib = rule_library();
+  RuntimeManager rm(lib, config());  // default warmup_s = 0.5
+  rm.initial_mode();
+  // The monitor's estimate window is still filling: no action, however
+  // dramatic the (unreliable) estimate looks.
+  EXPECT_FALSE(rm.on_poll(0.2, 5000.0).has_value());
+  EXPECT_FALSE(rm.on_poll(0.49, 5000.0).has_value());
+  // Past warmup the same demand acts.
+  EXPECT_TRUE(rm.on_poll(5.0, 5000.0).has_value());
+}
+
+TEST(RuntimeManager, DownswitchMarginStopsBoundaryFlapping) {
+  AcceleratorLibrary lib = rule_library();
+  RuntimeManager rm(lib, config());  // default downswitch_margin = 1.2
+  rm.initial_mode();
+  auto up = rm.on_poll(5.0, 650.0);  // needs p25 (700 FPS)
+  ASSERT_TRUE(up.has_value());
+  EXPECT_EQ(up->target.model_version, "M@p25");
+  rm.on_switch_applied(5.1, up->target);
+  // Demand hovers just under the p0 boundary: p0 (500 FPS) would match 480
+  // but not with the 1.2x down-switch headroom -> stay on p25, no flapping.
+  EXPECT_FALSE(rm.on_poll(10.0, 480.0).has_value());
+  // A real collapse clears the margin and switches back to the accurate model.
+  auto down = rm.on_poll(20.0, 300.0);
+  ASSERT_TRUE(down.has_value());
+  EXPECT_EQ(down->target.model_version, "M@p0");
+}
+
+TEST(RuntimeManager, OnSwitchFailedFallsBackToFlexible) {
+  AcceleratorLibrary lib = rule_library();
+  RuntimeManager rm(lib, config());
+  rm.initial_mode();
+  auto action = rm.on_poll(5.0, 900.0);  // Fixed@M@p50 reconfiguration
+  ASSERT_TRUE(action.has_value());
+  ASSERT_TRUE(action->is_reconfiguration);
+  auto fallback = rm.on_switch_failed(5.2, *action);
+  ASSERT_TRUE(fallback.has_value());
+  // Same target version, on the paper's always-available safety net. Coming
+  // from a live Fixed accelerator this costs one "Change of Dataflow".
+  EXPECT_EQ(fallback->target.model_version, "M@p50");
+  EXPECT_EQ(fallback->target.accelerator, "Flexible");
+  EXPECT_TRUE(fallback->is_reconfiguration);
+}
+
+TEST(RuntimeManager, FailedFallbackRollsBackToLiveMode) {
+  AcceleratorLibrary lib = rule_library();
+  RuntimeManager rm(lib, config());
+  rm.initial_mode();
+  auto action = rm.on_poll(5.0, 900.0);
+  ASSERT_TRUE(action.has_value());
+  auto fallback = rm.on_switch_failed(5.2, *action);
+  ASSERT_TRUE(fallback.has_value());
+  // The Flexible load itself fails: nothing cheaper exists, stay on the mode
+  // that is actually live (the initial unpruned Fixed accelerator).
+  EXPECT_FALSE(rm.on_switch_failed(5.4, *fallback).has_value());
+  EXPECT_EQ(rm.current_version(), 0u);
+  EXPECT_EQ(rm.current_variant(), hls::AcceleratorVariant::kFixed);
+}
+
+TEST(RuntimeManager, FailedFastSwitchJustRollsBack) {
+  AcceleratorLibrary lib = rule_library();
+  RuntimeManager rm(lib, config());
+  rm.initial_mode();
+  edge::SwitchAction fast;
+  fast.target.model_version = "M@p25";
+  fast.target.accelerator = "Flexible";
+  fast.target.fps = 700.0 * 0.995;
+  fast.target.accuracy = 0.86;
+  fast.switch_time_s = 0.001;
+  fast.is_reconfiguration = false;
+  EXPECT_FALSE(rm.on_switch_failed(5.0, fast).has_value());
+  EXPECT_EQ(rm.current_version(), 0u);
+}
+
+TEST(RuntimeManager, ReconfigFailureHoldsVariantOnFlexible) {
+  AcceleratorLibrary lib = rule_library();
+  RuntimeManagerConfig c = config();
+  c.reconfig_failure_hold_s = 5.0;
+  RuntimeManager rm(lib, c);
+  rm.initial_mode();
+  auto action = rm.on_poll(5.0, 900.0);
+  ASSERT_TRUE(action.has_value());
+  rm.on_switch_failed(5.2, *action);
+  // During the hold the flaky PR controller is not handed another bitstream.
+  EXPECT_EQ(rm.select_variant(5.5), hls::AcceleratorVariant::kFlexible);
+  EXPECT_EQ(rm.select_variant(10.1), hls::AcceleratorVariant::kFlexible);
+  // Once the hold expires, a long-stable workload may use Fixed again.
+  EXPECT_EQ(rm.select_variant(10.3), hls::AcceleratorVariant::kFixed);
+}
+
+TEST(RuntimeManager, OnOverloadPicksFastestInThreshold) {
+  AcceleratorLibrary lib = rule_library();
+  RuntimeManager rm(lib, config());
+  rm.initial_mode();
+  auto shed = rm.on_overload(5.0, 2500.0);
+  ASSERT_TRUE(shed.has_value());
+  // Threshold 10% -> floor 0.80: every version allowed, fastest is p75.
+  EXPECT_EQ(shed->target.model_version, "M@p75");
+  EXPECT_EQ(shed->target.accelerator, "Flexible");
+  // Decision cooldown: an immediate second overload report is ignored.
+  EXPECT_FALSE(rm.on_overload(5.1, 2500.0).has_value());
+  // Already on the fastest Flexible mode: nothing further to shed to.
+  rm.on_switch_applied(5.3, shed->target);
+  EXPECT_FALSE(rm.on_overload(10.0, 2500.0).has_value());
+}
+
+TEST(RuntimeManager, OnOverloadRespectsAccuracyThreshold) {
+  AcceleratorLibrary lib = rule_library();
+  RuntimeManagerConfig c = config();
+  c.accuracy_threshold = 0.05;  // floor 0.85: p50 and p75 excluded
+  RuntimeManager rm(lib, c);
+  rm.initial_mode();
+  auto shed = rm.on_overload(5.0, 2500.0);
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->target.model_version, "M@p25");
 }
 
 }  // namespace

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "adaflow/common/error.hpp"
+#include "adaflow/core/runtime_manager.hpp"
 #include "adaflow/edge/server.hpp"
+#include "adaflow/faults/fault_injector.hpp"
 
 namespace adaflow::edge {
 namespace {
@@ -47,6 +51,102 @@ TEST(Determinism, DifferentSeedsDiffer) {
   RunMetrics a = run_simulation(t1, p1, ServerConfig{}, 33);
   RunMetrics b = run_simulation(t2, p2, ServerConfig{}, 34);
   EXPECT_NE(a.arrived, b.arrived);
+}
+
+/// Library for the fault-replay test (retries/fallbacks need real switching).
+core::AcceleratorLibrary replay_library() {
+  core::AcceleratorLibrary lib;
+  lib.model_name = "M";
+  lib.dataset_name = "D";
+  lib.reconfig_time_s = 0.145;
+  lib.base_accuracy = 0.90;
+  struct Row {
+    int rate;
+    double acc;
+    double fps;
+  };
+  for (const Row& r : {Row{0, 0.90, 500}, Row{25, 0.86, 700}, Row{50, 0.83, 1000},
+                       Row{75, 0.82, 2000}}) {
+    core::ModelVersion v;
+    v.version = "M@p" + std::to_string(r.rate);
+    v.accuracy = r.acc;
+    v.fps_fixed = r.fps;
+    v.fps_flexible = r.fps * 0.995;
+    v.power_busy_fixed_w = 1.0;
+    v.power_idle_fixed_w = 0.7;
+    v.power_busy_flexible_w = 1.2;
+    v.power_idle_flexible_w = 0.8;
+    v.flexible_switch_time_s = 0.001;
+    lib.versions.push_back(v);
+  }
+  return lib;
+}
+
+void expect_fault_stats_equal(const sim::FaultStats& a, const sim::FaultStats& b) {
+  EXPECT_EQ(a.reconfig_failures_injected, b.reconfig_failures_injected);
+  EXPECT_EQ(a.reconfig_slowdowns_injected, b.reconfig_slowdowns_injected);
+  EXPECT_EQ(a.monitor_dropouts, b.monitor_dropouts);
+  EXPECT_EQ(a.monitor_noise_events, b.monitor_noise_events);
+  EXPECT_EQ(a.stalls_injected, b.stalls_injected);
+  EXPECT_EQ(a.burst_windows, b.burst_windows);
+  EXPECT_EQ(a.switch_failures, b.switch_failures);
+  EXPECT_EQ(a.switch_timeouts, b.switch_timeouts);
+  EXPECT_EQ(a.switch_retries, b.switch_retries);
+  EXPECT_EQ(a.fallbacks, b.fallbacks);
+  EXPECT_EQ(a.switches_abandoned, b.switches_abandoned);
+  EXPECT_EQ(a.stalls_recovered, b.stalls_recovered);
+  EXPECT_EQ(a.overload_sheds, b.overload_sheds);
+  EXPECT_DOUBLE_EQ(a.time_degraded_s, b.time_degraded_s);
+  EXPECT_DOUBLE_EQ(a.recovery_time_sum_s, b.recovery_time_sum_s);
+  EXPECT_EQ(a.recoveries, b.recoveries);
+}
+
+TEST(Determinism, FaultReplayIsBitIdentical) {
+  // Acceptance: the same (FaultInjector seed, schedule) pair yields
+  // bit-identical RunMetrics across two runs, including every fault counter.
+  const core::AcceleratorLibrary lib = replay_library();
+  faults::FaultSchedule schedule = faults::reconfig_failure_storm(2.0, 18.0, 0.7, 2.0);
+  for (const faults::FaultSpec& extra : faults::flaky_edge_schedule(25.0).faults) {
+    schedule.faults.push_back(extra);
+  }
+  const WorkloadConfig wl = scenario1_plus_2();
+  auto run_once = [&] {
+    WorkloadTrace trace(wl, 9);
+    core::RuntimeManager policy(lib, core::RuntimeManagerConfig{});
+    faults::FaultInjector injector(schedule, 77);
+    return run_simulation(trace, policy, ServerConfig{}, 33, &injector);
+  };
+  const RunMetrics a = run_once();
+  const RunMetrics b = run_once();
+  EXPECT_EQ(a.arrived, b.arrived);
+  EXPECT_EQ(a.processed, b.processed);
+  EXPECT_EQ(a.lost, b.lost);
+  EXPECT_DOUBLE_EQ(a.qoe_accuracy_sum, b.qoe_accuracy_sum);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.model_switches, b.model_switches);
+  EXPECT_EQ(a.reconfigurations, b.reconfigurations);
+  ASSERT_EQ(a.switches.size(), b.switches.size());
+  for (std::size_t i = 0; i < a.switches.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.switches[i].time_s, b.switches[i].time_s);
+    EXPECT_EQ(a.switches[i].model_version, b.switches[i].model_version);
+  }
+  EXPECT_EQ(a.loss_series.values, b.loss_series.values);
+  EXPECT_EQ(a.qoe_series.values, b.qoe_series.values);
+  expect_fault_stats_equal(a.faults, b.faults);
+}
+
+TEST(Determinism, DifferentInjectorSeedsDiverge) {
+  const core::AcceleratorLibrary lib = replay_library();
+  const faults::FaultSchedule schedule = faults::flaky_edge_schedule(25.0);
+  auto run_with_injector_seed = [&](std::uint64_t seed) {
+    WorkloadTrace trace(scenario2(), 9);
+    core::RuntimeManager policy(lib, core::RuntimeManagerConfig{});
+    faults::FaultInjector injector(schedule, seed);
+    return run_simulation(trace, policy, ServerConfig{}, 33, &injector);
+  };
+  const RunMetrics a = run_with_injector_seed(1);
+  const RunMetrics b = run_with_injector_seed(2);
+  EXPECT_NE(a.faults.monitor_noise_events, b.faults.monitor_noise_events);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 namespace adaflow::edge {
 namespace {
@@ -165,13 +166,46 @@ TEST(Server, RepeatedRunsAverage) {
   RepeatedRunResult r = run_repeated(wl, factory, ServerConfig{}, 5);
   EXPECT_EQ(r.frame_loss.count(), 5);
   EXPECT_EQ(r.mean.workload_series.values.size(), 10u);
-  EXPECT_GT(r.mean.arrived, 0);
+  // The scalar fields are per-run means, not 5-run totals: 5 s at ~600 FPS
+  // arrives ~3000 frames per run.
+  EXPECT_NEAR(static_cast<double>(r.mean.arrived), 3000.0, 200.0);
+  EXPECT_NEAR(r.mean.duration_s, 5.0, 1e-9);
+  // Ratio accessors stay consistent because numerator and denominator are
+  // divided alike.
+  EXPECT_NEAR(r.mean.frame_loss(), r.frame_loss.mean(), 0.01);
+}
+
+TEST(Server, RepeatedRunsRejectNonPositiveCount) {
+  WorkloadConfig wl = constant_workload(1.0);
+  auto factory = [] { return std::make_unique<StaticPolicy>(mode(800.0)); };
+  EXPECT_THROW(run_repeated(wl, factory, ServerConfig{}, 0), ConfigError);
 }
 
 TEST(Server, ZeroFpsInitialModeRejected) {
   WorkloadTrace trace(constant_workload(1.0), 1);
   StaticPolicy policy(mode(0.0));
   EXPECT_THROW(run_simulation(trace, policy, ServerConfig{}, 1), ConfigError);
+}
+
+TEST(Server, BadInitialModeErrorNamesTheMode) {
+  WorkloadTrace trace(constant_workload(1.0), 1);
+  StaticPolicy policy(mode(0.0));
+  try {
+    run_simulation(trace, policy, ServerConfig{}, 1);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("test@p0"), std::string::npos);
+  }
+}
+
+TEST(Server, ZeroFpsSwitchTargetRejected) {
+  SwitchAction action;
+  action.target = mode(0.0);
+  action.switch_time_s = 0.1;
+  OneSwitchPolicy policy(mode(700.0), action, 2.0);
+  WorkloadTrace trace(constant_workload(10.0), 11);
+  EXPECT_THROW(run_simulation(trace, policy, ServerConfig{}, 13), ConfigError);
 }
 
 }  // namespace

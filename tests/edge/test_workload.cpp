@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <string>
+
 namespace adaflow::edge {
 namespace {
 
@@ -73,6 +77,71 @@ TEST(Workload, CompositeScenarioShiftsBehaviourAt15s) {
 TEST(Workload, EmptyPhasesRejected) {
   WorkloadConfig c;
   EXPECT_THROW(WorkloadTrace(c, 1), ConfigError);
+}
+
+TEST(Workload, RejectsNonPositiveDevices) {
+  WorkloadConfig c = scenario1();
+  c.devices = 0;
+  EXPECT_THROW(WorkloadTrace(c, 1), ConfigError);
+  c.devices = -3;
+  EXPECT_THROW(WorkloadTrace(c, 1), ConfigError);
+}
+
+TEST(Workload, RejectsBadPerDeviceRate) {
+  WorkloadConfig c = scenario1();
+  c.fps_per_device = 0.0;
+  EXPECT_THROW(WorkloadTrace(c, 1), ConfigError);
+  c.fps_per_device = -30.0;
+  EXPECT_THROW(WorkloadTrace(c, 1), ConfigError);
+  c.fps_per_device = std::nan("");
+  EXPECT_THROW(WorkloadTrace(c, 1), ConfigError);
+  c.fps_per_device = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(WorkloadTrace(c, 1), ConfigError);
+}
+
+TEST(Workload, RejectsBadDeviation) {
+  WorkloadConfig c = scenario1();
+  c.phases[0].deviation = -0.1;
+  EXPECT_THROW(WorkloadTrace(c, 1), ConfigError);
+  c.phases[0].deviation = 1.5;  // a >100% deviation would go negative
+  EXPECT_THROW(WorkloadTrace(c, 1), ConfigError);
+  c.phases[0].deviation = std::nan("");
+  EXPECT_THROW(WorkloadTrace(c, 1), ConfigError);
+  c.phases[0].deviation = 1.0;  // boundary is allowed
+  EXPECT_NO_THROW(WorkloadTrace(c, 1));
+}
+
+TEST(Workload, RejectsBadInterval) {
+  WorkloadConfig c = scenario1();
+  c.phases[0].interval_s = 0.0;
+  EXPECT_THROW(WorkloadTrace(c, 1), ConfigError);
+  c.phases[0].interval_s = -5.0;
+  EXPECT_THROW(WorkloadTrace(c, 1), ConfigError);
+  c.phases[0].interval_s = std::nan("");
+  EXPECT_THROW(WorkloadTrace(c, 1), ConfigError);
+}
+
+TEST(Workload, RejectsBadDuration) {
+  WorkloadConfig c = scenario1();
+  c.phases[0].duration_s = 0.0;
+  EXPECT_THROW(WorkloadTrace(c, 1), ConfigError);
+  c.phases[0].duration_s = -25.0;
+  EXPECT_THROW(WorkloadTrace(c, 1), ConfigError);
+  c.phases[0].duration_s = std::nan("");
+  EXPECT_THROW(WorkloadTrace(c, 1), ConfigError);
+}
+
+TEST(Workload, ValidationErrorNamesPhaseAndField) {
+  WorkloadConfig c = scenario1_plus_2();
+  c.phases[1].interval_s = -1.0;
+  try {
+    c.validate();
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("phase 1"), std::string::npos);
+    EXPECT_NE(msg.find("interval_s"), std::string::npos);
+  }
 }
 
 }  // namespace

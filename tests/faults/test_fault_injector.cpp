@@ -1,0 +1,118 @@
+#include "adaflow/faults/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow::faults {
+namespace {
+
+FaultSchedule single(FaultKind kind, double start, double end, double p, double magnitude) {
+  FaultSchedule s;
+  s.faults.push_back(FaultSpec{kind, start, end, p, magnitude});
+  return s;
+}
+
+TEST(FaultSchedule, RejectsInvalidSpecs) {
+  EXPECT_THROW(FaultInjector(single(FaultKind::kReconfigFailure, -1.0, 5.0, 1.0, 1.0), 1),
+               ConfigError);
+  EXPECT_THROW(FaultInjector(single(FaultKind::kReconfigFailure, 5.0, 1.0, 1.0, 1.0), 1),
+               ConfigError);
+  EXPECT_THROW(FaultInjector(single(FaultKind::kReconfigFailure, 0.0, 5.0, 1.5, 1.0), 1),
+               ConfigError);
+  EXPECT_THROW(FaultInjector(single(FaultKind::kReconfigSlowdown, 0.0, 5.0, 1.0, -2.0), 1),
+               ConfigError);
+  const double nan = std::nan("");
+  EXPECT_THROW(FaultInjector(single(FaultKind::kMonitorNoise, nan, 5.0, 1.0, 1.0), 1),
+               ConfigError);
+}
+
+TEST(FaultInjector, FaultsOnlyFireInsideTheWindow) {
+  FaultInjector inj(single(FaultKind::kReconfigFailure, 2.0, 4.0, 1.0, 1.0), 7);
+  EXPECT_FALSE(inj.on_switch_attempt(1.9, true).fail);
+  EXPECT_TRUE(inj.on_switch_attempt(2.0, true).fail);
+  EXPECT_TRUE(inj.on_switch_attempt(3.9, true).fail);
+  EXPECT_FALSE(inj.on_switch_attempt(4.0, true).fail);
+  EXPECT_EQ(inj.injected(FaultKind::kReconfigFailure), 2);
+}
+
+TEST(FaultInjector, FastSwitchesAreImmuneToReconfigFaults) {
+  FaultInjector inj(single(FaultKind::kReconfigFailure, 0.0, 10.0, 1.0, 1.0), 7);
+  EXPECT_FALSE(inj.on_switch_attempt(5.0, /*is_reconfiguration=*/false).fail);
+  EXPECT_EQ(inj.injected_total(), 0);
+}
+
+TEST(FaultInjector, SlowdownScalesSwitchTime) {
+  FaultInjector inj(single(FaultKind::kReconfigSlowdown, 0.0, 10.0, 1.0, 4.0), 7);
+  EXPECT_DOUBLE_EQ(inj.on_switch_attempt(5.0, true).time_factor, 4.0);
+}
+
+TEST(FaultInjector, ZeroProbabilityNeverFires) {
+  FaultInjector inj(single(FaultKind::kAcceleratorStall, 0.0, 10.0, 0.0, 2.0), 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(inj.stall_seconds(5.0), 0.0);
+  }
+  EXPECT_EQ(inj.injected_total(), 0);
+}
+
+TEST(FaultInjector, StallReturnsMagnitudeSeconds) {
+  FaultInjector inj(single(FaultKind::kAcceleratorStall, 0.0, 10.0, 1.0, 2.5), 7);
+  EXPECT_DOUBLE_EQ(inj.stall_seconds(5.0), 2.5);
+  EXPECT_EQ(inj.injected(FaultKind::kAcceleratorStall), 1);
+}
+
+TEST(FaultInjector, MonitorDropoutAndNoise) {
+  FaultInjector drop(single(FaultKind::kMonitorDropout, 0.0, 10.0, 1.0, 1.0), 7);
+  EXPECT_TRUE(drop.on_rate_poll(5.0).dropout);
+  FaultInjector noise(single(FaultKind::kMonitorNoise, 0.0, 10.0, 1.0, 0.4), 7);
+  const double factor = noise.on_rate_poll(5.0).noise_factor;
+  EXPECT_GE(factor, 0.6);
+  EXPECT_LE(factor, 1.4);
+  EXPECT_NE(factor, 1.0);
+}
+
+TEST(FaultInjector, BurstMultipliesArrivalRateAndCountsOnce) {
+  FaultInjector inj(single(FaultKind::kQueueBurst, 2.0, 4.0, 1.0, 1.8), 7);
+  EXPECT_DOUBLE_EQ(inj.arrival_rate_factor(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(inj.arrival_rate_factor(3.0), 1.8);
+  EXPECT_DOUBLE_EQ(inj.arrival_rate_factor(3.5), 1.8);
+  EXPECT_DOUBLE_EQ(inj.arrival_rate_factor(4.5), 1.0);
+  EXPECT_EQ(inj.injected(FaultKind::kQueueBurst), 1);  // one window, counted once
+}
+
+TEST(FaultInjector, SameSeedSameDecisionSequence) {
+  const FaultSchedule schedule = flaky_edge_schedule(25.0);
+  FaultInjector a(schedule, 99);
+  FaultInjector b(schedule, 99);
+  for (double t = 0.0; t < 25.0; t += 0.1) {
+    const auto pa = a.on_rate_poll(t);
+    const auto pb = b.on_rate_poll(t);
+    EXPECT_EQ(pa.dropout, pb.dropout);
+    EXPECT_DOUBLE_EQ(pa.noise_factor, pb.noise_factor);
+    EXPECT_DOUBLE_EQ(a.stall_seconds(t), b.stall_seconds(t));
+  }
+  EXPECT_EQ(a.injected_total(), b.injected_total());
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  const FaultSchedule schedule = flaky_edge_schedule(25.0);
+  FaultInjector a(schedule, 1);
+  FaultInjector b(schedule, 2);
+  bool any_different = false;
+  for (double t = 0.0; t < 25.0; t += 0.1) {
+    any_different |= a.on_rate_poll(t).noise_factor != b.on_rate_poll(t).noise_factor;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(FaultInjector, CannedStormTargetsReconfigurations) {
+  FaultInjector inj(reconfig_failure_storm(0.0, 10.0, 1.0, 4.0), 7);
+  const auto outcome = inj.on_switch_attempt(5.0, true);
+  EXPECT_TRUE(outcome.fail);
+  EXPECT_FALSE(inj.on_switch_attempt(5.0, false).fail);
+}
+
+}  // namespace
+}  // namespace adaflow::faults

@@ -21,6 +21,23 @@ TEST(Reconfig, FlexibleSwitchIsOrdersOfMagnitudeFaster) {
       << "fast model switching must beat reconfiguration by a wide margin";
 }
 
+TEST(Reconfig, TimeoutScalesTheNominalLoadTime) {
+  ReconfigModel r(zcu104());
+  EXPECT_DOUBLE_EQ(r.timeout_seconds(), ReconfigModel::kDefaultTimeoutFactor *
+                                            r.full_reconfig_seconds());
+  EXPECT_DOUBLE_EQ(r.timeout_seconds(5.0), 5.0 * r.full_reconfig_seconds());
+  EXPECT_GT(r.timeout_seconds(), r.full_reconfig_seconds());
+}
+
+TEST(Reconfig, FailureDetectionIsMuchCheaperThanReload) {
+  ReconfigModel r(zcu104());
+  const double detect = r.failure_detect_seconds();
+  EXPECT_GT(detect, 0.0);
+  // Reading back the status registers costs a tiny fraction of streaming the
+  // whole bitstream again.
+  EXPECT_LT(detect * 100.0, r.full_reconfig_seconds());
+}
+
 TEST(Reconfig, SwitchTimeGrowsWithModelSize) {
   ReconfigModel r(zcu104());
   hls::CompiledModel small;

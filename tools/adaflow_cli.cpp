@@ -237,8 +237,8 @@ int cmd_simulate(const std::vector<std::string>& args) {
   std::printf("efficiency   %s inferences/J\n",
               format_double(r.mean.power_efficiency(), 1).c_str());
   std::printf("switches     %.1f per run (%.1f reconfigurations)\n",
-              static_cast<double>(r.mean.model_switches) / runs,
-              static_cast<double>(r.mean.reconfigurations) / runs);
+              static_cast<double>(r.mean.model_switches),
+              static_cast<double>(r.mean.reconfigurations));
   return 0;
 }
 
