@@ -1,0 +1,75 @@
+/// Fleet serving in two minutes: three FPGA devices of different speed
+/// grades behind one dispatcher, a bursty camera trace, least-loaded
+/// routing, the fleet coordinator re-partitioning the library as the
+/// aggregate rate shifts, and one device taking accelerator-stall faults —
+/// the cluster routes around it. Everything is seeded and replays
+/// bit-identically.
+
+#include <cstdio>
+
+#include "adaflow/common/strings.hpp"
+#include "adaflow/common/table.hpp"
+#include "adaflow/core/library.hpp"
+#include "adaflow/faults/fault_injector.hpp"
+#include "adaflow/fleet/fleet.hpp"
+
+int main() {
+  using namespace adaflow;
+
+  // A synthetic four-version library (500..1524 FPS, accuracy 0.90..0.795)
+  // and two scaled copies for the slower / faster board revisions.
+  const core::AcceleratorLibrary lib = core::synthetic_library();
+  const core::AcceleratorLibrary slow = core::scale_library_fps(lib, 0.5);
+  const core::AcceleratorLibrary fast = core::scale_library_fps(lib, 2.0);
+
+  // Bursty traffic around 1200 FPS: +-70% deviations redrawn every 0.5 s.
+  edge::WorkloadConfig workload;
+  workload.devices = 1;
+  workload.fps_per_device = 1200.0;
+  workload.phases = {edge::WorkloadPhase{0.7, 0.5, 20.0}};
+  const edge::WorkloadTrace trace(workload, /*seed=*/17);
+
+  // Three coordinated devices, each pinned to the most accurate version to
+  // start with; the coordinator moves them down the library when the
+  // aggregate rate outgrows them. The mid device additionally suffers
+  // injected accelerator stalls between 5 s and 12 s.
+  fleet::FleetConfig config;
+  config.devices = {fleet::pinned_device("slow-0.5x", slow, 0),
+                    fleet::pinned_device("mid-1.0x", lib, 0),
+                    fleet::pinned_device("fast-2.0x", fast, 0)};
+  config.devices[1].fault_schedule =
+      faults::FaultSchedule{{faults::FaultSpec{faults::FaultKind::kAcceleratorStall,
+                                               /*start_s=*/5.0, /*end_s=*/12.0,
+                                               /*rate_per_s=*/0.5, /*magnitude=*/0.5}}};
+  config.coordinator.enabled = true;
+
+  auto router = fleet::make_router("least-loaded");
+  const fleet::FleetMetrics m = fleet::run_fleet(trace, lib, config, *router, /*seed=*/42);
+
+  std::printf("fleet: %lld arrived, %lld dispatched, %lld processed\n",
+              static_cast<long long>(m.arrived), static_cast<long long>(m.dispatched),
+              static_cast<long long>(m.processed));
+  std::printf("fleet: loss %s (ingress %lld + device %lld), QoE %s, p95 backlog %.0f ms\n",
+              format_percent(m.frame_loss(), 2).c_str(), static_cast<long long>(m.ingress_lost),
+              static_cast<long long>(m.device_lost), format_percent(m.qoe(), 2).c_str(),
+              m.tail_latency_p95_s * 1e3);
+  std::printf("fleet: %d repartitions (drain-and-reconfigure cycles), %.1f W average\n\n",
+              m.repartitions, m.average_power_w());
+
+  TextTable table({"device", "processed", "lost", "loss", "switches", "reconfigs", "stalls",
+                   "power[W]"});
+  for (const fleet::FleetDeviceResult& d : m.devices) {
+    table.add_row({d.name, std::to_string(d.metrics.processed), std::to_string(d.metrics.lost),
+                   format_percent(d.metrics.frame_loss(), 2),
+                   std::to_string(d.metrics.model_switches),
+                   std::to_string(d.metrics.reconfigurations),
+                   std::to_string(d.metrics.faults.stalls_injected),
+                   format_double(d.metrics.average_power_w(), 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("The least-loaded router keeps the slow board's queue from pegging during\n"
+              "bursts, the coordinator re-pins devices as the aggregate rate shifts (one\n"
+              "device drains while the other two absorb its traffic), and the injected\n"
+              "stalls on mid-1.0x stay contained to that device.\n");
+  return 0;
+}

@@ -59,6 +59,21 @@ struct AcceleratorLibrary {
   std::size_t index_of(const std::string& version) const;
 };
 
+/// Hand-built library with monotone accuracy/FPS profiles, shaped like the
+/// paper's CNV-on-ZCU104 table but requiring no training: version i runs at
+/// base_fps * fps_growth^i with accuracy declining from base_accuracy. Used
+/// by serving-layer tests, the fleet bench/example, and the CLI when no
+/// generated library is supplied.
+AcceleratorLibrary synthetic_library(int versions = 4, double base_fps = 500.0,
+                                     double base_accuracy = 0.90,
+                                     double reconfig_time_s = 0.145,
+                                     double fps_growth = 1.45);
+
+/// \p scale multiplies every FPS figure of \p library (both accelerator
+/// types), modelling the same library deployed on a faster or slower FPGA —
+/// the heterogeneous-fleet building block.
+AcceleratorLibrary scale_library_fps(const AcceleratorLibrary& library, double scale);
+
 /// Text (TSV) round-trip for caching generated libraries across bench runs.
 void save_library(const AcceleratorLibrary& library, const std::string& path);
 AcceleratorLibrary load_library(const std::string& path);

@@ -141,4 +141,27 @@ std::size_t select_library_version(const AcceleratorLibrary& library, double inc
                                    double accuracy_threshold, double fps_margin,
                                    bool use_flexible_fps);
 
+/// The serving policies constructible from one library — the construction
+/// path shared by the CLI `simulate`/`fleet` subcommands and the fleet
+/// layer's per-device manager setup.
+enum class PolicyKind {
+  kAdaFlow,     ///< RuntimeManager (model + accelerator-type selection)
+  kStaticFinn,  ///< original FINN baseline, never switches
+  kReconfOnly,  ///< model switching via full reconfiguration only
+};
+
+const char* policy_kind_name(PolicyKind kind);
+
+/// Parses "adaflow" | "finn" | "reconf"; throws NotFoundError naming the
+/// valid spellings otherwise.
+PolicyKind policy_kind_from_name(const std::string& name);
+
+/// Builds one serving policy over \p library. The library (and, for
+/// kAdaFlow/kReconfOnly, nothing else) is borrowed by reference and must
+/// outlive the returned policy — fleet configs keep their libraries alive
+/// for the whole simulation.
+std::unique_ptr<edge::ServingPolicy> make_serving_policy(PolicyKind kind,
+                                                         const AcceleratorLibrary& library,
+                                                         const RuntimeManagerConfig& config);
+
 }  // namespace adaflow::core

@@ -39,6 +39,55 @@ std::size_t AcceleratorLibrary::index_of(const std::string& version) const {
   throw NotFoundError("library version " + version);
 }
 
+AcceleratorLibrary synthetic_library(int versions, double base_fps, double base_accuracy,
+                                     double reconfig_time_s, double fps_growth) {
+  require(versions > 0, "synthetic_library needs versions > 0");
+  require(std::isfinite(base_fps) && base_fps > 0.0, "synthetic_library needs base_fps > 0");
+  require(std::isfinite(fps_growth) && fps_growth >= 1.0,
+          "synthetic_library needs fps_growth >= 1.0");
+  AcceleratorLibrary lib;
+  lib.model_name = "SYNTH";
+  lib.dataset_name = "synthetic";
+  lib.base_accuracy = base_accuracy;
+  lib.reconfig_time_s = reconfig_time_s;
+  lib.finn_power_busy_w = 4.5;
+  lib.finn_power_idle_w = 3.2;
+  for (int i = 0; i < versions; ++i) {
+    ModelVersion v;
+    const double rate =
+        versions > 1 ? 0.85 * static_cast<double>(i) / static_cast<double>(versions - 1) : 0.0;
+    v.version = "SYNTH@p" + std::to_string(static_cast<int>(std::lround(rate * 100.0)));
+    v.requested_rate = rate;
+    v.achieved_rate = rate;
+    // Accuracy decays gently at first, faster at aggressive pruning rates —
+    // the concave shape of the paper's retrained-accuracy curves.
+    v.accuracy = base_accuracy - 0.02 * i - 0.005 * i * i;
+    v.fps_fixed = base_fps * std::pow(fps_growth, i);
+    v.fps_flexible = v.fps_fixed * 0.995;  // worst-case accelerator overhead
+    v.latency_fixed_s = 1.0 / v.fps_fixed;
+    v.latency_flexible_s = 1.0 / v.fps_flexible;
+    v.power_busy_fixed_w = 4.2 + 0.25 * i;
+    v.power_idle_fixed_w = 3.0;
+    v.power_busy_flexible_w = 5.0 + 0.25 * i;
+    v.power_idle_flexible_w = 3.5;
+    v.flexible_switch_time_s = 0.001;
+    lib.versions.push_back(v);
+  }
+  return lib;
+}
+
+AcceleratorLibrary scale_library_fps(const AcceleratorLibrary& library, double scale) {
+  require(std::isfinite(scale) && scale > 0.0, "scale_library_fps needs scale > 0");
+  AcceleratorLibrary scaled = library;
+  for (ModelVersion& v : scaled.versions) {
+    v.fps_fixed *= scale;
+    v.fps_flexible *= scale;
+    v.latency_fixed_s = v.fps_fixed > 0.0 ? 1.0 / v.fps_fixed : 0.0;
+    v.latency_flexible_s = v.fps_flexible > 0.0 ? 1.0 / v.fps_flexible : 0.0;
+  }
+  return scaled;
+}
+
 namespace {
 constexpr int kCacheVersion = 2;
 

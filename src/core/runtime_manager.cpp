@@ -348,4 +348,43 @@ std::optional<edge::SwitchAction> ReconfPruningPolicy::on_poll(double now_s,
 
 void ReconfPruningPolicy::on_switch_applied(double, const edge::ServingMode&) {}
 
+const char* policy_kind_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kAdaFlow:
+      return "adaflow";
+    case PolicyKind::kStaticFinn:
+      return "finn";
+    case PolicyKind::kReconfOnly:
+      return "reconf";
+  }
+  return "?";
+}
+
+PolicyKind policy_kind_from_name(const std::string& name) {
+  if (name == "adaflow") {
+    return PolicyKind::kAdaFlow;
+  }
+  if (name == "finn") {
+    return PolicyKind::kStaticFinn;
+  }
+  if (name == "reconf") {
+    return PolicyKind::kReconfOnly;
+  }
+  throw NotFoundError("unknown policy '" + name + "' (adaflow, finn, reconf)");
+}
+
+std::unique_ptr<edge::ServingPolicy> make_serving_policy(PolicyKind kind,
+                                                         const AcceleratorLibrary& library,
+                                                         const RuntimeManagerConfig& config) {
+  switch (kind) {
+    case PolicyKind::kAdaFlow:
+      return std::make_unique<RuntimeManager>(library, config);
+    case PolicyKind::kStaticFinn:
+      return std::make_unique<StaticFinnPolicy>(library);
+    case PolicyKind::kReconfOnly:
+      return std::make_unique<ReconfPruningPolicy>(library, config, library.reconfig_time_s);
+  }
+  throw ConfigError("unhandled PolicyKind");
+}
+
 }  // namespace adaflow::core

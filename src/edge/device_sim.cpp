@@ -1,0 +1,407 @@
+#include "adaflow/edge/device_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adaflow/common/error.hpp"
+#include "adaflow/faults/fault_injector.hpp"
+
+namespace adaflow::edge {
+
+namespace {
+
+std::string describe_mode(const ServingMode& mode) {
+  return "'" + mode.model_version + "' on '" + mode.accelerator + "'";
+}
+
+/// Rejects modes a broken library entry would produce, naming the offender so
+/// a bad row fails fast with context instead of deep inside the event loop.
+void validate_mode(const ServingMode& mode, const std::string& when) {
+  require(std::isfinite(mode.fps) && mode.fps > 0.0,
+          when + ": library version " + describe_mode(mode) +
+              " has non-positive FPS (bad library entry)");
+  require(std::isfinite(mode.accuracy) && mode.accuracy >= 0.0,
+          when + ": library version " + describe_mode(mode) + " has invalid accuracy");
+  require(std::isfinite(mode.power_busy_w) && std::isfinite(mode.power_idle_w) &&
+              mode.power_busy_w >= 0.0 && mode.power_idle_w >= 0.0,
+          when + ": library version " + describe_mode(mode) + " has invalid power figures");
+}
+
+}  // namespace
+
+DeviceSim::DeviceSim(sim::EventQueue& queue, ServingPolicy& policy, const ServerConfig& config,
+                     faults::FaultInjector* injector, std::string name)
+    : queue_(queue), policy_(policy), config_(config), injector_(injector),
+      name_(std::move(name)) {}
+
+void DeviceSim::start() {
+  mode_ = policy_.initial_mode();
+  validate_mode(mode_, "initial mode");
+  last_power_t_ = queue_.now();
+  metrics_.workload_series.interval_s = config_.sample_interval_s;
+  metrics_.loss_series.interval_s = config_.sample_interval_s;
+  metrics_.qoe_series.interval_s = config_.sample_interval_s;
+  metrics_.power_series.interval_s = config_.sample_interval_s;
+}
+
+double DeviceSim::backlog_seconds() const {
+  const double frames = static_cast<double>(queued_) + (processing_ ? 1.0 : 0.0);
+  return mode_.fps > 0.0 ? frames / mode_.fps : 0.0;
+}
+
+double DeviceSim::current_power() const {
+  // Busy silicon burns dynamic power; an idle or reconfiguring accelerator
+  // sits at the idle operating point.
+  return (processing_ && !switching_) ? mode_.power_busy_w : mode_.power_idle_w;
+}
+
+void DeviceSim::integrate_power() {
+  const double now = queue_.now();
+  metrics_.energy_j += current_power() * (now - last_power_t_);
+  last_power_t_ = now;
+}
+
+void DeviceSim::set_mode(const ServingMode& m) {
+  integrate_power();
+  mode_ = m;
+}
+
+void DeviceSim::enter_degraded() {
+  if (!degraded_) {
+    degraded_ = true;
+    degraded_since_ = queue_.now();
+  }
+}
+
+void DeviceSim::exit_degraded() {
+  if (degraded_) {
+    degraded_ = false;
+    const double episode = queue_.now() - degraded_since_;
+    metrics_.faults.time_degraded_s += episode;
+    metrics_.faults.recovery_time_sum_s += episode;
+    ++metrics_.faults.recoveries;
+  }
+}
+
+void DeviceSim::start_next_frame() {
+  if (switching_) {
+    return;
+  }
+  if (has_pending_switch_ && !processing_) {
+    begin_switch();
+    return;
+  }
+  if (processing_ || queued_ == 0) {
+    return;
+  }
+  integrate_power();
+  processing_ = true;
+  --queued_;
+  if (on_headroom_) {
+    on_headroom_();
+  }
+  const double service_s = 1.0 / mode_.fps;
+  const double stall_s = injector_ != nullptr ? injector_->stall_seconds(queue_.now()) : 0.0;
+  if (stall_s <= 0.0) {
+    queue_.schedule_in(service_s, [this] { finish_frame(); });
+    return;
+  }
+  metrics_.faults.stalls_injected += 1;
+  if (!ft().enabled) {
+    // No watchdog: the accelerator simply hangs until the frame unsticks.
+    queue_.schedule_in(stall_s + service_s, [this] { finish_frame(); });
+    return;
+  }
+  const double deadline_s =
+      std::max(ft().min_watchdog_timeout_s, ft().watchdog_timeout_factor * service_s);
+  if (stall_s + service_s <= deadline_s) {
+    // Slow but within the watchdog budget: the frame completes late.
+    queue_.schedule_in(stall_s + service_s, [this] { finish_frame(); });
+    return;
+  }
+  queue_.schedule_in(deadline_s, [this] { on_watchdog_fired(); });
+}
+
+void DeviceSim::finish_frame() {
+  integrate_power();
+  processing_ = false;
+  ++metrics_.processed;
+  metrics_.qoe_accuracy_sum += mode_.accuracy;
+  window_qoe_sum_ += mode_.accuracy;
+  if (has_pending_retry_) {
+    // A retry came due while this frame was in flight: run it now.
+    has_pending_retry_ = false;
+    attempt_switch(retry_action_, retry_attempt_);
+    return;
+  }
+  start_next_frame();
+}
+
+/// The stall watchdog: drop the wedged frame, re-load the current mode to
+/// bring the accelerator back, then resume.
+void DeviceSim::on_watchdog_fired() {
+  integrate_power();
+  enter_degraded();
+  processing_ = false;
+  ++metrics_.lost;  // the wedged frame never produces a result
+  ++window_lost_;
+  ++metrics_.faults.stalls_recovered;
+  switching_ = true;  // the re-load blocks the accelerator like a switch
+  queue_.schedule_in(ft().recovery_reload_s, [this] {
+    integrate_power();
+    switching_ = false;
+    if (!has_pending_switch_) {
+      exit_degraded();
+    }
+    start_next_frame();
+  });
+}
+
+void DeviceSim::begin_switch() {
+  require(has_pending_switch_, "no switch pending");
+  integrate_power();
+  switching_ = true;
+  switch_episode_ = true;
+  has_pending_switch_ = false;
+  fallback_tried_ = false;
+  const SwitchAction action = pending_switch_;
+  ++metrics_.model_switches;
+  if (action.is_reconfiguration) {
+    ++metrics_.reconfigurations;
+  }
+  metrics_.switches.push_back(SwitchRecord{queue_.now(), action.target.model_version,
+                                           action.target.accelerator,
+                                           action.is_reconfiguration});
+  attempt_switch(action, /*attempt=*/0);
+}
+
+/// One switch attempt; consults the injector, arms the timeout, and drives
+/// the retry/fallback ladder on failure. Blocks service for the duration of
+/// the load itself (the fabric is being reprogrammed).
+void DeviceSim::attempt_switch(const SwitchAction& action, int attempt) {
+  integrate_power();
+  switching_ = true;
+  faults::FaultInjector::SwitchOutcome outcome;
+  if (injector_ != nullptr) {
+    outcome = injector_->on_switch_attempt(queue_.now(), action.is_reconfiguration);
+  }
+  const double actual_s = action.switch_time_s * outcome.time_factor;
+  if (!ft().enabled) {
+    // Unhardened baseline: the server waits the full (possibly inflated)
+    // time; a failed load silently keeps the old mode while the policy is
+    // told its target is live — the mis-selection the hardened path fixes.
+    queue_.schedule_in(actual_s, [this, action, failed = outcome.fail] {
+      integrate_power();
+      switching_ = false;
+      switch_episode_ = false;
+      if (!failed) {
+        set_mode(action.target);
+      } else {
+        ++metrics_.faults.switch_failures;
+      }
+      policy_.on_switch_applied(queue_.now(), action.target);
+      start_next_frame();
+    });
+    return;
+  }
+  const double timeout_s =
+      std::max(ft().min_switch_timeout_s, ft().switch_timeout_factor * action.switch_time_s);
+  if (actual_s > timeout_s) {
+    // Hung load: the supervisor aborts it when the timeout budget expires.
+    queue_.schedule_in(timeout_s, [this, action, attempt] {
+      ++metrics_.faults.switch_timeouts;
+      on_switch_attempt_failed(action, attempt);
+    });
+    return;
+  }
+  if (outcome.fail) {
+    // Supervision catches the bad load at the first failing status
+    // readback, a fraction of the way into the transfer — much earlier
+    // than the full load time the unhardened server wastes.
+    const double detect_s = std::min(
+        actual_s, std::max(ft().min_switch_timeout_s,
+                           ft().failure_detect_fraction * action.switch_time_s));
+    queue_.schedule_in(detect_s, [this, action, attempt] {
+      ++metrics_.faults.switch_failures;
+      on_switch_attempt_failed(action, attempt);
+    });
+    return;
+  }
+  queue_.schedule_in(actual_s, [this, action] {
+    integrate_power();
+    switching_ = false;
+    switch_episode_ = false;
+    set_mode(action.target);
+    policy_.on_switch_applied(queue_.now(), action.target);
+    exit_degraded();
+    start_next_frame();
+  });
+}
+
+void DeviceSim::on_switch_attempt_failed(const SwitchAction& action, int attempt) {
+  integrate_power();
+  enter_degraded();
+  if (attempt < ft().max_switch_retries) {
+    ++metrics_.faults.switch_retries;
+    // An aborted load leaves the previous configuration serving (the same
+    // abstraction the unhardened path uses), so the backoff interval is
+    // not dead time: frames keep draining on the old mode.
+    switching_ = false;
+    const double backoff_s = ft().retry_backoff_s * static_cast<double>(1 << attempt);
+    queue_.schedule_in(backoff_s, [this, action, attempt] {
+      if (processing_) {
+        // Wait for the in-flight frame; finish_frame runs the retry.
+        has_pending_retry_ = true;
+        retry_action_ = action;
+        retry_attempt_ = attempt + 1;
+        return;
+      }
+      attempt_switch(action, attempt + 1);
+    });
+    start_next_frame();
+    return;
+  }
+  if (!fallback_tried_) {
+    auto fallback = policy_.on_switch_failed(queue_.now(), action);
+    if (fallback.has_value()) {
+      validate_mode(fallback->target, "fallback switch");
+      fallback_tried_ = true;
+      ++metrics_.faults.fallbacks;
+      attempt_switch(*fallback, /*attempt=*/0);
+      return;
+    }
+  } else {
+    // The fallback itself failed; tell the policy so it rolls back its
+    // bookkeeping, but do not chain further fallbacks.
+    policy_.on_switch_failed(queue_.now(), action);
+  }
+  ++metrics_.faults.switches_abandoned;
+  switching_ = false;
+  switch_episode_ = false;
+  start_next_frame();  // keep serving on the still-loaded old mode
+}
+
+bool DeviceSim::offer_frame(bool count_loss) {
+  ++metrics_.arrived;
+  ++window_arrived_;
+  recent_arrivals_.push_back(queue_.now());
+  if (queued_ >= config_.queue_capacity) {
+    if (count_loss) {
+      ++metrics_.lost;
+      ++window_lost_;
+    } else {
+      // The dispatcher keeps the bounced frame; it never reached this
+      // device's queue, so undo the arrival accounting.
+      --metrics_.arrived;
+      --window_arrived_;
+      recent_arrivals_.pop_back();
+    }
+    return false;
+  }
+  ++queued_;
+  start_next_frame();
+  return true;
+}
+
+double DeviceSim::estimate_incoming_fps() {
+  const double now = queue_.now();
+  while (!recent_arrivals_.empty() &&
+         recent_arrivals_.front() < now - config_.estimate_window_s) {
+    recent_arrivals_.pop_front();
+  }
+  const double window = std::min(now, config_.estimate_window_s);
+  if (window <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(recent_arrivals_.size()) / window;
+}
+
+void DeviceSim::accept_switch(const SwitchAction& action) {
+  validate_mode(action.target, "switch target");
+  pending_switch_ = action;
+  has_pending_switch_ = true;
+  if (!processing_) {
+    begin_switch();
+  }
+}
+
+void DeviceSim::command_switch(const SwitchAction& action) {
+  // A coordinator command while a ladder is active would corrupt the episode
+  // bookkeeping; callers gate on switching() (the coordinator waits for the
+  // previous reconfiguration to settle before issuing the next).
+  require(!switching_ && !switch_episode_,
+          "command_switch on device '" + name_ + "' while a switch is in flight");
+  accept_switch(action);
+}
+
+void DeviceSim::poll() {
+  // No new decisions while a switch ladder is active — including retry
+  // backoffs, where the old mode serves but the episode is unresolved.
+  if (switching_ || switch_episode_) {
+    return;
+  }
+  double incoming_fps = estimate_incoming_fps();
+  if (injector_ != nullptr) {
+    const auto outcome = injector_->on_rate_poll(queue_.now());
+    if (outcome.dropout && last_reported_fps_ >= 0.0) {
+      incoming_fps = last_reported_fps_;  // monitor glitch: stale reading
+    } else {
+      incoming_fps *= outcome.noise_factor;
+    }
+  }
+  last_reported_fps_ = incoming_fps;
+
+  std::optional<SwitchAction> action;
+  if (ft().enabled && !has_pending_switch_ &&
+      static_cast<double>(queued_) >=
+          ft().shed_queue_fraction * static_cast<double>(config_.queue_capacity)) {
+    action = policy_.on_overload(queue_.now(), incoming_fps);
+    if (action.has_value()) {
+      ++metrics_.faults.overload_sheds;
+      enter_degraded();
+    }
+  }
+  if (!action.has_value()) {
+    action = policy_.on_poll(queue_.now(), incoming_fps);
+  }
+  if (action.has_value()) {
+    accept_switch(*action);
+  }
+}
+
+void DeviceSim::sample_window() {
+  integrate_power();
+  const double interval = config_.sample_interval_s;
+  metrics_.workload_series.values.push_back(static_cast<double>(window_arrived_) / interval);
+  metrics_.loss_series.values.push_back(
+      window_arrived_ > 0 ? static_cast<double>(window_lost_) / window_arrived_ : 0.0);
+  metrics_.qoe_series.values.push_back(
+      window_arrived_ > 0 ? window_qoe_sum_ / static_cast<double>(window_arrived_) : 0.0);
+  metrics_.power_series.values.push_back((metrics_.energy_j - window_energy_start_) / interval);
+  window_arrived_ = 0;
+  window_lost_ = 0;
+  window_qoe_sum_ = 0.0;
+  window_energy_start_ = metrics_.energy_j;
+}
+
+void DeviceSim::finalize(double duration_s) {
+  integrate_power();
+  if (degraded_) {
+    // Still degraded at sim end: charge the open episode, but it is not a
+    // recovery — MTTR only averages completed recoveries.
+    metrics_.faults.time_degraded_s += duration_s - degraded_since_;
+  }
+  metrics_.duration_s = duration_s;
+  if (injector_ != nullptr) {
+    using faults::FaultKind;
+    metrics_.faults.reconfig_failures_injected = injector_->injected(FaultKind::kReconfigFailure);
+    metrics_.faults.reconfig_slowdowns_injected =
+        injector_->injected(FaultKind::kReconfigSlowdown);
+    metrics_.faults.monitor_dropouts = injector_->injected(FaultKind::kMonitorDropout);
+    metrics_.faults.monitor_noise_events = injector_->injected(FaultKind::kMonitorNoise);
+    metrics_.faults.burst_windows = injector_->injected(FaultKind::kQueueBurst);
+    // stalls_injected is counted by the device (it sees each manifestation).
+  }
+}
+
+}  // namespace adaflow::edge

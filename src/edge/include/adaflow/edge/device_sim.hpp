@@ -1,0 +1,158 @@
+#pragma once
+
+/// \file device_sim.hpp
+/// One FPGA-equipped serving device as a composable discrete-event component.
+///
+/// DeviceSim is the single-server simulation of server.cpp with the workload
+/// pulled out: it owns the accelerator/queue/policy/fault-tolerance state of
+/// ONE device but is driven from the outside through a shared sim::EventQueue.
+/// run_simulation() wraps exactly one DeviceSim behind a Poisson arrival
+/// process; the fleet layer (src/fleet) places N of them behind a dispatcher
+/// and routes frames between them.
+///
+/// The driver is responsible for the cadence events: it delivers frames via
+/// offer_frame(), calls poll() at the monitor cadence, sample_window() at the
+/// sampling cadence, and finalize() once the clock reaches the end of the
+/// run. DeviceSim itself never schedules recurring events, which is what
+/// makes several instances composable on one queue.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "adaflow/edge/policy.hpp"
+#include "adaflow/edge/server_types.hpp"
+#include "adaflow/sim/event_queue.hpp"
+
+#include <deque>
+
+namespace adaflow::faults {
+class FaultInjector;
+}
+
+namespace adaflow::edge {
+
+class DeviceSim {
+ public:
+  /// \p queue outlives the device; \p policy and \p config are borrowed for
+  /// the device's lifetime. \p injector may be null (fault-free device).
+  DeviceSim(sim::EventQueue& queue, ServingPolicy& policy, const ServerConfig& config,
+            faults::FaultInjector* injector = nullptr, std::string name = "device");
+
+  /// Loads and validates the policy's initial mode and starts the power
+  /// integration clock at queue.now(). Call once, before any other member.
+  void start();
+
+  /// A frame reaches this device at queue.now(). The arrival is always
+  /// recorded for the local rate estimator; if the queue has room the frame
+  /// is accepted, otherwise it is rejected. A rejected frame is charged to
+  /// this device's `lost` counter when \p count_loss is true (single-server
+  /// semantics); a fleet dispatcher passes false and decides itself what to
+  /// do with the bounced frame.
+  bool offer_frame(bool count_loss = true);
+
+  /// One monitor poll: estimates the device's incoming FPS over the
+  /// configured window (fault-injector glitches applied) and lets the
+  /// serving policy act. No-op while a switch ladder is in flight.
+  void poll();
+
+  /// Closes one sample window and appends to the metric time series.
+  void sample_window();
+
+  /// Externally commanded switch (fleet coordinator). Takes the same path a
+  /// policy-issued action does: validation, fault injection, the timeout /
+  /// retry / fallback ladder, and on_switch_applied on success.
+  void command_switch(const SwitchAction& action);
+
+  /// Final power integration and open-degraded-episode accounting at t_end;
+  /// also copies the injector's manifested-fault counters into metrics().
+  void finalize(double duration_s);
+
+  // --- introspection (routing policies / fleet coordinator) ---------------
+  const std::string& name() const { return name_; }
+  const ServingMode& mode() const { return mode_; }
+  std::int64_t queued() const { return queued_; }
+  std::int64_t queue_capacity() const { return config_.queue_capacity; }
+  std::int64_t free_slots() const { return config_.queue_capacity - queued_; }
+  bool processing() const { return processing_; }
+  /// True while a switch, retry ladder, or stall recovery blocks service.
+  bool switching() const { return switching_; }
+  /// True from the moment a switch is accepted until its episode resolves
+  /// (applied or abandoned) — wider than switching(): it also covers a
+  /// pending switch waiting for the in-flight frame and retry backoffs.
+  bool switch_in_flight() const {
+    return switching_ || switch_episode_ || has_pending_switch_;
+  }
+  /// Queue empty and the accelerator neither serving nor switching.
+  bool idle() const { return !processing_ && !switching_ && queued_ == 0; }
+  /// Drain-time estimate of the backlog: (queued + in-flight) / mode FPS.
+  double backlog_seconds() const;
+
+  RunMetrics& metrics() { return metrics_; }
+  const RunMetrics& metrics() const { return metrics_; }
+
+  /// Invoked every time a queued frame moves into service (queue headroom
+  /// appeared). A fleet dispatcher uses it to drain its ingress queue.
+  void set_on_headroom(std::function<void()> fn) { on_headroom_ = std::move(fn); }
+
+ private:
+  const FaultToleranceConfig& ft() const { return config_.fault_tolerance; }
+  double current_power() const;
+  void integrate_power();
+  void set_mode(const ServingMode& m);
+  void enter_degraded();
+  void exit_degraded();
+  void start_next_frame();
+  void finish_frame();
+  void on_watchdog_fired();
+  void begin_switch();
+  void attempt_switch(const SwitchAction& action, int attempt);
+  void on_switch_attempt_failed(const SwitchAction& action, int attempt);
+  double estimate_incoming_fps();
+  void accept_switch(const SwitchAction& action);
+
+  sim::EventQueue& queue_;
+  ServingPolicy& policy_;
+  const ServerConfig& config_;
+  faults::FaultInjector* injector_;
+  std::string name_;
+
+  ServingMode mode_;
+  std::int64_t queued_ = 0;
+  bool processing_ = false;
+  bool switching_ = false;  ///< a switch (incl. retries) or stall recovery is in progress
+  bool has_pending_switch_ = false;
+  SwitchAction pending_switch_;
+  bool fallback_tried_ = false;     ///< one fallback per switch episode
+  bool switch_episode_ = false;     ///< a switch ladder (incl. backoff) is active
+  bool has_pending_retry_ = false;  ///< retry timer fired while a frame was in flight
+  SwitchAction retry_action_;
+  int retry_attempt_ = 0;
+
+  RunMetrics metrics_;
+
+  // Degraded-mode accounting: from the first manifested fault of an episode
+  // until the device is back on a policy-chosen, healthy operating point.
+  bool degraded_ = false;
+  double degraded_since_ = 0.0;
+
+  // Monitor state: last estimate actually reported to the policy, reused
+  // verbatim when the injector drops a poll.
+  double last_reported_fps_ = -1.0;
+
+  // Power integration.
+  double last_power_t_ = 0.0;
+
+  // Incoming-rate estimation: arrival timestamps inside the window.
+  std::deque<double> recent_arrivals_;
+
+  // Per-sample-window counters.
+  std::int64_t window_arrived_ = 0;
+  std::int64_t window_lost_ = 0;
+  double window_qoe_sum_ = 0.0;
+  double window_energy_start_ = 0.0;
+
+  std::function<void()> on_headroom_;
+};
+
+}  // namespace adaflow::edge

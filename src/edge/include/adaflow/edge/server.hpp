@@ -14,6 +14,10 @@
 /// in-flight frames, and load shedding when the queue saturates. Disabling
 /// FaultToleranceConfig::enabled yields the unhardened baseline that
 /// bench_faults compares against.
+///
+/// The per-device simulation core lives in device_sim.hpp (edge::DeviceSim);
+/// run_simulation() drives exactly one device from a workload trace, while
+/// the fleet layer (src/fleet) drives N of them behind a dispatcher.
 
 #include <cmath>
 #include <cstdint>
@@ -22,6 +26,7 @@
 
 #include "adaflow/common/error.hpp"
 #include "adaflow/edge/policy.hpp"
+#include "adaflow/edge/server_types.hpp"
 #include "adaflow/edge/workload.hpp"
 #include "adaflow/sim/stats.hpp"
 
@@ -30,78 +35,6 @@ class FaultInjector;
 }
 
 namespace adaflow::edge {
-
-/// Self-healing knobs. Timeouts are relative to the nominal cost of the
-/// guarded operation so one config works for both the ~145 ms Fixed
-/// reconfiguration and the sub-ms Flexible switch.
-struct FaultToleranceConfig {
-  bool enabled = true;
-  /// A switch is declared hung after factor x its nominal time.
-  double switch_timeout_factor = 3.0;
-  double min_switch_timeout_s = 0.02;
-  /// A supervised load aborts at the first bad status readback, a fraction
-  /// of the way into the transfer; the unhardened server has no supervision
-  /// and always pays the full (possibly inflated) load time.
-  double failure_detect_fraction = 0.25;
-  /// Bounded retries of a failed/hung switch before asking the policy for a
-  /// fallback via on_switch_failed.
-  int max_switch_retries = 2;
-  /// First retry waits this long; each further retry doubles it.
-  double retry_backoff_s = 0.05;
-  /// An in-flight frame is declared stalled after factor x its service time.
-  double watchdog_timeout_factor = 10.0;
-  double min_watchdog_timeout_s = 0.05;
-  /// Recovering from a stall re-loads the current mode's weights.
-  double recovery_reload_s = 0.002;
-  /// on_overload fires when the queue is this full.
-  double shed_queue_fraction = 0.85;
-};
-
-struct ServerConfig {
-  std::int64_t queue_capacity = 72;
-  double poll_interval_s = 0.1;      ///< monitor cadence
-  double estimate_window_s = 0.4;    ///< incoming-FPS estimation window
-  double sample_interval_s = 0.5;    ///< time-series sampling cadence
-  FaultToleranceConfig fault_tolerance;
-};
-
-/// One applied mode switch (for Figure 6's annotation track).
-struct SwitchRecord {
-  double time_s = 0.0;
-  std::string model_version;
-  std::string accelerator;
-  bool reconfiguration = false;
-};
-
-struct RunMetrics {
-  std::int64_t arrived = 0;
-  std::int64_t processed = 0;
-  std::int64_t lost = 0;
-  double qoe_accuracy_sum = 0.0;  ///< sum of model accuracy over processed frames
-  double energy_j = 0.0;
-  double duration_s = 0.0;
-  int model_switches = 0;
-  int reconfigurations = 0;
-  std::vector<SwitchRecord> switches;
-
-  sim::FaultStats faults;  ///< robustness observability (zero without injector)
-
-  sim::TimeSeries workload_series;  ///< incoming FPS per sample window
-  sim::TimeSeries loss_series;      ///< frame-loss fraction per window
-  sim::TimeSeries qoe_series;       ///< QoE per window
-  sim::TimeSeries power_series;     ///< average watts per window
-
-  double frame_loss() const {
-    return arrived > 0 ? static_cast<double>(lost) / static_cast<double>(arrived) : 0.0;
-  }
-  /// QoE = accuracy x fraction of processed frames (paper Section V).
-  double qoe() const {
-    return arrived > 0 ? qoe_accuracy_sum / static_cast<double>(arrived) : 0.0;
-  }
-  double average_power_w() const { return duration_s > 0 ? energy_j / duration_s : 0.0; }
-  /// Processed inferences per watt-second (per joule).
-  double power_efficiency() const { return energy_j > 0 ? processed / energy_j : 0.0; }
-};
 
 /// Runs one full simulation of \p trace under \p policy. \p injector may be
 /// null (fault-free run); when set, the same (schedule, seed) pair replays
@@ -112,12 +45,31 @@ RunMetrics run_simulation(const WorkloadTrace& trace, ServingPolicy& policy,
 
 /// Averages scalar metrics and series over repeated runs (seeds 0..runs-1
 /// offset by seed_base), constructing a fresh policy per run via \p factory.
+///
+/// Caveat: `mean.switches` (the SwitchRecord trace) holds ONLY run 0's
+/// switches, kept as a representative sequence for Figure-6-style annotation
+/// tracks — switch traces of different runs have different lengths and times
+/// and cannot be averaged. Benches that need switching activity across every
+/// run must read `switches_per_run` / `reconfigurations_per_run` instead.
 struct RepeatedRunResult {
   RunMetrics mean;                 ///< per-run means: scalars divided by runs
-                                   ///< (counts rounded), series averaged
+                                   ///< (counts rounded), series averaged;
+                                   ///< `mean.switches` is run 0's trace only
   sim::RunningStat frame_loss;
   sim::RunningStat qoe;
   sim::RunningStat power;
+
+  /// Per-run switching activity (index = run); unlike `mean.switches`, these
+  /// cover every run.
+  std::vector<int> switches_per_run;
+  std::vector<int> reconfigurations_per_run;
+
+  /// Ratio statistics computed from the pooled (pre-rounding) totals over
+  /// all runs. `mean.frame_loss()` divides two independently rounded counts,
+  /// which drifts for tiny runs; these do not.
+  double pooled_frame_loss = 0.0;
+  double pooled_qoe = 0.0;
+  double pooled_average_power_w = 0.0;
 };
 
 template <typename PolicyFactory>
@@ -145,6 +97,8 @@ RepeatedRunResult run_repeated(const WorkloadConfig& workload, PolicyFactory&& f
     if (r == 0) {
       total.switches = m.switches;  // representative first run (paper Fig. 6)
     }
+    out.switches_per_run.push_back(m.model_switches);
+    out.reconfigurations_per_run.push_back(m.reconfigurations);
     out.frame_loss.add(m.frame_loss());
     out.qoe.add(m.qoe());
     out.power.add(m.average_power_w());
@@ -153,9 +107,19 @@ RepeatedRunResult run_repeated(const WorkloadConfig& workload, PolicyFactory&& f
     qoe_s.push_back(std::move(m.qoe_series));
     power_s.push_back(std::move(m.power_series));
   }
+  // Pooled ratios first, from the exact totals: rounding the counts below
+  // changes frame_loss()/qoe() by up to 1/arrived per run, which matters for
+  // tiny traces.
+  out.pooled_frame_loss =
+      total.arrived > 0 ? static_cast<double>(total.lost) / static_cast<double>(total.arrived)
+                        : 0.0;
+  out.pooled_qoe =
+      total.arrived > 0 ? total.qoe_accuracy_sum / static_cast<double>(total.arrived) : 0.0;
+  out.pooled_average_power_w = total.duration_s > 0.0 ? total.energy_j / total.duration_s : 0.0;
   // Scalars become per-run means so they read on the same scale as one run;
   // dividing numerators and denominators alike keeps the ratio accessors
-  // (frame_loss, qoe, average_power_w) consistent with the pooled ratios.
+  // (frame_loss, qoe, average_power_w) consistent with the pooled ratios up
+  // to count rounding.
   auto mean_count = [runs](std::int64_t v) {
     return static_cast<std::int64_t>(
         std::llround(static_cast<double>(v) / static_cast<double>(runs)));

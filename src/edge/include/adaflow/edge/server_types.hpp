@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file server_types.hpp
+/// Configuration and result types shared by the single-server simulation
+/// (server.hpp), the per-device simulation core (device_sim.hpp), and the
+/// fleet layer (src/fleet). Split out so a device can be embedded without
+/// pulling in the workload model.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adaflow/sim/stats.hpp"
+
+namespace adaflow::edge {
+
+/// Self-healing knobs. Timeouts are relative to the nominal cost of the
+/// guarded operation so one config works for both the ~145 ms Fixed
+/// reconfiguration and the sub-ms Flexible switch.
+struct FaultToleranceConfig {
+  bool enabled = true;
+  /// A switch is declared hung after factor x its nominal time.
+  double switch_timeout_factor = 3.0;
+  double min_switch_timeout_s = 0.02;
+  /// A supervised load aborts at the first bad status readback, a fraction
+  /// of the way into the transfer; the unhardened server has no supervision
+  /// and always pays the full (possibly inflated) load time.
+  double failure_detect_fraction = 0.25;
+  /// Bounded retries of a failed/hung switch before asking the policy for a
+  /// fallback via on_switch_failed.
+  int max_switch_retries = 2;
+  /// First retry waits this long; each further retry doubles it.
+  double retry_backoff_s = 0.05;
+  /// An in-flight frame is declared stalled after factor x its service time.
+  double watchdog_timeout_factor = 10.0;
+  double min_watchdog_timeout_s = 0.05;
+  /// Recovering from a stall re-loads the current mode's weights.
+  double recovery_reload_s = 0.002;
+  /// on_overload fires when the queue is this full.
+  double shed_queue_fraction = 0.85;
+};
+
+struct ServerConfig {
+  std::int64_t queue_capacity = 72;
+  double poll_interval_s = 0.1;      ///< monitor cadence
+  double estimate_window_s = 0.4;    ///< incoming-FPS estimation window
+  double sample_interval_s = 0.5;    ///< time-series sampling cadence
+  FaultToleranceConfig fault_tolerance;
+};
+
+/// One applied mode switch (for Figure 6's annotation track).
+struct SwitchRecord {
+  double time_s = 0.0;
+  std::string model_version;
+  std::string accelerator;
+  bool reconfiguration = false;
+};
+
+struct RunMetrics {
+  std::int64_t arrived = 0;
+  std::int64_t processed = 0;
+  std::int64_t lost = 0;
+  double qoe_accuracy_sum = 0.0;  ///< sum of model accuracy over processed frames
+  double energy_j = 0.0;
+  double duration_s = 0.0;
+  int model_switches = 0;
+  int reconfigurations = 0;
+  std::vector<SwitchRecord> switches;
+
+  sim::FaultStats faults;  ///< robustness observability (zero without injector)
+
+  sim::TimeSeries workload_series;  ///< incoming FPS per sample window
+  sim::TimeSeries loss_series;      ///< frame-loss fraction per window
+  sim::TimeSeries qoe_series;       ///< QoE per window
+  sim::TimeSeries power_series;     ///< average watts per window
+
+  double frame_loss() const {
+    return arrived > 0 ? static_cast<double>(lost) / static_cast<double>(arrived) : 0.0;
+  }
+  /// QoE = accuracy x fraction of processed frames (paper Section V).
+  double qoe() const {
+    return arrived > 0 ? qoe_accuracy_sum / static_cast<double>(arrived) : 0.0;
+  }
+  double average_power_w() const { return duration_s > 0 ? energy_j / duration_s : 0.0; }
+  /// Processed inferences per watt-second (per joule).
+  double power_efficiency() const { return energy_j > 0 ? processed / energy_j : 0.0; }
+};
+
+}  // namespace adaflow::edge

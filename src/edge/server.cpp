@@ -1,10 +1,7 @@
 #include "adaflow/edge/server.hpp"
 
-#include <algorithm>
-#include <deque>
-
-#include "adaflow/common/error.hpp"
 #include "adaflow/common/rng.hpp"
+#include "adaflow/edge/device_sim.hpp"
 #include "adaflow/faults/fault_injector.hpp"
 #include "adaflow/sim/event_queue.hpp"
 
@@ -12,313 +9,24 @@ namespace adaflow::edge {
 
 namespace {
 
-std::string describe_mode(const ServingMode& mode) {
-  return "'" + mode.model_version + "' on '" + mode.accelerator + "'";
-}
-
-/// Rejects modes a broken library entry would produce, naming the offender so
-/// a bad row fails fast with context instead of deep inside the event loop.
-void validate_mode(const ServingMode& mode, const std::string& when) {
-  require(std::isfinite(mode.fps) && mode.fps > 0.0,
-          when + ": library version " + describe_mode(mode) +
-              " has non-positive FPS (bad library entry)");
-  require(std::isfinite(mode.accuracy) && mode.accuracy >= 0.0,
-          when + ": library version " + describe_mode(mode) + " has invalid accuracy");
-  require(std::isfinite(mode.power_busy_w) && std::isfinite(mode.power_idle_w) &&
-              mode.power_busy_w >= 0.0 && mode.power_idle_w >= 0.0,
-          when + ": library version " + describe_mode(mode) + " has invalid power figures");
-}
-
-/// All mutable simulation state, shared by the event callbacks.
-struct Sim {
+/// Drives one DeviceSim from a workload trace: Poisson arrivals at the
+/// trace's (possibly fault-inflated) rate, plus the monitor-poll and
+/// window-sample cadences. All per-device behaviour lives in DeviceSim.
+struct SingleServerDriver {
   const WorkloadTrace& trace;
-  ServingPolicy& policy;
   const ServerConfig& config;
   faults::FaultInjector* injector;  ///< may be null (fault-free run)
   Rng rng;
   sim::EventQueue queue;
+  DeviceSim device;
 
-  ServingMode mode;
-  std::int64_t queued = 0;
-  bool processing = false;
-  bool switching = false;  ///< a switch (incl. retries) or stall recovery is in progress
-  bool has_pending_switch = false;
-  SwitchAction pending_switch;
-  bool fallback_tried = false;   ///< one fallback per switch episode
-  bool switch_episode = false;   ///< a switch ladder (incl. backoff) is active
-  bool has_pending_retry = false;  ///< retry timer fired while a frame was in flight
-  SwitchAction retry_action;
-  int retry_attempt = 0;
-
-  RunMetrics metrics;
-
-  // Degraded-mode accounting: from the first manifested fault of an episode
-  // until the server is back on a policy-chosen, healthy operating point.
-  bool degraded = false;
-  double degraded_since = 0.0;
-
-  // Monitor state: last estimate actually reported to the policy, reused
-  // verbatim when the injector drops a poll.
-  double last_reported_fps = -1.0;
-
-  // Power integration.
-  double last_power_t = 0.0;
-
-  // Incoming-rate estimation: arrival timestamps inside the window.
-  std::deque<double> recent_arrivals;
-
-  // Per-sample-window counters.
-  std::int64_t window_arrived = 0;
-  std::int64_t window_lost = 0;
-  double window_qoe_sum = 0.0;
-  double window_energy_start = 0.0;
-
-  Sim(const WorkloadTrace& t, ServingPolicy& p, const ServerConfig& c,
-      faults::FaultInjector* inj, std::uint64_t seed)
-      : trace(t), policy(p), config(c), injector(inj), rng(seed) {}
-
-  const FaultToleranceConfig& ft() const { return config.fault_tolerance; }
-
-  double current_power() const {
-    // Busy silicon burns dynamic power; an idle or reconfiguring accelerator
-    // sits at the idle operating point.
-    return (processing && !switching) ? mode.power_busy_w : mode.power_idle_w;
-  }
-
-  void integrate_power() {
-    const double now = queue.now();
-    metrics.energy_j += current_power() * (now - last_power_t);
-    last_power_t = now;
-  }
-
-  void set_mode(const ServingMode& m) {
-    integrate_power();
-    mode = m;
-  }
-
-  void enter_degraded() {
-    if (!degraded) {
-      degraded = true;
-      degraded_since = queue.now();
-    }
-  }
-
-  void exit_degraded() {
-    if (degraded) {
-      degraded = false;
-      const double episode = queue.now() - degraded_since;
-      metrics.faults.time_degraded_s += episode;
-      metrics.faults.recovery_time_sum_s += episode;
-      ++metrics.faults.recoveries;
-    }
-  }
-
-  void start_next_frame() {
-    if (switching) {
-      return;
-    }
-    if (has_pending_switch && !processing) {
-      begin_switch();
-      return;
-    }
-    if (processing || queued == 0) {
-      return;
-    }
-    integrate_power();
-    processing = true;
-    --queued;
-    const double service_s = 1.0 / mode.fps;
-    const double stall_s = injector != nullptr ? injector->stall_seconds(queue.now()) : 0.0;
-    if (stall_s <= 0.0) {
-      queue.schedule_in(service_s, [this] { finish_frame(); });
-      return;
-    }
-    metrics.faults.stalls_injected += 1;
-    if (!ft().enabled) {
-      // No watchdog: the accelerator simply hangs until the frame unsticks.
-      queue.schedule_in(stall_s + service_s, [this] { finish_frame(); });
-      return;
-    }
-    const double deadline_s =
-        std::max(ft().min_watchdog_timeout_s, ft().watchdog_timeout_factor * service_s);
-    if (stall_s + service_s <= deadline_s) {
-      // Slow but within the watchdog budget: the frame completes late.
-      queue.schedule_in(stall_s + service_s, [this] { finish_frame(); });
-      return;
-    }
-    queue.schedule_in(deadline_s, [this] { on_watchdog_fired(); });
-  }
-
-  void finish_frame() {
-    integrate_power();
-    processing = false;
-    ++metrics.processed;
-    metrics.qoe_accuracy_sum += mode.accuracy;
-    window_qoe_sum += mode.accuracy;
-    if (has_pending_retry) {
-      // A retry came due while this frame was in flight: run it now.
-      has_pending_retry = false;
-      attempt_switch(retry_action, retry_attempt);
-      return;
-    }
-    start_next_frame();
-  }
-
-  /// The stall watchdog: drop the wedged frame, re-load the current mode to
-  /// bring the accelerator back, then resume.
-  void on_watchdog_fired() {
-    integrate_power();
-    enter_degraded();
-    processing = false;
-    ++metrics.lost;  // the wedged frame never produces a result
-    ++window_lost;
-    ++metrics.faults.stalls_recovered;
-    switching = true;  // the re-load blocks the accelerator like a switch
-    queue.schedule_in(ft().recovery_reload_s, [this] {
-      integrate_power();
-      switching = false;
-      if (!has_pending_switch) {
-        exit_degraded();
-      }
-      start_next_frame();
-    });
-  }
-
-  void begin_switch() {
-    require(has_pending_switch, "no switch pending");
-    integrate_power();
-    switching = true;
-    switch_episode = true;
-    has_pending_switch = false;
-    fallback_tried = false;
-    const SwitchAction action = pending_switch;
-    ++metrics.model_switches;
-    if (action.is_reconfiguration) {
-      ++metrics.reconfigurations;
-    }
-    metrics.switches.push_back(SwitchRecord{queue.now(), action.target.model_version,
-                                            action.target.accelerator,
-                                            action.is_reconfiguration});
-    attempt_switch(action, /*attempt=*/0);
-  }
-
-  /// One switch attempt; consults the injector, arms the timeout, and drives
-  /// the retry/fallback ladder on failure. Blocks service for the duration of
-  /// the load itself (the fabric is being reprogrammed).
-  void attempt_switch(const SwitchAction& action, int attempt) {
-    integrate_power();
-    switching = true;
-    faults::FaultInjector::SwitchOutcome outcome;
-    if (injector != nullptr) {
-      outcome = injector->on_switch_attempt(queue.now(), action.is_reconfiguration);
-    }
-    const double actual_s = action.switch_time_s * outcome.time_factor;
-    if (!ft().enabled) {
-      // Unhardened baseline: the server waits the full (possibly inflated)
-      // time; a failed load silently keeps the old mode while the policy is
-      // told its target is live — the mis-selection the hardened path fixes.
-      queue.schedule_in(actual_s, [this, action, failed = outcome.fail] {
-        integrate_power();
-        switching = false;
-        switch_episode = false;
-        if (!failed) {
-          set_mode(action.target);
-        } else {
-          ++metrics.faults.switch_failures;
-        }
-        policy.on_switch_applied(queue.now(), action.target);
-        start_next_frame();
-      });
-      return;
-    }
-    const double timeout_s =
-        std::max(ft().min_switch_timeout_s, ft().switch_timeout_factor * action.switch_time_s);
-    if (actual_s > timeout_s) {
-      // Hung load: the supervisor aborts it when the timeout budget expires.
-      queue.schedule_in(timeout_s, [this, action, attempt] {
-        ++metrics.faults.switch_timeouts;
-        on_switch_attempt_failed(action, attempt);
-      });
-      return;
-    }
-    if (outcome.fail) {
-      // Supervision catches the bad load at the first failing status
-      // readback, a fraction of the way into the transfer — much earlier
-      // than the full load time the unhardened server wastes.
-      const double detect_s = std::min(
-          actual_s, std::max(ft().min_switch_timeout_s,
-                             ft().failure_detect_fraction * action.switch_time_s));
-      queue.schedule_in(detect_s, [this, action, attempt] {
-        ++metrics.faults.switch_failures;
-        on_switch_attempt_failed(action, attempt);
-      });
-      return;
-    }
-    queue.schedule_in(actual_s, [this, action] {
-      integrate_power();
-      switching = false;
-      switch_episode = false;
-      set_mode(action.target);
-      policy.on_switch_applied(queue.now(), action.target);
-      exit_degraded();
-      start_next_frame();
-    });
-  }
-
-  void on_switch_attempt_failed(const SwitchAction& action, int attempt) {
-    integrate_power();
-    enter_degraded();
-    if (attempt < ft().max_switch_retries) {
-      ++metrics.faults.switch_retries;
-      // An aborted load leaves the previous configuration serving (the same
-      // abstraction the unhardened path uses), so the backoff interval is
-      // not dead time: frames keep draining on the old mode.
-      switching = false;
-      const double backoff_s = ft().retry_backoff_s * static_cast<double>(1 << attempt);
-      queue.schedule_in(backoff_s, [this, action, attempt] {
-        if (processing) {
-          // Wait for the in-flight frame; finish_frame runs the retry.
-          has_pending_retry = true;
-          retry_action = action;
-          retry_attempt = attempt + 1;
-          return;
-        }
-        attempt_switch(action, attempt + 1);
-      });
-      start_next_frame();
-      return;
-    }
-    if (!fallback_tried) {
-      auto fallback = policy.on_switch_failed(queue.now(), action);
-      if (fallback.has_value()) {
-        validate_mode(fallback->target, "fallback switch");
-        fallback_tried = true;
-        ++metrics.faults.fallbacks;
-        attempt_switch(*fallback, /*attempt=*/0);
-        return;
-      }
-    } else {
-      // The fallback itself failed; tell the policy so it rolls back its
-      // bookkeeping, but do not chain further fallbacks.
-      policy.on_switch_failed(queue.now(), action);
-    }
-    ++metrics.faults.switches_abandoned;
-    switching = false;
-    switch_episode = false;
-    start_next_frame();  // keep serving on the still-loaded old mode
-  }
+  SingleServerDriver(const WorkloadTrace& t, ServingPolicy& policy, const ServerConfig& c,
+                     faults::FaultInjector* inj, std::uint64_t seed)
+      : trace(t), config(c), injector(inj), rng(seed),
+        device(queue, policy, c, inj, "server") {}
 
   void on_arrival() {
-    ++metrics.arrived;
-    ++window_arrived;
-    recent_arrivals.push_back(queue.now());
-    if (queued >= config.queue_capacity) {
-      ++metrics.lost;
-      ++window_lost;
-    } else {
-      ++queued;
-      start_next_frame();
-    }
+    device.offer_frame(/*count_loss=*/true);
     schedule_next_arrival();
   }
 
@@ -339,59 +47,8 @@ struct Sim {
     }
   }
 
-  double estimate_incoming_fps() {
-    const double now = queue.now();
-    while (!recent_arrivals.empty() && recent_arrivals.front() < now - config.estimate_window_s) {
-      recent_arrivals.pop_front();
-    }
-    const double window = std::min(now, config.estimate_window_s);
-    if (window <= 0.0) {
-      return trace.rate_at(0.0);
-    }
-    return static_cast<double>(recent_arrivals.size()) / window;
-  }
-
-  void accept_switch(const SwitchAction& action) {
-    validate_mode(action.target, "switch target");
-    pending_switch = action;
-    has_pending_switch = true;
-    if (!processing) {
-      begin_switch();
-    }
-  }
-
   void on_poll() {
-    // No new decisions while a switch ladder is active — including retry
-    // backoffs, where the old mode serves but the episode is unresolved.
-    if (!switching && !switch_episode) {
-      double incoming_fps = estimate_incoming_fps();
-      if (injector != nullptr) {
-        const auto outcome = injector->on_rate_poll(queue.now());
-        if (outcome.dropout && last_reported_fps >= 0.0) {
-          incoming_fps = last_reported_fps;  // monitor glitch: stale reading
-        } else {
-          incoming_fps *= outcome.noise_factor;
-        }
-      }
-      last_reported_fps = incoming_fps;
-
-      std::optional<SwitchAction> action;
-      if (ft().enabled && !has_pending_switch &&
-          static_cast<double>(queued) >=
-              ft().shed_queue_fraction * static_cast<double>(config.queue_capacity)) {
-        action = policy.on_overload(queue.now(), incoming_fps);
-        if (action.has_value()) {
-          ++metrics.faults.overload_sheds;
-          enter_degraded();
-        }
-      }
-      if (!action.has_value()) {
-        action = policy.on_poll(queue.now(), incoming_fps);
-      }
-      if (action.has_value()) {
-        accept_switch(*action);
-      }
-    }
+    device.poll();
     const double next = queue.now() + config.poll_interval_s;
     if (next <= trace.duration()) {
       queue.schedule_at(next, [this] { on_poll(); });
@@ -399,20 +56,8 @@ struct Sim {
   }
 
   void on_sample() {
-    integrate_power();
-    const double interval = config.sample_interval_s;
-    metrics.workload_series.values.push_back(static_cast<double>(window_arrived) / interval);
-    metrics.loss_series.values.push_back(
-        window_arrived > 0 ? static_cast<double>(window_lost) / window_arrived : 0.0);
-    metrics.qoe_series.values.push_back(
-        window_arrived > 0 ? window_qoe_sum / static_cast<double>(window_arrived) : 0.0);
-    metrics.power_series.values.push_back((metrics.energy_j - window_energy_start) / interval);
-    window_arrived = 0;
-    window_lost = 0;
-    window_qoe_sum = 0.0;
-    window_energy_start = metrics.energy_j;
-
-    const double next = queue.now() + interval;
+    device.sample_window();
+    const double next = queue.now() + config.sample_interval_s;
     if (next <= trace.duration() + 1e-9) {
       queue.schedule_at(next, [this] { on_sample(); });
     }
@@ -424,38 +69,16 @@ struct Sim {
 RunMetrics run_simulation(const WorkloadTrace& trace, ServingPolicy& policy,
                           const ServerConfig& config, std::uint64_t seed,
                           faults::FaultInjector* injector) {
-  Sim sim(trace, policy, config, injector, seed);
-  sim.mode = policy.initial_mode();
-  validate_mode(sim.mode, "initial mode");
+  SingleServerDriver driver(trace, policy, config, injector, seed);
+  driver.device.start();
 
-  sim.metrics.workload_series.interval_s = config.sample_interval_s;
-  sim.metrics.loss_series.interval_s = config.sample_interval_s;
-  sim.metrics.qoe_series.interval_s = config.sample_interval_s;
-  sim.metrics.power_series.interval_s = config.sample_interval_s;
+  driver.schedule_next_arrival();
+  driver.queue.schedule_at(config.poll_interval_s, [&driver] { driver.on_poll(); });
+  driver.queue.schedule_at(config.sample_interval_s, [&driver] { driver.on_sample(); });
 
-  sim.schedule_next_arrival();
-  sim.queue.schedule_at(config.poll_interval_s, [&sim] { sim.on_poll(); });
-  sim.queue.schedule_at(config.sample_interval_s, [&sim] { sim.on_sample(); });
-
-  sim.queue.run_until(trace.duration());
-  sim.integrate_power();
-  if (sim.degraded) {
-    // Still degraded at sim end: charge the open episode, but it is not a
-    // recovery — MTTR only averages completed recoveries.
-    sim.metrics.faults.time_degraded_s += trace.duration() - sim.degraded_since;
-  }
-  sim.metrics.duration_s = trace.duration();
-  if (injector != nullptr) {
-    using faults::FaultKind;
-    sim.metrics.faults.reconfig_failures_injected = injector->injected(FaultKind::kReconfigFailure);
-    sim.metrics.faults.reconfig_slowdowns_injected =
-        injector->injected(FaultKind::kReconfigSlowdown);
-    sim.metrics.faults.monitor_dropouts = injector->injected(FaultKind::kMonitorDropout);
-    sim.metrics.faults.monitor_noise_events = injector->injected(FaultKind::kMonitorNoise);
-    sim.metrics.faults.burst_windows = injector->injected(FaultKind::kQueueBurst);
-    // stalls_injected is counted by the server (it sees each manifestation).
-  }
-  return sim.metrics;
+  driver.queue.run_until(trace.duration());
+  driver.device.finalize(trace.duration());
+  return std::move(driver.device.metrics());
 }
 
 }  // namespace adaflow::edge

@@ -1,0 +1,177 @@
+#pragma once
+
+/// \file fleet.hpp
+/// Multi-FPGA cluster serving simulation: N heterogeneous devices — each an
+/// edge::DeviceSim with its own serving policy, power profile, and optional
+/// fault injector — behind a dispatcher with a bounded ingress queue and a
+/// pluggable RoutingPolicy. This is the scale-out layer above the paper's
+/// single Edge server: the same camera traffic, but drained by a cluster.
+///
+/// Ingress semantics: an arriving frame is routed immediately when any
+/// device is accepting and has queue headroom; otherwise it waits in the
+/// bounded ingress queue (re-dispatched the moment headroom appears) and is
+/// lost only when that queue is also full.
+///
+/// The optional fleet coordinator generalizes the paper's switch-interval
+/// rule from one device to the cluster: as the aggregate incoming FPS
+/// shifts, it re-partitions the library across the coordinated devices by
+/// drain-and-reconfigure — one device at a time is taken out of rotation,
+/// its queue drains into the rest of the fleet via the router, the Fixed
+/// accelerator is reconfigured to the version matching the new per-device
+/// demand share, and the device rejoins. The cluster never loses more than
+/// one device's capacity to a reconfiguration.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adaflow/core/library.hpp"
+#include "adaflow/core/runtime_manager.hpp"
+#include "adaflow/edge/server_types.hpp"
+#include "adaflow/edge/workload.hpp"
+#include "adaflow/faults/fault_injector.hpp"
+#include "adaflow/fleet/routing.hpp"
+#include "adaflow/sim/stats.hpp"
+
+namespace adaflow::fleet {
+
+/// One device slot of the fleet. The policy factory runs once per
+/// run_fleet() call; everything it captures (libraries, configs) must
+/// outlive the run.
+struct FleetDevice {
+  std::string name;
+  std::function<std::unique_ptr<edge::ServingPolicy>()> make_policy;
+  edge::ServerConfig server;
+  /// Device-local fault schedule; the injector is seeded from the fleet seed
+  /// and the device index, so runs replay bit-identically.
+  std::optional<faults::FaultSchedule> fault_schedule;
+  /// The coordinator may drain-and-reconfigure this device. Coordinated
+  /// devices should use a PinnedPolicy (see pinned_device) so the local
+  /// policy does not fight the cluster-level decisions.
+  bool coordinated = false;
+  /// Library the coordinator uses to pick this device's versions (and that
+  /// pinned_device serves from); null means the library passed to
+  /// run_fleet(). Heterogeneous fleets point this at per-device scaled
+  /// copies (core::scale_library_fps).
+  const core::AcceleratorLibrary* library = nullptr;
+};
+
+/// Fleet-level adaptation knobs (the cluster generalization of the paper's
+/// Runtime Manager rule-based criteria).
+struct FleetCoordinatorConfig {
+  bool enabled = false;
+  double poll_interval_s = 0.5;
+  double estimate_window_s = 1.0;  ///< aggregate ingress-rate window
+  double warmup_s = 1.0;           ///< no repartitions before the estimate fills
+  /// Ignore aggregate-FPS shifts smaller than this fraction.
+  double fps_hysteresis = 0.15;
+  /// Consecutive repartitions are spaced by factor x the device's
+  /// reconfiguration time — the paper's switch-interval rule applied
+  /// cluster-wide (at most one device is ever out of rotation).
+  double switch_interval_factor = 10.0;
+  /// A draining device is reconfigured even if its queue has not emptied
+  /// after this long (frames then wait through the switch).
+  double drain_timeout_s = 1.0;
+  double accuracy_threshold = 0.10;
+  double fps_margin = 1.10;
+};
+
+struct FleetConfig {
+  std::vector<FleetDevice> devices;
+  /// Frames that find every device queue full wait here; beyond this the
+  /// fleet sheds them (ingress_lost).
+  std::int64_t ingress_capacity = 128;
+  /// Cadence of the fleet-level metric series (per-device series keep their
+  /// own ServerConfig cadence).
+  double sample_interval_s = 0.5;
+  FleetCoordinatorConfig coordinator;
+
+  /// Throws ConfigError naming the offending device/field.
+  void validate() const;
+};
+
+struct FleetDeviceResult {
+  std::string name;
+  edge::RunMetrics metrics;
+};
+
+/// Aggregate + per-device outcome of one fleet run.
+struct FleetMetrics {
+  std::int64_t arrived = 0;       ///< frames offered to the ingress
+  std::int64_t dispatched = 0;    ///< frames handed to a device queue
+  std::int64_t ingress_lost = 0;  ///< shed at the full ingress queue
+  std::int64_t ingress_backlog = 0;  ///< still waiting at ingress at t_end
+  std::int64_t processed = 0;
+  std::int64_t device_lost = 0;  ///< lost inside devices (stall drops, ...)
+  double qoe_accuracy_sum = 0.0;
+  double energy_j = 0.0;
+  double duration_s = 0.0;
+  int model_switches = 0;      ///< summed over devices
+  int reconfigurations = 0;    ///< summed over devices
+  int repartitions = 0;        ///< completed coordinator drain-and-reconfigure cycles
+  /// p95 of the sampled worst-device backlog drain time — the fleet's tail
+  /// latency proxy (a frame routed at a sample instant waits at most about
+  /// this long on the slowest queue).
+  double tail_latency_p95_s = 0.0;
+
+  sim::TimeSeries workload_series;  ///< aggregate ingress FPS per window
+  sim::TimeSeries loss_series;      ///< fleet loss fraction per window
+  sim::TimeSeries qoe_series;       ///< fleet QoE per window
+  sim::TimeSeries backlog_series;   ///< worst-device backlog estimate [s]
+
+  std::vector<FleetDeviceResult> devices;
+
+  std::int64_t lost() const { return ingress_lost + device_lost; }
+  double frame_loss() const {
+    return arrived > 0 ? static_cast<double>(lost()) / static_cast<double>(arrived) : 0.0;
+  }
+  /// Fleet QoE = summed model accuracy over processed frames / offered frames
+  /// (the paper's QoE, with the ingress loss charged to the cluster).
+  double qoe() const {
+    return arrived > 0 ? qoe_accuracy_sum / static_cast<double>(arrived) : 0.0;
+  }
+  double average_power_w() const { return duration_s > 0 ? energy_j / duration_s : 0.0; }
+};
+
+/// Serves one library version on its Fixed-Pruning accelerator and never
+/// acts on its own; the fleet coordinator re-targets it through
+/// DeviceSim::command_switch. The cluster-side counterpart of the paper's
+/// Fixed accelerator: cheap to run, expensive to change.
+class PinnedPolicy final : public edge::ServingPolicy {
+ public:
+  PinnedPolicy(const core::AcceleratorLibrary& library, std::size_t version);
+  edge::ServingMode initial_mode() override;
+  std::optional<edge::SwitchAction> on_poll(double, double) override { return std::nullopt; }
+
+ private:
+  const core::AcceleratorLibrary& library_;
+  std::size_t version_;
+};
+
+/// Runs the full cluster simulation of \p trace. \p library is the fleet's
+/// default library (coordinator targets, pinned devices without their own);
+/// \p seed drives arrivals and the per-device fault injectors — the same
+/// (config, trace, seed) triple replays bit-identically.
+FleetMetrics run_fleet(const edge::WorkloadTrace& trace, const core::AcceleratorLibrary& library,
+                       const FleetConfig& config, RoutingPolicy& router, std::uint64_t seed);
+
+/// One self-managed device slot: its own serving policy of \p kind over
+/// \p library (per-device manager construction from one shared library).
+FleetDevice managed_device(std::string name, const core::AcceleratorLibrary& library,
+                           const core::RuntimeManagerConfig& manager,
+                           core::PolicyKind kind = core::PolicyKind::kAdaFlow);
+
+/// One coordinator-driven device slot pinned to \p version of \p library.
+FleetDevice pinned_device(std::string name, const core::AcceleratorLibrary& library,
+                          std::size_t version);
+
+/// N identical managed devices ("dev0".."devN-1") over one shared library.
+std::vector<FleetDevice> homogeneous_devices(const core::AcceleratorLibrary& library,
+                                             const core::RuntimeManagerConfig& manager,
+                                             int count,
+                                             core::PolicyKind kind = core::PolicyKind::kAdaFlow);
+
+}  // namespace adaflow::fleet

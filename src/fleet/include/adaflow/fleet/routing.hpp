@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file routing.hpp
+/// Pluggable frame-routing policies for the fleet dispatcher: given a
+/// snapshot of every device's load and operating mode, pick the device that
+/// takes the frame arriving now.
+///
+/// The dispatcher marks a device `eligible` when it is accepting traffic
+/// (not drained by the coordinator) and its bounded queue has headroom;
+/// routers only ever return an eligible index, and the dispatcher falls back
+/// to its ingress queue when nothing is eligible.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace adaflow::fleet {
+
+/// Load/mode snapshot of one device at routing time.
+struct DeviceStatus {
+  bool eligible = false;  ///< accepting traffic and has queue headroom
+  std::int64_t queued = 0;
+  std::int64_t capacity = 0;
+  bool busy = false;       ///< a frame is in service
+  bool switching = false;  ///< a mode switch / recovery blocks service
+  double fps = 0.0;        ///< current mode's service rate
+  double accuracy = 0.0;   ///< current mode's model accuracy
+  double backlog_s = 0.0;  ///< (queued + in-flight) / fps drain estimate
+};
+
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+  virtual std::string name() const = 0;
+
+  /// Picks the device for one frame arriving at \p now_s. The dispatcher
+  /// guarantees at least one status is eligible; implementations must return
+  /// the index of an eligible device.
+  virtual std::size_t route(double now_s, const std::vector<DeviceStatus>& devices) = 0;
+};
+
+/// Cycles through the devices in index order, skipping ineligible ones.
+/// Blind to load and heterogeneity — the baseline the smarter routers beat.
+class RoundRobinRouter final : public RoutingPolicy {
+ public:
+  std::string name() const override { return "round-robin"; }
+  std::size_t route(double now_s, const std::vector<DeviceStatus>& devices) override;
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+/// Join-shortest-queue, weighted by service rate: picks the eligible device
+/// with the smallest backlog drain time, so a 2000-FPS device absorbs more
+/// traffic than a 500-FPS one. A device mid-switch gets a constant penalty
+/// (its queue will not move until the switch completes).
+class LeastLoadedRouter final : public RoutingPolicy {
+ public:
+  explicit LeastLoadedRouter(double switching_penalty_s = 0.1)
+      : switching_penalty_s_(switching_penalty_s) {}
+  std::string name() const override { return "least-loaded"; }
+  std::size_t route(double now_s, const std::vector<DeviceStatus>& devices) override;
+
+ private:
+  double switching_penalty_s_;
+};
+
+/// Prefers the most accurate currently-loaded model among devices with
+/// backlog headroom (QoE counts accuracy per processed frame); once every
+/// device is loaded past the headroom bound it degrades to the least-loaded
+/// rule, because a lost frame costs more QoE than a less accurate one.
+class AccuracyAwareRouter final : public RoutingPolicy {
+ public:
+  explicit AccuracyAwareRouter(double headroom_s = 0.05, double switching_penalty_s = 0.1)
+      : headroom_s_(headroom_s), least_loaded_(switching_penalty_s) {}
+  std::string name() const override { return "accuracy-aware"; }
+  std::size_t route(double now_s, const std::vector<DeviceStatus>& devices) override;
+
+ private:
+  double headroom_s_;
+  LeastLoadedRouter least_loaded_;
+};
+
+/// Router registry: the names accepted by make_router (and the CLI/bench
+/// `--router` flag), in presentation order.
+const std::vector<std::string>& router_names();
+
+/// Builds a router by name; throws NotFoundError listing the valid names.
+std::unique_ptr<RoutingPolicy> make_router(const std::string& name);
+
+}  // namespace adaflow::fleet

@@ -1,0 +1,91 @@
+#include "adaflow/fleet/routing.hpp"
+
+#include "adaflow/common/error.hpp"
+#include "adaflow/common/strings.hpp"
+
+namespace adaflow::fleet {
+
+namespace {
+
+/// Effective drain time used for load comparison.
+double load_of(const DeviceStatus& d, double switching_penalty_s) {
+  return d.backlog_s + (d.switching ? switching_penalty_s : 0.0);
+}
+
+}  // namespace
+
+std::size_t RoundRobinRouter::route(double, const std::vector<DeviceStatus>& devices) {
+  require(!devices.empty(), "route called with no devices");
+  const std::size_t n = devices.size();
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t idx = (cursor_ + step) % n;
+    if (devices[idx].eligible) {
+      cursor_ = idx + 1;  // next frame starts after the chosen device
+      return idx;
+    }
+  }
+  throw ConfigError("route called with no eligible device");
+}
+
+std::size_t LeastLoadedRouter::route(double, const std::vector<DeviceStatus>& devices) {
+  require(!devices.empty(), "route called with no devices");
+  std::size_t best = devices.size();
+  double best_load = 0.0;
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    if (!devices[i].eligible) {
+      continue;
+    }
+    const double load = load_of(devices[i], switching_penalty_s_);
+    // Ties break toward fewer queued frames, then the lower index, so the
+    // choice is deterministic regardless of float noise.
+    if (best == devices.size() || load < best_load ||
+        (load == best_load && devices[i].queued < devices[best].queued)) {
+      best = i;
+      best_load = load;
+    }
+  }
+  require(best != devices.size(), "route called with no eligible device");
+  return best;
+}
+
+std::size_t AccuracyAwareRouter::route(double now_s, const std::vector<DeviceStatus>& devices) {
+  require(!devices.empty(), "route called with no devices");
+  std::size_t best = devices.size();
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    const DeviceStatus& d = devices[i];
+    if (!d.eligible || d.switching || d.backlog_s > headroom_s_) {
+      continue;
+    }
+    if (best == devices.size() || d.accuracy > devices[best].accuracy) {
+      best = i;
+    }
+  }
+  if (best != devices.size()) {
+    return best;
+  }
+  // Everyone is loaded (or switching): losing frames costs more QoE than
+  // serving them on a less accurate model.
+  return least_loaded_.route(now_s, devices);
+}
+
+const std::vector<std::string>& router_names() {
+  static const std::vector<std::string> names = {"round-robin", "least-loaded",
+                                                 "accuracy-aware"};
+  return names;
+}
+
+std::unique_ptr<RoutingPolicy> make_router(const std::string& name) {
+  if (name == "round-robin") {
+    return std::make_unique<RoundRobinRouter>();
+  }
+  if (name == "least-loaded") {
+    return std::make_unique<LeastLoadedRouter>();
+  }
+  if (name == "accuracy-aware") {
+    return std::make_unique<AccuracyAwareRouter>();
+  }
+  throw NotFoundError("unknown router '" + name + "' (valid: " + join(router_names(), ", ") +
+                      ")");
+}
+
+}  // namespace adaflow::fleet

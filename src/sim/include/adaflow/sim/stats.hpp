@@ -36,8 +36,16 @@ struct TimeSeries {
   double time_of(std::size_t i) const { return static_cast<double>(i + 1) * interval_s; }
 };
 
-/// Element-wise mean of equally shaped series (averaging the 100 runs).
+/// Element-wise mean over runs. Series of unequal length (fleet runs of
+/// differing durations) are truncated to the SHORTEST run before averaging,
+/// so every output sample averages the same number of runs; if any series is
+/// empty the result is empty. Throws on an empty input vector. The sampling
+/// interval is taken from the first series.
 TimeSeries average_series(const std::vector<TimeSeries>& runs);
+
+/// Nearest-rank percentile of \p values (q in [0, 1]; q=0.95 -> p95).
+/// Returns 0 for an empty vector. The input is copied, not reordered.
+double percentile(const std::vector<double>& values, double q);
 
 /// Robustness counters of one simulated run: faults that manifested, how the
 /// server reacted, and how long it spent off its policy-chosen operating

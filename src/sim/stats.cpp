@@ -1,5 +1,6 @@
 #include "adaflow/sim/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "adaflow/common/error.hpp"
@@ -44,6 +45,18 @@ TimeSeries average_series(const std::vector<TimeSeries>& runs) {
     v /= static_cast<double>(runs.size());
   }
   return out;
+}
+
+double percentile(const std::vector<double>& values, double q) {
+  require(q >= 0.0 && q <= 1.0, "percentile q must be in [0, 1]");
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t idx = static_cast<std::size_t>(std::llround(rank));
+  return sorted[std::min(idx, sorted.size() - 1)];
 }
 
 void FaultStats::accumulate(const FaultStats& other) {

@@ -175,6 +175,49 @@ TEST(Server, RepeatedRunsAverage) {
   EXPECT_NEAR(r.mean.frame_loss(), r.frame_loss.mean(), 0.01);
 }
 
+TEST(Server, RepeatedRunsRecordSwitchCountsForEveryRun) {
+  // Regression: the averaged result used to keep only run 0's SwitchRecord
+  // trace, silently hiding the other runs' switching activity. The per-run
+  // count vectors must cover every run.
+  WorkloadConfig wl = constant_workload(5.0);
+  SwitchAction action;
+  action.target = mode(700.0);
+  action.switch_time_s = 0.01;
+  action.is_reconfiguration = true;
+  auto factory = [&] { return std::make_unique<OneSwitchPolicy>(mode(700.0), action, 2.0); };
+  RepeatedRunResult r = run_repeated(wl, factory, ServerConfig{}, 4);
+  ASSERT_EQ(r.switches_per_run.size(), 4u);
+  ASSERT_EQ(r.reconfigurations_per_run.size(), 4u);
+  for (int count : r.switches_per_run) {
+    EXPECT_EQ(count, 1);
+  }
+  for (int count : r.reconfigurations_per_run) {
+    EXPECT_EQ(count, 1);
+  }
+  // The representative trace is still run 0's.
+  ASSERT_EQ(r.mean.switches.size(), 1u);
+  EXPECT_NEAR(r.mean.switches[0].time_s, 2.0, 0.2);
+}
+
+TEST(Server, RepeatedRunsPooledRatiosComeFromExactTotals) {
+  // Regression: mean.frame_loss() divides two independently ROUNDED counts;
+  // the pooled ratios must be computed before rounding, so they always lie
+  // inside the per-run envelope and track the per-run mean closely.
+  WorkloadConfig wl = constant_workload(10.0);
+  auto factory = [] { return std::make_unique<StaticPolicy>(mode(450.0)); };  // ~25% loss
+  RepeatedRunResult r = run_repeated(wl, factory, ServerConfig{}, 5);
+  EXPECT_GT(r.pooled_frame_loss, 0.0);
+  EXPECT_GE(r.pooled_frame_loss, r.frame_loss.min());
+  EXPECT_LE(r.pooled_frame_loss, r.frame_loss.max());
+  EXPECT_NEAR(r.pooled_frame_loss, r.frame_loss.mean(), 0.01);
+  EXPECT_GE(r.pooled_qoe, r.qoe.min());
+  EXPECT_LE(r.pooled_qoe, r.qoe.max());
+  EXPECT_NEAR(r.pooled_average_power_w, r.power.mean(), 0.05);
+  // And the rounded-mean accessor stays consistent with them up to rounding.
+  EXPECT_NEAR(r.mean.frame_loss(), r.pooled_frame_loss, 0.01);
+  EXPECT_NEAR(r.mean.qoe(), r.pooled_qoe, 0.01);
+}
+
 TEST(Server, RepeatedRunsRejectNonPositiveCount) {
   WorkloadConfig wl = constant_workload(1.0);
   auto factory = [] { return std::make_unique<StaticPolicy>(mode(800.0)); };

@@ -1,0 +1,120 @@
+#include "adaflow/fleet/routing.hpp"
+
+#include "adaflow/common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace adaflow::fleet {
+namespace {
+
+DeviceStatus status(bool eligible, double backlog_s = 0.0, std::int64_t queued = 0,
+                    double accuracy = 0.9, bool switching = false, double fps = 500.0) {
+  DeviceStatus s;
+  s.eligible = eligible;
+  s.queued = queued;
+  s.capacity = 72;
+  s.busy = queued > 0;
+  s.switching = switching;
+  s.fps = fps;
+  s.accuracy = accuracy;
+  s.backlog_s = backlog_s;
+  return s;
+}
+
+TEST(RoundRobinRouter, CyclesThroughDevicesInOrder) {
+  RoundRobinRouter r;
+  std::vector<DeviceStatus> devs = {status(true), status(true), status(true)};
+  EXPECT_EQ(r.route(0.0, devs), 0u);
+  EXPECT_EQ(r.route(0.0, devs), 1u);
+  EXPECT_EQ(r.route(0.0, devs), 2u);
+  EXPECT_EQ(r.route(0.0, devs), 0u);
+}
+
+TEST(RoundRobinRouter, SkipsIneligibleDevices) {
+  RoundRobinRouter r;
+  std::vector<DeviceStatus> devs = {status(true), status(false), status(true)};
+  EXPECT_EQ(r.route(0.0, devs), 0u);
+  EXPECT_EQ(r.route(0.0, devs), 2u);  // device 1 is full/drained
+  EXPECT_EQ(r.route(0.0, devs), 0u);
+}
+
+TEST(RoundRobinRouter, ThrowsWhenNothingIsEligible) {
+  RoundRobinRouter r;
+  std::vector<DeviceStatus> devs = {status(false), status(false)};
+  EXPECT_THROW(r.route(0.0, devs), Error);
+  EXPECT_THROW(r.route(0.0, {}), Error);
+}
+
+TEST(LeastLoadedRouter, PicksTheSmallestBacklog) {
+  LeastLoadedRouter r;
+  std::vector<DeviceStatus> devs = {status(true, 0.30), status(true, 0.05), status(true, 0.10)};
+  EXPECT_EQ(r.route(0.0, devs), 1u);
+}
+
+TEST(LeastLoadedRouter, IgnoresIneligibleDevices) {
+  LeastLoadedRouter r;
+  std::vector<DeviceStatus> devs = {status(false, 0.0), status(true, 0.2)};
+  EXPECT_EQ(r.route(0.0, devs), 1u);
+}
+
+TEST(LeastLoadedRouter, PenalizesSwitchingDevices) {
+  LeastLoadedRouter r(/*switching_penalty_s=*/0.1);
+  // Device 0 has the shorter queue but is mid-switch: 0.02 + 0.1 > 0.08.
+  std::vector<DeviceStatus> devs = {status(true, 0.02, 1, 0.9, /*switching=*/true),
+                                    status(true, 0.08)};
+  EXPECT_EQ(r.route(0.0, devs), 1u);
+}
+
+TEST(LeastLoadedRouter, TieBreaksTowardFewerQueuedFrames) {
+  LeastLoadedRouter r;
+  std::vector<DeviceStatus> devs = {status(true, 0.10, /*queued=*/5),
+                                    status(true, 0.10, /*queued=*/2)};
+  EXPECT_EQ(r.route(0.0, devs), 1u);
+}
+
+TEST(AccuracyAwareRouter, PrefersTheMostAccurateDeviceWithHeadroom) {
+  AccuracyAwareRouter r(/*headroom_s=*/0.05);
+  std::vector<DeviceStatus> devs = {status(true, 0.01, 0, 0.84), status(true, 0.03, 1, 0.90)};
+  EXPECT_EQ(r.route(0.0, devs), 1u);  // more loaded but more accurate
+}
+
+TEST(AccuracyAwareRouter, SkipsSwitchingDevicesInTheAccuracyPass) {
+  AccuracyAwareRouter r(/*headroom_s=*/0.05);
+  std::vector<DeviceStatus> devs = {status(true, 0.01, 0, 0.90, /*switching=*/true),
+                                    status(true, 0.01, 0, 0.84)};
+  EXPECT_EQ(r.route(0.0, devs), 1u);
+}
+
+TEST(AccuracyAwareRouter, DegradesToLeastLoadedWhenEveryoneIsBusy) {
+  AccuracyAwareRouter r(/*headroom_s=*/0.05);
+  // All backlogs exceed the headroom: accuracy no longer decides.
+  std::vector<DeviceStatus> devs = {status(true, 0.40, 0, 0.90), status(true, 0.10, 0, 0.80)};
+  EXPECT_EQ(r.route(0.0, devs), 1u);
+}
+
+TEST(MakeRouter, BuildsEveryRegisteredRouter) {
+  for (const std::string& name : router_names()) {
+    auto router = make_router(name);
+    ASSERT_NE(router, nullptr) << name;
+    EXPECT_EQ(router->name(), name);
+  }
+}
+
+TEST(MakeRouter, UnknownNameListsTheValidRouters) {
+  try {
+    make_router("bogus");
+    FAIL() << "expected NotFoundError";
+  } catch (const NotFoundError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bogus"), std::string::npos);
+    for (const std::string& name : router_names()) {
+      EXPECT_NE(msg.find(name), std::string::npos) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adaflow::fleet

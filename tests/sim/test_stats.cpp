@@ -58,5 +58,64 @@ TEST(AverageSeries, EmptyInputThrows) {
   EXPECT_THROW(average_series({}), ConfigError);
 }
 
+TEST(AverageSeries, UnequalLengthsAverageTheFullRunCount) {
+  // Truncation keeps the divisor honest: every output sample averages ALL
+  // runs, never a mix of 3-run and 2-run sums.
+  TimeSeries a;
+  a.values = {3.0, 3.0, 99.0};
+  TimeSeries b;
+  b.values = {6.0, 6.0};
+  TimeSeries c;
+  c.values = {9.0, 9.0, 99.0, 99.0};
+  TimeSeries avg = average_series({a, b, c});
+  EXPECT_EQ(avg.values, (std::vector<double>{6.0, 6.0}));
+}
+
+TEST(AverageSeries, AnyEmptySeriesYieldsAnEmptyResult) {
+  TimeSeries a;
+  a.values = {1.0, 2.0};
+  TimeSeries b;  // empty: shortest run has zero samples
+  TimeSeries avg = average_series({a, b});
+  EXPECT_TRUE(avg.values.empty());
+}
+
+TEST(AverageSeries, IntervalComesFromTheFirstSeries) {
+  TimeSeries a;
+  a.interval_s = 0.25;
+  a.values = {1.0};
+  TimeSeries b;
+  b.interval_s = 0.5;
+  b.values = {2.0};
+  EXPECT_DOUBLE_EQ(average_series({a, b}).interval_s, 0.25);
+}
+
+TEST(AverageSeries, SingleRunIsIdentity) {
+  TimeSeries a;
+  a.values = {1.5, -2.5, 0.0};
+  EXPECT_EQ(average_series({a}).values, a.values);
+}
+
+TEST(Percentile, NearestRankOnASmallVector) {
+  const std::vector<double> v = {5.0, 1.0, 4.0, 2.0, 3.0};  // sorted: 1..5
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.95), 5.0);  // rank 3.8 rounds to 4
+}
+
+TEST(Percentile, EmptyVectorIsZero) { EXPECT_DOUBLE_EQ(percentile({}, 0.95), 0.0); }
+
+TEST(Percentile, OutOfRangeQuantileThrows) {
+  EXPECT_THROW(percentile({1.0}, -0.1), ConfigError);
+  EXPECT_THROW(percentile({1.0}, 1.1), ConfigError);
+}
+
+TEST(Percentile, DoesNotReorderTheInput) {
+  const std::vector<double> v = {3.0, 1.0, 2.0};
+  std::vector<double> copy = v;
+  percentile(copy, 0.5);
+  EXPECT_EQ(copy, v);
+}
+
 }  // namespace
 }  // namespace adaflow::sim

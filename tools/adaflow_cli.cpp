@@ -8,6 +8,7 @@
 ///   library    --model M --dataset D --out FILE      generate a library
 ///   show       --library FILE                        print a library table
 ///   simulate   --library FILE --scenario S           run the Edge simulation
+///   fleet      --devices N --router R [--coordinated]  multi-FPGA cluster sim
 ///
 /// Models: cnv-w2a2, cnv-w1a2, tfc-w1a2. Datasets: cifar, gtsrb, mnist.
 
@@ -21,6 +22,7 @@
 #include "adaflow/core/library_generator.hpp"
 #include "adaflow/core/runtime_manager.hpp"
 #include "adaflow/edge/server.hpp"
+#include "adaflow/fleet/fleet.hpp"
 #include "adaflow/nn/mlp.hpp"
 #include "adaflow/nn/serialize.hpp"
 #include "adaflow/nn/trainer.hpp"
@@ -242,9 +244,89 @@ int cmd_simulate(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_fleet(const std::vector<std::string>& args) {
+  ArgParser parser("adaflow fleet", "multi-FPGA cluster simulation");
+  parser.add_option("library", "library file (empty = built-in synthetic library)", "");
+  parser.add_option("devices", "number of devices (1..64)", "3");
+  parser.add_option("router", "round-robin | least-loaded | accuracy-aware", "least-loaded");
+  parser.add_option("fps", "aggregate arrival rate (empty = 70% of fleet capacity)", "");
+  parser.add_option("duration", "trace duration [s]", "20");
+  parser.add_option("seed", "rng seed", "42");
+  parser.add_flag("coordinated",
+                  "pin devices and let the fleet coordinator re-partition the library");
+  parser.parse(args);
+
+  const core::AcceleratorLibrary lib = parser.option("library").empty()
+                                           ? core::synthetic_library()
+                                           : core::load_library(parser.option("library"));
+
+  const std::int64_t devices = parser.option_int("devices");
+  require(devices >= 1 && devices <= 64, "--devices must be in [1, 64], got '" +
+                                             parser.option("devices") + "'");
+  const std::string router_name = parser.option("router");
+  {
+    const std::vector<std::string> names = fleet::router_names();
+    bool known = false;
+    for (const std::string& n : names) {
+      known = known || n == router_name;
+    }
+    require(known, "--router must be one of " + join(names, " | ") + ", got '" + router_name + "'");
+  }
+  const double duration = parser.option_double("duration");
+  require(duration > 0.0, "--duration must be positive, got '" + parser.option("duration") + "'");
+  const std::uint64_t seed = static_cast<std::uint64_t>(parser.option_int("seed"));
+
+  core::RuntimeManagerConfig rmc;
+  fleet::FleetConfig config;
+  if (parser.flag("coordinated")) {
+    for (std::int64_t i = 0; i < devices; ++i) {
+      config.devices.push_back(fleet::pinned_device("dev" + std::to_string(i), lib, 0));
+    }
+    config.coordinator.enabled = true;
+  } else {
+    config.devices = fleet::homogeneous_devices(lib, rmc, static_cast<int>(devices));
+  }
+
+  // Default the trace to 70% of the fleet's most-accurate-version capacity.
+  double rate = static_cast<double>(devices) * lib.versions.front().fps_fixed * 0.7;
+  if (!parser.option("fps").empty()) {
+    rate = parser.option_double("fps");
+    require(rate > 0.0, "--fps must be positive, got '" + parser.option("fps") + "'");
+  }
+  edge::WorkloadConfig workload;
+  workload.devices = 1;
+  workload.fps_per_device = rate;
+  workload.phases = {edge::WorkloadPhase{0.5, 2.0, duration}};
+  const edge::WorkloadTrace trace(workload, seed);
+
+  auto router = fleet::make_router(router_name);
+  const fleet::FleetMetrics m = fleet::run_fleet(trace, lib, config, *router, seed);
+
+  std::printf("fleet=%lld devices router=%s rate=%.0f FPS duration=%.0fs %s\n",
+              static_cast<long long>(devices), router_name.c_str(), rate, duration,
+              parser.flag("coordinated") ? "coordinated" : "self-managed");
+  std::printf("frame loss   %s (ingress %lld, device %lld)\n",
+              format_percent(m.frame_loss(), 2).c_str(),
+              static_cast<long long>(m.ingress_lost), static_cast<long long>(m.device_lost));
+  std::printf("QoE          %s\n", format_percent(m.qoe(), 2).c_str());
+  std::printf("p95 backlog  %.0f ms\n", m.tail_latency_p95_s * 1e3);
+  std::printf("avg power    %s W\n", format_double(m.average_power_w(), 3).c_str());
+  std::printf("switches     %d (%d reconfigurations, %d repartitions)\n", m.model_switches,
+              m.reconfigurations, m.repartitions);
+  TextTable table({"device", "processed", "lost", "loss", "switches", "power[W]"});
+  for (const fleet::FleetDeviceResult& d : m.devices) {
+    table.add_row({d.name, std::to_string(d.metrics.processed), std::to_string(d.metrics.lost),
+                   format_percent(d.metrics.frame_loss(), 2),
+                   std::to_string(d.metrics.model_switches),
+                   format_double(d.metrics.average_power_w(), 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
 int dispatch(int argc, char** argv) {
   const std::string usage =
-      "usage: adaflow <devices|train|prune|eval|library|show|simulate> [options]\n";
+      "usage: adaflow <devices|train|prune|eval|library|show|simulate|fleet> [options]\n";
   if (argc < 2) {
     std::fprintf(stderr, "%s", usage.c_str());
     return 2;
@@ -274,6 +356,9 @@ int dispatch(int argc, char** argv) {
   }
   if (command == "simulate") {
     return cmd_simulate(rest);
+  }
+  if (command == "fleet") {
+    return cmd_fleet(rest);
   }
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), usage.c_str());
   return 2;

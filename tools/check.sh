@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full local gate: tier-1 build + test, then the unit suite again under
-# AddressSanitizer + UndefinedBehaviorSanitizer (ADAFLOW_SANITIZE=ON).
+# Full local gate: tier-1 release build (-Werror) + full test suite, a fast
+# fleet-only group for iterating on src/fleet, then the unit suite again
+# under AddressSanitizer + UndefinedBehaviorSanitizer (ADAFLOW_SANITIZE=ON).
 #
 # Usage: tools/check.sh [jobs]
 set -euo pipefail
@@ -8,15 +9,19 @@ set -euo pipefail
 jobs="${1:-$(nproc)}"
 root="$(cd "$(dirname "$0")/.." && pwd)"
 
-echo "== tier 1: release build + full test suite =="
-cmake -B "$root/build" -S "$root"
+echo "== tier 1: release build (-Werror) + full test suite =="
+cmake -B "$root/build" -S "$root" -DADAFLOW_WERROR=ON
 cmake --build "$root/build" -j "$jobs"
 ctest --test-dir "$root/build" --output-on-failure -j "$jobs"
+
+echo "== fleet group (ctest -L fleet: cluster tests + bench_fleet smoke) =="
+ctest --test-dir "$root/build" -L fleet --output-on-failure -j "$jobs"
 
 echo "== tier 2: ASan+UBSan unit tests =="
 cmake -B "$root/build-asan" -S "$root" -DADAFLOW_SANITIZE=ON \
   -DADAFLOW_BUILD_BENCH=OFF -DADAFLOW_BUILD_EXAMPLES=OFF
-cmake --build "$root/build-asan" -j "$jobs" --target adaflow_unit_tests
-ctest --test-dir "$root/build-asan" -L unit --output-on-failure -j "$jobs"
+cmake --build "$root/build-asan" -j "$jobs" --target adaflow_unit_tests \
+  --target adaflow_fleet_tests
+ctest --test-dir "$root/build-asan" -L 'unit|fleet' --output-on-failure -j "$jobs"
 
 echo "== all checks passed =="
