@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "adaflow/fpga/resources.hpp"
+#include "adaflow/hls/folding.hpp"
 
 namespace adaflow::core {
 
@@ -28,7 +29,10 @@ struct ModelVersion {
   double latency_fixed_s = 0;
   double latency_flexible_s = 0;
 
-  // This version's own Fixed-Pruning accelerator.
+  // This version's own Fixed-Pruning accelerator. The folding is per-version:
+  // the auto-tuner (src/dse) retunes PE/SIMD to the pruned channel counts;
+  // without tuning every version carries the shared worst-case folding.
+  hls::FoldingConfig folding_fixed;
   fpga::ResourceUsage resources_fixed;
   double power_busy_fixed_w = 0;
   double power_idle_fixed_w = 0;
@@ -49,6 +53,7 @@ struct AcceleratorLibrary {
 
   fpga::ResourceUsage resources_finn;      ///< original FINN (fixed, unpruned)
   fpga::ResourceUsage resources_flexible;  ///< worst-case flexible accelerator
+  hls::FoldingConfig folding_flexible;     ///< shared worst-case-feasible folding
   double finn_power_busy_w = 0;
   double finn_power_idle_w = 0;
 
@@ -75,6 +80,9 @@ AcceleratorLibrary synthetic_library(int versions = 4, double base_fps = 500.0,
 AcceleratorLibrary scale_library_fps(const AcceleratorLibrary& library, double scale);
 
 /// Text (TSV) round-trip for caching generated libraries across bench runs.
+/// The on-disk schema is versioned (header line "adaflow-library <version>");
+/// load_library throws ConfigError on a missing magic, an older/unknown
+/// schema version, or a truncated body — callers regenerate on that error.
 void save_library(const AcceleratorLibrary& library, const std::string& path);
 AcceleratorLibrary load_library(const std::string& path);
 bool library_cache_exists(const std::string& path);

@@ -89,7 +89,8 @@ AcceleratorLibrary scale_library_fps(const AcceleratorLibrary& library, double s
 }
 
 namespace {
-constexpr int kCacheVersion = 2;
+// v3 added the persisted foldings (per-version Fixed + shared Flexible).
+constexpr int kCacheVersion = 3;
 
 void write_usage(std::ostream& out, const fpga::ResourceUsage& u) {
   out << u.luts << '\t' << u.flip_flops << '\t' << u.bram18 << '\t' << u.dsp;
@@ -99,6 +100,25 @@ fpga::ResourceUsage read_usage(std::istream& in) {
   fpga::ResourceUsage u;
   in >> u.luts >> u.flip_flops >> u.bram18 >> u.dsp;
   return u;
+}
+
+void write_folding(std::ostream& out, const hls::FoldingConfig& f) {
+  out << f.layers.size();
+  for (const hls::LayerFolding& layer : f.layers) {
+    out << '\t' << layer.pe << '\t' << layer.simd;
+  }
+}
+
+hls::FoldingConfig read_folding(std::istream& in, const std::string& path) {
+  std::size_t count = 0;
+  in >> count;
+  require(static_cast<bool>(in) && count <= 1024, "library cache corrupt: " + path);
+  hls::FoldingConfig f;
+  f.layers.resize(count);
+  for (hls::LayerFolding& layer : f.layers) {
+    in >> layer.pe >> layer.simd;
+  }
+  return f;
 }
 }  // namespace
 
@@ -118,6 +138,8 @@ void save_library(const AcceleratorLibrary& library, const std::string& path) {
   out << '\n';
   write_usage(out, library.resources_flexible);
   out << '\n';
+  write_folding(out, library.folding_flexible);
+  out << '\n';
   out << library.versions.size() << '\n';
   for (const ModelVersion& v : library.versions) {
     out << v.version << '\t' << v.requested_rate << '\t' << v.achieved_rate << '\t' << v.accuracy
@@ -126,6 +148,8 @@ void save_library(const AcceleratorLibrary& library, const std::string& path) {
         << '\t' << v.power_busy_flexible_w << '\t' << v.power_idle_flexible_w << '\t'
         << v.flexible_switch_time_s << '\t';
     write_usage(out, v.resources_fixed);
+    out << '\t';
+    write_folding(out, v.folding_fixed);
     out << '\n';
   }
   require(out.good(), "error writing library cache " + path);
@@ -138,17 +162,20 @@ AcceleratorLibrary load_library(const std::string& path) {
   int version = 0;
   in >> magic >> version;
   require(magic == "adaflow-library", path + " is not a library cache");
-  require(version == kCacheVersion, "library cache version mismatch (expected " +
-                                        std::to_string(kCacheVersion) + ")");
+  require(version == kCacheVersion,
+          "library cache " + path + " has schema version " + std::to_string(version) +
+              " but this build reads version " + std::to_string(kCacheVersion) +
+              "; delete the cache (or let load_or_generate_library regenerate it)");
   AcceleratorLibrary lib;
   in >> lib.model_name >> lib.dataset_name;
   in >> lib.base_accuracy >> lib.clock_hz >> lib.reconfig_time_s >> lib.finn_power_busy_w >>
       lib.finn_power_idle_w;
   lib.resources_finn = read_usage(in);
   lib.resources_flexible = read_usage(in);
+  lib.folding_flexible = read_folding(in, path);
   std::size_t count = 0;
   in >> count;
-  require(count <= 4096, "library cache corrupt");
+  require(static_cast<bool>(in) && count <= 4096, "library cache corrupt: " + path);
   lib.versions.resize(count);
   for (ModelVersion& v : lib.versions) {
     in >> v.version >> v.requested_rate >> v.achieved_rate >> v.accuracy >> v.fps_fixed >>
@@ -156,6 +183,7 @@ AcceleratorLibrary load_library(const std::string& path) {
         v.power_idle_fixed_w >> v.power_busy_flexible_w >> v.power_idle_flexible_w >>
         v.flexible_switch_time_s;
     v.resources_fixed = read_usage(in);
+    v.folding_fixed = read_folding(in, path);
   }
   require(static_cast<bool>(in), "library cache truncated: " + path);
   return lib;

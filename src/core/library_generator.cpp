@@ -4,6 +4,7 @@
 
 #include "adaflow/common/logging.hpp"
 #include "adaflow/common/strings.hpp"
+#include "adaflow/dse/explorer.hpp"
 #include "adaflow/nn/trainer.hpp"
 #include "adaflow/pruning/prune.hpp"
 
@@ -21,6 +22,35 @@ namespace {
 
 std::string version_name(const std::string& model, double rate) {
   return model + "@p" + std::to_string(static_cast<int>(std::llround(rate * 100)));
+}
+
+dse::ExplorerConfig base_tune_config(const LibraryConfig& config) {
+  dse::ExplorerConfig ec;
+  ec.objective = dse::Objective::kMinResources;
+  ec.target_fps = config.target_base_fps;
+  ec.budget_fraction = config.tune_budget_fraction;
+  ec.variant = hls::AcceleratorVariant::kFixed;
+  ec.constraints.max_prune_granularity = config.tune_prune_granularity;
+  ec.beam_width = config.tune_beam;
+  ec.anneal_iters = config.tune_anneal_iters;
+  ec.seed = config.seed;
+  ec.resource_constants = config.resource_constants;
+  return ec;
+}
+
+/// Shared worst-case folding: cheapest one sustaining target_base_fps, with
+/// the pruning-granularity constraint so the shipped folding still admits the
+/// 5%-step rate sweep. Falls back to the heuristic when infeasible.
+hls::FoldingConfig tuned_base_folding(const nn::Model& base, const fpga::FpgaDevice& device,
+                                      const LibraryConfig& config) {
+  const dse::ExplorationResult r = dse::explore(base, device, base_tune_config(config));
+  if (r.frontier.empty() || !r.objective_met) {
+    log_warn("folding auto-tune found no feasible design meeting ", config.target_base_fps,
+             " fps within ", config.tune_budget_fraction,
+             " of the device; falling back to the heuristic folding");
+    return hls::folding_for_target_fps(base, config.target_base_fps, device.clock_hz);
+  }
+  return r.best().folding;
 }
 
 }  // namespace
@@ -51,15 +81,25 @@ GeneratedLibrary LibraryGenerator::generate_from(nn::Model base,
   const nn::LabeledData snapped_test{
       hls::snap_to_input_grid(dataset.test.images, config_.input_quant), dataset.test.labels};
 
-  // 2. Folding for the worst case (unpruned) model at the target throughput.
+  // 2. Folding for the worst case (unpruned) model at the target throughput —
+  //    heuristic by default, design-space-explored when tuning is on.
   const hls::FoldingConfig folding =
-      hls::folding_for_target_fps(base, config_.target_base_fps, device_.clock_hz);
+      config_.tune_folding
+          ? tuned_base_folding(base, device_, config_)
+          : hls::folding_for_target_fps(base, config_.target_base_fps, device_.clock_hz);
   hls::validate_folding(base, folding);
 
   const std::vector<hls::MvtuLayerDesc> mvtu_layers = hls::enumerate_mvtu_layers(base);
   require(!mvtu_layers.empty(), "initial model has no MVTU layers");
   const int weight_bits = mvtu_layers.front().weight_bits;
   const int act_bits = mvtu_layers.front().act_bits;
+
+  // Equal-area cap for per-version retuning: whatever the unpruned Fixed
+  // accelerator costs under the shared folding, no tuned version may exceed.
+  const fpga::ResourceUsage base_fixed_area =
+      fpga::accelerator_resources(hls::compile_geometry(base), folding,
+                                  hls::AcceleratorVariant::kFixed, weight_bits, act_bits,
+                                  config_.resource_constants);
 
   GeneratedLibrary out;
   out.folding = folding;
@@ -105,9 +145,32 @@ GeneratedLibrary LibraryGenerator::generate_from(nn::Model base,
       worstcase_compiled = compiled;
     }
 
-    // Performance on both accelerator types.
+    // Per-version Fixed folding: retuned to the pruned channel counts when
+    // the auto-tuner is on (max fps within the unpruned accelerator's area),
+    // the shared worst-case folding otherwise.
+    v.folding_fixed = folding;
+    if (config_.tune_folding) {
+      dse::ExplorerConfig ec = base_tune_config(config_);
+      ec.objective = dse::Objective::kMaxFps;
+      ec.target_fps = 0.0;
+      ec.budget = base_fixed_area;
+      ec.constraints.max_prune_granularity = 0.0;  // version accelerators are final
+      ec.seed = config_.seed + static_cast<std::uint64_t>(std::llround(rate * 100));
+      const dse::ExplorationResult tuned =
+          dse::explore_geometry(compiled, weight_bits, act_bits, device_, ec);
+      if (tuned.frontier.empty()) {
+        log_warn("folding auto-tune infeasible for ", v.version,
+                 "; keeping the shared folding");
+      } else {
+        v.folding_fixed = tuned.best().folding;
+      }
+    }
+
+    // Performance on both accelerator types (Flexible always runs the shared
+    // worst-case folding — that is the accelerator actually on the fabric).
     const perf::PerfReport fixed_perf =
-        perf::analyze(compiled, folding, hls::AcceleratorVariant::kFixed, device_.clock_hz);
+        perf::analyze(compiled, v.folding_fixed, hls::AcceleratorVariant::kFixed,
+                      device_.clock_hz);
     const perf::PerfReport flex_perf =
         perf::analyze(compiled, folding, hls::AcceleratorVariant::kFlexible, device_.clock_hz);
     v.fps_fixed = fixed_perf.fps;
@@ -117,7 +180,7 @@ GeneratedLibrary LibraryGenerator::generate_from(nn::Model base,
 
     // This version's Fixed-Pruning accelerator.
     v.resources_fixed =
-        fpga::accelerator_resources(compiled, folding, hls::AcceleratorVariant::kFixed,
+        fpga::accelerator_resources(compiled, v.folding_fixed, hls::AcceleratorVariant::kFixed,
                                     weight_bits, act_bits, config_.resource_constants);
     v.power_busy_fixed_w = power.watts(v.resources_fixed, 1.0);
     v.power_idle_fixed_w = power.watts(v.resources_fixed, 0.0);
@@ -138,6 +201,7 @@ GeneratedLibrary LibraryGenerator::generate_from(nn::Model base,
   out.table.resources_flexible =
       fpga::accelerator_resources(worstcase_compiled, folding, hls::AcceleratorVariant::kFlexible,
                                   weight_bits, act_bits, config_.resource_constants);
+  out.table.folding_flexible = folding;
   out.table.finn_power_busy_w = power.watts(out.table.resources_finn, 1.0);
   out.table.finn_power_idle_w = power.watts(out.table.resources_finn, 0.0);
   out.table.base_accuracy = out.table.versions.front().accuracy;
@@ -171,8 +235,13 @@ AcceleratorLibrary load_or_generate_library(const std::string& cache_path,
                                             const nn::CnvTopology& topology,
                                             const datasets::DatasetSpec& dataset_spec) {
   if (library_cache_exists(cache_path)) {
-    log_info("loading cached library ", cache_path);
-    return load_library(cache_path);
+    try {
+      log_info("loading cached library ", cache_path);
+      return load_library(cache_path);
+    } catch (const ConfigError& e) {
+      // Stale schema or corrupt file: regenerate rather than fail the run.
+      log_warn("discarding library cache: ", e.what());
+    }
   }
   log_info("generating library ", topology.name, "/", dataset_spec.name,
            " (cache miss: ", cache_path, ")");

@@ -1,0 +1,131 @@
+#include "adaflow/dse/search_space.hpp"
+
+#include <algorithm>
+
+#include "adaflow/common/error.hpp"
+#include "adaflow/common/math.hpp"
+#include "adaflow/common/parallel.hpp"
+
+namespace adaflow::dse {
+
+namespace {
+
+/// Budget-normalized scalar cost of a stage's resources. Dimensions with a
+/// zero cap (unconstrained) still contribute via the LUT scale so the cost
+/// stays a total order even under partial budgets.
+double scalar_cost(const fpga::ResourceUsage& r, const fpga::ResourceUsage& budget) {
+  double cost = 0.0;
+  cost += budget.luts > 0.0 ? r.luts / budget.luts : r.luts * 1e-6;
+  cost += budget.flip_flops > 0.0 ? r.flip_flops / budget.flip_flops : r.flip_flops * 1e-6;
+  cost += budget.bram18 > 0.0 ? r.bram18 / budget.bram18 : r.bram18 * 1e-3;
+  cost += budget.dsp > 0.0 ? r.dsp / budget.dsp : r.dsp * 1e-3;
+  return cost;
+}
+
+std::vector<std::int64_t> capped_divisors(std::int64_t value, std::int64_t cap) {
+  std::vector<std::int64_t> divs = hls::divisors_of(value);
+  if (cap > 0) {
+    divs.erase(std::remove_if(divs.begin(), divs.end(),
+                              [cap](std::int64_t d) { return d > cap; }),
+               divs.end());
+  }
+  require(!divs.empty(), "folding caps left no legal divisor");
+  return divs;
+}
+
+}  // namespace
+
+double space_size(const SearchSpace& space) {
+  double size = 1.0;
+  for (const LayerSpace& layer : space.layers) {
+    size *= static_cast<double>(layer.candidates.size());
+  }
+  return size;
+}
+
+bool prune_compatible(std::int64_t ch_out, std::int64_t pe, std::int64_t simd_next,
+                      double max_granularity) {
+  if (max_granularity <= 0.0) {
+    return true;
+  }
+  const std::int64_t step = lcm_positive(pe, std::max<std::int64_t>(1, simd_next));
+  return static_cast<double>(step) <= max_granularity * static_cast<double>(ch_out);
+}
+
+SearchSpace build_search_space(const hls::CompiledModel& geometry, int weight_bits, int act_bits,
+                               hls::AcceleratorVariant variant,
+                               const fpga::ResourceUsage& budget,
+                               const SearchConstraints& constraints,
+                               const fpga::ResourceModelConstants& resource_constants,
+                               const perf::PerfModelConstants& perf_constants) {
+  require(weight_bits > 0 && act_bits > 0, "search space needs quantized precisions");
+  const bool flexible = variant == hls::AcceleratorVariant::kFlexible;
+
+  SearchSpace space;
+  space.weight_bits = weight_bits;
+  space.act_bits = act_bits;
+
+  // Folding-independent parts: pool stages set a floor on the initiation
+  // interval and a constant resource term; the top-level glue is constant.
+  for (const hls::CompiledStage& stage : geometry.stages) {
+    if (stage.desc.kind != hls::StageKind::kPool) {
+      space.layers.push_back(LayerSpace{stage.desc, {}, 0});
+      continue;
+    }
+    std::int64_t cycles = perf::stage_cycles(stage.desc, nullptr);
+    if (flexible) {
+      cycles = perf::flexible_stage_cycles(cycles, perf_constants);
+    }
+    space.pool_ii_cycles = std::max(space.pool_ii_cycles, cycles);
+    space.pool_latency_cycles += cycles;
+    space.fixed_overhead += fpga::pool_resources(stage, act_bits, resource_constants);
+  }
+  space.fixed_overhead.luts += resource_constants.top_level_luts;
+  space.fixed_overhead.flip_flops += resource_constants.top_level_luts * resource_constants.ff_per_lut;
+  space.fixed_overhead.bram18 += resource_constants.top_level_bram;
+
+  // Per-layer lattice, evaluated in parallel (layers are independent).
+  parallel_for(static_cast<std::int64_t>(space.layers.size()), [&](std::int64_t li) {
+    LayerSpace& layer = space.layers[static_cast<std::size_t>(li)];
+    const std::vector<std::int64_t> pes = capped_divisors(layer.desc.ch_out, constraints.max_pe);
+    const std::vector<std::int64_t> simds =
+        capped_divisors(layer.desc.ch_in, constraints.max_simd);
+
+    hls::CompiledStage stage;
+    stage.desc = layer.desc;
+    layer.candidates.reserve(pes.size() * simds.size());
+    layer.min_cycles = 0;
+    for (std::int64_t pe : pes) {
+      for (std::int64_t simd : simds) {
+        FoldingCandidate c;
+        c.folding = hls::LayerFolding{pe, simd};
+        c.cycles = perf::stage_cycles(layer.desc, &c.folding);
+        if (flexible) {
+          c.cycles = perf::flexible_stage_cycles(c.cycles, perf_constants);
+        }
+        c.resources = fpga::mvtu_resources(stage, c.folding, weight_bits, act_bits,
+                                           resource_constants);
+        c.cost = scalar_cost(c.resources, budget);
+        if (layer.min_cycles == 0 || c.cycles < layer.min_cycles) {
+          layer.min_cycles = c.cycles;
+        }
+        layer.candidates.push_back(c);
+      }
+    }
+    // Cheapest first; ties broken on (pe, simd) so the walk order — and with
+    // it every downstream frontier — is bit-reproducible.
+    std::sort(layer.candidates.begin(), layer.candidates.end(),
+              [](const FoldingCandidate& a, const FoldingCandidate& b) {
+                if (a.cost != b.cost) {
+                  return a.cost < b.cost;
+                }
+                if (a.folding.pe != b.folding.pe) {
+                  return a.folding.pe < b.folding.pe;
+                }
+                return a.folding.simd < b.folding.simd;
+              });
+  });
+  return space;
+}
+
+}  // namespace adaflow::dse

@@ -40,6 +40,18 @@ struct Utilization {
 
 Utilization utilization(const ResourceUsage& usage, const FpgaDevice& device);
 
+/// Largest utilization fraction across all dimensions — the scarcest
+/// resource's pressure, the denominator of the DSE's "balanced" knee score.
+double max_utilization(const Utilization& u);
+
+/// Absolute resource cap of \p fraction (0..1] of a device, per dimension.
+/// The design-space explorer's default budget shape.
+ResourceUsage device_budget(const FpgaDevice& device, double fraction);
+
+/// True when \p usage fits \p budget in every dimension (a budget dimension
+/// of 0 means "unconstrained" — e.g. DSP on all-LUT accelerators).
+bool fits_budget(const ResourceUsage& usage, const ResourceUsage& budget);
+
 /// Tunable constants of the estimator (exposed for the calibration tests).
 struct ResourceModelConstants {
   double lut_per_mac_bit = 1.6;     ///< per PE*SIMD lane, per weight-bit*act-bit

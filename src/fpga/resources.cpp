@@ -24,6 +24,26 @@ Utilization utilization(const ResourceUsage& usage, const FpgaDevice& device) {
   return u;
 }
 
+double max_utilization(const Utilization& u) {
+  return std::max(std::max(u.luts, u.flip_flops), std::max(u.bram18, u.dsp));
+}
+
+ResourceUsage device_budget(const FpgaDevice& device, double fraction) {
+  require(fraction > 0.0 && fraction <= 1.0, "budget fraction must be in (0, 1]");
+  ResourceUsage b;
+  b.luts = static_cast<double>(device.luts) * fraction;
+  b.flip_flops = static_cast<double>(device.flip_flops) * fraction;
+  b.bram18 = static_cast<double>(device.bram18) * fraction;
+  b.dsp = static_cast<double>(device.dsp) * fraction;
+  return b;
+}
+
+bool fits_budget(const ResourceUsage& usage, const ResourceUsage& budget) {
+  const auto fits = [](double used, double cap) { return cap <= 0.0 || used <= cap; };
+  return fits(usage.luts, budget.luts) && fits(usage.flip_flops, budget.flip_flops) &&
+         fits(usage.bram18, budget.bram18) && fits(usage.dsp, budget.dsp);
+}
+
 ResourceModelConstants default_resource_constants() { return ResourceModelConstants{}; }
 
 ResourceUsage mvtu_resources(const hls::CompiledStage& stage, const hls::LayerFolding& folding,

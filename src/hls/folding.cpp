@@ -77,6 +77,32 @@ std::int64_t largest_divisor_at_most(std::int64_t value, std::int64_t cap) {
   return 1;
 }
 
+std::int64_t next_divisor_above(std::int64_t value, std::int64_t current) {
+  require(value > 0, "divisor search needs a positive value");
+  for (std::int64_t d = current + 1; d <= value; ++d) {
+    if (value % d == 0) {
+      return d;
+    }
+  }
+  return 0;
+}
+
+std::vector<std::int64_t> divisors_of(std::int64_t value) {
+  require(value > 0, "divisor enumeration needs a positive value");
+  std::vector<std::int64_t> small;
+  std::vector<std::int64_t> large;
+  for (std::int64_t d = 1; d * d <= value; ++d) {
+    if (value % d == 0) {
+      small.push_back(d);
+      if (d != value / d) {
+        large.push_back(value / d);
+      }
+    }
+  }
+  small.insert(small.end(), large.rbegin(), large.rend());
+  return small;
+}
+
 std::int64_t mvtu_layer_cycles(const MvtuLayerDesc& layer, const LayerFolding& folding) {
   const std::int64_t out_pixels = layer.out_dim * layer.out_dim;
   const std::int64_t neuron_folds = ceil_div(layer.ch_out, folding.pe);
@@ -93,7 +119,9 @@ FoldingConfig folding_for_target_fps(const nn::Model& model, double target_fps, 
   const auto target_cycles = static_cast<std::int64_t>(clock_hz / target_fps);
 
   // Greedily raise the parallelism of the current bottleneck. Each step tries
-  // the next-larger valid divisor for either PE or SIMD of that layer.
+  // the next-larger valid divisor for either PE or SIMD of that layer — every
+  // channel divisor is a candidate (48 steps through 2,3,4,6,...), so
+  // non-power-of-two channel counts never get skipped past.
   while (true) {
     std::size_t bottleneck = 0;
     std::int64_t worst = 0;
@@ -114,20 +142,8 @@ FoldingConfig folding_for_target_fps(const nn::Model& model, double target_fps, 
     // Candidate upgrades: next divisor of ch_out above pe, next divisor of
     // ch_in above simd. Pick the one with the smaller resulting parallelism
     // product (cheapest hardware step).
-    std::int64_t next_pe = 0;
-    for (std::int64_t p = f.pe + 1; p <= d.ch_out; ++p) {
-      if (d.ch_out % p == 0) {
-        next_pe = p;
-        break;
-      }
-    }
-    std::int64_t next_simd = 0;
-    for (std::int64_t s = f.simd + 1; s <= d.ch_in; ++s) {
-      if (d.ch_in % s == 0) {
-        next_simd = s;
-        break;
-      }
-    }
+    const std::int64_t next_pe = next_divisor_above(d.ch_out, f.pe);
+    const std::int64_t next_simd = next_divisor_above(d.ch_in, f.simd);
     if (next_pe == 0 && next_simd == 0) {
       break;  // fully unrolled; target unreachable
     }

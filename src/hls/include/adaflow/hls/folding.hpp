@@ -54,12 +54,23 @@ void validate_folding(const nn::Model& model, const FoldingConfig& folding);
 
 /// Derives a folding whose steady-state throughput is closest to
 /// \p target_fps at \p clock_hz without exceeding per-layer parallelism that
-/// the channel counts allow. Greedy: repeatedly doubles the parallelism of
-/// the bottleneck layer until the target is met or no divisor remains.
+/// the channel counts allow. Greedy: repeatedly steps the bottleneck layer's
+/// PE or SIMD to the next-larger channel divisor (every divisor is visited,
+/// not just powers of two — channel counts like 48 expose 3/6/12/24) until
+/// the target is met or no divisor remains.
 FoldingConfig folding_for_target_fps(const nn::Model& model, double target_fps, double clock_hz);
 
 /// Largest divisor of \p value that is <= \p cap.
 std::int64_t largest_divisor_at_most(std::int64_t value, std::int64_t cap);
+
+/// Smallest divisor of \p value strictly greater than \p current, or 0 when
+/// \p current is already the full value. The step primitive of the greedy
+/// folding walk and the DSE neighborhood moves.
+std::int64_t next_divisor_above(std::int64_t value, std::int64_t current);
+
+/// All divisors of \p value in ascending order (the PE/SIMD lattice axis of
+/// one layer in the design-space explorer).
+std::vector<std::int64_t> divisors_of(std::int64_t value);
 
 /// Steady-state cycles one MVTU layer needs per frame under a folding:
 /// out_pixels * (ch_out / pe) * (kernel^2 * ch_in / simd).

@@ -42,10 +42,17 @@ struct PerfReport {
   std::string bottleneck;
 };
 
-/// Per-frame cycles of one compiled stage under its folding. Pool stages
+/// Per-frame cycles of one pipeline stage under its folding. Pool stages
 /// process one output window per cycle. The \p folding pointer is null for
-/// pool stages.
+/// pool stages. The geometry-only overload is what the design-space explorer
+/// scores candidates with; the CompiledStage one forwards to it.
+std::int64_t stage_cycles(const hls::StageDesc& desc, const hls::LayerFolding* folding);
 std::int64_t stage_cycles(const hls::CompiledStage& stage, const hls::LayerFolding* folding);
+
+/// Cycles of \p cycles as seen on a Flexible accelerator: the runtime-bound
+/// guard overhead plus the per-frame setup cost, exactly the transform
+/// analyze() applies per stage (shared so the DSE and perf never disagree).
+std::int64_t flexible_stage_cycles(std::int64_t cycles, const PerfModelConstants& k);
 
 /// Full-pipeline analysis of \p model (the *currently loaded* version — for
 /// a flexible accelerator pass the pruned model, folded as synthesized).

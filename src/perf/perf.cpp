@@ -9,8 +9,7 @@ namespace adaflow::perf {
 
 PerfModelConstants default_perf_constants() { return PerfModelConstants{}; }
 
-std::int64_t stage_cycles(const hls::CompiledStage& stage, const hls::LayerFolding* folding) {
-  const auto& d = stage.desc;
+std::int64_t stage_cycles(const hls::StageDesc& d, const hls::LayerFolding* folding) {
   if (d.kind == hls::StageKind::kPool) {
     return d.out_dim * d.out_dim;  // one pooled window per cycle, channels unrolled
   }
@@ -19,6 +18,16 @@ std::int64_t stage_cycles(const hls::CompiledStage& stage, const hls::LayerFoldi
   const std::int64_t neuron_folds = ceil_div(d.ch_out, folding->pe);
   const std::int64_t synapse_folds = ceil_div(d.kernel * d.kernel * d.ch_in, folding->simd);
   return out_pixels * neuron_folds * synapse_folds;
+}
+
+std::int64_t stage_cycles(const hls::CompiledStage& stage, const hls::LayerFolding* folding) {
+  return stage_cycles(stage.desc, folding);
+}
+
+std::int64_t flexible_stage_cycles(std::int64_t cycles, const PerfModelConstants& k) {
+  return static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(cycles) * (1.0 + k.flexible_iteration_overhead) +
+                k.flexible_setup_cycles));
 }
 
 PerfReport analyze(const hls::CompiledModel& model, const hls::FoldingConfig& folding,
@@ -40,9 +49,7 @@ PerfReport analyze(const hls::CompiledModel& model, const hls::FoldingConfig& fo
     }
     std::int64_t cycles = stage_cycles(stage, f);
     if (variant == hls::AcceleratorVariant::kFlexible) {
-      cycles = static_cast<std::int64_t>(
-          std::ceil(static_cast<double>(cycles) * (1.0 + k.flexible_iteration_overhead) +
-                    k.flexible_setup_cycles));
+      cycles = flexible_stage_cycles(cycles, k);
     }
     report.stages.push_back(StagePerf{stage.desc.name, cycles});
     total_cycles += static_cast<double>(cycles);

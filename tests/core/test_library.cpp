@@ -16,6 +16,7 @@ AcceleratorLibrary sample_library() {
   lib.reconfig_time_s = 0.145;
   lib.resources_finn = {15000, 16000, 14, 0};
   lib.resources_flexible = {28800, 24800, 14, 0};
+  lib.folding_flexible.layers = {{8, 3}, {16, 8}, {4, 4}};
   lib.finn_power_busy_w = 1.07;
   lib.finn_power_idle_w = 0.8;
   for (int p : {0, 25, 50}) {
@@ -29,6 +30,9 @@ AcceleratorLibrary sample_library() {
     v.latency_fixed_s = 0.002;
     v.latency_flexible_s = 0.00201;
     v.resources_fixed = {15000.0 - p * 50, 16000.0, 14, 0};
+    // Per-version tuned folding, distinct per rate so a misaligned reader
+    // cannot pass by accident.
+    v.folding_fixed.layers = {{8, 3}, {16 - p / 25, 8}, {4, 2 + p / 25}};
     v.power_busy_fixed_w = 1.05 - p * 0.001;
     v.power_idle_fixed_w = 0.8;
     v.power_busy_flexible_w = 1.3;
@@ -79,6 +83,93 @@ TEST(Library, SaveLoadRoundTrip) {
     EXPECT_DOUBLE_EQ(loaded.versions[i].resources_fixed.luts,
                      lib.versions[i].resources_fixed.luts);
   }
+}
+
+TEST(Library, FoldingRoundTripsThroughCache) {
+  AcceleratorLibrary lib = sample_library();
+  const std::string path = ::testing::TempDir() + "/adaflow_lib_folding.tsv";
+  save_library(lib, path);
+  const AcceleratorLibrary loaded = load_library(path);
+
+  ASSERT_EQ(loaded.folding_flexible.layers.size(), lib.folding_flexible.layers.size());
+  for (std::size_t l = 0; l < lib.folding_flexible.layers.size(); ++l) {
+    EXPECT_EQ(loaded.folding_flexible.layers[l].pe, lib.folding_flexible.layers[l].pe);
+    EXPECT_EQ(loaded.folding_flexible.layers[l].simd, lib.folding_flexible.layers[l].simd);
+  }
+  ASSERT_EQ(loaded.versions.size(), lib.versions.size());
+  for (std::size_t i = 0; i < lib.versions.size(); ++i) {
+    const auto& got = loaded.versions[i].folding_fixed.layers;
+    const auto& want = lib.versions[i].folding_fixed.layers;
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t l = 0; l < want.size(); ++l) {
+      EXPECT_EQ(got[l].pe, want[l].pe);
+      EXPECT_EQ(got[l].simd, want[l].simd);
+    }
+  }
+}
+
+TEST(Library, LoadRejectsOldSchemaVersion) {
+  // A v2 cache (pre-folding) must be rejected with a message naming both the
+  // found and the expected schema version, so callers know to regenerate.
+  const std::string path = ::testing::TempDir() + "/adaflow_lib_v2.tsv";
+  {
+    std::ofstream out(path);
+    out << "adaflow-library\t2\nCNVW2A2\tSynthCIFAR10\n";
+  }
+  try {
+    load_library(path);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("schema version 2"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("version 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Library, LoadRejectsUnknownFutureSchemaVersion) {
+  const std::string path = ::testing::TempDir() + "/adaflow_lib_v99.tsv";
+  {
+    std::ofstream out(path);
+    out << "adaflow-library\t99\n";
+  }
+  EXPECT_THROW(load_library(path), ConfigError);
+}
+
+TEST(Library, LoadRejectsTruncatedBody) {
+  // Correct header, body cut off mid-version: the reader must notice.
+  AcceleratorLibrary lib = sample_library();
+  const std::string path = ::testing::TempDir() + "/adaflow_lib_trunc.tsv";
+  save_library(lib, path);
+  std::string text;
+  {
+    std::ifstream in(path);
+    text.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream out(path);
+    out << text.substr(0, text.size() * 2 / 3);
+  }
+  EXPECT_THROW(load_library(path), ConfigError);
+}
+
+TEST(Library, LoadRejectsCorruptFoldingCount) {
+  // An absurd folding layer count must not be trusted as an allocation size.
+  AcceleratorLibrary lib = sample_library();
+  const std::string path = ::testing::TempDir() + "/adaflow_lib_badfold.tsv";
+  save_library(lib, path);
+  std::string text;
+  {
+    std::ifstream in(path);
+    text.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  const std::string needle = "\n3\t8\t3";  // the flexible folding block
+  const std::size_t pos = text.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, needle.size(), "\n99999\t8\t3");
+  {
+    std::ofstream out(path);
+    out << text;
+  }
+  EXPECT_THROW(load_library(path), ConfigError);
 }
 
 TEST(Library, LoadRejectsGarbageFile) {

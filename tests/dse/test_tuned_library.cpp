@@ -1,0 +1,99 @@
+/// End-to-end: the Library Generator with folding auto-tuning on.
+///
+/// A tiny CNV library (two rates, one training epoch, small synthetic
+/// dataset) is generated twice — heuristic folding vs tuned folding — and
+/// the tuned one must ship per-version foldings that are valid, within the
+/// equal-area cap, and at least as fast. A stale (v2) cache must be
+/// regenerated transparently by load_or_generate_library.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "adaflow/core/library_generator.hpp"
+#include "adaflow/dse/explorer.hpp"
+#include "adaflow/fpga/device.hpp"
+
+namespace adaflow::core {
+namespace {
+
+datasets::DatasetSpec tiny_spec() { return datasets::synth_cifar10_spec(256, 96); }
+
+LibraryConfig tiny_config() {
+  LibraryConfig config;
+  config.rates = {0.0, 0.5};
+  config.base_epochs = 1;
+  config.retrain_epochs = 1;
+  config.tune_anneal_iters = 100;
+  return config;
+}
+
+GeneratedLibrary generate(bool tuned) {
+  LibraryConfig config = tiny_config();
+  config.tune_folding = tuned;
+  const datasets::SyntheticDataset dataset = datasets::generate(tiny_spec());
+  LibraryGenerator generator(fpga::zcu104(), config);
+  return generator.generate(nn::cnv_w2a2(tiny_spec().classes), dataset);
+}
+
+TEST(TunedLibrary, ShipsValidPerVersionFoldings) {
+  const GeneratedLibrary lib = generate(/*tuned=*/true);
+  const std::size_t mvtu_count = hls::enumerate_mvtu_layers(lib.base_model).size();
+
+  // The shared folding is what the Flexible accelerator runs.
+  EXPECT_EQ(lib.table.folding_flexible.layers.size(), mvtu_count);
+  EXPECT_NO_THROW(hls::validate_folding(lib.base_model, lib.table.folding_flexible));
+
+  ASSERT_EQ(lib.table.versions.size(), 2u);
+  for (const ModelVersion& v : lib.table.versions) {
+    EXPECT_EQ(v.folding_fixed.layers.size(), mvtu_count) << v.version;
+    for (const hls::LayerFolding& f : v.folding_fixed.layers) {
+      EXPECT_GE(f.pe, 1);
+      EXPECT_GE(f.simd, 1);
+    }
+  }
+}
+
+TEST(TunedLibrary, TunedVersionsDominateTheHeuristicAtEqualArea) {
+  const GeneratedLibrary plain = generate(/*tuned=*/false);
+  const GeneratedLibrary tuned = generate(/*tuned=*/true);
+  ASSERT_EQ(plain.table.versions.size(), tuned.table.versions.size());
+
+  // Equal-area cap: no tuned version exceeds the heuristic library's
+  // unpruned Fixed accelerator (small tolerance for summation order).
+  const double cap = plain.table.versions.front().resources_fixed.luts;
+  for (std::size_t i = 0; i < tuned.table.versions.size(); ++i) {
+    const ModelVersion& t = tuned.table.versions[i];
+    const ModelVersion& p = plain.table.versions[i];
+    EXPECT_GE(t.fps_fixed, p.fps_fixed) << t.version;
+    EXPECT_LE(t.resources_fixed.luts, cap * (1.0 + 1e-6)) << t.version;
+  }
+  // And strictly faster somewhere, else tuning did nothing.
+  EXPECT_GT(tuned.table.versions.front().fps_fixed, plain.table.versions.front().fps_fixed);
+
+  // The shared min-resources folding still meets the paper operating point.
+  EXPECT_GE(tuned.table.versions.front().fps_flexible, 0.9 * plain.table.versions.front().fps_flexible);
+}
+
+TEST(TunedLibrary, StaleCacheIsRegenerated) {
+  const std::string path = ::testing::TempDir() + "/adaflow_stale_cache.tsv";
+  {
+    std::ofstream out(path);
+    out << "adaflow-library\t2\nCNVW2A2\tSynthCIFAR10\n";  // pre-folding schema
+  }
+  const AcceleratorLibrary lib = load_or_generate_library(
+      path, fpga::zcu104(), tiny_config(), nn::cnv_w2a2(tiny_spec().classes), tiny_spec());
+  EXPECT_EQ(lib.versions.size(), 2u);
+
+  // The rewritten cache is current-schema and loads cleanly.
+  std::ifstream in(path);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  EXPECT_EQ(magic, "adaflow-library");
+  EXPECT_EQ(version, 3);
+  EXPECT_NO_THROW(load_library(path));
+}
+
+}  // namespace
+}  // namespace adaflow::core

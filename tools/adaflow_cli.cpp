@@ -9,6 +9,7 @@
 ///   show       --library FILE                        print a library table
 ///   simulate   --library FILE --scenario S           run the Edge simulation
 ///   fleet      --devices N --router R [--coordinated]  multi-FPGA cluster sim
+///   tune       --model M --objective O [--budget F]  folding auto-tuner (DSE)
 ///
 /// Models: cnv-w2a2, cnv-w1a2, tfc-w1a2. Datasets: cifar, gtsrb, mnist.
 
@@ -21,6 +22,7 @@
 #include "adaflow/common/table.hpp"
 #include "adaflow/core/library_generator.hpp"
 #include "adaflow/core/runtime_manager.hpp"
+#include "adaflow/dse/explorer.hpp"
 #include "adaflow/edge/server.hpp"
 #include "adaflow/fleet/fleet.hpp"
 #include "adaflow/nn/mlp.hpp"
@@ -324,9 +326,91 @@ int cmd_fleet(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_tune(const std::vector<std::string>& args) {
+  ArgParser parser("adaflow tune", "design-space exploration of the PE/SIMD folding");
+  parser.add_option("model", "cnv-w2a2 | cnv-w1a2 | tfc-w1a2", "cnv-w2a2");
+  parser.add_option("dataset", "cifar | gtsrb | mnist (sets the class count)", "cifar");
+  parser.add_option("device", "zcu104 | zcu102 | pynq-z1", "zcu104");
+  parser.add_option("objective", "max-fps | min-resources | balanced", "max-fps");
+  parser.add_option("budget", "device resource fraction in (0, 1]", "0.7");
+  parser.add_option("target-fps", "required throughput (min-resources objective)", "0");
+  parser.add_option("beam", "beam width for large folding lattices (>= 1)", "8");
+  parser.add_option("anneal", "simulated-annealing refinement iterations", "2000");
+  parser.add_option("seed", "search seed (same seed => bit-identical frontier)", "7");
+  parser.add_flag("flexible", "tune the Flexible (runtime-pruned) accelerator variant");
+  parser.parse(args);
+
+  dse::ExplorerConfig ec;
+  ec.objective = dse::objective_by_name(parser.option("objective"));
+  ec.budget_fraction = parser.option_double("budget");
+  require(ec.budget_fraction > 0.0 && ec.budget_fraction <= 1.0,
+          "--budget must be in (0, 1], got '" + parser.option("budget") + "'");
+  ec.target_fps = parser.option_double("target-fps");
+  require(ec.target_fps >= 0.0, "--target-fps must be >= 0, got '" +
+                                    parser.option("target-fps") + "'");
+  require(ec.objective != dse::Objective::kMinResources || ec.target_fps > 0.0,
+          "the min-resources objective needs --target-fps > 0");
+  ec.beam_width = static_cast<int>(parser.option_int("beam"));
+  require(ec.beam_width >= 1, "--beam must be >= 1, got '" + parser.option("beam") + "'");
+  ec.anneal_iters = static_cast<int>(parser.option_int("anneal"));
+  require(ec.anneal_iters >= 0, "--anneal must be >= 0, got '" + parser.option("anneal") + "'");
+  ec.seed = static_cast<std::uint64_t>(parser.option_int("seed"));
+  if (parser.flag("flexible")) {
+    ec.variant = hls::AcceleratorVariant::kFlexible;
+  }
+
+  const fpga::FpgaDevice device = fpga::device_by_name(parser.option("device"));
+  const datasets::DatasetSpec spec = dataset_by_name(parser.option("dataset"));
+  const nn::Model model = model_by_name(parser.option("model"), spec.classes, ec.seed);
+
+  const std::vector<hls::MvtuLayerDesc> layers = hls::enumerate_mvtu_layers(model);
+  require(!layers.empty(), "model has no MVTU layers to tune");
+  const hls::CompiledModel geometry = hls::compile_geometry(model);
+  const int wb = layers.front().weight_bits;
+  const int ab = layers.front().act_bits;
+  const dse::ExplorationResult result = dse::explore_geometry(geometry, wb, ab, device, ec);
+
+  std::printf("tune %s on %s: objective=%s lattice=%.3g foldings, %lld evaluated (%s)\n",
+              model.name().c_str(), device.name.c_str(), dse::objective_name(ec.objective),
+              result.space_size, static_cast<long long>(result.evaluated),
+              result.exhaustive ? "exhaustive" : "beam+anneal");
+  if (result.frontier.empty()) {
+    std::printf("no folding fits the budget; raise --budget\n");
+    return 1;
+  }
+  if (!result.objective_met) {
+    std::printf("warning: --target-fps %.1f is unreachable; showing the fastest design\n",
+                ec.target_fps);
+  }
+
+  TextTable frontier({"", "FPS", "latency[ms]", "II[cyc]", "LUT", "FF", "BRAM18"});
+  for (std::size_t i = 0; i < result.frontier.size(); ++i) {
+    const dse::DesignPoint& p = result.frontier[i];
+    frontier.add_row({i == result.best_index ? "best ->" : "",
+                      format_double(p.fps, 1), format_double(p.latency_s * 1e3, 3),
+                      std::to_string(p.ii_cycles), format_double(p.resources.luts, 0),
+                      format_double(p.resources.flip_flops, 0),
+                      format_double(p.resources.bram18, 0)});
+  }
+  std::printf("Pareto frontier (budget %.0f LUTs):\n%s\n", result.budget.luts,
+              frontier.render().c_str());
+
+  const dse::SearchSpace space =
+      dse::build_search_space(geometry, wb, ab, ec.variant, result.budget, ec.constraints,
+                              ec.resource_constants, ec.perf_constants);
+  TextTable breakdown({"layer", "PE", "SIMD", "cycles", "LUT", "BRAM18", "bottleneck"});
+  for (const dse::LayerReport& r : dse::layer_breakdown(space, result.best())) {
+    breakdown.add_row({r.name, std::to_string(r.pe), std::to_string(r.simd),
+                       std::to_string(r.cycles), format_double(r.luts, 0),
+                       format_double(r.bram18, 0), r.is_bottleneck ? "<--" : ""});
+  }
+  std::printf("best design, per layer:\n%s", breakdown.render().c_str());
+  return 0;
+}
+
 int dispatch(int argc, char** argv) {
   const std::string usage =
-      "usage: adaflow <devices|train|prune|eval|library|show|simulate|fleet> [options]\n";
+      "usage: adaflow <devices|train|prune|eval|library|show|simulate|fleet|tune> [options]\n";
   if (argc < 2) {
     std::fprintf(stderr, "%s", usage.c_str());
     return 2;
@@ -359,6 +443,9 @@ int dispatch(int argc, char** argv) {
   }
   if (command == "fleet") {
     return cmd_fleet(rest);
+  }
+  if (command == "tune") {
+    return cmd_tune(rest);
   }
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), usage.c_str());
   return 2;
