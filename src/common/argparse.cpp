@@ -107,6 +107,22 @@ double ArgParser::option_double(const std::string& name) const {
   return d;
 }
 
+double ArgParser::option_positive_double(const std::string& name) const {
+  const double d = option_double(name);
+  if (!(d > 0.0)) {
+    throw ConfigError("option --" + name + " must be positive, got '" + option(name) + "'");
+  }
+  return d;
+}
+
+double ArgParser::option_nonnegative_double(const std::string& name) const {
+  const double d = option_double(name);
+  if (d < 0.0) {
+    throw ConfigError("option --" + name + " must be >= 0, got '" + option(name) + "'");
+  }
+  return d;
+}
+
 std::int64_t ArgParser::option_int(const std::string& name) const {
   const std::string& v = option(name);
   char* end = nullptr;

@@ -34,6 +34,11 @@ class ArgParser {
   const std::string& option(const std::string& name) const;
   double option_double(const std::string& name) const;
   std::int64_t option_int(const std::string& name) const;
+  /// option_double with a sign contract; both throw ConfigError naming the
+  /// flag (e.g. "--probe-interval must be positive, got '-1'") so tools get
+  /// uniform, testable validation of timeout/budget-style options.
+  double option_positive_double(const std::string& name) const;
+  double option_nonnegative_double(const std::string& name) const;
   const std::string& positional(const std::string& name) const;
   bool has(const std::string& name) const;  ///< option explicitly set?
 

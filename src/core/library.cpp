@@ -127,8 +127,13 @@ void save_library(const AcceleratorLibrary& library, const std::string& path) {
   if (p.has_parent_path()) {
     std::filesystem::create_directories(p.parent_path());
   }
-  std::ofstream out(path);
-  require(out.good(), "cannot write library cache " + path);
+  // Crash-safe write: stream into a sibling temp file, then atomically
+  // rename over the destination. A process killed mid-save leaves either
+  // the old cache or the new one — never a truncated file that a later
+  // load_library would choke on.
+  const std::filesystem::path tmp(path + ".tmp");
+  std::ofstream out(tmp);
+  require(out.good(), "cannot write library cache " + tmp.string());
   out.precision(17);  // max_digits10: doubles survive the text round-trip
   out << "adaflow-library\t" << kCacheVersion << '\n';
   out << library.model_name << '\t' << library.dataset_name << '\n';
@@ -152,7 +157,16 @@ void save_library(const AcceleratorLibrary& library, const std::string& path) {
     write_folding(out, v.folding_fixed);
     out << '\n';
   }
-  require(out.good(), "error writing library cache " + path);
+  out.flush();
+  require(out.good(), "error writing library cache " + tmp.string());
+  out.close();
+  std::error_code ec;
+  std::filesystem::rename(tmp, p, ec);  // atomic within a filesystem (POSIX)
+  if (ec) {
+    std::filesystem::remove(tmp);
+    throw Error("cannot move library cache " + tmp.string() + " to " + path + ": " +
+                ec.message());
+  }
 }
 
 AcceleratorLibrary load_library(const std::string& path) {

@@ -42,6 +42,15 @@ void DeviceSim::start() {
   metrics_.loss_series.interval_s = config_.sample_interval_s;
   metrics_.qoe_series.interval_s = config_.sample_interval_s;
   metrics_.power_series.interval_s = config_.sample_interval_s;
+  if (injector_ != nullptr) {
+    // Whole-device fault windows were resolved at injector construction;
+    // schedule their begin/end transitions now (windows past the run horizon
+    // simply never fire).
+    for (const faults::DeviceFaultWindow& w : injector_->device_fault_windows()) {
+      queue_.schedule_at(w.start_s, [this, w] { on_device_fault_begin(w); });
+      queue_.schedule_at(w.end_s, [this, w] { on_device_fault_end(w); });
+    }
+  }
 }
 
 double DeviceSim::backlog_seconds() const {
@@ -84,8 +93,8 @@ void DeviceSim::exit_degraded() {
 }
 
 void DeviceSim::start_next_frame() {
-  if (switching_) {
-    return;
+  if (switching_ || crash_depth_ > 0 || hang_depth_ > 0) {
+    return;  // a dead or wedged fabric serves nothing until its window ends
   }
   if (has_pending_switch_ && !processing_) {
     begin_switch();
@@ -100,34 +109,57 @@ void DeviceSim::start_next_frame() {
   if (on_headroom_) {
     on_headroom_();
   }
-  const double service_s = 1.0 / mode_.fps;
+  // Degraded service slows every frame by the window's latency factor; the
+  // watchdog deadline scales with it (degrade is slow-but-alive, not wedged
+  // — the HealthMonitor's service-rate check is what catches it).
+  const double service_s = (1.0 / mode_.fps) * degrade_latency_factor_;
+  const std::uint64_t epoch = service_epoch_;
   const double stall_s = injector_ != nullptr ? injector_->stall_seconds(queue_.now()) : 0.0;
   if (stall_s <= 0.0) {
-    queue_.schedule_in(service_s, [this] { finish_frame(); });
+    queue_.schedule_in(service_s, [this, epoch] {
+      if (epoch == service_epoch_) {
+        finish_frame();
+      }
+    });
     return;
   }
   metrics_.faults.stalls_injected += 1;
   if (!ft().enabled) {
     // No watchdog: the accelerator simply hangs until the frame unsticks.
-    queue_.schedule_in(stall_s + service_s, [this] { finish_frame(); });
+    queue_.schedule_in(stall_s + service_s, [this, epoch] {
+      if (epoch == service_epoch_) {
+        finish_frame();
+      }
+    });
     return;
   }
   const double deadline_s =
       std::max(ft().min_watchdog_timeout_s, ft().watchdog_timeout_factor * service_s);
   if (stall_s + service_s <= deadline_s) {
     // Slow but within the watchdog budget: the frame completes late.
-    queue_.schedule_in(stall_s + service_s, [this] { finish_frame(); });
+    queue_.schedule_in(stall_s + service_s, [this, epoch] {
+      if (epoch == service_epoch_) {
+        finish_frame();
+      }
+    });
     return;
   }
-  queue_.schedule_in(deadline_s, [this] { on_watchdog_fired(); });
+  queue_.schedule_in(deadline_s, [this, epoch] {
+    if (epoch == service_epoch_) {
+      on_watchdog_fired();
+    }
+  });
 }
 
 void DeviceSim::finish_frame() {
   integrate_power();
   processing_ = false;
   ++metrics_.processed;
-  metrics_.qoe_accuracy_sum += mode_.accuracy;
-  window_qoe_sum_ += mode_.accuracy;
+  // A degraded window elevates mispredictions: the frame still completes but
+  // contributes less accuracy to QoE.
+  const double accuracy = mode_.accuracy * (1.0 - degrade_accuracy_penalty_);
+  metrics_.qoe_accuracy_sum += accuracy;
+  window_qoe_sum_ += accuracy;
   if (has_pending_retry_) {
     // A retry came due while this frame was in flight: run it now.
     has_pending_retry_ = false;
@@ -147,7 +179,11 @@ void DeviceSim::on_watchdog_fired() {
   ++window_lost_;
   ++metrics_.faults.stalls_recovered;
   switching_ = true;  // the re-load blocks the accelerator like a switch
-  queue_.schedule_in(ft().recovery_reload_s, [this] {
+  const std::uint64_t epoch = service_epoch_;
+  queue_.schedule_in(ft().recovery_reload_s, [this, epoch] {
+    if (epoch != service_epoch_) {
+      return;  // a crash wiped the fabric mid-reload
+    }
     integrate_power();
     switching_ = false;
     if (!has_pending_switch_) {
@@ -155,6 +191,82 @@ void DeviceSim::on_watchdog_fired() {
     }
     start_next_frame();
   });
+}
+
+void DeviceSim::abort_switch_episode() {
+  if (switch_episode_) {
+    ++metrics_.faults.switches_abandoned;
+  }
+  switching_ = false;
+  switch_episode_ = false;
+  has_pending_switch_ = false;
+  has_pending_retry_ = false;
+  fallback_tried_ = false;
+}
+
+void DeviceSim::on_device_fault_begin(const faults::DeviceFaultWindow& window) {
+  integrate_power();
+  enter_degraded();
+  switch (window.kind) {
+    case faults::FaultKind::kDeviceCrash:
+      ++crash_depth_;
+      if (crash_depth_ == 1) {
+        // The fabric dies: the in-flight frame never produces a result and
+        // any switch ladder (or stall-recovery reload) is wiped with it.
+        ++service_epoch_;
+        if (processing_) {
+          processing_ = false;
+          ++metrics_.lost;
+          ++window_lost_;
+        }
+        abort_switch_episode();
+      }
+      break;
+    case faults::FaultKind::kDeviceHang:
+      // The wedge hits between frames: whatever is in flight drains, but no
+      // new frame starts until the window releases the fabric.
+      ++hang_depth_;
+      break;
+    case faults::FaultKind::kDeviceDegrade:
+      ++degrade_depth_;
+      degrade_latency_factor_ *= window.latency_factor;
+      degrade_accuracy_penalty_ =
+          std::min(1.0, degrade_accuracy_penalty_ + window.accuracy_penalty);
+      break;
+    default:
+      break;
+  }
+}
+
+void DeviceSim::on_device_fault_end(const faults::DeviceFaultWindow& window) {
+  integrate_power();
+  switch (window.kind) {
+    case faults::FaultKind::kDeviceCrash:
+      --crash_depth_;
+      break;
+    case faults::FaultKind::kDeviceHang:
+      --hang_depth_;
+      break;
+    case faults::FaultKind::kDeviceDegrade:
+      --degrade_depth_;
+      if (degrade_depth_ == 0) {
+        degrade_latency_factor_ = 1.0;
+        degrade_accuracy_penalty_ = 0.0;
+      } else {
+        degrade_latency_factor_ /= window.latency_factor;
+        degrade_accuracy_penalty_ =
+            std::max(0.0, degrade_accuracy_penalty_ - window.accuracy_penalty);
+      }
+      break;
+    default:
+      break;
+  }
+  if (crash_depth_ == 0 && hang_depth_ == 0) {
+    if (degrade_depth_ == 0 && !switch_episode_ && !has_pending_switch_) {
+      exit_degraded();
+    }
+    start_next_frame();  // the queue survived the outage; resume draining it
+  }
 }
 
 void DeviceSim::begin_switch() {
@@ -185,12 +297,21 @@ void DeviceSim::attempt_switch(const SwitchAction& action, int attempt) {
   if (injector_ != nullptr) {
     outcome = injector_->on_switch_attempt(queue_.now(), action.is_reconfiguration);
   }
+  if (crash_depth_ > 0 || hang_depth_ > 0) {
+    // A dead or wedged fabric cannot be (re)programmed: the attempt fails
+    // regardless of what the schedule said. Retries may land after recovery.
+    outcome.fail = true;
+  }
   const double actual_s = action.switch_time_s * outcome.time_factor;
+  const std::uint64_t epoch = service_epoch_;
   if (!ft().enabled) {
     // Unhardened baseline: the server waits the full (possibly inflated)
     // time; a failed load silently keeps the old mode while the policy is
     // told its target is live — the mis-selection the hardened path fixes.
-    queue_.schedule_in(actual_s, [this, action, failed = outcome.fail] {
+    queue_.schedule_in(actual_s, [this, epoch, action, failed = outcome.fail] {
+      if (epoch != service_epoch_) {
+        return;
+      }
       integrate_power();
       switching_ = false;
       switch_episode_ = false;
@@ -208,7 +329,10 @@ void DeviceSim::attempt_switch(const SwitchAction& action, int attempt) {
       std::max(ft().min_switch_timeout_s, ft().switch_timeout_factor * action.switch_time_s);
   if (actual_s > timeout_s) {
     // Hung load: the supervisor aborts it when the timeout budget expires.
-    queue_.schedule_in(timeout_s, [this, action, attempt] {
+    queue_.schedule_in(timeout_s, [this, epoch, action, attempt] {
+      if (epoch != service_epoch_) {
+        return;
+      }
       ++metrics_.faults.switch_timeouts;
       on_switch_attempt_failed(action, attempt);
     });
@@ -221,13 +345,19 @@ void DeviceSim::attempt_switch(const SwitchAction& action, int attempt) {
     const double detect_s = std::min(
         actual_s, std::max(ft().min_switch_timeout_s,
                            ft().failure_detect_fraction * action.switch_time_s));
-    queue_.schedule_in(detect_s, [this, action, attempt] {
+    queue_.schedule_in(detect_s, [this, epoch, action, attempt] {
+      if (epoch != service_epoch_) {
+        return;
+      }
       ++metrics_.faults.switch_failures;
       on_switch_attempt_failed(action, attempt);
     });
     return;
   }
-  queue_.schedule_in(actual_s, [this, action] {
+  queue_.schedule_in(actual_s, [this, epoch, action] {
+    if (epoch != service_epoch_) {
+      return;
+    }
     integrate_power();
     switching_ = false;
     switch_episode_ = false;
@@ -248,7 +378,11 @@ void DeviceSim::on_switch_attempt_failed(const SwitchAction& action, int attempt
     // not dead time: frames keep draining on the old mode.
     switching_ = false;
     const double backoff_s = ft().retry_backoff_s * static_cast<double>(1 << attempt);
-    queue_.schedule_in(backoff_s, [this, action, attempt] {
+    const std::uint64_t epoch = service_epoch_;
+    queue_.schedule_in(backoff_s, [this, epoch, action, attempt] {
+      if (epoch != service_epoch_) {
+        return;  // a crash wiped the episode the retry belonged to
+      }
       if (processing_) {
         // Wait for the in-flight frame; finish_frame runs the retry.
         has_pending_retry_ = true;
@@ -303,6 +437,12 @@ bool DeviceSim::offer_frame(bool count_loss) {
   return true;
 }
 
+std::int64_t DeviceSim::take_queued(std::int64_t max_frames) {
+  const std::int64_t n = std::min(max_frames, queued_);
+  queued_ -= n;
+  return n;
+}
+
 double DeviceSim::estimate_incoming_fps() {
   const double now = queue_.now();
   while (!recent_arrivals_.empty() &&
@@ -336,8 +476,9 @@ void DeviceSim::command_switch(const SwitchAction& action) {
 
 void DeviceSim::poll() {
   // No new decisions while a switch ladder is active — including retry
-  // backoffs, where the old mode serves but the episode is unresolved.
-  if (switching_ || switch_episode_) {
+  // backoffs, where the old mode serves but the episode is unresolved — or
+  // while the device itself is down (nothing to decide on a dead fabric).
+  if (switching_ || switch_episode_ || crash_depth_ > 0 || hang_depth_ > 0) {
     return;
   }
   double incoming_fps = estimate_incoming_fps();
@@ -400,6 +541,9 @@ void DeviceSim::finalize(double duration_s) {
     metrics_.faults.monitor_dropouts = injector_->injected(FaultKind::kMonitorDropout);
     metrics_.faults.monitor_noise_events = injector_->injected(FaultKind::kMonitorNoise);
     metrics_.faults.burst_windows = injector_->injected(FaultKind::kQueueBurst);
+    metrics_.faults.device_crashes = injector_->injected(FaultKind::kDeviceCrash);
+    metrics_.faults.device_hangs = injector_->injected(FaultKind::kDeviceHang);
+    metrics_.faults.degrade_windows = injector_->injected(FaultKind::kDeviceDegrade);
     // stalls_injected is counted by the device (it sees each manifestation).
   }
 }

@@ -28,6 +28,7 @@
 
 namespace adaflow::faults {
 class FaultInjector;
+struct DeviceFaultWindow;
 }
 
 namespace adaflow::edge {
@@ -48,8 +49,16 @@ class DeviceSim {
   /// is accepted, otherwise it is rejected. A rejected frame is charged to
   /// this device's `lost` counter when \p count_loss is true (single-server
   /// semantics); a fleet dispatcher passes false and decides itself what to
-  /// do with the bounced frame.
+  /// do with the bounced frame. A crashed or hung device still buffers
+  /// frames (the failure is silent to the sender) — they just never start
+  /// service until recovery.
   bool offer_frame(bool count_loss = true);
+
+  /// Removes up to \p max_frames waiting frames from the queue and hands
+  /// them back to the caller (quarantine drain / hedged re-dispatch). The
+  /// frames are not counted lost here — the dispatcher that takes them
+  /// decides their fate. Returns the number actually removed.
+  std::int64_t take_queued(std::int64_t max_frames);
 
   /// One monitor poll: estimates the device's incoming FPS over the
   /// configured window (fault-injector glitches applied) and lets the
@@ -85,6 +94,12 @@ class DeviceSim {
   }
   /// Queue empty and the accelerator neither serving nor switching.
   bool idle() const { return !processing_ && !switching_ && queued_ == 0; }
+  // Whole-device fault state (ground truth for tests and benches; the fleet
+  // HealthMonitor deliberately never reads these — it infers sickness from
+  // completion progress alone, the way a real dispatcher has to).
+  bool crashed() const { return crash_depth_ > 0; }
+  bool hung() const { return hang_depth_ > 0; }
+  bool degraded_service() const { return degrade_depth_ > 0; }
   /// Drain-time estimate of the backlog: (queued + in-flight) / mode FPS.
   double backlog_seconds() const;
 
@@ -105,6 +120,9 @@ class DeviceSim {
   void start_next_frame();
   void finish_frame();
   void on_watchdog_fired();
+  void on_device_fault_begin(const faults::DeviceFaultWindow& window);
+  void on_device_fault_end(const faults::DeviceFaultWindow& window);
+  void abort_switch_episode();
   void begin_switch();
   void attempt_switch(const SwitchAction& action, int attempt);
   void on_switch_attempt_failed(const SwitchAction& action, int attempt);
@@ -130,6 +148,17 @@ class DeviceSim {
   int retry_attempt_ = 0;
 
   RunMetrics metrics_;
+
+  // Whole-device fault state. Depth counters tolerate overlapping windows;
+  // the epoch invalidates service/switch events scheduled before a crash
+  // wiped the fabric (a simple event queue cannot cancel, so stale events
+  // check the epoch and no-op).
+  int crash_depth_ = 0;
+  int hang_depth_ = 0;
+  int degrade_depth_ = 0;
+  double degrade_latency_factor_ = 1.0;
+  double degrade_accuracy_penalty_ = 0.0;
+  std::uint64_t service_epoch_ = 0;
 
   // Degraded-mode accounting: from the first manifested fault of an episode
   // until the device is back on a policy-chosen, healthy operating point.

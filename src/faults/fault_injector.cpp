@@ -20,9 +20,22 @@ const char* fault_kind_name(FaultKind kind) {
       return "accelerator-stall";
     case FaultKind::kQueueBurst:
       return "queue-burst";
+    case FaultKind::kDeviceCrash:
+      return "device-crash";
+    case FaultKind::kDeviceHang:
+      return "device-hang";
+    case FaultKind::kDeviceDegrade:
+      return "device-degrade";
   }
   return "unknown";
 }
+
+namespace {
+bool is_device_fault(FaultKind kind) {
+  return kind == FaultKind::kDeviceCrash || kind == FaultKind::kDeviceHang ||
+         kind == FaultKind::kDeviceDegrade;
+}
+}  // namespace
 
 void FaultSchedule::validate() const {
   for (std::size_t i = 0; i < faults.size(); ++i) {
@@ -36,6 +49,13 @@ void FaultSchedule::validate() const {
             where + "probability must be in [0, 1]");
     require(std::isfinite(f.magnitude) && f.magnitude >= 0.0,
             where + "magnitude must be finite >= 0");
+    require(std::isfinite(f.accuracy_penalty) && f.accuracy_penalty >= 0.0 &&
+                f.accuracy_penalty <= 1.0,
+            where + "accuracy_penalty must be in [0, 1]");
+    if (f.kind == FaultKind::kDeviceDegrade) {
+      require(f.magnitude >= 1.0,
+              where + "magnitude is the service-time multiplier and must be >= 1");
+    }
   }
 }
 
@@ -58,10 +78,48 @@ FaultSchedule flaky_edge_schedule(double duration_s) {
   return s;
 }
 
+FaultSchedule device_crash_window(double crash_s, double recovery_s) {
+  FaultSchedule s;
+  s.faults.push_back(FaultSpec{FaultKind::kDeviceCrash, crash_s, recovery_s, 1.0, 1.0, 0.0});
+  return s;
+}
+
+FaultSchedule device_hang_window(double hang_s, double release_s) {
+  FaultSchedule s;
+  s.faults.push_back(FaultSpec{FaultKind::kDeviceHang, hang_s, release_s, 1.0, 1.0, 0.0});
+  return s;
+}
+
+FaultSchedule device_degrade_window(double start_s, double end_s, double latency_factor,
+                                    double accuracy_penalty) {
+  FaultSchedule s;
+  s.faults.push_back(FaultSpec{FaultKind::kDeviceDegrade, start_s, end_s, 1.0, latency_factor,
+                               accuracy_penalty});
+  return s;
+}
+
 FaultInjector::FaultInjector(FaultSchedule schedule, std::uint64_t seed)
     : schedule_(std::move(schedule)), rng_(seed) {
   schedule_.validate();
   burst_counted_.assign(schedule_.faults.size(), 0);
+  // Whole-device windows are resolved up front (one Bernoulli draw per
+  // window, in schedule order) so the outcome depends only on (schedule,
+  // seed) and the device can pre-schedule its begin/end events.
+  for (const FaultSpec& f : schedule_.faults) {
+    if (!is_device_fault(f.kind) || f.end_s <= f.start_s || !draw(f)) {
+      continue;
+    }
+    DeviceFaultWindow w;
+    w.kind = f.kind;
+    w.start_s = f.start_s;
+    w.end_s = f.end_s;
+    if (f.kind == FaultKind::kDeviceDegrade) {
+      w.latency_factor = f.magnitude;
+      w.accuracy_penalty = f.accuracy_penalty;
+    }
+    device_windows_.push_back(w);
+    ++injected_[static_cast<int>(f.kind)];
+  }
 }
 
 bool FaultInjector::draw(const FaultSpec& spec) {

@@ -30,21 +30,43 @@ enum class FaultKind {
   kMonitorNoise,      ///< a rate poll is perturbed by +-`magnitude` relative error
   kAcceleratorStall,  ///< the in-flight frame hangs for `magnitude` seconds
   kQueueBurst,        ///< arrival rate is multiplied by `magnitude` in the window
+  // Whole-device fault classes (fleet resilience layer). These manifest per
+  // window, not per opportunity: the manifestation decision is drawn ONCE at
+  // injector construction, so the device can pre-schedule begin/end events
+  // and replay stays bit-identical.
+  kDeviceCrash,    ///< dead during the window: in-flight frame lost, no service
+                   ///< until the scheduled recovery (reboot) at end_s
+  kDeviceHang,     ///< accepts frames but completes none until end_s releases it
+  kDeviceDegrade,  ///< service runs `magnitude` x slower; each processed frame
+                   ///< loses `accuracy_penalty` of its accuracy (mispredictions)
 };
 
-inline constexpr int kFaultKindCount = 6;
+inline constexpr int kFaultKindCount = 9;
 
 const char* fault_kind_name(FaultKind kind);
 
 /// One scheduled fault: \p kind is armed during [start_s, end_s) and fires
 /// with \p probability at each opportunity (each switch attempt, poll, frame
-/// start ...). \p magnitude is kind-specific (see FaultKind).
+/// start ...). Whole-device kinds (crash/hang/degrade) instead draw their
+/// probability once per window. \p magnitude is kind-specific (see FaultKind).
 struct FaultSpec {
   FaultKind kind = FaultKind::kReconfigFailure;
   double start_s = 0.0;
   double end_s = 0.0;
   double probability = 1.0;
   double magnitude = 1.0;
+  /// kDeviceDegrade only: fraction of per-frame accuracy lost in the window.
+  double accuracy_penalty = 0.0;
+};
+
+/// One manifested whole-device fault window (crash, hang, or degraded
+/// service), resolved at injector construction from the seed.
+struct DeviceFaultWindow {
+  FaultKind kind = FaultKind::kDeviceCrash;
+  double start_s = 0.0;
+  double end_s = 0.0;             ///< scheduled recovery / release time
+  double latency_factor = 1.0;    ///< kDeviceDegrade: service-time multiplier
+  double accuracy_penalty = 0.0;  ///< kDeviceDegrade: accuracy lost per frame
 };
 
 struct FaultSchedule {
@@ -66,6 +88,15 @@ FaultSchedule reconfig_failure_storm(double start_s, double end_s, double probab
 /// Canned schedule: noisy monitor (+-40%), occasional dropouts, sporadic
 /// accelerator stalls and one arrival burst — a generally hostile edge box.
 FaultSchedule flaky_edge_schedule(double duration_s);
+
+/// Canned whole-device windows (probability 1): the device is dead in
+/// [crash_s, recovery_s), wedged in [hang_s, release_s), or serves
+/// `latency_factor` x slower with `accuracy_penalty` extra mispredictions in
+/// [start_s, end_s).
+FaultSchedule device_crash_window(double crash_s, double recovery_s);
+FaultSchedule device_hang_window(double hang_s, double release_s);
+FaultSchedule device_degrade_window(double start_s, double end_s, double latency_factor,
+                                    double accuracy_penalty = 0.0);
 
 class FaultInjector {
  public:
@@ -95,6 +126,13 @@ class FaultInjector {
   /// a kQueueBurst window). Deterministic: bursts ignore `probability`.
   double arrival_rate_factor(double now_s);
 
+  /// Whole-device fault windows that manifested (drawn from the seed at
+  /// construction), in schedule order. The device pre-schedules its
+  /// crash/hang/degrade begin and end events from this list.
+  const std::vector<DeviceFaultWindow>& device_fault_windows() const {
+    return device_windows_;
+  }
+
   /// Number of manifested faults of one kind / in total so far.
   int injected(FaultKind kind) const;
   int injected_total() const;
@@ -106,6 +144,7 @@ class FaultInjector {
   Rng rng_;
   int injected_[kFaultKindCount] = {};
   std::vector<char> burst_counted_;  ///< each burst window counted once
+  std::vector<DeviceFaultWindow> device_windows_;
 };
 
 }  // namespace adaflow::faults

@@ -60,8 +60,21 @@ struct FleetSim {
   /// Cleared while the coordinator drains/reconfigures a device.
   std::vector<char> accepting;
 
+  /// Circuit-breaker state per device; a no-op observer when health
+  /// monitoring is disabled (never observed, everything stays healthy).
+  HealthMonitor monitor;
+  /// Devices waiting for the dispatcher to route them a half-open probe.
+  std::vector<char> probe_wanted;
+  /// Dispatch timestamps of the frames waiting in each device's queue
+  /// (front = oldest). Kept in lock-step with DeviceSim::queued(): pushed on
+  /// dispatch, popped when a frame enters service (headroom callback) or is
+  /// pulled back (quarantine drain / hedge).
+  std::vector<std::deque<double>> queued_since;
+
   FleetMetrics metrics;
   std::int64_t ingress_count = 0;
+
+  static constexpr std::size_t kNoExclude = static_cast<std::size_t>(-1);
 
   /// Arrival timestamps inside the coordinator's estimate window (only
   /// maintained when the coordinator is enabled).
@@ -88,7 +101,8 @@ struct FleetSim {
 
   FleetSim(const edge::WorkloadTrace& t, const core::AcceleratorLibrary& lib,
            const FleetConfig& c, RoutingPolicy& r, std::uint64_t seed)
-      : trace(t), fleet_library(lib), config(c), router(r), rng(seed) {
+      : trace(t), fleet_library(lib), config(c), router(r), rng(seed),
+        monitor(c.health, c.devices.size()) {
     const std::size_t n = config.devices.size();
     policies.reserve(n);
     injectors.reserve(n);
@@ -108,6 +122,8 @@ struct FleetSim {
                                                           injectors.back().get(), d.name));
     }
     accepting.assign(n, 1);
+    probe_wanted.assign(n, 0);
+    queued_since.resize(n);
     metrics.workload_series.interval_s = config.sample_interval_s;
     metrics.loss_series.interval_s = config.sample_interval_s;
     metrics.qoe_series.interval_s = config.sample_interval_s;
@@ -120,15 +136,20 @@ struct FleetSim {
 
   // --- dispatcher ---------------------------------------------------------
 
+  /// True when the monitor keeps device \p i out of the normal routing set.
+  bool excluded(std::size_t i) const { return monitor.out_of_rotation(i); }
+
   /// Routes one frame to a device if any is eligible. Returns false (and
-  /// touches nothing) when every device is drained or full.
-  bool try_dispatch() {
+  /// touches nothing) when every device is drained, quarantined, or full.
+  /// \p exclude additionally bars one device (hedging must not hand a frame
+  /// back to the queue it was just pulled from).
+  bool try_dispatch(std::size_t exclude = kNoExclude) {
     std::vector<DeviceStatus> statuses(devices.size());
     bool any_eligible = false;
     for (std::size_t i = 0; i < devices.size(); ++i) {
       const edge::DeviceSim& dev = *devices[i];
       DeviceStatus& s = statuses[i];
-      s.eligible = accepting[i] != 0 && dev.free_slots() > 0;
+      s.eligible = accepting[i] != 0 && !excluded(i) && i != exclude && dev.free_slots() > 0;
       s.queued = dev.queued();
       s.capacity = dev.queue_capacity();
       s.busy = dev.processing();
@@ -144,18 +165,51 @@ struct FleetSim {
     const std::size_t idx = router.route(queue.now(), statuses);
     require(idx < devices.size() && statuses[idx].eligible,
             "router '" + router.name() + "' returned an ineligible device");
+    // Timestamp first: offer_frame may start service synchronously and fire
+    // the headroom callback, which pops this very entry.
+    queued_since[idx].push_back(queue.now());
     const bool taken = devices[idx]->offer_frame(/*count_loss=*/false);
     require(taken, "eligible device '" + devices[idx]->name() + "' rejected a frame");
     ++metrics.dispatched;
     return true;
   }
 
+  /// Feeds one frame to a probing device as its half-open trial. Probes
+  /// outrank normal routing so a recovering device is never starved by
+  /// healthier peers. Returns true when the frame was consumed as a probe.
+  bool try_probe_dispatch() {
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      if (probe_wanted[i] == 0 || devices[i]->free_slots() <= 0) {
+        continue;
+      }
+      queued_since[i].push_back(queue.now());
+      const bool taken = devices[i]->offer_frame(/*count_loss=*/false);
+      if (!taken) {
+        queued_since[i].pop_back();
+        continue;
+      }
+      ++metrics.dispatched;
+      probe_wanted[i] = 0;
+      monitor.on_probe_dispatched(i, queue.now(), devices[i]->metrics().processed);
+      return true;
+    }
+    return false;
+  }
+
   /// Re-dispatches waiting ingress frames while headroom lasts. Invoked on
   /// every device headroom event and whenever a drained device rejoins.
   void drain_ingress() {
-    while (ingress_count > 0 && try_dispatch()) {
+    while (ingress_count > 0 && (try_probe_dispatch() || try_dispatch())) {
       --ingress_count;
     }
+  }
+
+  /// A queued frame on device \p i moved into service.
+  void on_device_headroom(std::size_t i) {
+    if (!queued_since[i].empty()) {
+      queued_since[i].pop_front();
+    }
+    drain_ingress();
   }
 
   void on_arrival() {
@@ -165,7 +219,7 @@ struct FleetSim {
     }
     // Waiting frames go first (they are indistinguishable, but keeping FIFO
     // order keeps the ingress counter an honest queue).
-    if (ingress_count == 0 && try_dispatch()) {
+    if (ingress_count == 0 && (try_probe_dispatch() || try_dispatch())) {
       // Routed immediately.
     } else if (ingress_count < config.ingress_capacity) {
       ++ingress_count;
@@ -174,6 +228,118 @@ struct FleetSim {
       ++metrics.ingress_lost;
     }
     schedule_next_arrival();
+  }
+
+  // --- health monitoring ---------------------------------------------------
+
+  /// Pulls every waiting frame off a newly-quarantined device and routes it
+  /// through the rest of the fleet. Frames that find no headroom wait at
+  /// ingress; they count as re-dispatched, not lost — only overflowing the
+  /// ingress queue itself loses them (genuine ingress_lost).
+  void quarantine_drain(std::size_t i) {
+    const std::int64_t pulled = devices[i]->take_queued(devices[i]->queued());
+    queued_since[i].clear();
+    for (std::int64_t k = 0; k < pulled; ++k) {
+      ++metrics.redispatched;
+      if (try_dispatch(i)) {
+        continue;
+      }
+      if (ingress_count < config.ingress_capacity) {
+        ++ingress_count;
+      } else {
+        ++metrics.ingress_lost;
+      }
+    }
+  }
+
+  /// Any device other than \p i that could take a hedged frame right now.
+  bool any_other_eligible(std::size_t i) const {
+    for (std::size_t j = 0; j < devices.size(); ++j) {
+      if (j != i && accepting[j] != 0 && !excluded(j) && devices[j]->free_slots() > 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void health_tick() {
+    const double now = queue.now();
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      const edge::DeviceSim& dev = *devices[i];
+      HealthMonitor::Observation obs;
+      obs.processed = dev.metrics().processed;
+      obs.has_work = dev.queued() > 0 || dev.processing();
+      obs.in_maintenance =
+          dev.switch_in_flight() || (coord_state != CoordState::kIdle && coord_device == i);
+      obs.nominal_fps = dev.mode().fps;
+      const HealthAction action = monitor.observe(i, now, obs);
+      if (action.quarantine) {
+        ++metrics.quarantines;
+        if (coord_state != CoordState::kIdle && coord_device == i) {
+          // The device the coordinator was cycling just got quarantined:
+          // abort the cycle; the monitor owns the exclusion from here.
+          accepting[i] = 1;
+          coord_state = CoordState::kIdle;
+          last_repartition_end_s = now;
+        }
+        quarantine_drain(i);
+        // The fleet shrank: force the coordinator to re-balance the
+        // survivors instead of sitting in its hysteresis band.
+        last_converged_fps = -1.0;
+      }
+      if (action.want_probe) {
+        probe_wanted[i] = 1;
+      }
+      if (action.probe_failed && devices[i]->take_queued(1) == 1) {
+        // The probe frame is still sitting in the sick queue: reclaim it so
+        // no frame is stuck for longer than one probe cycle.
+        if (!queued_since[i].empty()) {
+          queued_since[i].pop_front();
+        }
+        ++metrics.redispatched;
+        if (!try_dispatch(i)) {
+          if (ingress_count < config.ingress_capacity) {
+            ++ingress_count;
+          } else {
+            ++metrics.ingress_lost;
+          }
+        }
+      }
+      if (action.rejoin) {
+        ++metrics.rejoins;
+        probe_wanted[i] = 0;
+        // Capacity returned: re-balance, and drain any ingress backlog into
+        // the recovered device.
+        last_converged_fps = -1.0;
+        drain_ingress();
+      }
+    }
+    // Hedged re-dispatch: a frame stuck waiting past its budget is pulled
+    // back and re-routed — but only when somewhere better exists right now
+    // (hedging into a full fleet would just forfeit the frame's position).
+    if (config.health.hedge_budget_s > 0.0) {
+      for (std::size_t i = 0; i < devices.size(); ++i) {
+        if (excluded(i)) {
+          continue;  // quarantine drain already emptied it
+        }
+        while (!queued_since[i].empty() &&
+               now - queued_since[i].front() >= config.health.hedge_budget_s &&
+               any_other_eligible(i)) {
+          if (devices[i]->take_queued(1) == 0) {
+            break;
+          }
+          queued_since[i].pop_front();
+          ++metrics.redispatched;
+          ++metrics.hedged;
+          const bool placed = try_dispatch(i);
+          require(placed, "hedge re-dispatch failed despite an eligible device");
+        }
+      }
+    }
+    const double next = now + config.health.tick_interval_s;
+    if (next <= trace.duration()) {
+      queue.schedule_at(next, [this] { health_tick(); });
+    }
   }
 
   void schedule_next_arrival() {
@@ -213,9 +379,11 @@ struct FleetSim {
             config.coordinator.fps_hysteresis * last_converged_fps) {
       return;
     }
+    // Quarantined devices are not capacity: the survivors' share grows and
+    // the coordinator re-targets them to faster (lower-accuracy) versions.
     std::int64_t accepting_count = 0;
-    for (char a : accepting) {
-      accepting_count += a != 0 ? 1 : 0;
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      accepting_count += (accepting[i] != 0 && !excluded(i)) ? 1 : 0;
     }
     if (accepting_count == 0) {
       return;
@@ -223,7 +391,7 @@ struct FleetSim {
     const double share = agg / static_cast<double>(accepting_count);
     bool mismatch_blocked = false;
     for (std::size_t i = 0; i < devices.size(); ++i) {
-      if (!config.devices[i].coordinated || accepting[i] == 0 ||
+      if (!config.devices[i].coordinated || accepting[i] == 0 || excluded(i) ||
           devices[i]->switch_in_flight()) {
         continue;
       }
@@ -267,6 +435,14 @@ struct FleetSim {
         break;
       case CoordState::kDraining: {
         edge::DeviceSim& dev = *devices[coord_device];
+        if (excluded(coord_device)) {
+          // Quarantined mid-drain (health_tick may run between coordinator
+          // ticks): abort the cycle, the monitor owns the device now.
+          accepting[coord_device] = 1;
+          coord_state = CoordState::kIdle;
+          last_repartition_end_s = now;
+          break;
+        }
         if (dev.switch_in_flight()) {
           break;  // self-healing ladder busy (stall recovery); wait it out
         }
@@ -357,7 +533,7 @@ struct FleetSim {
   FleetMetrics run() {
     for (std::size_t i = 0; i < devices.size(); ++i) {
       devices[i]->start();
-      devices[i]->set_on_headroom([this] { drain_ingress(); });
+      devices[i]->set_on_headroom([this, i] { on_device_headroom(i); });
     }
     schedule_next_arrival();
     for (std::size_t i = 0; i < devices.size(); ++i) {
@@ -368,6 +544,9 @@ struct FleetSim {
     queue.schedule_at(config.sample_interval_s, [this] { fleet_sample(); });
     if (config.coordinator.enabled) {
       queue.schedule_at(config.coordinator.poll_interval_s, [this] { coordinator_tick(); });
+    }
+    if (config.health.enabled) {
+      queue.schedule_at(config.health.tick_interval_s, [this] { health_tick(); });
     }
 
     queue.run_until(trace.duration());
@@ -385,7 +564,15 @@ struct FleetSim {
       metrics.energy_j += m.energy_j;
       metrics.model_switches += m.model_switches;
       metrics.reconfigurations += m.reconfigurations;
-      metrics.devices.push_back({config.devices[i].name, std::move(m)});
+      metrics.faults.accumulate(m.faults);
+      FleetDeviceResult result;
+      result.name = config.devices[i].name;
+      result.queued_at_end = devices[i]->queued();
+      result.quarantines = monitor.quarantines(i);
+      result.rejoins = monitor.rejoins(i);
+      result.final_health = monitor.state(i);
+      result.metrics = std::move(m);
+      metrics.devices.push_back(std::move(result));
     }
     metrics.tail_latency_p95_s = sim::percentile(metrics.backlog_series.values, 0.95);
     return std::move(metrics);
@@ -442,6 +629,9 @@ void FleetConfig::validate() const {
     if (coordinator.fps_hysteresis < 0.0) {
       throw ConfigError("FleetCoordinatorConfig.fps_hysteresis must be >= 0");
     }
+  }
+  if (health.enabled) {
+    health.validate();
   }
 }
 

@@ -33,6 +33,7 @@
 #include "adaflow/edge/server_types.hpp"
 #include "adaflow/edge/workload.hpp"
 #include "adaflow/faults/fault_injector.hpp"
+#include "adaflow/fleet/health.hpp"
 #include "adaflow/fleet/routing.hpp"
 #include "adaflow/sim/stats.hpp"
 
@@ -88,6 +89,9 @@ struct FleetConfig {
   /// own ServerConfig cadence).
   double sample_interval_s = 0.5;
   FleetCoordinatorConfig coordinator;
+  /// Dispatcher-side resilience: circuit-breaker health monitoring, probed
+  /// recovery, and hedged re-dispatch. Off by default (PR 2 behaviour).
+  HealthConfig health;
 
   /// Throws ConfigError naming the offending device/field.
   void validate() const;
@@ -96,14 +100,26 @@ struct FleetConfig {
 struct FleetDeviceResult {
   std::string name;
   edge::RunMetrics metrics;
+  std::int64_t queued_at_end = 0;     ///< frames still waiting at t_end
+  std::int64_t quarantines = 0;       ///< circuit-breaker trips on this device
+  std::int64_t rejoins = 0;           ///< probed recoveries back to healthy
+  HealthState final_health = HealthState::kHealthy;
 };
 
 /// Aggregate + per-device outcome of one fleet run.
 struct FleetMetrics {
   std::int64_t arrived = 0;       ///< frames offered to the ingress
-  std::int64_t dispatched = 0;    ///< frames handed to a device queue
+  std::int64_t dispatched = 0;    ///< frames handed to a device queue (incl. re-dispatch)
   std::int64_t ingress_lost = 0;  ///< shed at the full ingress queue
   std::int64_t ingress_backlog = 0;  ///< still waiting at ingress at t_end
+  /// Frames pulled back out of a sick or slow device's queue and offered to
+  /// the dispatcher again (quarantine drains + hedges). Each pull re-enters
+  /// the dispatch path, so flow conservation reads
+  ///   arrived + redispatched == dispatched + ingress_lost + ingress_backlog.
+  std::int64_t redispatched = 0;
+  std::int64_t hedged = 0;  ///< subset of redispatched: queue-wait hedges
+  std::int64_t quarantines = 0;  ///< circuit-breaker trips, fleet-wide
+  std::int64_t rejoins = 0;      ///< probed recoveries, fleet-wide
   std::int64_t processed = 0;
   std::int64_t device_lost = 0;  ///< lost inside devices (stall drops, ...)
   double qoe_accuracy_sum = 0.0;
@@ -121,6 +137,9 @@ struct FleetMetrics {
   sim::TimeSeries loss_series;      ///< fleet loss fraction per window
   sim::TimeSeries qoe_series;       ///< fleet QoE per window
   sim::TimeSeries backlog_series;   ///< worst-device backlog estimate [s]
+
+  /// Summed over devices: faults that manifested and how devices reacted.
+  sim::FaultStats faults;
 
   std::vector<FleetDeviceResult> devices;
 

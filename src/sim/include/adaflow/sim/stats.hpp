@@ -59,6 +59,10 @@ struct FaultStats {
   std::int64_t monitor_noise_events = 0;
   std::int64_t stalls_injected = 0;
   std::int64_t burst_windows = 0;
+  // Whole-device fault windows that manifested (fleet resilience layer).
+  std::int64_t device_crashes = 0;
+  std::int64_t device_hangs = 0;
+  std::int64_t degrade_windows = 0;
 
   // How the server reacted.
   std::int64_t switch_failures = 0;    ///< failed switch attempts observed
@@ -76,7 +80,8 @@ struct FaultStats {
 
   std::int64_t total_injected() const {
     return reconfig_failures_injected + reconfig_slowdowns_injected + monitor_dropouts +
-           monitor_noise_events + stalls_injected + burst_windows;
+           monitor_noise_events + stalls_injected + burst_windows + device_crashes +
+           device_hangs + degrade_windows;
   }
   double degraded_fraction(double duration_s) const {
     return duration_s > 0.0 ? time_degraded_s / duration_s : 0.0;

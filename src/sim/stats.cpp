@@ -66,6 +66,9 @@ void FaultStats::accumulate(const FaultStats& other) {
   monitor_noise_events += other.monitor_noise_events;
   stalls_injected += other.stalls_injected;
   burst_windows += other.burst_windows;
+  device_crashes += other.device_crashes;
+  device_hangs += other.device_hangs;
+  degrade_windows += other.degrade_windows;
   switch_failures += other.switch_failures;
   switch_timeouts += other.switch_timeouts;
   switch_retries += other.switch_retries;
@@ -90,6 +93,9 @@ void FaultStats::divide(int runs) {
   monitor_noise_events = mean_count(monitor_noise_events);
   stalls_injected = mean_count(stalls_injected);
   burst_windows = mean_count(burst_windows);
+  device_crashes = mean_count(device_crashes);
+  device_hangs = mean_count(device_hangs);
+  degrade_windows = mean_count(degrade_windows);
   switch_failures = mean_count(switch_failures);
   switch_timeouts = mean_count(switch_timeouts);
   switch_retries = mean_count(switch_retries);

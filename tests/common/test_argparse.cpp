@@ -90,6 +90,50 @@ TEST(ArgParse, HelpMentionsEverything) {
   EXPECT_NE(h.find("<input>"), std::string::npos);
 }
 
+TEST(ArgParse, PositiveDoubleRejectsZeroNegativeAndGarbageNamingTheFlag) {
+  // The fleet CLI's chaos/health timeouts go through these helpers; the
+  // error must name the offending flag so a sweep script's failure is
+  // actionable.
+  ArgParser p("t", "d");
+  p.add_option("probe-interval", "seconds", "1.0");
+  p.parse({"--probe-interval", "-1"});
+  try {
+    p.option_positive_double("probe-interval");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("--probe-interval"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("-1"), std::string::npos);
+  }
+  ArgParser zero("t", "d");
+  zero.add_option("suspect-timeout", "seconds", "0");
+  zero.parse({});
+  EXPECT_THROW(zero.option_positive_double("suspect-timeout"), ConfigError);
+  ArgParser garbage("t", "d");
+  garbage.add_option("probe-timeout", "seconds", "soon");
+  garbage.parse({});
+  EXPECT_THROW(garbage.option_positive_double("probe-timeout"), ConfigError);
+  ArgParser ok("t", "d");
+  ok.add_option("probe-interval", "seconds", "0.25");
+  ok.parse({});
+  EXPECT_DOUBLE_EQ(ok.option_positive_double("probe-interval"), 0.25);
+}
+
+TEST(ArgParse, NonnegativeDoubleAllowsZeroButRejectsNegative) {
+  ArgParser p("t", "d");
+  p.add_option("hedge-budget", "seconds, 0 disables", "0");
+  p.parse({});
+  EXPECT_DOUBLE_EQ(p.option_nonnegative_double("hedge-budget"), 0.0);
+  ArgParser neg("t", "d");
+  neg.add_option("hedge-budget", "seconds", "1");
+  neg.parse({"--hedge-budget=-0.5"});
+  try {
+    neg.option_nonnegative_double("hedge-budget");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("--hedge-budget"), std::string::npos);
+  }
+}
+
 TEST(ArgParse, SplitHelper) {
   EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
   EXPECT_EQ(split("solo", ','), (std::vector<std::string>{"solo"}));

@@ -200,5 +200,22 @@ TEST(Library, EmptyLibraryAccessorsThrow) {
   EXPECT_THROW(lib.at_rate(0.0), ConfigError);
 }
 
+TEST(Library, SaveReplacesAPartialFileAtomically) {
+  // Crash-safe cache write: a half-written TSV left by an interrupted run
+  // must be replaced wholesale (temp file + rename), never appended to or
+  // left mixed with new content — and no temp file may survive the save.
+  AcceleratorLibrary lib = sample_library();
+  const std::string path = ::testing::TempDir() + "/adaflow_lib_partial.tsv";
+  {
+    std::ofstream out(path);
+    out << "adaflow-library\t3\ntruncated mid-rec";  // torn previous write
+  }
+  save_library(lib, path);
+  const AcceleratorLibrary loaded = load_library(path);
+  EXPECT_EQ(loaded.versions.size(), lib.versions.size());
+  EXPECT_EQ(loaded.model_name, lib.model_name);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+}
+
 }  // namespace
 }  // namespace adaflow::core

@@ -182,6 +182,70 @@ TEST(FaultTolerance, MonitorDropoutsAreObservable) {
   EXPECT_GT(m.processed, 0);
 }
 
+// --- whole-device fault windows --------------------------------------------
+
+TEST(FaultTolerance, DeviceCrashWindowStopsServiceUntilScheduledRecovery) {
+  WorkloadTrace trace(constant_workload(), 3);
+  StaticPolicy healthy_p(fixed_mode(550.0));
+  StaticPolicy crashed_p(fixed_mode(550.0));
+  faults::FaultInjector injector(faults::device_crash_window(2.0, 5.0), 7);
+  const RunMetrics healthy = run_simulation(trace, healthy_p, ServerConfig{}, 42);
+  const RunMetrics crashed = run_simulation(trace, crashed_p, ServerConfig{}, 42, &injector);
+  EXPECT_EQ(crashed.faults.device_crashes, 1);
+  // Three of ten seconds dead at ~91% utilisation: a large chunk of the
+  // arrivals is lost, but service resumes after the scheduled reboot.
+  EXPECT_LT(crashed.processed, healthy.processed);
+  EXPECT_GT(crashed.frame_loss(), 0.10);
+  EXPECT_GT(crashed.processed, healthy.processed / 2);
+}
+
+TEST(FaultTolerance, DeviceHangWindowBuffersFramesAndDrainsAfterRelease) {
+  // A hung device accepts work silently but completes nothing; after the
+  // release it drains its backlog, so losses stay far below the crash case
+  // (the queue, not the floor, absorbed the window).
+  WorkloadTrace trace(constant_workload(), 3);
+  StaticPolicy hung_p(fixed_mode(550.0));
+  ServerConfig server;
+  server.queue_capacity = 2000;  // deep enough to buffer the whole window
+  faults::FaultInjector injector(faults::device_hang_window(2.0, 4.0), 7);
+  const RunMetrics m = run_simulation(trace, hung_p, server, 42, &injector);
+  EXPECT_EQ(m.faults.device_hangs, 1);
+  EXPECT_LT(m.frame_loss(), 0.05);
+  EXPECT_GT(m.processed, 0);
+}
+
+TEST(FaultTolerance, DegradedServiceRunsSlowerAndLosesAccuracy) {
+  WorkloadTrace trace(constant_workload(), 3);
+  StaticPolicy healthy_p(fixed_mode(550.0));
+  StaticPolicy degraded_p(fixed_mode(550.0));
+  faults::FaultInjector injector(
+      faults::device_degrade_window(2.0, 8.0, /*latency_factor=*/4.0, /*accuracy_penalty=*/0.2),
+      7);
+  const RunMetrics healthy = run_simulation(trace, healthy_p, ServerConfig{}, 42);
+  const RunMetrics degraded = run_simulation(trace, degraded_p, ServerConfig{}, 42, &injector);
+  EXPECT_EQ(degraded.faults.degrade_windows, 1);
+  // 4x slower against a near-capacity load sheds frames, and every frame the
+  // sick window does complete carries the misprediction penalty.
+  EXPECT_LT(degraded.processed, healthy.processed);
+  EXPECT_LT(degraded.qoe(), healthy.qoe());
+}
+
+TEST(FaultTolerance, DeviceWindowsReplayBitIdentically) {
+  WorkloadTrace trace(constant_workload(), 3);
+  auto run_once = [&] {
+    StaticPolicy policy(fixed_mode(550.0));
+    faults::FaultInjector injector(faults::device_crash_window(2.0, 5.0), 7);
+    return run_simulation(trace, policy, ServerConfig{}, 42, &injector);
+  };
+  const RunMetrics a = run_once();
+  const RunMetrics b = run_once();
+  EXPECT_EQ(a.arrived, b.arrived);
+  EXPECT_EQ(a.processed, b.processed);
+  EXPECT_EQ(a.lost, b.lost);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.faults.device_crashes, b.faults.device_crashes);
+}
+
 TEST(FaultTolerance, FaultFreeInjectorMatchesNoInjector) {
   // An empty schedule must not perturb the simulation at all.
   WorkloadTrace trace(constant_workload(), 3);

@@ -114,5 +114,68 @@ TEST(FaultInjector, CannedStormTargetsReconfigurations) {
   EXPECT_FALSE(inj.on_switch_attempt(5.0, false).fail);
 }
 
+// --- whole-device fault windows (fleet resilience layer) -------------------
+
+TEST(FaultInjector, DeviceWindowsAreDrawnOnceAtConstruction) {
+  // Probability 1 windows manifest immediately and count as injected before
+  // any simulation time passes — the device pre-schedules from this list.
+  FaultSchedule s = device_crash_window(2.0, 5.0);
+  s.faults.push_back(device_hang_window(6.0, 7.0).faults[0]);
+  FaultInjector inj(s, 7);
+  const auto& windows = inj.device_fault_windows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].kind, FaultKind::kDeviceCrash);
+  EXPECT_DOUBLE_EQ(windows[0].start_s, 2.0);
+  EXPECT_DOUBLE_EQ(windows[0].end_s, 5.0);
+  EXPECT_EQ(windows[1].kind, FaultKind::kDeviceHang);
+  EXPECT_EQ(inj.injected(FaultKind::kDeviceCrash), 1);
+  EXPECT_EQ(inj.injected(FaultKind::kDeviceHang), 1);
+  EXPECT_EQ(inj.injected_total(), 2);
+}
+
+TEST(FaultInjector, ZeroProbabilityDeviceWindowNeverManifests) {
+  FaultSchedule s = single(FaultKind::kDeviceCrash, 2.0, 5.0, 0.0, 1.0);
+  FaultInjector inj(s, 7);
+  EXPECT_TRUE(inj.device_fault_windows().empty());
+  EXPECT_EQ(inj.injected_total(), 0);
+}
+
+TEST(FaultInjector, DegradeWindowCarriesLatencyAndAccuracyFields) {
+  FaultInjector inj(device_degrade_window(1.0, 4.0, /*latency_factor=*/3.5,
+                                          /*accuracy_penalty=*/0.2),
+                    7);
+  const auto& windows = inj.device_fault_windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].kind, FaultKind::kDeviceDegrade);
+  EXPECT_DOUBLE_EQ(windows[0].latency_factor, 3.5);
+  EXPECT_DOUBLE_EQ(windows[0].accuracy_penalty, 0.2);
+}
+
+TEST(FaultInjector, DeviceWindowManifestationIsSeedDeterministic) {
+  // A 50% window either manifests or not per (schedule, seed); the same pair
+  // must resolve identically every construction, and across many seeds both
+  // outcomes must occur.
+  const FaultSchedule s = single(FaultKind::kDeviceHang, 1.0, 3.0, 0.5, 1.0);
+  int manifested = 0;
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    FaultInjector a(s, seed);
+    FaultInjector b(s, seed);
+    EXPECT_EQ(a.device_fault_windows().size(), b.device_fault_windows().size()) << seed;
+    manifested += a.device_fault_windows().empty() ? 0 : 1;
+  }
+  EXPECT_GT(manifested, 0);
+  EXPECT_LT(manifested, 32);
+}
+
+TEST(FaultSchedule, RejectsInvalidDeviceSpecs) {
+  // Degrade accuracy penalty is a fraction; degrade magnitude is a slowdown.
+  FaultSchedule bad_penalty = device_degrade_window(0.0, 5.0, 2.0, /*accuracy_penalty=*/1.5);
+  EXPECT_THROW(FaultInjector(bad_penalty, 1), ConfigError);
+  FaultSchedule bad_factor = device_degrade_window(0.0, 5.0, /*latency_factor=*/0.5, 0.0);
+  EXPECT_THROW(FaultInjector(bad_factor, 1), ConfigError);
+  EXPECT_THROW(FaultInjector(single(FaultKind::kDeviceCrash, 5.0, 2.0, 1.0, 1.0), 1),
+               ConfigError);
+}
+
 }  // namespace
 }  // namespace adaflow::faults

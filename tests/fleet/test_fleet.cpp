@@ -29,13 +29,16 @@ edge::WorkloadConfig bursty_workload(double rate, double duration_s) {
 }
 
 void expect_conservation(const FleetMetrics& m) {
-  EXPECT_EQ(m.arrived, m.dispatched + m.ingress_lost + m.ingress_backlog);
+  // Every frame offered to the ingress — plus every frame pulled back out of
+  // a sick queue and offered again — ends up dispatched, shed, or waiting.
+  EXPECT_EQ(m.arrived + m.redispatched, m.dispatched + m.ingress_lost + m.ingress_backlog);
   std::int64_t device_arrived = 0;
   for (const FleetDeviceResult& d : m.devices) {
     device_arrived += d.metrics.arrived;
   }
   EXPECT_EQ(device_arrived, m.dispatched);
   EXPECT_LE(m.processed + m.device_lost, m.dispatched);
+  EXPECT_LE(m.hedged, m.redispatched);
 }
 
 TEST(Fleet, FrameConservationAcrossDispatcherAndDevices) {

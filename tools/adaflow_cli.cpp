@@ -256,6 +256,17 @@ int cmd_fleet(const std::vector<std::string>& args) {
   parser.add_option("seed", "rng seed", "42");
   parser.add_flag("coordinated",
                   "pin devices and let the fleet coordinator re-partition the library");
+  parser.add_flag("health", "enable the dispatcher's circuit-breaker health monitor");
+  parser.add_option("chaos", "whole-device fault injected on dev0: none | crash | hang | degrade",
+                    "none");
+  parser.add_option("chaos-start", "chaos window start [s]", "5");
+  parser.add_option("chaos-duration", "chaos window length [s]", "5");
+  parser.add_option("suspect-timeout", "no-progress time before a device is suspect [s]", "1");
+  parser.add_option("quarantine-timeout", "suspect time before quarantine [s]", "1");
+  parser.add_option("probe-interval", "spacing of half-open recovery probes [s]", "1");
+  parser.add_option("probe-timeout", "probe completion deadline [s]", "1");
+  parser.add_option("hedge-budget", "re-dispatch frames queued longer than this [s]; 0 = off",
+                    "0");
   parser.parse(args);
 
   const core::AcceleratorLibrary lib = parser.option("library").empty()
@@ -278,6 +289,15 @@ int cmd_fleet(const std::vector<std::string>& args) {
   require(duration > 0.0, "--duration must be positive, got '" + parser.option("duration") + "'");
   const std::uint64_t seed = static_cast<std::uint64_t>(parser.option_int("seed"));
 
+  // Resilience knobs: each one is validated up front so a bad value names
+  // the flag instead of surfacing as a deep HealthConfig error mid-run.
+  const std::string chaos = parser.option("chaos");
+  require(chaos == "none" || chaos == "crash" || chaos == "hang" || chaos == "degrade",
+          "--chaos must be one of none | crash | hang | degrade, got '" + chaos + "'");
+  const double chaos_start = parser.option_nonnegative_double("chaos-start");
+  const double chaos_duration = parser.option_positive_double("chaos-duration");
+  const double hedge_budget = parser.option_nonnegative_double("hedge-budget");
+
   core::RuntimeManagerConfig rmc;
   fleet::FleetConfig config;
   if (parser.flag("coordinated")) {
@@ -287,6 +307,26 @@ int cmd_fleet(const std::vector<std::string>& args) {
     config.coordinator.enabled = true;
   } else {
     config.devices = fleet::homogeneous_devices(lib, rmc, static_cast<int>(devices));
+  }
+  if (parser.flag("health")) {
+    config.health.enabled = true;
+    config.health.suspect_timeout_s = parser.option_positive_double("suspect-timeout");
+    config.health.quarantine_timeout_s = parser.option_positive_double("quarantine-timeout");
+    config.health.probe_interval_s = parser.option_positive_double("probe-interval");
+    config.health.probe_timeout_s = parser.option_positive_double("probe-timeout");
+    config.health.hedge_budget_s = hedge_budget;
+  }
+  if (chaos != "none") {
+    const double chaos_end = chaos_start + chaos_duration;
+    if (chaos == "crash") {
+      config.devices[0].fault_schedule = faults::device_crash_window(chaos_start, chaos_end);
+    } else if (chaos == "hang") {
+      config.devices[0].fault_schedule = faults::device_hang_window(chaos_start, chaos_end);
+    } else {
+      config.devices[0].fault_schedule =
+          faults::device_degrade_window(chaos_start, chaos_end, /*latency_factor=*/4.0,
+                                        /*accuracy_penalty=*/0.1);
+    }
   }
 
   // Default the trace to 70% of the fleet's most-accurate-version capacity.
@@ -315,12 +355,18 @@ int cmd_fleet(const std::vector<std::string>& args) {
   std::printf("avg power    %s W\n", format_double(m.average_power_w(), 3).c_str());
   std::printf("switches     %d (%d reconfigurations, %d repartitions)\n", m.model_switches,
               m.reconfigurations, m.repartitions);
-  TextTable table({"device", "processed", "lost", "loss", "switches", "power[W]"});
+  if (parser.flag("health") || chaos != "none") {
+    std::printf("resilience   %lld quarantines, %lld rejoins, %lld re-dispatched (%lld hedged)\n",
+                static_cast<long long>(m.quarantines), static_cast<long long>(m.rejoins),
+                static_cast<long long>(m.redispatched), static_cast<long long>(m.hedged));
+  }
+  TextTable table({"device", "processed", "lost", "loss", "switches", "power[W]", "health"});
   for (const fleet::FleetDeviceResult& d : m.devices) {
     table.add_row({d.name, std::to_string(d.metrics.processed), std::to_string(d.metrics.lost),
                    format_percent(d.metrics.frame_loss(), 2),
                    std::to_string(d.metrics.model_switches),
-                   format_double(d.metrics.average_power_w(), 1)});
+                   format_double(d.metrics.average_power_w(), 1),
+                   fleet::health_state_name(d.final_health)});
   }
   std::printf("%s", table.render().c_str());
   return 0;
