@@ -89,6 +89,20 @@ void BM_FlexibleModelSwitch(benchmark::State& state) {
 }
 BENCHMARK(BM_FlexibleModelSwitch);
 
+// Guards the binary-search rate_at lookup: a long generated trace (thousands
+// of segments) queried all over its span must stay O(log n) per call.
+void BM_TraceRateAt(benchmark::State& state) {
+  const edge::WorkloadTrace trace =
+      edge::diurnal_trace(200.0, 900.0, 120.0, 3600.0, 0.25, 0.05, 11);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 7.31;
+    if (t > trace.duration()) t -= trace.duration();
+    benchmark::DoNotOptimize(trace.rate_at(t));
+  }
+}
+BENCHMARK(BM_TraceRateAt);
+
 void BM_EventQueueThroughput(benchmark::State& state) {
   for (auto _ : state) {
     sim::EventQueue q;

@@ -81,6 +81,13 @@ class RuntimeManager final : public edge::ServingPolicy {
   /// manager re-acts on threshold changes).
   void set_accuracy_threshold(double threshold);
 
+  /// Overrides the time-based accelerator-type rule: while set, every new
+  /// switch targets \p pin (the reconfig-failure safety net still wins).
+  /// nullopt restores the paper's switch-interval criterion. This is the
+  /// hook the proactive layer drives from its changepoint/burst signal.
+  void set_variant_pin(std::optional<hls::AcceleratorVariant> pin) { variant_pin_ = pin; }
+  std::optional<hls::AcceleratorVariant> variant_pin() const { return variant_pin_; }
+
   std::size_t current_version() const { return current_version_; }
   hls::AcceleratorVariant current_variant() const { return current_variant_; }
 
@@ -92,6 +99,7 @@ class RuntimeManager final : public edge::ServingPolicy {
 
   std::size_t current_version_ = 0;
   hls::AcceleratorVariant current_variant_ = hls::AcceleratorVariant::kFixed;
+  std::optional<hls::AcceleratorVariant> variant_pin_;
   // What the hardware actually runs (differs from current_* only while a
   // switch is in flight; on_switch_failed rolls current_* back to it).
   std::size_t live_version_ = 0;
@@ -148,12 +156,13 @@ enum class PolicyKind {
   kAdaFlow,     ///< RuntimeManager (model + accelerator-type selection)
   kStaticFinn,  ///< original FINN baseline, never switches
   kReconfOnly,  ///< model switching via full reconfiguration only
+  kProactive,   ///< forecast-driven RuntimeManager (proactive_manager.hpp)
 };
 
 const char* policy_kind_name(PolicyKind kind);
 
-/// Parses "adaflow" | "finn" | "reconf"; throws NotFoundError naming the
-/// valid spellings otherwise.
+/// Parses "adaflow" | "finn" | "reconf" | "proactive"; throws NotFoundError
+/// naming the valid spellings otherwise.
 PolicyKind policy_kind_from_name(const std::string& name);
 
 /// Builds one serving policy over \p library. The library (and, for

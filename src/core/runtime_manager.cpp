@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "adaflow/common/error.hpp"
+#include "adaflow/core/proactive_manager.hpp"
 
 namespace adaflow::core {
 
@@ -112,6 +113,9 @@ hls::AcceleratorVariant RuntimeManager::select_variant(double now_s) const {
   // net: the PR controller gets a cool-off before another bitstream load.
   if (now_s - last_switch_failure_s_ < config_.reconfig_failure_hold_s) {
     return hls::AcceleratorVariant::kFlexible;
+  }
+  if (variant_pin_.has_value()) {
+    return *variant_pin_;  // proactive layer overrides the time-based rule
   }
   const double interval = config_.switch_interval_factor * library_.reconfig_time_s;
   return (now_s - last_model_switch_s_) >= interval ? hls::AcceleratorVariant::kFixed
@@ -356,6 +360,8 @@ const char* policy_kind_name(PolicyKind kind) {
       return "finn";
     case PolicyKind::kReconfOnly:
       return "reconf";
+    case PolicyKind::kProactive:
+      return "proactive";
   }
   return "?";
 }
@@ -370,7 +376,10 @@ PolicyKind policy_kind_from_name(const std::string& name) {
   if (name == "reconf") {
     return PolicyKind::kReconfOnly;
   }
-  throw NotFoundError("unknown policy '" + name + "' (adaflow, finn, reconf)");
+  if (name == "proactive") {
+    return PolicyKind::kProactive;
+  }
+  throw NotFoundError("unknown policy '" + name + "' (adaflow, finn, reconf, proactive)");
 }
 
 std::unique_ptr<edge::ServingPolicy> make_serving_policy(PolicyKind kind,
@@ -383,6 +392,11 @@ std::unique_ptr<edge::ServingPolicy> make_serving_policy(PolicyKind kind,
       return std::make_unique<StaticFinnPolicy>(library);
     case PolicyKind::kReconfOnly:
       return std::make_unique<ReconfPruningPolicy>(library, config, library.reconfig_time_s);
+    case PolicyKind::kProactive: {
+      ProactiveConfig proactive;
+      proactive.manager = config;
+      return std::make_unique<ProactiveRuntimeManager>(library, proactive);
+    }
   }
   throw ConfigError("unhandled PolicyKind");
 }

@@ -38,6 +38,7 @@ void DeviceSim::start() {
   mode_ = policy_.initial_mode();
   validate_mode(mode_, "initial mode");
   last_power_t_ = queue_.now();
+  last_violation_t_ = queue_.now();
   metrics_.workload_series.interval_s = config_.sample_interval_s;
   metrics_.loss_series.interval_s = config_.sample_interval_s;
   metrics_.qoe_series.interval_s = config_.sample_interval_s;
@@ -67,7 +68,26 @@ double DeviceSim::current_power() const {
 void DeviceSim::integrate_power() {
   const double now = queue_.now();
   metrics_.energy_j += current_power() * (now - last_power_t_);
+  // Every switching_ transition is preceded by an integrate_power() call, so
+  // charging the elapsed slice to the OLD state here is exact.
+  if (switching_) {
+    metrics_.switch_stall_s += now - last_power_t_;
+  }
   last_power_t_ = now;
+}
+
+/// Charges the elapsed slice to the previous queue-pressure state, then
+/// refreshes it. A queue at or past half capacity is the threshold-violation
+/// regime: service latency has left the nominal band and losses are imminent
+/// — exactly the condition proactive switching is meant to avoid. Call after
+/// every queued_ mutation.
+void DeviceSim::account_violation() {
+  const double now = queue_.now();
+  if (in_violation_) {
+    metrics_.violation_s += now - last_violation_t_;
+  }
+  last_violation_t_ = now;
+  in_violation_ = queued_ * 2 >= config_.queue_capacity;
 }
 
 void DeviceSim::set_mode(const ServingMode& m) {
@@ -106,6 +126,7 @@ void DeviceSim::start_next_frame() {
   integrate_power();
   processing_ = true;
   --queued_;
+  account_violation();
   if (on_headroom_) {
     on_headroom_();
   }
@@ -433,6 +454,7 @@ bool DeviceSim::offer_frame(bool count_loss) {
     return false;
   }
   ++queued_;
+  account_violation();
   start_next_frame();
   return true;
 }
@@ -440,6 +462,7 @@ bool DeviceSim::offer_frame(bool count_loss) {
 std::int64_t DeviceSim::take_queued(std::int64_t max_frames) {
   const std::int64_t n = std::min(max_frames, queued_);
   queued_ -= n;
+  account_violation();
   return n;
 }
 
@@ -527,6 +550,17 @@ void DeviceSim::sample_window() {
 
 void DeviceSim::finalize(double duration_s) {
   integrate_power();
+  account_violation();
+  const ForecastView fc = policy_.forecast_view();
+  if (fc.stats != nullptr) {
+    metrics_.forecast = *fc.stats;
+  }
+  if (fc.actual != nullptr) {
+    metrics_.forecast_actual_series = *fc.actual;
+  }
+  if (fc.predicted != nullptr) {
+    metrics_.forecast_pred_series = *fc.predicted;
+  }
   if (degraded_) {
     // Still degraded at sim end: charge the open episode, but it is not a
     // recovery — MTTR only averages completed recoveries.

@@ -114,6 +114,7 @@ class DeviceSim {
   const FaultToleranceConfig& ft() const { return config_.fault_tolerance; }
   double current_power() const;
   void integrate_power();
+  void account_violation();
   void set_mode(const ServingMode& m);
   void enter_degraded();
   void exit_degraded();
@@ -171,6 +172,10 @@ class DeviceSim {
 
   // Power integration.
   double last_power_t_ = 0.0;
+
+  // Queue-pressure (threshold-violation) accounting.
+  bool in_violation_ = false;
+  double last_violation_t_ = 0.0;
 
   // Incoming-rate estimation: arrival timestamps inside the window.
   std::deque<double> recent_arrivals_;

@@ -10,6 +10,8 @@
 #include <optional>
 #include <string>
 
+#include "adaflow/sim/stats.hpp"
+
 namespace adaflow::edge {
 
 /// What the server is currently running: one CNN model version on one
@@ -28,6 +30,15 @@ struct SwitchAction {
   ServingMode target;
   double switch_time_s = 0.0;  ///< server stalls this long
   bool is_reconfiguration = false;  ///< full FPGA reconfiguration?
+};
+
+/// Read-only window into a predictive policy's forecast bookkeeping. The
+/// pointers stay owned by the policy; the simulator copies them into
+/// RunMetrics at finalize. All-null for reactive policies.
+struct ForecastView {
+  const sim::ForecastStats* stats = nullptr;
+  const sim::TimeSeries* actual = nullptr;     ///< realized FPS per monitor window
+  const sim::TimeSeries* predicted = nullptr;  ///< horizon-ahead forecast, aligned
 };
 
 class ServingPolicy {
@@ -63,6 +74,11 @@ class ServingPolicy {
     (void)incoming_fps;
     return std::nullopt;
   }
+
+  /// Predictive policies expose their forecast quality and per-window
+  /// forecast-vs-actual series here; the default (all-null) leaves
+  /// RunMetrics.forecast zeroed.
+  virtual ForecastView forecast_view() const { return {}; }
 };
 
 }  // namespace adaflow::edge

@@ -20,6 +20,7 @@
 /// the fleet layer (src/fleet) drives N of them behind a dispatcher.
 
 #include <cmath>
+#include <concepts>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -72,17 +73,23 @@ struct RepeatedRunResult {
   double pooled_average_power_w = 0.0;
 };
 
-template <typename PolicyFactory>
-RepeatedRunResult run_repeated(const WorkloadConfig& workload, PolicyFactory&& factory,
+/// Trace-factory core of run_repeated: \p trace_factory maps the per-run
+/// seed to the WorkloadTrace of that run, which is what generated traces
+/// (diurnal, flash-crowd) and CSV replays need — there is no WorkloadConfig
+/// behind them.
+template <typename TraceFactory, typename PolicyFactory>
+  requires std::invocable<TraceFactory&, std::uint64_t>
+RepeatedRunResult run_repeated(TraceFactory&& trace_factory, PolicyFactory&& factory,
                                const ServerConfig& config, int runs,
                                std::uint64_t seed_base = 1000) {
   require(runs > 0, "run_repeated needs runs > 0");
   RepeatedRunResult out;
   std::vector<sim::TimeSeries> workload_s, loss_s, qoe_s, power_s;
+  std::vector<sim::TimeSeries> fc_actual_s, fc_pred_s;
   RunMetrics total;
   for (int r = 0; r < runs; ++r) {
     const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(r);
-    WorkloadTrace trace(workload, seed);
+    WorkloadTrace trace = trace_factory(seed);
     auto policy = factory();
     RunMetrics m = run_simulation(trace, *policy, config, seed ^ 0x5bd1e995ULL);
     total.arrived += m.arrived;
@@ -91,9 +98,12 @@ RepeatedRunResult run_repeated(const WorkloadConfig& workload, PolicyFactory&& f
     total.qoe_accuracy_sum += m.qoe_accuracy_sum;
     total.energy_j += m.energy_j;
     total.duration_s += m.duration_s;
+    total.switch_stall_s += m.switch_stall_s;
+    total.violation_s += m.violation_s;
     total.model_switches += m.model_switches;
     total.reconfigurations += m.reconfigurations;
     total.faults.accumulate(m.faults);
+    total.forecast.accumulate(m.forecast);
     if (r == 0) {
       total.switches = m.switches;  // representative first run (paper Fig. 6)
     }
@@ -106,6 +116,8 @@ RepeatedRunResult run_repeated(const WorkloadConfig& workload, PolicyFactory&& f
     loss_s.push_back(std::move(m.loss_series));
     qoe_s.push_back(std::move(m.qoe_series));
     power_s.push_back(std::move(m.power_series));
+    fc_actual_s.push_back(std::move(m.forecast_actual_series));
+    fc_pred_s.push_back(std::move(m.forecast_pred_series));
   }
   // Pooled ratios first, from the exact totals: rounding the counts below
   // changes frame_loss()/qoe() by up to 1/arrived per run, which matters for
@@ -130,15 +142,32 @@ RepeatedRunResult run_repeated(const WorkloadConfig& workload, PolicyFactory&& f
   total.qoe_accuracy_sum /= runs;
   total.energy_j /= runs;
   total.duration_s /= runs;
+  total.switch_stall_s /= runs;
+  total.violation_s /= runs;
   total.model_switches = static_cast<int>(mean_count(total.model_switches));
   total.reconfigurations = static_cast<int>(mean_count(total.reconfigurations));
   total.faults.divide(runs);
+  total.forecast.divide(runs);
   total.workload_series = sim::average_series(workload_s);
   total.loss_series = sim::average_series(loss_s);
   total.qoe_series = sim::average_series(qoe_s);
   total.power_series = sim::average_series(power_s);
+  total.forecast_actual_series = sim::average_series(fc_actual_s);
+  total.forecast_pred_series = sim::average_series(fc_pred_s);
   out.mean = std::move(total);
   return out;
+}
+
+/// Averages scalar metrics and series over repeated runs of \p workload
+/// (seeds 0..runs-1 offset by seed_base), constructing a fresh policy per
+/// run via \p factory.
+template <typename PolicyFactory>
+RepeatedRunResult run_repeated(const WorkloadConfig& workload, PolicyFactory&& factory,
+                               const ServerConfig& config, int runs,
+                               std::uint64_t seed_base = 1000) {
+  return run_repeated(
+      [&workload](std::uint64_t seed) { return WorkloadTrace(workload, seed); },
+      std::forward<PolicyFactory>(factory), config, runs, seed_base);
 }
 
 }  // namespace adaflow::edge

@@ -63,16 +63,24 @@ struct RunMetrics {
   double qoe_accuracy_sum = 0.0;  ///< sum of model accuracy over processed frames
   double energy_j = 0.0;
   double duration_s = 0.0;
+  double switch_stall_s = 0.0;    ///< time the server sat blocked in switches
+  double violation_s = 0.0;       ///< time the queue ran at >= half capacity
   int model_switches = 0;
   int reconfigurations = 0;
   std::vector<SwitchRecord> switches;
 
-  sim::FaultStats faults;  ///< robustness observability (zero without injector)
+  sim::FaultStats faults;        ///< robustness observability (zero without injector)
+  sim::ForecastStats forecast;   ///< forecast quality (zero for reactive policies)
 
   sim::TimeSeries workload_series;  ///< incoming FPS per sample window
   sim::TimeSeries loss_series;      ///< frame-loss fraction per window
   sim::TimeSeries qoe_series;       ///< QoE per window
   sim::TimeSeries power_series;     ///< average watts per window
+
+  /// Forecast-vs-actual FPS per monitor window (predictive policies only;
+  /// aligned index-wise, see forecast::ForecastTracker).
+  sim::TimeSeries forecast_actual_series;
+  sim::TimeSeries forecast_pred_series;
 
   double frame_loss() const {
     return arrived > 0 ? static_cast<double>(lost) / static_cast<double>(arrived) : 0.0;

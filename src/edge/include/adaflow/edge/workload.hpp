@@ -8,6 +8,7 @@
 /// first 15 s, then S2.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "adaflow/common/rng.hpp"
@@ -46,11 +47,26 @@ class WorkloadTrace {
  public:
   WorkloadTrace(const WorkloadConfig& config, std::uint64_t seed);
 
+  /// Builds a trace directly from explicit piecewise-constant segments:
+  /// segment i spans [times[i], times[i+1]) at rates[i]; the last segment
+  /// runs to \p duration_s. Throws ConfigError on unsorted times, a first
+  /// boundary != 0, negative rates, or mismatched lengths.
+  WorkloadTrace(std::vector<double> times, std::vector<double> rates, double duration_s);
+
+  /// Loads a trace from a CSV of "t,rate" rows (seconds, aggregate FPS).
+  /// Blank lines, '#' comments and a "t,rate"-style header are skipped.
+  /// Rows must be time-ascending; a trace starting after t=0 is extended
+  /// backwards at its first rate. With \p duration_s == 0 the trace ends one
+  /// median segment-length past the last boundary. Throws ConfigError naming
+  /// the offending line on malformed input.
+  static WorkloadTrace from_csv(const std::string& path, double duration_s = 0.0);
+
   /// Aggregate incoming FPS at time \p t.
   double rate_at(double t) const;
 
   /// Boundaries where the rate changes (for event scheduling).
   const std::vector<double>& change_times() const { return times_; }
+  const std::vector<double>& segment_rates() const { return rates_; }
   double duration() const { return duration_; }
 
  private:
@@ -58,5 +74,22 @@ class WorkloadTrace {
   std::vector<double> rates_;  ///< rate of each segment
   double duration_ = 0.0;
 };
+
+/// Smooth pseudo-diurnal load: a sinusoid between \p low_fps and \p high_fps
+/// with period \p period_s, sampled every \p step_s, with multiplicative
+/// noise U(1-jitter, 1+jitter) drawn from \p seed. A forecaster with a trend
+/// term should beat level-only smoothing here.
+WorkloadTrace diurnal_trace(double low_fps, double high_fps, double period_s,
+                            double duration_s, double step_s, double jitter,
+                            std::uint64_t seed);
+
+/// Flash crowd: \p base_fps until \p onset_s, a linear ramp to \p peak_fps
+/// over \p ramp_s, a hold of \p hold_s, then a symmetric ramp back down —
+/// with multiplicative noise U(1-jitter, 1+jitter) drawn from \p seed. The
+/// canonical trace where reactive switching eats reconfiguration stalls on
+/// the ramp that a proactive manager can pre-empt.
+WorkloadTrace flash_crowd_trace(double base_fps, double peak_fps, double onset_s,
+                                double ramp_s, double hold_s, double duration_s,
+                                double step_s, double jitter, std::uint64_t seed);
 
 }  // namespace adaflow::edge

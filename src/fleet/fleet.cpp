@@ -80,6 +80,10 @@ struct FleetSim {
   /// maintained when the coordinator is enabled).
   std::deque<double> recent_arrivals;
 
+  /// Aggregate-rate forecaster driving predictive re-partitioning (set only
+  /// when the coordinator runs with `predictive`).
+  std::optional<forecast::ForecastTracker> coord_tracker;
+
   // Drain-and-reconfigure state machine. At most one device is ever out of
   // rotation; the paper's switch-interval rule spaces consecutive cycles.
   enum class CoordState { kIdle, kDraining, kReconfiguring };
@@ -128,6 +132,11 @@ struct FleetSim {
     metrics.loss_series.interval_s = config.sample_interval_s;
     metrics.qoe_series.interval_s = config.sample_interval_s;
     metrics.backlog_series.interval_s = config.sample_interval_s;
+    if (config.coordinator.enabled && config.coordinator.predictive) {
+      forecast::ForecastTrackerConfig fc = config.coordinator.forecast;
+      fc.window_s = config.coordinator.poll_interval_s;
+      coord_tracker.emplace(fc);
+    }
   }
 
   const core::AcceleratorLibrary& device_library(std::size_t i) const {
@@ -366,11 +375,22 @@ struct FleetSim {
     return static_cast<double>(recent_arrivals.size()) / window;
   }
 
+  /// The rate the coordinator plans against: the measured aggregate, or —
+  /// under predictive re-partitioning — the forecast-horizon rate floored at
+  /// the measurement (a predicted fall never repartitions early; a predicted
+  /// rise repartitions while the old rate still holds).
+  double planning_rate(double measured) const {
+    if (!coord_tracker.has_value() || coord_tracker->forecaster().observations() < 2) {
+      return measured;
+    }
+    return std::max(measured, coord_tracker->current().rate);
+  }
+
   void maybe_start_repartition(double now) {
     if (now < config.coordinator.warmup_s) {
       return;
     }
-    const double agg = aggregate_fps();
+    const double agg = planning_rate(aggregate_fps());
     if (agg <= 0.0) {
       return;
     }
@@ -429,6 +449,11 @@ struct FleetSim {
 
   void coordinator_tick() {
     const double now = queue.now();
+    if (coord_tracker.has_value() && now >= config.coordinator.warmup_s) {
+      // One observation per tick, regardless of the drain state machine, so
+      // the forecaster sees an unbroken fixed-cadence series.
+      coord_tracker->observe(aggregate_fps());
+    }
     switch (coord_state) {
       case CoordState::kIdle:
         maybe_start_repartition(now);
@@ -575,6 +600,9 @@ struct FleetSim {
       metrics.devices.push_back(std::move(result));
     }
     metrics.tail_latency_p95_s = sim::percentile(metrics.backlog_series.values, 0.95);
+    if (coord_tracker.has_value()) {
+      metrics.forecast = coord_tracker->stats();
+    }
     return std::move(metrics);
   }
 };

@@ -95,4 +95,30 @@ struct FaultStats {
   void divide(int runs);
 };
 
+/// Forecast quality of one simulated run: how well the workload forecaster
+/// predicted the per-window arrival rate `horizon` windows ahead. Filled by
+/// the forecast tracker inside proactive serving policies; all-zero for
+/// reactive runs.
+struct ForecastStats {
+  std::int64_t forecasts = 0;        ///< scored horizon-ahead forecasts
+  double abs_pct_error_sum = 0.0;    ///< sum of |actual-pred| / max(actual, 1)
+  std::int64_t interval_hits = 0;    ///< actual fell inside [lower, upper]
+  std::int64_t changepoints = 0;     ///< changepoint-detector triggers
+  std::int64_t burst_windows = 0;    ///< windows spent in burst regime
+
+  /// Mean absolute percentage error of the point forecasts (0 when none).
+  double mape() const {
+    return forecasts > 0 ? abs_pct_error_sum / static_cast<double>(forecasts) : 0.0;
+  }
+  /// Fraction of actuals inside the prediction interval (0 when none).
+  double coverage() const {
+    return forecasts > 0 ? static_cast<double>(interval_hits) / static_cast<double>(forecasts)
+                         : 0.0;
+  }
+
+  void accumulate(const ForecastStats& other);
+  /// In-place mean over \p runs (counts rounded to nearest).
+  void divide(int runs);
+};
+
 }  // namespace adaflow::sim

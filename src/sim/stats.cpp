@@ -108,4 +108,25 @@ void FaultStats::divide(int runs) {
   recoveries = mean_count(recoveries);
 }
 
+void ForecastStats::accumulate(const ForecastStats& other) {
+  forecasts += other.forecasts;
+  abs_pct_error_sum += other.abs_pct_error_sum;
+  interval_hits += other.interval_hits;
+  changepoints += other.changepoints;
+  burst_windows += other.burst_windows;
+}
+
+void ForecastStats::divide(int runs) {
+  require(runs > 0, "ForecastStats::divide needs runs > 0");
+  auto mean_count = [runs](std::int64_t v) {
+    return static_cast<std::int64_t>(
+        std::llround(static_cast<double>(v) / static_cast<double>(runs)));
+  };
+  forecasts = mean_count(forecasts);
+  abs_pct_error_sum /= static_cast<double>(runs);
+  interval_hits = mean_count(interval_hits);
+  changepoints = mean_count(changepoints);
+  burst_windows = mean_count(burst_windows);
+}
+
 }  // namespace adaflow::sim

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
 #include <limits>
 #include <string>
 
@@ -142,6 +143,125 @@ TEST(Workload, ValidationErrorNamesPhaseAndField) {
     EXPECT_NE(msg.find("phase 1"), std::string::npos);
     EXPECT_NE(msg.find("interval_s"), std::string::npos);
   }
+}
+
+TEST(Workload, RejectsIntervalLongerThanDuration) {
+  // A phase whose re-draw interval exceeds its duration silently degenerates
+  // to a single constant segment; validate() must reject it, naming the
+  // phase.
+  WorkloadConfig c = scenario1_plus_2();
+  c.phases[1].interval_s = c.phases[1].duration_s + 1.0;
+  try {
+    c.validate();
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("phase 1"), std::string::npos);
+    EXPECT_NE(msg.find("interval_s"), std::string::npos);
+  }
+  // The boundary case — one deliberate flat segment — stays legal.
+  c.phases[1].interval_s = c.phases[1].duration_s;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(WorkloadTrace, SegmentsCtorPiecewiseConstant) {
+  WorkloadTrace trace({0.0, 2.0, 5.0}, {100.0, 300.0, 200.0}, 8.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(1.99), 100.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(2.0), 300.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(4.5), 300.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(7.9), 200.0);
+  EXPECT_DOUBLE_EQ(trace.duration(), 8.0);
+  EXPECT_EQ(trace.segment_rates().size(), 3u);
+}
+
+TEST(WorkloadTrace, SegmentsCtorValidation) {
+  EXPECT_THROW(WorkloadTrace({}, {}, 5.0), ConfigError);                       // empty
+  EXPECT_THROW(WorkloadTrace({1.0}, {100.0}, 5.0), ConfigError);               // starts late
+  EXPECT_THROW(WorkloadTrace({0.0, 2.0}, {100.0}, 5.0), ConfigError);          // arity
+  EXPECT_THROW(WorkloadTrace({0.0, 2.0, 2.0}, {1.0, 2.0, 3.0}, 5.0), ConfigError);  // not ascending
+  EXPECT_THROW(WorkloadTrace({0.0, 2.0}, {100.0, -1.0}, 5.0), ConfigError);    // negative rate
+  EXPECT_THROW(WorkloadTrace({0.0, 2.0}, {100.0, 200.0}, 2.0), ConfigError);   // duration too short
+}
+
+TEST(WorkloadTrace, FromCsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/adaflow_trace.csv";
+  {
+    std::ofstream out(path);
+    out << "# camera aggregate trace\n";
+    out << "t,rate\n";
+    out << "0,120\n";
+    out << "1.5,480  # ramp\n";
+    out << "\n";
+    out << "3.0,240\n";
+  }
+  const WorkloadTrace trace = WorkloadTrace::from_csv(path, 5.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(0.5), 120.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(2.0), 480.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(4.5), 240.0);
+  EXPECT_DOUBLE_EQ(trace.duration(), 5.0);
+}
+
+TEST(WorkloadTrace, FromCsvDefaultDurationAndBackExtension) {
+  const std::string path = ::testing::TempDir() + "/adaflow_trace_late.csv";
+  {
+    std::ofstream out(path);
+    out << "2.0,100\n4.0,200\n6.0,300\n";
+  }
+  const WorkloadTrace trace = WorkloadTrace::from_csv(path);
+  // Starts after t=0: extended backwards at the opening rate.
+  EXPECT_DOUBLE_EQ(trace.rate_at(0.0), 100.0);
+  // Default duration: one median step (2 s) past the last boundary.
+  EXPECT_DOUBLE_EQ(trace.duration(), 8.0);
+}
+
+TEST(WorkloadTrace, FromCsvErrorsNameTheLine) {
+  const std::string path = ::testing::TempDir() + "/adaflow_trace_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "0,100\n1.0,oops\n";
+  }
+  try {
+    WorkloadTrace::from_csv(path);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos);
+  }
+  {
+    std::ofstream out(path);
+    out << "0,100\n2.0,200\n1.0,300\n";  // not ascending
+  }
+  EXPECT_THROW(WorkloadTrace::from_csv(path), ConfigError);
+  EXPECT_THROW(WorkloadTrace::from_csv(::testing::TempDir() + "/does_not_exist.csv"),
+               ConfigError);
+}
+
+TEST(WorkloadTrace, DiurnalBoundsAndDeterminism) {
+  const WorkloadTrace a = diurnal_trace(200.0, 800.0, 40.0, 80.0, 0.5, 0.05, 9);
+  const WorkloadTrace b = diurnal_trace(200.0, 800.0, 40.0, 80.0, 0.5, 0.05, 9);
+  for (double t = 0.0; t < a.duration(); t += 0.25) {
+    EXPECT_GE(a.rate_at(t), 200.0 * 0.95 - 1e-9);
+    EXPECT_LE(a.rate_at(t), 800.0 * 1.05 + 1e-9);
+    EXPECT_DOUBLE_EQ(a.rate_at(t), b.rate_at(t));
+  }
+  // Cosine starting at the trough: the opening rate sits near the low end,
+  // a half period later it peaks.
+  const WorkloadTrace clean = diurnal_trace(200.0, 800.0, 40.0, 80.0, 0.5, 0.0, 9);
+  EXPECT_NEAR(clean.rate_at(0.1), 200.0, 5.0);
+  EXPECT_NEAR(clean.rate_at(20.0), 800.0, 5.0);
+}
+
+TEST(WorkloadTrace, FlashCrowdShape) {
+  const WorkloadTrace trace =
+      flash_crowd_trace(250.0, 1250.0, 8.0, 3.0, 8.0, 30.0, 0.5, 0.0, 3);
+  EXPECT_DOUBLE_EQ(trace.rate_at(1.0), 250.0);            // before onset
+  EXPECT_GT(trace.rate_at(10.0), 600.0);                  // mid-ramp
+  EXPECT_DOUBLE_EQ(trace.rate_at(12.0), 1250.0);          // hold
+  EXPECT_DOUBLE_EQ(trace.rate_at(29.0), 250.0);           // back at base
+  EXPECT_THROW(flash_crowd_trace(500.0, 100.0, 8.0, 3.0, 8.0, 30.0, 0.5, 0.0, 3),
+               ConfigError);  // peak below base
+  EXPECT_THROW(flash_crowd_trace(250.0, 1250.0, 8.0, 3.0, 8.0, 30.0, 0.5, 1.5, 3),
+               ConfigError);  // jitter >= 1
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 ///   simulate   --library FILE --scenario S           run the Edge simulation
 ///   fleet      --devices N --router R [--coordinated]  multi-FPGA cluster sim
 ///   tune       --model M --objective O [--budget F]  folding auto-tuner (DSE)
+///   forecast   --trace T --forecaster F [--horizon N]  forecaster evaluation
 ///
 /// Models: cnv-w2a2, cnv-w1a2, tfc-w1a2. Datasets: cifar, gtsrb, mnist.
 
@@ -25,6 +26,7 @@
 #include "adaflow/dse/explorer.hpp"
 #include "adaflow/edge/server.hpp"
 #include "adaflow/fleet/fleet.hpp"
+#include "adaflow/forecast/tracker.hpp"
 #include "adaflow/nn/mlp.hpp"
 #include "adaflow/nn/serialize.hpp"
 #include "adaflow/nn/trainer.hpp"
@@ -372,6 +374,87 @@ int cmd_fleet(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_forecast(const std::vector<std::string>& args) {
+  ArgParser parser("adaflow forecast", "evaluate an online workload forecaster on a trace");
+  parser.add_option("trace",
+                    "scenario1 | scenario2 | 1+2 | diurnal | flash-crowd | path to a t,rate CSV",
+                    "diurnal");
+  parser.add_option("forecaster", "naive | ewma | holt-winters", "holt-winters");
+  parser.add_option("horizon", "forecast horizon in windows (>= 1)", "3");
+  parser.add_option("window", "observation window [s]", "0.5");
+  parser.add_option("duration", "trace duration [s] (generated traces)", "120");
+  parser.add_option("seed", "rng seed for the trace's jitter", "7");
+  parser.add_option("tail", "forecast-vs-actual rows to print (0 = none)", "8");
+  parser.parse(args);
+
+  const std::int64_t horizon = parser.option_int("horizon");
+  require(horizon >= 1, "--horizon must be >= 1, got '" + parser.option("horizon") + "'");
+  const double window = parser.option_positive_double("window");
+  const double duration = parser.option_positive_double("duration");
+  const std::int64_t tail = parser.option_int("tail");
+  require(tail >= 0, "--tail must be >= 0, got '" + parser.option("tail") + "'");
+  const std::uint64_t seed = static_cast<std::uint64_t>(parser.option_int("seed"));
+  // Resolves the flag up front so a typo names --forecaster, not a deep error.
+  const forecast::ForecasterKind kind = forecast::forecaster_kind_from_name(
+      parser.option("forecaster"));
+
+  const std::string name = parser.option("trace");
+  auto trace = [&]() -> edge::WorkloadTrace {
+    if (name == "scenario1") {
+      return edge::WorkloadTrace(edge::scenario1(duration), seed);
+    }
+    if (name == "scenario2") {
+      return edge::WorkloadTrace(edge::scenario2(duration), seed);
+    }
+    if (name == "1+2") {
+      return edge::WorkloadTrace(edge::scenario1_plus_2(duration * 0.6, duration), seed);
+    }
+    if (name == "diurnal") {
+      return edge::diurnal_trace(300.0, 900.0, duration / 3.0, duration, window, 0.05, seed);
+    }
+    if (name == "flash-crowd") {
+      return edge::flash_crowd_trace(250.0, 1250.0, duration * 0.25, duration * 0.1,
+                                     duration * 0.25, duration, window, 0.05, seed);
+    }
+    // Anything else is a CSV path; from_csv names the offending line itself.
+    return edge::WorkloadTrace::from_csv(name);
+  }();
+
+  forecast::ForecastTrackerConfig config;
+  config.forecaster.kind = kind;
+  config.horizon_windows = static_cast<int>(horizon);
+  config.window_s = window;
+  forecast::ForecastTracker tracker(config);
+  for (double t = window; t <= trace.duration() + 1e-9; t += window) {
+    tracker.observe(trace.rate_at(t - window / 2.0));
+  }
+
+  const sim::ForecastStats& s = tracker.stats();
+  std::printf("trace=%s forecaster=%s horizon=%lld windows window=%.3gs duration=%.3gs\n",
+              name.c_str(), forecast::forecaster_kind_name(kind),
+              static_cast<long long>(horizon), window, trace.duration());
+  std::printf("scored forecasts   %lld\n", static_cast<long long>(s.forecasts));
+  std::printf("MAPE               %s\n", format_percent(s.mape(), 2).c_str());
+  std::printf("interval coverage  %s\n", format_percent(s.coverage(), 2).c_str());
+  std::printf("changepoints       %lld (%lld burst windows)\n",
+              static_cast<long long>(s.changepoints), static_cast<long long>(s.burst_windows));
+  const sim::TimeSeries& actual = tracker.actual_series();
+  const sim::TimeSeries& predicted = tracker.forecast_series();
+  if (tail > 0 && !actual.values.empty()) {
+    TextTable table({"t[s]", "actual FPS", "predicted FPS"});
+    const std::size_t n = actual.values.size();
+    const std::size_t first = n > static_cast<std::size_t>(tail)
+                                  ? n - static_cast<std::size_t>(tail)
+                                  : 0;
+    for (std::size_t i = first; i < n; ++i) {
+      table.add_row({format_double(actual.time_of(i), 2), format_double(actual.values[i], 1),
+                     format_double(predicted.values[i], 1)});
+    }
+    std::printf("last %zu windows:\n%s", n - first, table.render().c_str());
+  }
+  return 0;
+}
+
 int cmd_tune(const std::vector<std::string>& args) {
   ArgParser parser("adaflow tune", "design-space exploration of the PE/SIMD folding");
   parser.add_option("model", "cnv-w2a2 | cnv-w1a2 | tfc-w1a2", "cnv-w2a2");
@@ -456,7 +539,8 @@ int cmd_tune(const std::vector<std::string>& args) {
 
 int dispatch(int argc, char** argv) {
   const std::string usage =
-      "usage: adaflow <devices|train|prune|eval|library|show|simulate|fleet|tune> [options]\n";
+      "usage: adaflow <devices|train|prune|eval|library|show|simulate|fleet|tune|forecast>"
+      " [options]\n";
   if (argc < 2) {
     std::fprintf(stderr, "%s", usage.c_str());
     return 2;
@@ -492,6 +576,9 @@ int dispatch(int argc, char** argv) {
   }
   if (command == "tune") {
     return cmd_tune(rest);
+  }
+  if (command == "forecast") {
+    return cmd_forecast(rest);
   }
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), usage.c_str());
   return 2;

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full local gate: tier-1 release build (-Werror) + full test suite, fast
-# label groups for iterating on src/fleet, the resilience layer and src/dse,
-# then the fast suites again under AddressSanitizer +
+# label groups for iterating on src/fleet, the resilience layer, src/forecast
+# and src/dse, then the fast suites again under AddressSanitizer +
 # UndefinedBehaviorSanitizer (ADAFLOW_SANITIZE=ON).
 #
 # Usage: tools/check.sh [jobs]
@@ -21,6 +21,9 @@ ctest --test-dir "$root/build" -L fleet --output-on-failure -j "$jobs"
 echo "== chaos group (ctest -L chaos: resilience tests + bench_chaos smoke) =="
 ctest --test-dir "$root/build" -L chaos --output-on-failure -j "$jobs"
 
+echo "== forecast group (ctest -L forecast: forecasting tests + bench_forecast smoke) =="
+ctest --test-dir "$root/build" -L forecast --output-on-failure -j "$jobs"
+
 echo "== dse group (ctest -L dse: folding auto-tuner + bench_dse smoke) =="
 ctest --test-dir "$root/build" -L dse --output-on-failure -j "$jobs"
 
@@ -28,7 +31,8 @@ echo "== tier 2: ASan+UBSan unit tests =="
 cmake -B "$root/build-asan" -S "$root" -DADAFLOW_SANITIZE=ON \
   -DADAFLOW_BUILD_BENCH=OFF -DADAFLOW_BUILD_EXAMPLES=OFF
 cmake --build "$root/build-asan" -j "$jobs" --target adaflow_unit_tests \
-  --target adaflow_fleet_tests --target adaflow_chaos_tests --target adaflow_dse_tests
-ctest --test-dir "$root/build-asan" -L 'unit|fleet|chaos|dse' --output-on-failure -j "$jobs"
+  --target adaflow_fleet_tests --target adaflow_chaos_tests \
+  --target adaflow_forecast_tests --target adaflow_dse_tests
+ctest --test-dir "$root/build-asan" -L 'unit|fleet|chaos|forecast|dse' --output-on-failure -j "$jobs"
 
 echo "== all checks passed =="
