@@ -126,6 +126,8 @@ void DeviceSim::start_next_frame() {
   integrate_power();
   processing_ = true;
   --queued_;
+  inflight_tag_ = queued_tags_.front();
+  queued_tags_.pop_front();
   account_violation();
   if (on_headroom_) {
     on_headroom_();
@@ -181,6 +183,13 @@ void DeviceSim::finish_frame() {
   const double accuracy = mode_.accuracy * (1.0 - degrade_accuracy_penalty_);
   metrics_.qoe_accuracy_sum += accuracy;
   window_qoe_sum_ += accuracy;
+  if (inflight_tag_ != kNoTag) {
+    const std::int64_t tag = inflight_tag_;
+    inflight_tag_ = kNoTag;
+    if (on_frame_done_) {
+      on_frame_done_(tag, accuracy);
+    }
+  }
   if (has_pending_retry_) {
     // A retry came due while this frame was in flight: run it now.
     has_pending_retry_ = false;
@@ -199,6 +208,13 @@ void DeviceSim::on_watchdog_fired() {
   ++metrics_.lost;  // the wedged frame never produces a result
   ++window_lost_;
   ++metrics_.faults.stalls_recovered;
+  if (inflight_tag_ != kNoTag) {
+    const std::int64_t tag = inflight_tag_;
+    inflight_tag_ = kNoTag;
+    if (on_frame_lost_) {
+      on_frame_lost_(tag);
+    }
+  }
   switching_ = true;  // the re-load blocks the accelerator like a switch
   const std::uint64_t epoch = service_epoch_;
   queue_.schedule_in(ft().recovery_reload_s, [this, epoch] {
@@ -239,6 +255,13 @@ void DeviceSim::on_device_fault_begin(const faults::DeviceFaultWindow& window) {
           processing_ = false;
           ++metrics_.lost;
           ++window_lost_;
+          if (inflight_tag_ != kNoTag) {
+            const std::int64_t tag = inflight_tag_;
+            inflight_tag_ = kNoTag;
+            if (on_frame_lost_) {
+              on_frame_lost_(tag);
+            }
+          }
         }
         abort_switch_episode();
       }
@@ -436,7 +459,7 @@ void DeviceSim::on_switch_attempt_failed(const SwitchAction& action, int attempt
   start_next_frame();  // keep serving on the still-loaded old mode
 }
 
-bool DeviceSim::offer_frame(bool count_loss) {
+bool DeviceSim::offer_frame(bool count_loss, std::int64_t tag) {
   ++metrics_.arrived;
   ++window_arrived_;
   recent_arrivals_.push_back(queue_.now());
@@ -454,14 +477,23 @@ bool DeviceSim::offer_frame(bool count_loss) {
     return false;
   }
   ++queued_;
+  queued_tags_.push_back(tag);
   account_violation();
   start_next_frame();
   return true;
 }
 
-std::int64_t DeviceSim::take_queued(std::int64_t max_frames) {
+std::int64_t DeviceSim::take_queued(std::int64_t max_frames, std::vector<std::int64_t>* tags) {
   const std::int64_t n = std::min(max_frames, queued_);
   queued_ -= n;
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Oldest first: the longest-waiting frames are the ones a hedge or a
+    // quarantine drain wants somewhere else.
+    if (tags != nullptr) {
+      tags->push_back(queued_tags_.front());
+    }
+    queued_tags_.pop_front();
+  }
   account_violation();
   return n;
 }

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "adaflow/edge/policy.hpp"
 #include "adaflow/edge/server_types.hpp"
@@ -44,6 +45,11 @@ class DeviceSim {
   /// integration clock at queue.now(). Call once, before any other member.
   void start();
 
+  /// Callers that track individual frames (the ingest pipeline's
+  /// capture->result latency) pass this when a frame has no identity; the
+  /// device then never reports it through the frame hooks.
+  static constexpr std::int64_t kNoTag = -1;
+
   /// A frame reaches this device at queue.now(). The arrival is always
   /// recorded for the local rate estimator; if the queue has room the frame
   /// is accepted, otherwise it is rejected. A rejected frame is charged to
@@ -51,14 +57,17 @@ class DeviceSim {
   /// semantics); a fleet dispatcher passes false and decides itself what to
   /// do with the bounced frame. A crashed or hung device still buffers
   /// frames (the failure is silent to the sender) — they just never start
-  /// service until recovery.
-  bool offer_frame(bool count_loss = true);
+  /// service until recovery. \p tag is an opaque per-frame identity carried
+  /// through the FIFO queue and reported back via the frame hooks.
+  bool offer_frame(bool count_loss = true, std::int64_t tag = kNoTag);
 
-  /// Removes up to \p max_frames waiting frames from the queue and hands
+  /// Removes up to \p max_frames waiting frames from the FRONT of the queue
+  /// (the longest-waiting first — what a hedge wants re-routed) and hands
   /// them back to the caller (quarantine drain / hedged re-dispatch). The
   /// frames are not counted lost here — the dispatcher that takes them
-  /// decides their fate. Returns the number actually removed.
-  std::int64_t take_queued(std::int64_t max_frames);
+  /// decides their fate. Returns the number actually removed; their tags are
+  /// appended to \p tags when non-null.
+  std::int64_t take_queued(std::int64_t max_frames, std::vector<std::int64_t>* tags = nullptr);
 
   /// One monitor poll: estimates the device's incoming FPS over the
   /// configured window (fault-injector glitches applied) and lets the
@@ -109,6 +118,18 @@ class DeviceSim {
   /// Invoked every time a queued frame moves into service (queue headroom
   /// appeared). A fleet dispatcher uses it to drain its ingress queue.
   void set_on_headroom(std::function<void()> fn) { on_headroom_ = std::move(fn); }
+
+  /// Per-frame outcome hooks, fired only for frames offered with a real tag:
+  /// \p on_done when a frame completes (with the accuracy it delivered,
+  /// degrade penalties applied), \p on_lost when it is destroyed inside the
+  /// device (stall-watchdog drop, crash wiping the in-flight frame). Frames
+  /// pulled back via take_queued are reported to neither — the caller holds
+  /// them again.
+  void set_frame_hooks(std::function<void(std::int64_t tag, double accuracy)> on_done,
+                       std::function<void(std::int64_t tag)> on_lost) {
+    on_frame_done_ = std::move(on_done);
+    on_frame_lost_ = std::move(on_lost);
+  }
 
  private:
   const FaultToleranceConfig& ft() const { return config_.fault_tolerance; }
@@ -180,6 +201,11 @@ class DeviceSim {
   // Incoming-rate estimation: arrival timestamps inside the window.
   std::deque<double> recent_arrivals_;
 
+  // Frame identity: tags of waiting frames in queue order (always kept in
+  // lock-step with queued_) and of the frame in service.
+  std::deque<std::int64_t> queued_tags_;
+  std::int64_t inflight_tag_ = kNoTag;
+
   // Per-sample-window counters.
   std::int64_t window_arrived_ = 0;
   std::int64_t window_lost_ = 0;
@@ -187,6 +213,8 @@ class DeviceSim {
   double window_energy_start_ = 0.0;
 
   std::function<void()> on_headroom_;
+  std::function<void(std::int64_t, double)> on_frame_done_;
+  std::function<void(std::int64_t)> on_frame_lost_;
 };
 
 }  // namespace adaflow::edge

@@ -72,6 +72,10 @@ struct RunMetrics {
   sim::FaultStats faults;        ///< robustness observability (zero without injector)
   sim::ForecastStats forecast;   ///< forecast quality (zero for reactive policies)
 
+  /// True end-to-end capture->result latency of delivered frames (filled only
+  /// by drivers that tag frames, i.e. the ingest pipeline; empty otherwise).
+  sim::LatencyHistogram e2e_latency;
+
   sim::TimeSeries workload_series;  ///< incoming FPS per sample window
   sim::TimeSeries loss_series;      ///< frame-loss fraction per window
   sim::TimeSeries qoe_series;       ///< QoE per window

@@ -26,6 +26,10 @@ const char* fault_kind_name(FaultKind kind) {
       return "device-hang";
     case FaultKind::kDeviceDegrade:
       return "device-degrade";
+    case FaultKind::kNetworkOutage:
+      return "network-outage";
+    case FaultKind::kDecodeFault:
+      return "decode-fault";
   }
   return "unknown";
 }
@@ -95,6 +99,18 @@ FaultSchedule device_degrade_window(double start_s, double end_s, double latency
   FaultSchedule s;
   s.faults.push_back(FaultSpec{FaultKind::kDeviceDegrade, start_s, end_s, 1.0, latency_factor,
                                accuracy_penalty});
+  return s;
+}
+
+FaultSchedule network_outage_window(double start_s, double end_s, double probability) {
+  FaultSchedule s;
+  s.faults.push_back(FaultSpec{FaultKind::kNetworkOutage, start_s, end_s, probability, 1.0, 0.0});
+  return s;
+}
+
+FaultSchedule decode_fault_window(double start_s, double end_s, double probability) {
+  FaultSchedule s;
+  s.faults.push_back(FaultSpec{FaultKind::kDecodeFault, start_s, end_s, probability, 1.0, 0.0});
   return s;
 }
 
@@ -198,6 +214,34 @@ double FaultInjector::arrival_rate_factor(double now_s) {
     }
   }
   return factor;
+}
+
+bool FaultInjector::network_drop(double now_s) {
+  bool dropped = false;
+  for (const FaultSpec& f : schedule_.faults) {
+    if (f.kind != FaultKind::kNetworkOutage || now_s < f.start_s || now_s >= f.end_s) {
+      continue;
+    }
+    if (!dropped && draw(f)) {
+      dropped = true;
+      ++injected_[static_cast<int>(f.kind)];
+    }
+  }
+  return dropped;
+}
+
+bool FaultInjector::decode_fault(double now_s) {
+  bool failed = false;
+  for (const FaultSpec& f : schedule_.faults) {
+    if (f.kind != FaultKind::kDecodeFault || now_s < f.start_s || now_s >= f.end_s) {
+      continue;
+    }
+    if (!failed && draw(f)) {
+      failed = true;
+      ++injected_[static_cast<int>(f.kind)];
+    }
+  }
+  return failed;
 }
 
 int FaultInjector::injected(FaultKind kind) const { return injected_[static_cast<int>(kind)]; }

@@ -39,9 +39,14 @@ enum class FaultKind {
   kDeviceHang,     ///< accepts frames but completes none until end_s releases it
   kDeviceDegrade,  ///< service runs `magnitude` x slower; each processed frame
                    ///< loses `accuracy_penalty` of its accuracy (mispredictions)
+  // Ingest-path fault classes (end-to-end pipeline ahead of the dispatcher).
+  kNetworkOutage,  ///< each frame transmitted in the window is lost with
+                   ///< `probability` (a flapping uplink / congested backhaul)
+  kDecodeFault,    ///< each decode started in the window fails with
+                   ///< `probability` (corrupt bitstream reaching the decoder)
 };
 
-inline constexpr int kFaultKindCount = 9;
+inline constexpr int kFaultKindCount = 11;
 
 const char* fault_kind_name(FaultKind kind);
 
@@ -98,6 +103,12 @@ FaultSchedule device_hang_window(double hang_s, double release_s);
 FaultSchedule device_degrade_window(double start_s, double end_s, double latency_factor,
                                     double accuracy_penalty = 0.0);
 
+/// Canned ingest schedules: frames transmitted in [start_s, end_s) are lost
+/// with \p probability (network outage), or decodes started in the window
+/// fail with \p probability (decode-fault burst).
+FaultSchedule network_outage_window(double start_s, double end_s, double probability = 1.0);
+FaultSchedule decode_fault_window(double start_s, double end_s, double probability);
+
 class FaultInjector {
  public:
   FaultInjector(FaultSchedule schedule, std::uint64_t seed);
@@ -125,6 +136,14 @@ class FaultInjector {
   /// Multiplier applied to the workload arrival rate at \p now_s (>1 during
   /// a kQueueBurst window). Deterministic: bursts ignore `probability`.
   double arrival_rate_factor(double now_s);
+
+  /// True when the frame transmitted at \p now_s is lost to a scheduled
+  /// kNetworkOutage window (drawn per frame).
+  bool network_drop(double now_s);
+
+  /// True when the decode started at \p now_s fails to a scheduled
+  /// kDecodeFault window (drawn per decode).
+  bool decode_fault(double now_s);
 
   /// Whole-device fault windows that manifested (drawn from the seed at
   /// construction), in schedule order. The device pre-schedules its

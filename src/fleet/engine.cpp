@@ -1,0 +1,579 @@
+#include "adaflow/fleet/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adaflow/common/error.hpp"
+#include "adaflow/sim/event_queue.hpp"
+
+namespace adaflow::fleet {
+
+edge::ServingMode fixed_mode_for(const core::AcceleratorLibrary& library, std::size_t version) {
+  const core::ModelVersion& v = library.versions.at(version);
+  edge::ServingMode mode;
+  mode.model_version = v.version;
+  mode.accelerator = "Fixed@" + v.version;
+  mode.fps = v.fps_fixed;
+  mode.accuracy = v.accuracy;
+  mode.power_busy_w = v.power_busy_fixed_w;
+  mode.power_idle_w = v.power_idle_fixed_w;
+  return mode;
+}
+
+std::size_t find_version(const core::AcceleratorLibrary& library,
+                         const std::string& version_name) {
+  for (std::size_t i = 0; i < library.versions.size(); ++i) {
+    if (library.versions[i].version == version_name) {
+      return i;
+    }
+  }
+  return library.versions.size();
+}
+
+std::uint64_t device_seed(std::uint64_t fleet_seed, std::size_t index) {
+  return fleet_seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(index + 1));
+}
+
+FleetEngine::FleetEngine(sim::EventQueue& queue, const core::AcceleratorLibrary& library,
+                         const FleetConfig& config, RoutingPolicy& router, std::uint64_t seed,
+                         double horizon_s)
+    : queue_(queue), fleet_library_(library), config_(config), router_(router),
+      horizon_s_(horizon_s), monitor_(config.health, config.devices.size()) {
+  require(horizon_s_ > 0.0, "FleetEngine horizon_s must be positive");
+  const std::size_t n = config_.devices.size();
+  policies_.reserve(n);
+  injectors_.reserve(n);
+  devices_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const FleetDevice& d = config_.devices[i];
+    policies_.push_back(d.make_policy());
+    require(policies_.back() != nullptr,
+            "fleet device '" + d.name + "' factory returned a null policy");
+    if (d.fault_schedule.has_value()) {
+      injectors_.push_back(
+          std::make_unique<faults::FaultInjector>(*d.fault_schedule, device_seed(seed, i)));
+    } else {
+      injectors_.push_back(nullptr);
+    }
+    devices_.push_back(std::make_unique<edge::DeviceSim>(queue_, *policies_.back(), d.server,
+                                                         injectors_.back().get(), d.name));
+  }
+  accepting_.assign(n, 1);
+  probe_wanted_.assign(n, 0);
+  queued_since_.resize(n);
+  metrics_.workload_series.interval_s = config_.sample_interval_s;
+  metrics_.loss_series.interval_s = config_.sample_interval_s;
+  metrics_.qoe_series.interval_s = config_.sample_interval_s;
+  metrics_.backlog_series.interval_s = config_.sample_interval_s;
+  if (config_.coordinator.enabled && config_.coordinator.predictive) {
+    forecast::ForecastTrackerConfig fc = config_.coordinator.forecast;
+    fc.window_s = config_.coordinator.poll_interval_s;
+    coord_tracker_.emplace(fc);
+  }
+}
+
+FleetEngine::~FleetEngine() = default;
+
+const core::AcceleratorLibrary& FleetEngine::device_library(std::size_t i) const {
+  return config_.devices[i].library != nullptr ? *config_.devices[i].library : fleet_library_;
+}
+
+double FleetEngine::worst_backlog_seconds() const {
+  double worst = 0.0;
+  for (const auto& dev : devices_) {
+    worst = std::max(worst, dev->backlog_seconds());
+  }
+  return worst;
+}
+
+void FleetEngine::set_frame_hooks(std::function<void(std::int64_t, double)> on_done,
+                                  std::function<void(std::int64_t)> on_lost) {
+  on_frame_done_ = std::move(on_done);
+  on_frame_lost_ = std::move(on_lost);
+}
+
+void FleetEngine::command_device_switch(std::size_t i, const edge::SwitchAction& action) {
+  devices_.at(i)->command_switch(action);
+}
+
+// --- dispatcher -------------------------------------------------------------
+
+bool FleetEngine::excluded(std::size_t i) const { return monitor_.out_of_rotation(i); }
+
+/// Routes one frame to a device if any is eligible. Returns false (and
+/// touches nothing) when every device is drained, quarantined, or full.
+/// \p exclude additionally bars one device (hedging must not hand a frame
+/// back to the queue it was just pulled from).
+bool FleetEngine::try_dispatch(std::int64_t tag, std::size_t exclude) {
+  std::vector<DeviceStatus> statuses(devices_.size());
+  bool any_eligible = false;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const edge::DeviceSim& dev = *devices_[i];
+    DeviceStatus& s = statuses[i];
+    s.eligible = accepting_[i] != 0 && !excluded(i) && i != exclude && dev.free_slots() > 0;
+    s.queued = dev.queued();
+    s.capacity = dev.queue_capacity();
+    s.busy = dev.processing();
+    s.switching = dev.switch_in_flight();
+    s.fps = dev.mode().fps;
+    s.accuracy = dev.mode().accuracy;
+    s.backlog_s = dev.backlog_seconds();
+    any_eligible = any_eligible || s.eligible;
+  }
+  if (!any_eligible) {
+    return false;
+  }
+  const std::size_t idx = router_.route(queue_.now(), statuses);
+  require(idx < devices_.size() && statuses[idx].eligible,
+          "router '" + router_.name() + "' returned an ineligible device");
+  // Timestamp first: offer_frame may start service synchronously and fire
+  // the headroom callback, which pops this very entry.
+  queued_since_[idx].push_back(queue_.now());
+  const bool taken = devices_[idx]->offer_frame(/*count_loss=*/false, tag);
+  require(taken, "eligible device '" + devices_[idx]->name() + "' rejected a frame");
+  ++metrics_.dispatched;
+  return true;
+}
+
+/// Feeds one frame to a probing device as its half-open trial. Probes
+/// outrank normal routing so a recovering device is never starved by
+/// healthier peers. Returns true when the frame was consumed as a probe.
+bool FleetEngine::try_probe_dispatch(std::int64_t tag) {
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (probe_wanted_[i] == 0 || devices_[i]->free_slots() <= 0) {
+      continue;
+    }
+    queued_since_[i].push_back(queue_.now());
+    const bool taken = devices_[i]->offer_frame(/*count_loss=*/false, tag);
+    if (!taken) {
+      queued_since_[i].pop_back();
+      continue;
+    }
+    ++metrics_.dispatched;
+    probe_wanted_[i] = 0;
+    monitor_.on_probe_dispatched(i, queue_.now(), devices_[i]->metrics().processed);
+    return true;
+  }
+  return false;
+}
+
+/// Re-dispatches waiting ingress frames while headroom lasts. Invoked on
+/// every device headroom event and whenever a drained device rejoins.
+void FleetEngine::drain_ingress() {
+  // Dispatching can start a frame immediately, which fires the device's
+  // headroom callback, which lands right back here. The guard makes the
+  // nested call a no-op: the outer loop re-checks headroom every iteration,
+  // so no wakeup is lost — but without it the nested pop_front() invalidates
+  // the entry the outer loop is holding.
+  if (draining_) {
+    return;
+  }
+  draining_ = true;
+  while (!ingress_.empty()) {
+    const std::int64_t tag = ingress_.front();
+    ingress_.pop_front();
+    if (!try_probe_dispatch(tag) && !try_dispatch(tag)) {
+      ingress_.push_front(tag);
+      break;
+    }
+  }
+  draining_ = false;
+}
+
+/// A queued frame on device \p i moved into service.
+void FleetEngine::on_device_headroom(std::size_t i) {
+  if (!queued_since_[i].empty()) {
+    queued_since_[i].pop_front();
+  }
+  drain_ingress();
+}
+
+FleetEngine::Admit FleetEngine::offer_frame(std::int64_t tag) {
+  ++metrics_.arrived;
+  if (config_.coordinator.enabled) {
+    recent_arrivals_.push_back(queue_.now());
+  }
+  // Waiting frames go first: keeping FIFO order keeps the ingress queue an
+  // honest queue (and keeps tagged latencies monotone with arrival order).
+  if (ingress_.empty() && (try_probe_dispatch(tag) || try_dispatch(tag))) {
+    return Admit::kDispatched;
+  }
+  if (static_cast<std::int64_t>(ingress_.size()) < config_.ingress_capacity) {
+    ingress_.push_back(tag);
+    drain_ingress();
+    return Admit::kQueued;
+  }
+  ++metrics_.ingress_lost;
+  return Admit::kShed;
+}
+
+// --- health monitoring ------------------------------------------------------
+
+void FleetEngine::redispatch_or_park(std::int64_t tag, std::size_t exclude) {
+  ++metrics_.redispatched;
+  if (try_dispatch(tag, exclude)) {
+    return;
+  }
+  if (static_cast<std::int64_t>(ingress_.size()) < config_.ingress_capacity) {
+    ingress_.push_back(tag);
+    return;
+  }
+  ++metrics_.ingress_lost;
+  if (tag != edge::DeviceSim::kNoTag && on_frame_lost_) {
+    on_frame_lost_(tag);
+  }
+}
+
+/// Pulls every waiting frame off a newly-quarantined device and routes it
+/// through the rest of the fleet. Frames that find no headroom wait at
+/// ingress; they count as re-dispatched, not lost — only overflowing the
+/// ingress queue itself loses them (genuine ingress_lost).
+void FleetEngine::quarantine_drain(std::size_t i) {
+  std::vector<std::int64_t> tags;
+  const std::int64_t pulled = devices_[i]->take_queued(devices_[i]->queued(), &tags);
+  queued_since_[i].clear();
+  for (std::int64_t k = 0; k < pulled; ++k) {
+    redispatch_or_park(tags[static_cast<std::size_t>(k)], i);
+  }
+}
+
+/// Any device other than \p i that could take a hedged frame right now.
+bool FleetEngine::any_other_eligible(std::size_t i) const {
+  for (std::size_t j = 0; j < devices_.size(); ++j) {
+    if (j != i && accepting_[j] != 0 && !excluded(j) && devices_[j]->free_slots() > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FleetEngine::health_tick() {
+  const double now = queue_.now();
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const edge::DeviceSim& dev = *devices_[i];
+    HealthMonitor::Observation obs;
+    obs.processed = dev.metrics().processed;
+    obs.has_work = dev.queued() > 0 || dev.processing();
+    obs.in_maintenance =
+        dev.switch_in_flight() || (coord_state_ != CoordState::kIdle && coord_device_ == i);
+    obs.nominal_fps = dev.mode().fps;
+    const HealthAction action = monitor_.observe(i, now, obs);
+    if (action.quarantine) {
+      ++metrics_.quarantines;
+      if (coord_state_ != CoordState::kIdle && coord_device_ == i) {
+        // The device the coordinator was cycling just got quarantined:
+        // abort the cycle; the monitor owns the exclusion from here.
+        accepting_[i] = 1;
+        coord_state_ = CoordState::kIdle;
+        last_repartition_end_s_ = now;
+      }
+      quarantine_drain(i);
+      // The fleet shrank: force the coordinator to re-balance the
+      // survivors instead of sitting in its hysteresis band.
+      last_converged_fps_ = -1.0;
+    }
+    if (action.want_probe) {
+      probe_wanted_[i] = 1;
+    }
+    if (action.probe_failed) {
+      std::vector<std::int64_t> tags;
+      if (devices_[i]->take_queued(1, &tags) == 1) {
+        // The probe frame is still sitting in the sick queue: reclaim it so
+        // no frame is stuck for longer than one probe cycle.
+        if (!queued_since_[i].empty()) {
+          queued_since_[i].pop_front();
+        }
+        redispatch_or_park(tags.front(), i);
+      }
+    }
+    if (action.rejoin) {
+      ++metrics_.rejoins;
+      probe_wanted_[i] = 0;
+      // Capacity returned: re-balance, and drain any ingress backlog into
+      // the recovered device.
+      last_converged_fps_ = -1.0;
+      drain_ingress();
+    }
+  }
+  // Hedged re-dispatch: a frame stuck waiting past its budget is pulled
+  // back and re-routed — but only when somewhere better exists right now
+  // (hedging into a full fleet would just forfeit the frame's position).
+  if (config_.health.hedge_budget_s > 0.0) {
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      if (excluded(i)) {
+        continue;  // quarantine drain already emptied it
+      }
+      while (!queued_since_[i].empty() &&
+             now - queued_since_[i].front() >= config_.health.hedge_budget_s &&
+             any_other_eligible(i)) {
+        std::vector<std::int64_t> tags;
+        if (devices_[i]->take_queued(1, &tags) == 0) {
+          break;
+        }
+        queued_since_[i].pop_front();
+        ++metrics_.redispatched;
+        ++metrics_.hedged;
+        const bool placed = try_dispatch(tags.front(), i);
+        require(placed, "hedge re-dispatch failed despite an eligible device");
+      }
+    }
+  }
+  const double next = now + config_.health.tick_interval_s;
+  if (next <= horizon_s_) {
+    queue_.schedule_at(next, [this] { health_tick(); });
+  }
+}
+
+// --- coordinator ------------------------------------------------------------
+
+double FleetEngine::aggregate_fps() {
+  const double window = config_.coordinator.estimate_window_s;
+  const double cutoff = queue_.now() - window;
+  while (!recent_arrivals_.empty() && recent_arrivals_.front() < cutoff) {
+    recent_arrivals_.pop_front();
+  }
+  return static_cast<double>(recent_arrivals_.size()) / window;
+}
+
+/// The rate the coordinator plans against: the measured aggregate, or —
+/// under predictive re-partitioning — the forecast-horizon rate floored at
+/// the measurement (a predicted fall never repartitions early; a predicted
+/// rise repartitions while the old rate still holds).
+double FleetEngine::planning_rate(double measured) const {
+  if (!coord_tracker_.has_value() || coord_tracker_->forecaster().observations() < 2) {
+    return measured;
+  }
+  return std::max(measured, coord_tracker_->current().rate);
+}
+
+void FleetEngine::maybe_start_repartition(double now) {
+  if (now < config_.coordinator.warmup_s) {
+    return;
+  }
+  const double agg = planning_rate(aggregate_fps());
+  if (agg <= 0.0) {
+    return;
+  }
+  if (last_converged_fps_ > 0.0 &&
+      std::abs(agg - last_converged_fps_) <
+          config_.coordinator.fps_hysteresis * last_converged_fps_) {
+    return;
+  }
+  // Quarantined devices are not capacity: the survivors' share grows and
+  // the coordinator re-targets them to faster (lower-accuracy) versions.
+  std::int64_t accepting_count = 0;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    accepting_count += (accepting_[i] != 0 && !excluded(i)) ? 1 : 0;
+  }
+  if (accepting_count == 0) {
+    return;
+  }
+  const double share = agg / static_cast<double>(accepting_count);
+  bool mismatch_blocked = false;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (!config_.devices[i].coordinated || accepting_[i] == 0 || excluded(i) ||
+        devices_[i]->switch_in_flight()) {
+      continue;
+    }
+    const core::AcceleratorLibrary& lib = device_library(i);
+    const std::size_t target =
+        core::select_library_version(lib, share, config_.coordinator.accuracy_threshold,
+                                     config_.coordinator.fps_margin, /*use_flexible_fps=*/false);
+    const std::size_t current = find_version(lib, devices_[i]->mode().model_version);
+    if (current == lib.versions.size() || target == current) {
+      continue;
+    }
+    // The paper's switch-interval rule, cluster-wide: consecutive
+    // repartition cycles keep their spacing even when a device is overdue.
+    if (now - last_repartition_end_s_ <
+        config_.coordinator.switch_interval_factor * lib.reconfig_time_s) {
+      mismatch_blocked = true;
+      continue;
+    }
+    // Take this device out of rotation; the router spreads its share over
+    // the rest of the fleet while the queue drains.
+    accepting_[i] = 0;
+    coord_device_ = i;
+    coord_target_ = target;
+    drain_started_s_ = now;
+    coord_state_ = CoordState::kDraining;
+    return;
+  }
+  if (mismatch_blocked) {
+    return;  // retry next tick once the spacing window opens
+  }
+  // Every coordinated device matches its target at this rate: record the
+  // converged operating point the hysteresis band is centred on.
+  last_converged_fps_ = agg;
+}
+
+void FleetEngine::coordinator_tick() {
+  const double now = queue_.now();
+  if (coord_tracker_.has_value() && now >= config_.coordinator.warmup_s) {
+    // One observation per tick, regardless of the drain state machine, so
+    // the forecaster sees an unbroken fixed-cadence series.
+    coord_tracker_->observe(aggregate_fps());
+  }
+  switch (coord_state_) {
+    case CoordState::kIdle:
+      maybe_start_repartition(now);
+      break;
+    case CoordState::kDraining: {
+      edge::DeviceSim& dev = *devices_[coord_device_];
+      if (excluded(coord_device_)) {
+        // Quarantined mid-drain (health_tick may run between coordinator
+        // ticks): abort the cycle, the monitor owns the device now.
+        accepting_[coord_device_] = 1;
+        coord_state_ = CoordState::kIdle;
+        last_repartition_end_s_ = now;
+        break;
+      }
+      if (dev.switch_in_flight()) {
+        break;  // self-healing ladder busy (stall recovery); wait it out
+      }
+      if (dev.idle() || now - drain_started_s_ >= config_.coordinator.drain_timeout_s) {
+        const core::AcceleratorLibrary& lib = device_library(coord_device_);
+        edge::SwitchAction action;
+        action.target = fixed_mode_for(lib, coord_target_);
+        action.switch_time_s = lib.reconfig_time_s;
+        action.is_reconfiguration = true;
+        dev.command_switch(action);
+        coord_state_ = CoordState::kReconfiguring;
+      }
+      break;
+    }
+    case CoordState::kReconfiguring: {
+      edge::DeviceSim& dev = *devices_[coord_device_];
+      if (dev.switch_in_flight()) {
+        break;
+      }
+      // The episode resolved — applied, or abandoned by the retry ladder.
+      // Either way the device rejoins; only a successful cycle counts as a
+      // repartition.
+      if (find_version(device_library(coord_device_), dev.mode().model_version) ==
+          coord_target_) {
+        ++metrics_.repartitions;
+      }
+      accepting_[coord_device_] = 1;
+      last_repartition_end_s_ = now;
+      coord_state_ = CoordState::kIdle;
+      drain_ingress();
+      break;
+    }
+  }
+  const double next = now + config_.coordinator.poll_interval_s;
+  if (next <= horizon_s_) {
+    queue_.schedule_at(next, [this] { coordinator_tick(); });
+  }
+}
+
+// --- cadences and sampling --------------------------------------------------
+
+void FleetEngine::device_poll(std::size_t i) {
+  devices_[i]->poll();
+  const double next = queue_.now() + config_.devices[i].server.poll_interval_s;
+  if (next <= horizon_s_) {
+    queue_.schedule_at(next, [this, i] { device_poll(i); });
+  }
+}
+
+void FleetEngine::device_sample(std::size_t i) {
+  devices_[i]->sample_window();
+  const double next = queue_.now() + config_.devices[i].server.sample_interval_s;
+  if (next <= horizon_s_ + 1e-9) {
+    queue_.schedule_at(next, [this, i] { device_sample(i); });
+  }
+}
+
+void FleetEngine::fleet_sample() {
+  std::int64_t arrived_total = metrics_.arrived;
+  std::int64_t lost_total = metrics_.ingress_lost;
+  double qoe_total = 0.0;
+  double worst_backlog_s = 0.0;
+  for (const auto& dev : devices_) {
+    lost_total += dev->metrics().lost;
+    qoe_total += dev->metrics().qoe_accuracy_sum;
+    worst_backlog_s = std::max(worst_backlog_s, dev->backlog_seconds());
+  }
+  const std::int64_t d_arrived = arrived_total - snap_arrived_;
+  const std::int64_t d_lost = lost_total - snap_lost_;
+  const double d_qoe = qoe_total - snap_qoe_;
+  const double da = static_cast<double>(d_arrived);
+  metrics_.workload_series.values.push_back(da / config_.sample_interval_s);
+  metrics_.loss_series.values.push_back(d_arrived > 0 ? static_cast<double>(d_lost) / da : 0.0);
+  metrics_.qoe_series.values.push_back(d_arrived > 0 ? d_qoe / da : 0.0);
+  metrics_.backlog_series.values.push_back(worst_backlog_s);
+  snap_arrived_ = arrived_total;
+  snap_lost_ = lost_total;
+  snap_qoe_ = qoe_total;
+
+  const double next = queue_.now() + config_.sample_interval_s;
+  if (next <= horizon_s_ + 1e-9) {
+    queue_.schedule_at(next, [this] { fleet_sample(); });
+  }
+}
+
+// --- lifecycle --------------------------------------------------------------
+
+void FleetEngine::start() {
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    devices_[i]->start();
+    devices_[i]->set_on_headroom([this, i] { on_device_headroom(i); });
+    devices_[i]->set_frame_hooks(
+        [this](std::int64_t tag, double accuracy) {
+          if (on_frame_done_) {
+            on_frame_done_(tag, accuracy);
+          }
+        },
+        [this](std::int64_t tag) {
+          if (on_frame_lost_) {
+            on_frame_lost_(tag);
+          }
+        });
+  }
+  const double t0 = queue_.now();
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const edge::ServerConfig& sc = config_.devices[i].server;
+    queue_.schedule_at(t0 + sc.poll_interval_s, [this, i] { device_poll(i); });
+    queue_.schedule_at(t0 + sc.sample_interval_s, [this, i] { device_sample(i); });
+  }
+  queue_.schedule_at(t0 + config_.sample_interval_s, [this] { fleet_sample(); });
+  if (config_.coordinator.enabled) {
+    queue_.schedule_at(t0 + config_.coordinator.poll_interval_s, [this] { coordinator_tick(); });
+  }
+  if (config_.health.enabled) {
+    queue_.schedule_at(t0 + config_.health.tick_interval_s, [this] { health_tick(); });
+  }
+}
+
+FleetMetrics FleetEngine::finalize(double duration_s) {
+  metrics_.duration_s = duration_s;
+  metrics_.ingress_backlog = static_cast<std::int64_t>(ingress_.size());
+  metrics_.devices.reserve(devices_.size());
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    devices_[i]->finalize(duration_s);
+    edge::RunMetrics& m = devices_[i]->metrics();
+    metrics_.processed += m.processed;
+    metrics_.device_lost += m.lost;
+    metrics_.qoe_accuracy_sum += m.qoe_accuracy_sum;
+    metrics_.energy_j += m.energy_j;
+    metrics_.model_switches += m.model_switches;
+    metrics_.reconfigurations += m.reconfigurations;
+    metrics_.faults.accumulate(m.faults);
+    FleetDeviceResult result;
+    result.name = config_.devices[i].name;
+    result.queued_at_end = devices_[i]->queued();
+    result.quarantines = monitor_.quarantines(i);
+    result.rejoins = monitor_.rejoins(i);
+    result.final_health = monitor_.state(i);
+    result.metrics = std::move(m);
+    metrics_.devices.push_back(std::move(result));
+  }
+  metrics_.tail_latency_p95_s = sim::percentile(metrics_.backlog_series.values, 0.95);
+  if (coord_tracker_.has_value()) {
+    metrics_.forecast = coord_tracker_->stats();
+  }
+  return std::move(metrics_);
+}
+
+}  // namespace adaflow::fleet

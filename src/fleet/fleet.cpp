@@ -1,613 +1,13 @@
 #include "adaflow/fleet/fleet.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <deque>
+#include <functional>
 
 #include "adaflow/common/error.hpp"
 #include "adaflow/common/rng.hpp"
-#include "adaflow/edge/device_sim.hpp"
+#include "adaflow/fleet/engine.hpp"
 #include "adaflow/sim/event_queue.hpp"
 
 namespace adaflow::fleet {
-
-namespace {
-
-/// The Fixed-Pruning operating point of one library version (what a pinned
-/// device runs, and what the coordinator reconfigures to).
-edge::ServingMode fixed_mode_for(const core::AcceleratorLibrary& library, std::size_t version) {
-  const core::ModelVersion& v = library.versions.at(version);
-  edge::ServingMode mode;
-  mode.model_version = v.version;
-  mode.accelerator = "Fixed@" + v.version;
-  mode.fps = v.fps_fixed;
-  mode.accuracy = v.accuracy;
-  mode.power_busy_w = v.power_busy_fixed_w;
-  mode.power_idle_w = v.power_idle_fixed_w;
-  return mode;
-}
-
-/// Index of \p version_name in \p library, or versions.size() when the
-/// device currently runs a mode from a different library.
-std::size_t find_version(const core::AcceleratorLibrary& library, const std::string& version_name) {
-  for (std::size_t i = 0; i < library.versions.size(); ++i) {
-    if (library.versions[i].version == version_name) {
-      return i;
-    }
-  }
-  return library.versions.size();
-}
-
-std::uint64_t device_seed(std::uint64_t fleet_seed, std::size_t index) {
-  // Splitmix-style spreading so neighbouring devices get unrelated streams.
-  return fleet_seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(index + 1));
-}
-
-/// The whole cluster on one event queue: N externally-driven DeviceSims, the
-/// dispatcher (router + bounded ingress), the coordinator state machine, and
-/// the fleet-level sampling. Lives on the stack of run_fleet().
-struct FleetSim {
-  const edge::WorkloadTrace& trace;
-  const core::AcceleratorLibrary& fleet_library;
-  const FleetConfig& config;
-  RoutingPolicy& router;
-  Rng rng;
-  sim::EventQueue queue;
-
-  std::vector<std::unique_ptr<edge::ServingPolicy>> policies;
-  std::vector<std::unique_ptr<faults::FaultInjector>> injectors;  ///< null = fault-free
-  std::vector<std::unique_ptr<edge::DeviceSim>> devices;
-  /// Cleared while the coordinator drains/reconfigures a device.
-  std::vector<char> accepting;
-
-  /// Circuit-breaker state per device; a no-op observer when health
-  /// monitoring is disabled (never observed, everything stays healthy).
-  HealthMonitor monitor;
-  /// Devices waiting for the dispatcher to route them a half-open probe.
-  std::vector<char> probe_wanted;
-  /// Dispatch timestamps of the frames waiting in each device's queue
-  /// (front = oldest). Kept in lock-step with DeviceSim::queued(): pushed on
-  /// dispatch, popped when a frame enters service (headroom callback) or is
-  /// pulled back (quarantine drain / hedge).
-  std::vector<std::deque<double>> queued_since;
-
-  FleetMetrics metrics;
-  std::int64_t ingress_count = 0;
-
-  static constexpr std::size_t kNoExclude = static_cast<std::size_t>(-1);
-
-  /// Arrival timestamps inside the coordinator's estimate window (only
-  /// maintained when the coordinator is enabled).
-  std::deque<double> recent_arrivals;
-
-  /// Aggregate-rate forecaster driving predictive re-partitioning (set only
-  /// when the coordinator runs with `predictive`).
-  std::optional<forecast::ForecastTracker> coord_tracker;
-
-  // Drain-and-reconfigure state machine. At most one device is ever out of
-  // rotation; the paper's switch-interval rule spaces consecutive cycles.
-  enum class CoordState { kIdle, kDraining, kReconfiguring };
-  CoordState coord_state = CoordState::kIdle;
-  std::size_t coord_device = 0;
-  std::size_t coord_target = 0;
-  double drain_started_s = 0.0;
-  double last_repartition_end_s = -1e18;
-  /// Aggregate FPS at the last evaluation where every coordinated device
-  /// already matched its target. Hysteresis is measured against this — not
-  /// against the last action — so a half-converged fleet (one device fixed,
-  /// the next still mismatched at the same stable rate) keeps converging.
-  double last_converged_fps = -1.0;
-
-  // Fleet sample window: totals at the previous sample instant.
-  std::int64_t snap_arrived = 0;
-  std::int64_t snap_lost = 0;
-  double snap_qoe = 0.0;
-
-  FleetSim(const edge::WorkloadTrace& t, const core::AcceleratorLibrary& lib,
-           const FleetConfig& c, RoutingPolicy& r, std::uint64_t seed)
-      : trace(t), fleet_library(lib), config(c), router(r), rng(seed),
-        monitor(c.health, c.devices.size()) {
-    const std::size_t n = config.devices.size();
-    policies.reserve(n);
-    injectors.reserve(n);
-    devices.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const FleetDevice& d = config.devices[i];
-      policies.push_back(d.make_policy());
-      require(policies.back() != nullptr,
-              "fleet device '" + d.name + "' factory returned a null policy");
-      if (d.fault_schedule.has_value()) {
-        injectors.push_back(
-            std::make_unique<faults::FaultInjector>(*d.fault_schedule, device_seed(seed, i)));
-      } else {
-        injectors.push_back(nullptr);
-      }
-      devices.push_back(std::make_unique<edge::DeviceSim>(queue, *policies.back(), d.server,
-                                                          injectors.back().get(), d.name));
-    }
-    accepting.assign(n, 1);
-    probe_wanted.assign(n, 0);
-    queued_since.resize(n);
-    metrics.workload_series.interval_s = config.sample_interval_s;
-    metrics.loss_series.interval_s = config.sample_interval_s;
-    metrics.qoe_series.interval_s = config.sample_interval_s;
-    metrics.backlog_series.interval_s = config.sample_interval_s;
-    if (config.coordinator.enabled && config.coordinator.predictive) {
-      forecast::ForecastTrackerConfig fc = config.coordinator.forecast;
-      fc.window_s = config.coordinator.poll_interval_s;
-      coord_tracker.emplace(fc);
-    }
-  }
-
-  const core::AcceleratorLibrary& device_library(std::size_t i) const {
-    return config.devices[i].library != nullptr ? *config.devices[i].library : fleet_library;
-  }
-
-  // --- dispatcher ---------------------------------------------------------
-
-  /// True when the monitor keeps device \p i out of the normal routing set.
-  bool excluded(std::size_t i) const { return monitor.out_of_rotation(i); }
-
-  /// Routes one frame to a device if any is eligible. Returns false (and
-  /// touches nothing) when every device is drained, quarantined, or full.
-  /// \p exclude additionally bars one device (hedging must not hand a frame
-  /// back to the queue it was just pulled from).
-  bool try_dispatch(std::size_t exclude = kNoExclude) {
-    std::vector<DeviceStatus> statuses(devices.size());
-    bool any_eligible = false;
-    for (std::size_t i = 0; i < devices.size(); ++i) {
-      const edge::DeviceSim& dev = *devices[i];
-      DeviceStatus& s = statuses[i];
-      s.eligible = accepting[i] != 0 && !excluded(i) && i != exclude && dev.free_slots() > 0;
-      s.queued = dev.queued();
-      s.capacity = dev.queue_capacity();
-      s.busy = dev.processing();
-      s.switching = dev.switch_in_flight();
-      s.fps = dev.mode().fps;
-      s.accuracy = dev.mode().accuracy;
-      s.backlog_s = dev.backlog_seconds();
-      any_eligible = any_eligible || s.eligible;
-    }
-    if (!any_eligible) {
-      return false;
-    }
-    const std::size_t idx = router.route(queue.now(), statuses);
-    require(idx < devices.size() && statuses[idx].eligible,
-            "router '" + router.name() + "' returned an ineligible device");
-    // Timestamp first: offer_frame may start service synchronously and fire
-    // the headroom callback, which pops this very entry.
-    queued_since[idx].push_back(queue.now());
-    const bool taken = devices[idx]->offer_frame(/*count_loss=*/false);
-    require(taken, "eligible device '" + devices[idx]->name() + "' rejected a frame");
-    ++metrics.dispatched;
-    return true;
-  }
-
-  /// Feeds one frame to a probing device as its half-open trial. Probes
-  /// outrank normal routing so a recovering device is never starved by
-  /// healthier peers. Returns true when the frame was consumed as a probe.
-  bool try_probe_dispatch() {
-    for (std::size_t i = 0; i < devices.size(); ++i) {
-      if (probe_wanted[i] == 0 || devices[i]->free_slots() <= 0) {
-        continue;
-      }
-      queued_since[i].push_back(queue.now());
-      const bool taken = devices[i]->offer_frame(/*count_loss=*/false);
-      if (!taken) {
-        queued_since[i].pop_back();
-        continue;
-      }
-      ++metrics.dispatched;
-      probe_wanted[i] = 0;
-      monitor.on_probe_dispatched(i, queue.now(), devices[i]->metrics().processed);
-      return true;
-    }
-    return false;
-  }
-
-  /// Re-dispatches waiting ingress frames while headroom lasts. Invoked on
-  /// every device headroom event and whenever a drained device rejoins.
-  void drain_ingress() {
-    while (ingress_count > 0 && (try_probe_dispatch() || try_dispatch())) {
-      --ingress_count;
-    }
-  }
-
-  /// A queued frame on device \p i moved into service.
-  void on_device_headroom(std::size_t i) {
-    if (!queued_since[i].empty()) {
-      queued_since[i].pop_front();
-    }
-    drain_ingress();
-  }
-
-  void on_arrival() {
-    ++metrics.arrived;
-    if (config.coordinator.enabled) {
-      recent_arrivals.push_back(queue.now());
-    }
-    // Waiting frames go first (they are indistinguishable, but keeping FIFO
-    // order keeps the ingress counter an honest queue).
-    if (ingress_count == 0 && (try_probe_dispatch() || try_dispatch())) {
-      // Routed immediately.
-    } else if (ingress_count < config.ingress_capacity) {
-      ++ingress_count;
-      drain_ingress();
-    } else {
-      ++metrics.ingress_lost;
-    }
-    schedule_next_arrival();
-  }
-
-  // --- health monitoring ---------------------------------------------------
-
-  /// Pulls every waiting frame off a newly-quarantined device and routes it
-  /// through the rest of the fleet. Frames that find no headroom wait at
-  /// ingress; they count as re-dispatched, not lost — only overflowing the
-  /// ingress queue itself loses them (genuine ingress_lost).
-  void quarantine_drain(std::size_t i) {
-    const std::int64_t pulled = devices[i]->take_queued(devices[i]->queued());
-    queued_since[i].clear();
-    for (std::int64_t k = 0; k < pulled; ++k) {
-      ++metrics.redispatched;
-      if (try_dispatch(i)) {
-        continue;
-      }
-      if (ingress_count < config.ingress_capacity) {
-        ++ingress_count;
-      } else {
-        ++metrics.ingress_lost;
-      }
-    }
-  }
-
-  /// Any device other than \p i that could take a hedged frame right now.
-  bool any_other_eligible(std::size_t i) const {
-    for (std::size_t j = 0; j < devices.size(); ++j) {
-      if (j != i && accepting[j] != 0 && !excluded(j) && devices[j]->free_slots() > 0) {
-        return true;
-      }
-    }
-    return false;
-  }
-
-  void health_tick() {
-    const double now = queue.now();
-    for (std::size_t i = 0; i < devices.size(); ++i) {
-      const edge::DeviceSim& dev = *devices[i];
-      HealthMonitor::Observation obs;
-      obs.processed = dev.metrics().processed;
-      obs.has_work = dev.queued() > 0 || dev.processing();
-      obs.in_maintenance =
-          dev.switch_in_flight() || (coord_state != CoordState::kIdle && coord_device == i);
-      obs.nominal_fps = dev.mode().fps;
-      const HealthAction action = monitor.observe(i, now, obs);
-      if (action.quarantine) {
-        ++metrics.quarantines;
-        if (coord_state != CoordState::kIdle && coord_device == i) {
-          // The device the coordinator was cycling just got quarantined:
-          // abort the cycle; the monitor owns the exclusion from here.
-          accepting[i] = 1;
-          coord_state = CoordState::kIdle;
-          last_repartition_end_s = now;
-        }
-        quarantine_drain(i);
-        // The fleet shrank: force the coordinator to re-balance the
-        // survivors instead of sitting in its hysteresis band.
-        last_converged_fps = -1.0;
-      }
-      if (action.want_probe) {
-        probe_wanted[i] = 1;
-      }
-      if (action.probe_failed && devices[i]->take_queued(1) == 1) {
-        // The probe frame is still sitting in the sick queue: reclaim it so
-        // no frame is stuck for longer than one probe cycle.
-        if (!queued_since[i].empty()) {
-          queued_since[i].pop_front();
-        }
-        ++metrics.redispatched;
-        if (!try_dispatch(i)) {
-          if (ingress_count < config.ingress_capacity) {
-            ++ingress_count;
-          } else {
-            ++metrics.ingress_lost;
-          }
-        }
-      }
-      if (action.rejoin) {
-        ++metrics.rejoins;
-        probe_wanted[i] = 0;
-        // Capacity returned: re-balance, and drain any ingress backlog into
-        // the recovered device.
-        last_converged_fps = -1.0;
-        drain_ingress();
-      }
-    }
-    // Hedged re-dispatch: a frame stuck waiting past its budget is pulled
-    // back and re-routed — but only when somewhere better exists right now
-    // (hedging into a full fleet would just forfeit the frame's position).
-    if (config.health.hedge_budget_s > 0.0) {
-      for (std::size_t i = 0; i < devices.size(); ++i) {
-        if (excluded(i)) {
-          continue;  // quarantine drain already emptied it
-        }
-        while (!queued_since[i].empty() &&
-               now - queued_since[i].front() >= config.health.hedge_budget_s &&
-               any_other_eligible(i)) {
-          if (devices[i]->take_queued(1) == 0) {
-            break;
-          }
-          queued_since[i].pop_front();
-          ++metrics.redispatched;
-          ++metrics.hedged;
-          const bool placed = try_dispatch(i);
-          require(placed, "hedge re-dispatch failed despite an eligible device");
-        }
-      }
-    }
-    const double next = now + config.health.tick_interval_s;
-    if (next <= trace.duration()) {
-      queue.schedule_at(next, [this] { health_tick(); });
-    }
-  }
-
-  void schedule_next_arrival() {
-    const double rate = trace.rate_at(queue.now());
-    if (rate <= 0.0) {
-      // Re-check after the next rate boundary.
-      queue.schedule_in(0.05, [this] { schedule_next_arrival(); });
-      return;
-    }
-    const double when = queue.now() + rng.exponential(rate);
-    if (when <= trace.duration()) {
-      queue.schedule_at(when, [this] { on_arrival(); });
-    }
-  }
-
-  // --- coordinator --------------------------------------------------------
-
-  double aggregate_fps() {
-    const double window = config.coordinator.estimate_window_s;
-    const double cutoff = queue.now() - window;
-    while (!recent_arrivals.empty() && recent_arrivals.front() < cutoff) {
-      recent_arrivals.pop_front();
-    }
-    return static_cast<double>(recent_arrivals.size()) / window;
-  }
-
-  /// The rate the coordinator plans against: the measured aggregate, or —
-  /// under predictive re-partitioning — the forecast-horizon rate floored at
-  /// the measurement (a predicted fall never repartitions early; a predicted
-  /// rise repartitions while the old rate still holds).
-  double planning_rate(double measured) const {
-    if (!coord_tracker.has_value() || coord_tracker->forecaster().observations() < 2) {
-      return measured;
-    }
-    return std::max(measured, coord_tracker->current().rate);
-  }
-
-  void maybe_start_repartition(double now) {
-    if (now < config.coordinator.warmup_s) {
-      return;
-    }
-    const double agg = planning_rate(aggregate_fps());
-    if (agg <= 0.0) {
-      return;
-    }
-    if (last_converged_fps > 0.0 &&
-        std::abs(agg - last_converged_fps) <
-            config.coordinator.fps_hysteresis * last_converged_fps) {
-      return;
-    }
-    // Quarantined devices are not capacity: the survivors' share grows and
-    // the coordinator re-targets them to faster (lower-accuracy) versions.
-    std::int64_t accepting_count = 0;
-    for (std::size_t i = 0; i < devices.size(); ++i) {
-      accepting_count += (accepting[i] != 0 && !excluded(i)) ? 1 : 0;
-    }
-    if (accepting_count == 0) {
-      return;
-    }
-    const double share = agg / static_cast<double>(accepting_count);
-    bool mismatch_blocked = false;
-    for (std::size_t i = 0; i < devices.size(); ++i) {
-      if (!config.devices[i].coordinated || accepting[i] == 0 || excluded(i) ||
-          devices[i]->switch_in_flight()) {
-        continue;
-      }
-      const core::AcceleratorLibrary& lib = device_library(i);
-      const std::size_t target =
-          core::select_library_version(lib, share, config.coordinator.accuracy_threshold,
-                                       config.coordinator.fps_margin, /*use_flexible_fps=*/false);
-      const std::size_t current = find_version(lib, devices[i]->mode().model_version);
-      if (current == lib.versions.size() || target == current) {
-        continue;
-      }
-      // The paper's switch-interval rule, cluster-wide: consecutive
-      // repartition cycles keep their spacing even when a device is overdue.
-      if (now - last_repartition_end_s <
-          config.coordinator.switch_interval_factor * lib.reconfig_time_s) {
-        mismatch_blocked = true;
-        continue;
-      }
-      // Take this device out of rotation; the router spreads its share over
-      // the rest of the fleet while the queue drains.
-      accepting[i] = 0;
-      coord_device = i;
-      coord_target = target;
-      drain_started_s = now;
-      coord_state = CoordState::kDraining;
-      return;
-    }
-    if (mismatch_blocked) {
-      return;  // retry next tick once the spacing window opens
-    }
-    // Every coordinated device matches its target at this rate: record the
-    // converged operating point the hysteresis band is centred on.
-    last_converged_fps = agg;
-  }
-
-  void coordinator_tick() {
-    const double now = queue.now();
-    if (coord_tracker.has_value() && now >= config.coordinator.warmup_s) {
-      // One observation per tick, regardless of the drain state machine, so
-      // the forecaster sees an unbroken fixed-cadence series.
-      coord_tracker->observe(aggregate_fps());
-    }
-    switch (coord_state) {
-      case CoordState::kIdle:
-        maybe_start_repartition(now);
-        break;
-      case CoordState::kDraining: {
-        edge::DeviceSim& dev = *devices[coord_device];
-        if (excluded(coord_device)) {
-          // Quarantined mid-drain (health_tick may run between coordinator
-          // ticks): abort the cycle, the monitor owns the device now.
-          accepting[coord_device] = 1;
-          coord_state = CoordState::kIdle;
-          last_repartition_end_s = now;
-          break;
-        }
-        if (dev.switch_in_flight()) {
-          break;  // self-healing ladder busy (stall recovery); wait it out
-        }
-        if (dev.idle() || now - drain_started_s >= config.coordinator.drain_timeout_s) {
-          const core::AcceleratorLibrary& lib = device_library(coord_device);
-          edge::SwitchAction action;
-          action.target = fixed_mode_for(lib, coord_target);
-          action.switch_time_s = lib.reconfig_time_s;
-          action.is_reconfiguration = true;
-          dev.command_switch(action);
-          coord_state = CoordState::kReconfiguring;
-        }
-        break;
-      }
-      case CoordState::kReconfiguring: {
-        edge::DeviceSim& dev = *devices[coord_device];
-        if (dev.switch_in_flight()) {
-          break;
-        }
-        // The episode resolved — applied, or abandoned by the retry ladder.
-        // Either way the device rejoins; only a successful cycle counts as a
-        // repartition.
-        if (find_version(device_library(coord_device), dev.mode().model_version) ==
-            coord_target) {
-          ++metrics.repartitions;
-        }
-        accepting[coord_device] = 1;
-        last_repartition_end_s = now;
-        coord_state = CoordState::kIdle;
-        drain_ingress();
-        break;
-      }
-    }
-    const double next = now + config.coordinator.poll_interval_s;
-    if (next <= trace.duration()) {
-      queue.schedule_at(next, [this] { coordinator_tick(); });
-    }
-  }
-
-  // --- cadences and sampling ----------------------------------------------
-
-  void device_poll(std::size_t i) {
-    devices[i]->poll();
-    const double next = queue.now() + config.devices[i].server.poll_interval_s;
-    if (next <= trace.duration()) {
-      queue.schedule_at(next, [this, i] { device_poll(i); });
-    }
-  }
-
-  void device_sample(std::size_t i) {
-    devices[i]->sample_window();
-    const double next = queue.now() + config.devices[i].server.sample_interval_s;
-    if (next <= trace.duration() + 1e-9) {
-      queue.schedule_at(next, [this, i] { device_sample(i); });
-    }
-  }
-
-  void fleet_sample() {
-    std::int64_t arrived_total = metrics.arrived;
-    std::int64_t lost_total = metrics.ingress_lost;
-    double qoe_total = 0.0;
-    double worst_backlog_s = 0.0;
-    for (const auto& dev : devices) {
-      lost_total += dev->metrics().lost;
-      qoe_total += dev->metrics().qoe_accuracy_sum;
-      worst_backlog_s = std::max(worst_backlog_s, dev->backlog_seconds());
-    }
-    const std::int64_t d_arrived = arrived_total - snap_arrived;
-    const std::int64_t d_lost = lost_total - snap_lost;
-    const double d_qoe = qoe_total - snap_qoe;
-    const double da = static_cast<double>(d_arrived);
-    metrics.workload_series.values.push_back(da / config.sample_interval_s);
-    metrics.loss_series.values.push_back(d_arrived > 0 ? static_cast<double>(d_lost) / da : 0.0);
-    metrics.qoe_series.values.push_back(d_arrived > 0 ? d_qoe / da : 0.0);
-    metrics.backlog_series.values.push_back(worst_backlog_s);
-    snap_arrived = arrived_total;
-    snap_lost = lost_total;
-    snap_qoe = qoe_total;
-
-    const double next = queue.now() + config.sample_interval_s;
-    if (next <= trace.duration() + 1e-9) {
-      queue.schedule_at(next, [this] { fleet_sample(); });
-    }
-  }
-
-  // --- lifecycle ----------------------------------------------------------
-
-  FleetMetrics run() {
-    for (std::size_t i = 0; i < devices.size(); ++i) {
-      devices[i]->start();
-      devices[i]->set_on_headroom([this, i] { on_device_headroom(i); });
-    }
-    schedule_next_arrival();
-    for (std::size_t i = 0; i < devices.size(); ++i) {
-      const edge::ServerConfig& sc = config.devices[i].server;
-      queue.schedule_at(sc.poll_interval_s, [this, i] { device_poll(i); });
-      queue.schedule_at(sc.sample_interval_s, [this, i] { device_sample(i); });
-    }
-    queue.schedule_at(config.sample_interval_s, [this] { fleet_sample(); });
-    if (config.coordinator.enabled) {
-      queue.schedule_at(config.coordinator.poll_interval_s, [this] { coordinator_tick(); });
-    }
-    if (config.health.enabled) {
-      queue.schedule_at(config.health.tick_interval_s, [this] { health_tick(); });
-    }
-
-    queue.run_until(trace.duration());
-
-    const double duration = trace.duration();
-    metrics.duration_s = duration;
-    metrics.ingress_backlog = ingress_count;
-    metrics.devices.reserve(devices.size());
-    for (std::size_t i = 0; i < devices.size(); ++i) {
-      devices[i]->finalize(duration);
-      edge::RunMetrics& m = devices[i]->metrics();
-      metrics.processed += m.processed;
-      metrics.device_lost += m.lost;
-      metrics.qoe_accuracy_sum += m.qoe_accuracy_sum;
-      metrics.energy_j += m.energy_j;
-      metrics.model_switches += m.model_switches;
-      metrics.reconfigurations += m.reconfigurations;
-      metrics.faults.accumulate(m.faults);
-      FleetDeviceResult result;
-      result.name = config.devices[i].name;
-      result.queued_at_end = devices[i]->queued();
-      result.quarantines = monitor.quarantines(i);
-      result.rejoins = monitor.rejoins(i);
-      result.final_health = monitor.state(i);
-      result.metrics = std::move(m);
-      metrics.devices.push_back(std::move(result));
-    }
-    metrics.tail_latency_p95_s = sim::percentile(metrics.backlog_series.values, 0.95);
-    if (coord_tracker.has_value()) {
-      metrics.forecast = coord_tracker->stats();
-    }
-    return std::move(metrics);
-  }
-};
-
-}  // namespace
 
 void FleetConfig::validate() const {
   if (devices.empty()) {
@@ -672,12 +72,39 @@ PinnedPolicy::PinnedPolicy(const core::AcceleratorLibrary& library, std::size_t 
 
 edge::ServingMode PinnedPolicy::initial_mode() { return fixed_mode_for(library_, version_); }
 
+/// The classic closed-world entry point, now a thin wrapper: one FleetEngine
+/// driven by a Poisson arrival process over \p trace. The engine draws no
+/// randomness of its own (injector seeds derive from device_seed), so the
+/// arrival stream here consumes the seed's Rng exactly as it always did and
+/// existing seeded runs replay bit-identically.
 FleetMetrics run_fleet(const edge::WorkloadTrace& trace, const core::AcceleratorLibrary& library,
                        const FleetConfig& config, RoutingPolicy& router, std::uint64_t seed) {
   config.validate();
   require(!library.versions.empty(), "fleet library has no versions");
-  FleetSim sim(trace, library, config, router, seed);
-  return sim.run();
+  sim::EventQueue queue;
+  FleetEngine engine(queue, library, config, router, seed, trace.duration());
+  Rng rng(seed);
+  engine.start();
+
+  std::function<void()> schedule_next_arrival = [&] {
+    const double rate = trace.rate_at(queue.now());
+    if (rate <= 0.0) {
+      // Re-check after the next rate boundary.
+      queue.schedule_in(0.05, [&] { schedule_next_arrival(); });
+      return;
+    }
+    const double when = queue.now() + rng.exponential(rate);
+    if (when <= trace.duration()) {
+      queue.schedule_at(when, [&] {
+        engine.offer_frame();
+        schedule_next_arrival();
+      });
+    }
+  };
+  schedule_next_arrival();
+
+  queue.run_until(trace.duration());
+  return engine.finalize(trace.duration());
 }
 
 FleetDevice managed_device(std::string name, const core::AcceleratorLibrary& library,

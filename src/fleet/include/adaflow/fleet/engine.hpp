@@ -1,0 +1,177 @@
+#pragma once
+
+/// \file engine.hpp
+/// The fleet's dispatcher/coordinator/health core as a reusable,
+/// externally-driven component.
+///
+/// FleetEngine is the cluster simulation of fleet.cpp with the workload
+/// pulled out — the same extraction DeviceSim is of the single server. It
+/// owns the N DeviceSims, the bounded ingress queue, the RoutingPolicy, the
+/// HealthMonitor circuit breaker, and the drain-and-reconfigure coordinator,
+/// but frames are delivered from the outside through offer_frame() on a
+/// shared sim::EventQueue. run_fleet() wraps exactly one engine behind a
+/// Poisson arrival process; the ingest pipeline (src/ingest) places a
+/// session/network/decode front-end ahead of the same engine and feeds it
+/// tagged frames, so capture->result latency survives hedges, quarantine
+/// drains, and re-dispatch.
+///
+/// Frame identity: every frame may carry an opaque int64 tag
+/// (edge::DeviceSim::kNoTag for anonymous traffic). A tagged frame reports
+/// back through set_frame_hooks exactly once — done (with delivered
+/// accuracy) or lost (destroyed inside a device, or shed when a re-dispatch
+/// found the ingress queue full). A frame shed at arrival is reported by the
+/// offer_frame() return value instead, never through the hooks.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "adaflow/edge/device_sim.hpp"
+#include "adaflow/fleet/fleet.hpp"
+
+namespace adaflow::fleet {
+
+/// The Fixed-Pruning operating point of one library version (what a pinned
+/// device runs, what the coordinator reconfigures to, and what the ingest
+/// brownout controller downgrades to).
+edge::ServingMode fixed_mode_for(const core::AcceleratorLibrary& library, std::size_t version);
+
+/// Index of \p version_name in \p library, or versions.size() when the
+/// device currently runs a mode from a different library.
+std::size_t find_version(const core::AcceleratorLibrary& library,
+                         const std::string& version_name);
+
+/// Per-device injector seed: splitmix-style spreading of the fleet seed so
+/// neighbouring devices get unrelated streams.
+std::uint64_t device_seed(std::uint64_t fleet_seed, std::size_t index);
+
+class FleetEngine {
+ public:
+  /// What happened to a frame offered to the ingress.
+  enum class Admit {
+    kDispatched,  ///< routed to a device queue immediately
+    kQueued,      ///< waiting at the bounded ingress queue
+    kShed,        ///< ingress full: the frame is lost (metrics.ingress_lost)
+  };
+
+  /// \p queue, \p library, \p config, and \p router must outlive the engine.
+  /// \p horizon_s bounds the self-rescheduling cadence events (health,
+  /// coordinator, sampling) — pass the run duration. \p seed derives the
+  /// per-device fault-injector seeds; the engine itself draws no randomness.
+  FleetEngine(sim::EventQueue& queue, const core::AcceleratorLibrary& library,
+              const FleetConfig& config, RoutingPolicy& router, std::uint64_t seed,
+              double horizon_s);
+  ~FleetEngine();
+
+  FleetEngine(const FleetEngine&) = delete;
+  FleetEngine& operator=(const FleetEngine&) = delete;
+
+  /// Starts every device and schedules the cadence events. Call once, at the
+  /// simulation time the run begins (normally t=0), before any offer_frame.
+  void start();
+
+  /// One frame reaches the dispatcher at queue.now(): routed immediately
+  /// when any device is accepting with headroom, parked at the bounded
+  /// ingress queue otherwise, shed when that queue is full.
+  Admit offer_frame(std::int64_t tag = edge::DeviceSim::kNoTag);
+
+  /// Per-frame outcome hooks for tagged frames (see file comment). The done
+  /// hook receives the accuracy the serving device delivered (degrade
+  /// penalties applied) — the ingest pipeline turns it into QoE and
+  /// capture->result latency.
+  void set_frame_hooks(std::function<void(std::int64_t tag, double accuracy)> on_done,
+                       std::function<void(std::int64_t tag)> on_lost);
+
+  /// Final per-device accounting at \p duration_s; moves the metrics out.
+  /// The engine is spent afterwards.
+  FleetMetrics finalize(double duration_s);
+
+  // --- introspection / external control (ingest brownout controller) ------
+  std::size_t device_count() const { return devices_.size(); }
+  const edge::DeviceSim& device(std::size_t i) const { return *devices_[i]; }
+  /// Library device \p i serves from (its own, or the fleet default).
+  const core::AcceleratorLibrary& device_library(std::size_t i) const;
+  std::int64_t ingress_backlog() const { return static_cast<std::int64_t>(ingress_.size()); }
+  /// Worst per-device backlog drain estimate right now [s].
+  double worst_backlog_seconds() const;
+  /// Externally commanded switch on device \p i — the same validated,
+  /// fault-injected, timeout/retry-laddered path the coordinator uses.
+  /// Callers gate on device(i).switch_in_flight().
+  void command_device_switch(std::size_t i, const edge::SwitchAction& action);
+  /// Live counters (finalize() gives the complete picture).
+  const FleetMetrics& metrics() const { return metrics_; }
+
+ private:
+  static constexpr std::size_t kNoExclude = static_cast<std::size_t>(-1);
+
+  bool excluded(std::size_t i) const;
+  bool try_dispatch(std::int64_t tag, std::size_t exclude = kNoExclude);
+  bool try_probe_dispatch(std::int64_t tag);
+  void drain_ingress();
+  void on_device_headroom(std::size_t i);
+  /// A re-dispatched frame (quarantine drain, probe reclaim, hedge) looks
+  /// for a new home: device first, then ingress, else it is shed — and a
+  /// shed tagged frame fires the lost hook (its owner must hear of it).
+  void redispatch_or_park(std::int64_t tag, std::size_t exclude);
+  void quarantine_drain(std::size_t i);
+  bool any_other_eligible(std::size_t i) const;
+  void health_tick();
+  double aggregate_fps();
+  double planning_rate(double measured) const;
+  void maybe_start_repartition(double now);
+  void coordinator_tick();
+  void device_poll(std::size_t i);
+  void device_sample(std::size_t i);
+  void fleet_sample();
+
+  sim::EventQueue& queue_;
+  const core::AcceleratorLibrary& fleet_library_;
+  const FleetConfig& config_;
+  RoutingPolicy& router_;
+  double horizon_s_;
+
+  std::vector<std::unique_ptr<edge::ServingPolicy>> policies_;
+  std::vector<std::unique_ptr<faults::FaultInjector>> injectors_;  ///< null = fault-free
+  std::vector<std::unique_ptr<edge::DeviceSim>> devices_;
+  /// Cleared while the coordinator drains/reconfigures a device.
+  std::vector<char> accepting_;
+
+  HealthMonitor monitor_;
+  /// Devices waiting for the dispatcher to route them a half-open probe.
+  std::vector<char> probe_wanted_;
+  /// Dispatch timestamps of the frames waiting in each device's queue
+  /// (front = oldest). Kept in lock-step with DeviceSim::queued().
+  std::vector<std::deque<double>> queued_since_;
+
+  FleetMetrics metrics_;
+  /// Tags of the frames waiting at ingress (front = oldest).
+  std::deque<std::int64_t> ingress_;
+  bool draining_ = false;  ///< re-entrancy guard for drain_ingress()
+
+  std::function<void(std::int64_t, double)> on_frame_done_;
+  std::function<void(std::int64_t)> on_frame_lost_;
+
+  // Coordinator state (see fleet.hpp for the drain-and-reconfigure design).
+  std::deque<double> recent_arrivals_;
+  std::optional<forecast::ForecastTracker> coord_tracker_;
+  enum class CoordState { kIdle, kDraining, kReconfiguring };
+  CoordState coord_state_ = CoordState::kIdle;
+  std::size_t coord_device_ = 0;
+  std::size_t coord_target_ = 0;
+  double drain_started_s_ = 0.0;
+  double last_repartition_end_s_ = -1e18;
+  /// Aggregate FPS at the last fully-converged evaluation; the hysteresis
+  /// band is centred here, not on the last action, so a half-converged fleet
+  /// keeps converging at a stable rate.
+  double last_converged_fps_ = -1.0;
+
+  // Fleet sample window: totals at the previous sample instant.
+  std::int64_t snap_arrived_ = 0;
+  std::int64_t snap_lost_ = 0;
+  double snap_qoe_ = 0.0;
+};
+
+}  // namespace adaflow::fleet

@@ -154,6 +154,11 @@ struct FleetMetrics {
   /// the coordinator runs with `predictive` set).
   sim::ForecastStats forecast;
 
+  /// True end-to-end capture->result latency over delivered frames. Filled
+  /// only by drivers that tag their frames (the ingest pipeline); empty for
+  /// plain run_fleet traffic, whose frames are anonymous.
+  sim::LatencyHistogram e2e_latency;
+
   std::vector<FleetDeviceResult> devices;
 
   std::int64_t lost() const { return ingress_lost + device_lost; }

@@ -1,0 +1,160 @@
+#pragma once
+
+/// \file pipeline.hpp
+/// The end-to-end ingest pipeline: camera sessions -> network links -> stale
+/// filter -> brownout admission -> bounded per-session queues -> decode
+/// workers -> FleetEngine dispatcher -> devices.
+///
+/// This is the layer the paper's serving stack sits behind in a real
+/// deployment: frames are not a Poisson process at the dispatcher, they are
+/// captured by flapping cameras, cross a lossy reordering network, survive a
+/// decode stage, and only then reach the fleet. Every frame is tagged at
+/// decode, so the reported latency is the true capture->result time —
+/// including network, queueing, decode, dispatch, hedges, and service.
+///
+/// Backpressure is explicit at every stage: the per-session ingest queues
+/// are bounded (overflow drops the arriving frame), the decode workers pause
+/// when the fleet's ingress backlog crosses a threshold (frames then wait in
+/// the session queues instead of piling into the dispatcher), and the
+/// brownout controller sheds load deliberately before queues overflow
+/// arbitrarily (see brownout.hpp).
+///
+/// Determinism: sessions, links, and the decoder each own a seeded Rng
+/// stream derived from the run seed with distinct salts, so one (config,
+/// seed) pair replays bit-identically — including the latency histogram's
+/// bucket counts.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adaflow/fleet/engine.hpp"
+#include "adaflow/ingest/brownout.hpp"
+#include "adaflow/ingest/network.hpp"
+#include "adaflow/ingest/session.hpp"
+
+namespace adaflow::ingest {
+
+struct DecodeConfig {
+  double cost_s = 0.002;    ///< decode service time per frame
+  int workers = 2;          ///< parallel decode slots (shared by all sessions)
+  double fail_p = 0.0005;   ///< baseline corrupt-frame probability
+  std::int64_t session_queue_capacity = 32;  ///< bounded pre-decode queue per session
+  /// Decode pauses while the fleet's ingress backlog is at or past this
+  /// (explicit backpressure: frames wait upstream, in the session queues).
+  std::int64_t backpressure_threshold = 64;
+  double retry_interval_s = 0.005;  ///< backpressure re-check cadence
+};
+
+struct IngestConfig {
+  int cameras = 4;
+  double duration_s = 30.0;
+  CameraSessionConfig camera;  ///< shared by every session (per-session Rng differs)
+  NetworkConfig network;
+  DecodeConfig decode;
+  BrownoutConfig brownout;
+  fleet::FleetConfig fleet;
+  /// Scheduled ingest-path faults (kNetworkOutage / kDecodeFault windows),
+  /// drawn from one injector shared by all links and the decoder.
+  std::optional<faults::FaultSchedule> faults;
+
+  /// Throws ConfigError naming the offending field. (Camera and network
+  /// fields are validated again by their components at construction.)
+  void validate() const;
+};
+
+struct IngestSessionResult {
+  std::string name;
+  SessionState final_state = SessionState::kConnecting;
+  CameraSessionStats session;
+  NetworkStats network;
+  StaleFilter::Stats filter;
+  std::int64_t queue_drops = 0;    ///< session-queue overflow drops
+  std::int64_t queued_at_end = 0;  ///< frames waiting for decode at t_end
+};
+
+/// Everything that happened to the frames, stage by stage. Flow conservation
+/// holds exactly (checked by tests and bench_ingest):
+///   captured + duplicates ==
+///     network_lost + stale_dropped + thinned + dropall_shed + queue_drops
+///     + decode_failed + fleet_shed + delivered + lost_in_fleet
+///     + network_in_flight + session_queued + decode_in_flight + fleet_backlog
+/// (the last four are the frames still alive when the clock stopped).
+struct IngestMetrics {
+  double duration_s = 0.0;
+
+  // Capture and network.
+  std::int64_t captured = 0;            ///< frames produced by the cameras
+  std::int64_t duplicates = 0;          ///< extra copies the network created
+  std::int64_t network_lost = 0;        ///< iid + burst + outage drops
+  std::int64_t network_in_flight = 0;   ///< copies still on the wire at t_end
+
+  // Receiver side.
+  std::int64_t stale_dropped = 0;       ///< duplicates + late frames (filter)
+  std::int64_t reordered = 0;           ///< arrival-order inversions observed
+  std::int64_t thinned = 0;             ///< tier-1 admission drops
+  std::int64_t dropall_shed = 0;        ///< kDropAll admission drops
+  std::int64_t queue_drops = 0;         ///< session-queue overflow drops
+  std::int64_t session_queued = 0;      ///< waiting for decode at t_end
+
+  // Decode.
+  std::int64_t decode_started = 0;
+  std::int64_t decode_failed = 0;       ///< baseline + injected decode faults
+  std::int64_t decode_in_flight = 0;    ///< mid-decode at t_end
+
+  // Fleet.
+  std::int64_t offered_to_fleet = 0;    ///< decode successes handed to the dispatcher
+  std::int64_t fleet_shed = 0;          ///< bounced off a full fleet ingress
+  std::int64_t delivered = 0;           ///< produced a result
+  std::int64_t lost_in_fleet = 0;       ///< destroyed inside a device / redispatch shed
+  std::int64_t fleet_backlog = 0;       ///< inside the fleet (ingress/queues) at t_end
+
+  /// Delivered frames whose accuracy fell below the fleet's nominal
+  /// operating point — tier-2 downgrades and device degrade windows.
+  std::int64_t degraded_delivered = 0;
+
+  double qoe_accuracy_sum = 0.0;
+
+  /// True end-to-end capture->result latency of delivered frames.
+  sim::LatencyHistogram e2e_latency;
+
+  BrownoutStats brownout;
+  int final_tier = 0;
+
+  /// Ingest-path injector counters (network outages, scheduled decode
+  /// faults); device-level faults live in fleet.faults.
+  sim::FaultStats faults;
+
+  fleet::FleetMetrics fleet;
+  std::vector<IngestSessionResult> sessions;
+
+  double delivered_fraction() const {
+    return captured > 0 ? static_cast<double>(delivered) / static_cast<double>(captured) : 0.0;
+  }
+  /// QoE = summed delivered accuracy / captured frames — accuracy times
+  /// delivered-frame fraction, charged for every frame the cameras produced.
+  double qoe() const {
+    return captured > 0 ? qoe_accuracy_sum / static_cast<double>(captured) : 0.0;
+  }
+  double degraded_fraction() const {
+    return delivered > 0
+               ? static_cast<double>(degraded_delivered) / static_cast<double>(delivered)
+               : 0.0;
+  }
+  /// Left side minus right side of the conservation identity (0 when exact).
+  std::int64_t conservation_error() const {
+    return (captured + duplicates) -
+           (network_lost + stale_dropped + thinned + dropall_shed + queue_drops +
+            decode_failed + fleet_shed + delivered + lost_in_fleet + network_in_flight +
+            session_queued + decode_in_flight + fleet_backlog);
+  }
+};
+
+/// Runs the full ingest pipeline over a fresh FleetEngine. \p library is the
+/// fleet's default library; \p seed derives every component stream — the
+/// same (config, seed) pair replays bit-identically.
+IngestMetrics run_ingest(const IngestConfig& config, const core::AcceleratorLibrary& library,
+                         fleet::RoutingPolicy& router, std::uint64_t seed);
+
+}  // namespace adaflow::ingest

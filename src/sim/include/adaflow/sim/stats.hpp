@@ -5,6 +5,7 @@
 /// fixed-interval time series (the paper's per-interval frame-loss / QoE
 /// curves).
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -43,9 +44,60 @@ struct TimeSeries {
 /// interval is taken from the first series.
 TimeSeries average_series(const std::vector<TimeSeries>& runs);
 
-/// Nearest-rank percentile of \p values (q in [0, 1]; q=0.95 -> p95).
-/// Returns 0 for an empty vector. The input is copied, not reordered.
+/// Classical nearest-rank percentile of \p values (q in [0, 1]; q=0.95 ->
+/// p95): the smallest element with at least ceil(q*N) elements <= it, i.e.
+/// sorted[clamp(ceil(q*N) - 1, 0, N-1)]. No interpolation is performed — the
+/// result is always one of the inputs. Exact small-N semantics follow from
+/// the rule: N=1 returns the single element for every q; q=0 returns the
+/// minimum; q=1 returns the maximum; and whenever N < 1/(1-q) (e.g. N < 1000
+/// at q=0.999) the rank saturates at N, so the result is the maximum — the
+/// only honest tail estimate a short run supports. Returns 0 for an empty
+/// vector. The input is copied, not reordered.
 double percentile(const std::vector<double>& values, double q);
+
+/// Fixed-layout geometric latency histogram for end-to-end capture->result
+/// percentiles. Bucket 0 covers [0, 100us); bucket i covers
+/// [100us * g^(i-1), 100us * g^i) with g = 2^(1/8) (~9% relative width); the
+/// last bucket is the overflow. The layout is compile-time constant, so two
+/// runs that record the same latencies produce bit-identical bucket counts —
+/// the replay-determinism contract extends to tail metrics. Unlike keeping
+/// every sample, memory is O(1) regardless of run length.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 256;
+  static constexpr double kMinSeconds = 1e-4;
+
+  /// Records one latency sample (negative values clamp to 0).
+  void record(double seconds);
+
+  std::int64_t count() const { return count_; }
+  double sum_s() const { return sum_s_; }
+  double mean_s() const { return count_ > 0 ? sum_s_ / static_cast<double>(count_) : 0.0; }
+  double min_s() const { return count_ > 0 ? min_s_ : 0.0; }
+  double max_s() const { return max_s_; }
+
+  /// Percentile estimate (q in [0, 1]). The target rank is the nearest-rank
+  /// ceil(q*count); the estimate interpolates linearly inside the containing
+  /// bucket (so the error is bounded by the ~9% bucket width), clamped into
+  /// [min_s, max_s]. The overflow bucket reports the exact recorded maximum.
+  /// Returns 0 when empty. Throws ConfigError on q outside [0, 1].
+  double percentile(double q) const;
+
+  void accumulate(const LatencyHistogram& other);
+
+  /// True when the bucket counts (and count/min/max/sum) match exactly —
+  /// the bit-identical-replay check for tail metrics.
+  bool identical(const LatencyHistogram& other) const;
+
+  const std::array<std::int64_t, kBuckets>& buckets() const { return buckets_; }
+
+ private:
+  std::array<std::int64_t, kBuckets> buckets_{};
+  std::int64_t count_ = 0;
+  double sum_s_ = 0.0;
+  double min_s_ = 0.0;
+  double max_s_ = 0.0;
+};
 
 /// Robustness counters of one simulated run: faults that manifested, how the
 /// server reacted, and how long it spent off its policy-chosen operating
@@ -63,6 +115,10 @@ struct FaultStats {
   std::int64_t device_crashes = 0;
   std::int64_t device_hangs = 0;
   std::int64_t degrade_windows = 0;
+  // Ingest-path faults (network outage windows ahead of the dispatcher,
+  // scheduled decode faults on top of the decoder's baseline failure rate).
+  std::int64_t network_outage_drops = 0;
+  std::int64_t decode_faults_injected = 0;
 
   // How the server reacted.
   std::int64_t switch_failures = 0;    ///< failed switch attempts observed
@@ -81,7 +137,7 @@ struct FaultStats {
   std::int64_t total_injected() const {
     return reconfig_failures_injected + reconfig_slowdowns_injected + monitor_dropouts +
            monitor_noise_events + stalls_injected + burst_windows + device_crashes +
-           device_hangs + degrade_windows;
+           device_hangs + degrade_windows + network_outage_drops + decode_faults_injected;
   }
   double degraded_fraction(double duration_s) const {
     return duration_s > 0.0 ? time_degraded_s / duration_s : 0.0;

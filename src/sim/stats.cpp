@@ -54,9 +54,102 @@ double percentile(const std::vector<double>& values, double q) {
   }
   std::vector<double> sorted = values;
   std::sort(sorted.begin(), sorted.end());
-  const double rank = q * static_cast<double>(sorted.size() - 1);
-  const std::size_t idx = static_cast<std::size_t>(std::llround(rank));
-  return sorted[std::min(idx, sorted.size() - 1)];
+  // Classical nearest-rank: rank ceil(q*N) in 1-based terms. The previous
+  // llround(q*(N-1)) variant underestimated extreme tails on small N (e.g.
+  // p999 of N=2 depended on rounding ties); ceil saturates the rank at N as
+  // soon as N < 1/(1-q), so short runs report their maximum.
+  const double scaled = q * static_cast<double>(sorted.size());
+  const auto rank = static_cast<std::int64_t>(std::ceil(scaled));
+  const std::int64_t idx =
+      std::min<std::int64_t>(std::max<std::int64_t>(rank - 1, 0),
+                             static_cast<std::int64_t>(sorted.size()) - 1);
+  return sorted[static_cast<std::size_t>(idx)];
+}
+
+namespace {
+
+/// Lower bound of histogram bucket \p i (upper bound = lower of i + 1).
+double bucket_lower(int i) {
+  if (i <= 0) {
+    return 0.0;
+  }
+  constexpr double kGrowth = 1.0905077326652577;  // 2^(1/8)
+  return LatencyHistogram::kMinSeconds * std::pow(kGrowth, static_cast<double>(i - 1));
+}
+
+int bucket_index(double seconds) {
+  if (seconds < LatencyHistogram::kMinSeconds) {
+    return 0;
+  }
+  const double ratio = seconds / LatencyHistogram::kMinSeconds;
+  // log2(ratio) * 8 buckets per octave; +1 because bucket 0 is [0, min).
+  const int idx = 1 + static_cast<int>(std::floor(std::log2(ratio) * 8.0));
+  return std::min(idx, LatencyHistogram::kBuckets - 1);
+}
+
+}  // namespace
+
+void LatencyHistogram::record(double seconds) {
+  const double s = std::max(seconds, 0.0);
+  if (count_ == 0) {
+    min_s_ = max_s_ = s;
+  } else {
+    min_s_ = std::min(min_s_, s);
+    max_s_ = std::max(max_s_, s);
+  }
+  ++count_;
+  sum_s_ += s;
+  ++buckets_[static_cast<std::size_t>(bucket_index(s))];
+}
+
+double LatencyHistogram::percentile(double q) const {
+  require(q >= 0.0 && q <= 1.0, "LatencyHistogram percentile q must be in [0, 1]");
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const auto rank = std::max<std::int64_t>(
+      static_cast<std::int64_t>(std::ceil(q * static_cast<double>(count_))), 1);
+  std::int64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::int64_t in_bucket = buckets_[static_cast<std::size_t>(i)];
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i == kBuckets - 1) {
+      return max_s_;  // overflow bucket: the recorded maximum is exact
+    }
+    const double lo = bucket_lower(i);
+    const double hi = bucket_lower(i + 1);
+    const double frac =
+        static_cast<double>(rank - cumulative) / static_cast<double>(in_bucket);
+    const double estimate = lo + (hi - lo) * frac;
+    return std::min(std::max(estimate, min_s_), max_s_);
+  }
+  return max_s_;
+}
+
+void LatencyHistogram::accumulate(const LatencyHistogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_s_ = other.min_s_;
+    max_s_ = other.max_s_;
+  } else {
+    min_s_ = std::min(min_s_, other.min_s_);
+    max_s_ = std::max(max_s_, other.max_s_);
+  }
+  count_ += other.count_;
+  sum_s_ += other.sum_s_;
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] += other.buckets_[static_cast<std::size_t>(i)];
+  }
+}
+
+bool LatencyHistogram::identical(const LatencyHistogram& other) const {
+  return count_ == other.count_ && sum_s_ == other.sum_s_ && min_s_ == other.min_s_ &&
+         max_s_ == other.max_s_ && buckets_ == other.buckets_;
 }
 
 void FaultStats::accumulate(const FaultStats& other) {
@@ -69,6 +162,8 @@ void FaultStats::accumulate(const FaultStats& other) {
   device_crashes += other.device_crashes;
   device_hangs += other.device_hangs;
   degrade_windows += other.degrade_windows;
+  network_outage_drops += other.network_outage_drops;
+  decode_faults_injected += other.decode_faults_injected;
   switch_failures += other.switch_failures;
   switch_timeouts += other.switch_timeouts;
   switch_retries += other.switch_retries;
@@ -96,6 +191,8 @@ void FaultStats::divide(int runs) {
   device_crashes = mean_count(device_crashes);
   device_hangs = mean_count(device_hangs);
   degrade_windows = mean_count(degrade_windows);
+  network_outage_drops = mean_count(network_outage_drops);
+  decode_faults_injected = mean_count(decode_faults_injected);
   switch_failures = mean_count(switch_failures);
   switch_timeouts = mean_count(switch_timeouts);
   switch_retries = mean_count(switch_retries);

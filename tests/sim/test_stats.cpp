@@ -100,7 +100,39 @@ TEST(Percentile, NearestRankOnASmallVector) {
   EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
   EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
   EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
-  EXPECT_DOUBLE_EQ(percentile(v, 0.95), 5.0);  // rank 3.8 rounds to 4
+  EXPECT_DOUBLE_EQ(percentile(v, 0.95), 5.0);  // rank ceil(0.95 * 5) = 5
+}
+
+// The exact small-N contract of the nearest-rank rule, spelled out in
+// stats.hpp: sorted[clamp(ceil(q*N) - 1, 0, N-1)], no interpolation.
+TEST(Percentile, SingleSampleReturnsItForEveryQuantile) {
+  const std::vector<double> v = {7.5};
+  for (double q : {0.0, 0.5, 0.95, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(percentile(v, q), 7.5) << "q=" << q;
+  }
+}
+
+TEST(Percentile, TwoSamplesSplitAtTheMedian) {
+  const std::vector<double> v = {10.0, 20.0};
+  // ceil(q*2) <= 1 for q <= 0.5 -> minimum; anything above -> maximum.
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.51), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.999), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 20.0);
+}
+
+TEST(Percentile, P999SaturatesToTheMaximumBelowAThousandSamples) {
+  // N < 1/(1-q): the rank ceil(0.999*N) clamps to N, so p999 of any run
+  // shorter than 1000 samples is exactly the maximum.
+  std::vector<double> v;
+  for (int i = 1; i <= 999; ++i) {
+    v.push_back(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(percentile(v, 0.999), 999.0);
+  // At exactly N = 1000 the rank no longer saturates: ceil(999.0) = 999.
+  v.push_back(1000.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.999), 999.0);
 }
 
 TEST(Percentile, EmptyVectorIsZero) { EXPECT_DOUBLE_EQ(percentile({}, 0.95), 0.0); }
@@ -115,6 +147,94 @@ TEST(Percentile, DoesNotReorderTheInput) {
   std::vector<double> copy = v;
   percentile(copy, 0.5);
   EXPECT_EQ(copy, v);
+}
+
+TEST(LatencyHistogram, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.mean_s(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min_s(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max_s(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+}
+
+TEST(LatencyHistogram, TracksCountSumMinMaxExactly) {
+  LatencyHistogram h;
+  for (double s : {0.010, 0.020, 0.040, 0.500}) {
+    h.record(s);
+  }
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum_s(), 0.57);
+  EXPECT_DOUBLE_EQ(h.min_s(), 0.010);
+  EXPECT_DOUBLE_EQ(h.max_s(), 0.500);
+}
+
+TEST(LatencyHistogram, PercentileErrorBoundedByBucketWidth) {
+  LatencyHistogram h;
+  std::vector<double> values;
+  for (int i = 1; i <= 2000; ++i) {
+    const double s = 1e-3 * static_cast<double>(i);  // 1ms .. 2s
+    values.push_back(s);
+    h.record(s);
+  }
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact = percentile(values, q);
+    // One geometric bucket is ~9% wide; interpolation keeps the estimate
+    // inside the containing bucket.
+    EXPECT_NEAR(h.percentile(q), exact, exact * 0.10) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, SmallCountPercentilesFollowTheNearestRankRule) {
+  LatencyHistogram h;
+  h.record(0.030);
+  // N=1: every quantile is the single sample (exactly, via the max clamp).
+  EXPECT_DOUBLE_EQ(h.percentile(0.999), 0.030);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.030);
+  h.record(0.300);
+  // N=2 at q=0.999: rank saturates to the maximum, reported exactly.
+  EXPECT_DOUBLE_EQ(h.percentile(0.999), 0.300);
+}
+
+TEST(LatencyHistogram, OverflowBucketReportsTheExactMaximum) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.record(1e9);  // far past the last finite bucket boundary
+  }
+  EXPECT_DOUBLE_EQ(h.percentile(0.999), 1e9);
+  EXPECT_DOUBLE_EQ(h.max_s(), 1e9);
+}
+
+TEST(LatencyHistogram, NegativeSamplesClampToZero) {
+  LatencyHistogram h;
+  h.record(-1.0);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_DOUBLE_EQ(h.min_s(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(LatencyHistogram, OutOfRangeQuantileThrows) {
+  LatencyHistogram h;
+  h.record(0.01);
+  EXPECT_THROW(h.percentile(-0.1), ConfigError);
+  EXPECT_THROW(h.percentile(1.1), ConfigError);
+}
+
+TEST(LatencyHistogram, AccumulateMergesAndIdenticalDetectsDrift) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (double s : {0.001, 0.010, 0.100}) {
+    a.record(s);
+    b.record(s);
+  }
+  EXPECT_TRUE(a.identical(b));
+  LatencyHistogram merged;
+  merged.accumulate(a);
+  merged.accumulate(b);
+  EXPECT_EQ(merged.count(), 6);
+  EXPECT_DOUBLE_EQ(merged.sum_s(), a.sum_s() + b.sum_s());
+  b.record(0.2);
+  EXPECT_FALSE(a.identical(b));
 }
 
 }  // namespace

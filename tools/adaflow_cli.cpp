@@ -9,6 +9,7 @@
 ///   show       --library FILE                        print a library table
 ///   simulate   --library FILE --scenario S           run the Edge simulation
 ///   fleet      --devices N --router R [--coordinated]  multi-FPGA cluster sim
+///   ingest     --cameras N --brownout M             end-to-end ingest pipeline
 ///   tune       --model M --objective O [--budget F]  folding auto-tuner (DSE)
 ///   forecast   --trace T --forecaster F [--horizon N]  forecaster evaluation
 ///
@@ -27,6 +28,7 @@
 #include "adaflow/edge/server.hpp"
 #include "adaflow/fleet/fleet.hpp"
 #include "adaflow/forecast/tracker.hpp"
+#include "adaflow/ingest/pipeline.hpp"
 #include "adaflow/nn/mlp.hpp"
 #include "adaflow/nn/serialize.hpp"
 #include "adaflow/nn/trainer.hpp"
@@ -374,6 +376,113 @@ int cmd_fleet(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_ingest(const std::vector<std::string>& args) {
+  ArgParser parser("adaflow ingest", "end-to-end ingest pipeline over a fleet");
+  parser.add_option("library", "library file (empty = built-in synthetic library)", "");
+  parser.add_option("cameras", "number of camera sessions (1..64)", "4");
+  parser.add_option("devices", "number of fleet devices (1..64)", "2");
+  parser.add_option("fps", "capture rate per camera [frames/s]", "30");
+  parser.add_option("duration", "simulated time [s]", "30");
+  parser.add_option("seed", "rng seed", "42");
+  parser.add_option("churn", "session drop rate [1/s]; 0 = sessions never drop", "0.05");
+  parser.add_option("loss", "i.i.d. network loss probability [0, 1)", "0.01");
+  parser.add_option("jitter-ms", "one-way network jitter sigma [ms]", "10");
+  parser.add_option("brownout", "off | ladder | drop-all", "ladder");
+  parser.add_option("decode-ms", "decode cost per frame [ms]", "2");
+  parser.add_option("decode-workers", "parallel decode slots", "2");
+  parser.add_option("router", "round-robin | least-loaded | accuracy-aware", "least-loaded");
+  parser.parse(args);
+
+  const core::AcceleratorLibrary lib = parser.option("library").empty()
+                                           ? core::synthetic_library()
+                                           : core::load_library(parser.option("library"));
+
+  // Every new knob is validated here so a bad value names the flag instead
+  // of surfacing as a deep IngestConfig error mid-run.
+  const std::int64_t cameras = parser.option_int("cameras");
+  require(cameras >= 1 && cameras <= 64,
+          "--cameras must be in [1, 64], got '" + parser.option("cameras") + "'");
+  const std::int64_t devices = parser.option_int("devices");
+  require(devices >= 1 && devices <= 64,
+          "--devices must be in [1, 64], got '" + parser.option("devices") + "'");
+  const double churn = parser.option_nonnegative_double("churn");
+  const double loss = parser.option_double("loss");
+  require(loss >= 0.0 && loss < 1.0, "--loss must be in [0, 1), got '" + parser.option("loss") + "'");
+  const double jitter_ms = parser.option_nonnegative_double("jitter-ms");
+  const std::string brownout = parser.option("brownout");
+  require(brownout == "off" || brownout == "ladder" || brownout == "drop-all",
+          "--brownout must be one of off | ladder | drop-all, got '" + brownout + "'");
+  const std::string router_name = parser.option("router");
+  {
+    const std::vector<std::string> names = fleet::router_names();
+    bool known = false;
+    for (const std::string& n : names) {
+      known = known || n == router_name;
+    }
+    require(known, "--router must be one of " + join(names, " | ") + ", got '" + router_name + "'");
+  }
+
+  ingest::IngestConfig config;
+  config.cameras = static_cast<int>(cameras);
+  config.duration_s = parser.option_positive_double("duration");
+  config.camera.fps = parser.option_positive_double("fps");
+  config.camera.mean_uptime_s = churn > 0.0 ? 1.0 / churn : 0.0;
+  config.network.loss_p = loss;
+  config.network.jitter_s = jitter_ms * 1e-3;
+  config.decode.cost_s = parser.option_nonnegative_double("decode-ms") * 1e-3;
+  config.decode.workers = static_cast<int>(parser.option_int("decode-workers"));
+  if (brownout == "off") {
+    config.brownout.mode = ingest::BrownoutMode::kOff;
+  } else if (brownout == "drop-all") {
+    config.brownout.mode = ingest::BrownoutMode::kDropAll;
+  }
+  // Pinned devices start at the most-accurate version; the brownout tier-2
+  // downgrade drives them through the existing switch path.
+  for (std::int64_t i = 0; i < devices; ++i) {
+    config.fleet.devices.push_back(fleet::pinned_device("dev" + std::to_string(i), lib, 0));
+  }
+  const std::uint64_t seed = static_cast<std::uint64_t>(parser.option_int("seed"));
+
+  auto router = fleet::make_router(router_name);
+  const ingest::IngestMetrics m = ingest::run_ingest(config, lib, *router, seed);
+
+  std::printf("ingest=%lld cameras x %.0f FPS -> %lld devices, brownout=%s, %.0fs\n",
+              static_cast<long long>(cameras), config.camera.fps,
+              static_cast<long long>(devices), brownout.c_str(), config.duration_s);
+  std::printf("captured     %lld frames (+%lld network duplicates)\n",
+              static_cast<long long>(m.captured), static_cast<long long>(m.duplicates));
+  std::printf("delivered    %lld (%s of captured), %s degraded\n",
+              static_cast<long long>(m.delivered),
+              format_percent(m.delivered_fraction(), 2).c_str(),
+              format_percent(m.degraded_fraction(), 2).c_str());
+  std::printf("dropped      net %lld, stale %lld, thinned %lld, shed %lld, queue %lld, "
+              "decode %lld, fleet %lld\n",
+              static_cast<long long>(m.network_lost), static_cast<long long>(m.stale_dropped),
+              static_cast<long long>(m.thinned), static_cast<long long>(m.dropall_shed),
+              static_cast<long long>(m.queue_drops), static_cast<long long>(m.decode_failed),
+              static_cast<long long>(m.fleet_shed + m.lost_in_fleet));
+  if (m.e2e_latency.count() > 0) {
+    std::printf("e2e latency  p50 %.1f ms, p99 %.1f ms, p999 %.1f ms\n",
+                m.e2e_latency.percentile(0.5) * 1e3, m.e2e_latency.percentile(0.99) * 1e3,
+                m.e2e_latency.percentile(0.999) * 1e3);
+  }
+  std::printf("QoE          %s\n", format_percent(m.qoe(), 2).c_str());
+  std::printf("brownout     %lld tier-1 / %lld tier-2 engagements, "
+              "%.1fs thinning, %.1fs downgraded, %.1fs shedding, final tier %d\n",
+              static_cast<long long>(m.brownout.tier1_engagements),
+              static_cast<long long>(m.brownout.tier2_engagements), m.brownout.time_tier1_s,
+              m.brownout.time_tier2_s, m.brownout.time_shedding_s, m.final_tier);
+  TextTable table({"session", "state", "connects", "captured", "net lost", "stale", "reordered"});
+  for (const ingest::IngestSessionResult& s : m.sessions) {
+    table.add_row({s.name, ingest::session_state_name(s.final_state),
+                   std::to_string(s.session.connects), std::to_string(s.session.frames_captured),
+                   std::to_string(s.network.lost()), std::to_string(s.filter.dropped_stale),
+                   std::to_string(s.filter.reordered)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
 int cmd_forecast(const std::vector<std::string>& args) {
   ArgParser parser("adaflow forecast", "evaluate an online workload forecaster on a trace");
   parser.add_option("trace",
@@ -539,7 +648,7 @@ int cmd_tune(const std::vector<std::string>& args) {
 
 int dispatch(int argc, char** argv) {
   const std::string usage =
-      "usage: adaflow <devices|train|prune|eval|library|show|simulate|fleet|tune|forecast>"
+      "usage: adaflow <devices|train|prune|eval|library|show|simulate|fleet|ingest|tune|forecast>"
       " [options]\n";
   if (argc < 2) {
     std::fprintf(stderr, "%s", usage.c_str());
@@ -573,6 +682,9 @@ int dispatch(int argc, char** argv) {
   }
   if (command == "fleet") {
     return cmd_fleet(rest);
+  }
+  if (command == "ingest") {
+    return cmd_ingest(rest);
   }
   if (command == "tune") {
     return cmd_tune(rest);
