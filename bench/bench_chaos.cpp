@@ -89,6 +89,15 @@ fleet::FleetMetrics run(const edge::WorkloadTrace& trace, const core::Accelerato
   return fleet::run_fleet(trace, lib, config, *router, seed);
 }
 
+void emit(bench::BenchJson& json, const std::string& scenario, const fleet::FleetMetrics& m) {
+  json.set(scenario, "frame_loss", m.frame_loss());
+  json.set(scenario, "qoe", m.qoe());
+  json.set(scenario, "lost", static_cast<double>(m.lost()));
+  json.set(scenario, "quarantines", static_cast<double>(m.quarantines));
+  json.set(scenario, "rejoins", static_cast<double>(m.rejoins));
+  json.set(scenario, "redispatched", static_cast<double>(m.redispatched));
+}
+
 void add_row(TextTable& table, const std::string& name, const fleet::FleetMetrics& m) {
   table.add_row({name, std::to_string(m.lost()), format_percent(m.frame_loss(), 2),
                  format_percent(m.qoe(), 2), std::to_string(m.quarantines),
@@ -143,6 +152,10 @@ int main(int argc, char** argv) {
   add_row(table, "baseline (PR 2)", baseline);
   add_row(table, "health-monitored", monitored);
   add_row(table, "monitored + hedge 0.5s", hedging);
+  bench::BenchJson json("chaos");
+  emit(json, "crash_baseline", baseline);
+  emit(json, "crash_monitored", monitored);
+  emit(json, "crash_hedging", hedging);
   std::printf("crash window %.0fs..%.0fs of a %.0fs run, flat %.0f FPS, 4 devices:\n%s\n",
               fault_start, fault_end, duration, rate, table.render().c_str());
 
@@ -183,6 +196,9 @@ int main(int argc, char** argv) {
     for (const std::uint64_t seed : seeds) {
       const fleet::FleetMetrics m =
           run(trace, lib, chaos_fleet(lib, s.schedule, /*health=*/true, 0.5), seed);
+      if (seed == seeds.front()) {
+        emit(json, std::string("sweep_") + s.name, m);
+      }
       // "Stuck" frames: still queued at t_end on a device the monitor holds
       // out of rotation — bounded by one in-flight probe per sick device.
       std::int64_t stuck = 0;
@@ -234,5 +250,8 @@ int main(int argc, char** argv) {
   }
   all_ok &= check(identical, "same seed replays the chaos run bit-identically");
 
+  if (all_ok) {
+    json.write();
+  }
   return all_ok ? 0 : 1;
 }

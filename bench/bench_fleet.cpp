@@ -58,6 +58,23 @@ edge::WorkloadConfig shifting(double rate, double duration_s) {
   return c;
 }
 
+void emit_fleet(bench::BenchJson& json, const std::string& scenario,
+                const fleet::FleetMetrics& m) {
+  json.set(scenario, "frame_loss", m.frame_loss());
+  json.set(scenario, "qoe", m.qoe());
+  json.set(scenario, "p95_ms", m.tail_latency_p95_s * 1e3);
+  json.set(scenario, "power_w", m.average_power_w());
+  json.set(scenario, "reconfigurations", static_cast<double>(m.reconfigurations));
+}
+
+void emit_single(bench::BenchJson& json, const std::string& scenario,
+                 const edge::RunMetrics& m) {
+  json.set(scenario, "frame_loss", m.frame_loss());
+  json.set(scenario, "qoe", m.qoe());
+  json.set(scenario, "power_w", m.average_power_w());
+  json.set(scenario, "reconfigurations", static_cast<double>(m.reconfigurations));
+}
+
 void add_fleet_row(TextTable& table, const std::string& name, const fleet::FleetMetrics& m) {
   table.add_row({name, format_percent(m.frame_loss(), 2), format_percent(m.qoe(), 2),
                  format_double(m.tail_latency_p95_s * 1e3, 0),
@@ -89,6 +106,7 @@ int main(int argc, char** argv) {
 
   const core::AcceleratorLibrary lib = core::synthetic_library();
   bool all_ok = true;
+  bench::BenchJson json("fleet");
 
   // --- Part A: router sweep on a heterogeneous fleet ----------------------
   const core::AcceleratorLibrary slow = core::scale_library_fps(lib, 0.5);
@@ -108,6 +126,7 @@ int main(int argc, char** argv) {
     auto router = fleet::make_router(name);
     const fleet::FleetMetrics m = fleet::run_fleet(burst_trace, lib, hetero, *router, 99);
     add_fleet_row(sweep, name, m);
+    emit_fleet(json, "router_" + name, m);
     if (name == "round-robin") {
       rr_loss = m.frame_loss();
     } else if (name == "least-loaded") {
@@ -151,6 +170,7 @@ int main(int argc, char** argv) {
   TextTable table({"config", "frame_loss", "QoE", "p95[ms]", "power[W]", "switches", "reconfigs",
                    "repartitions"});
   add_fleet_row(table, "fleet-coordinated (3x 1.0x)", fleet_m);
+  emit_fleet(json, "fleet_coordinated", fleet_m);
 
   // The paper's single-device baselines (static FINN, reconfiguration-only,
   // the AdaFlow Runtime Manager), each given the whole 3x budget. These are
@@ -162,6 +182,7 @@ int main(int argc, char** argv) {
     auto policy = core::make_serving_policy(kind, big, rmc);
     const edge::RunMetrics m = edge::run_simulation(shift_trace, *policy, server, 7);
     add_single_row(table, std::string("single-") + core::policy_kind_name(kind) + "-3.0x", m);
+    emit_single(json, std::string("single_") + core::policy_kind_name(kind), m);
     best_single_qoe = std::max(best_single_qoe, m.qoe());
   }
 
@@ -212,5 +233,8 @@ int main(int argc, char** argv) {
                          d1.tail_latency_p95_s == d2.tail_latency_p95_s;
   all_ok &= check(identical, "same seed replays the fleet bit-identically");
 
+  if (all_ok) {
+    json.write();
+  }
   return all_ok ? 0 : 1;
 }

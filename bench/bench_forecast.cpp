@@ -140,6 +140,7 @@ int main(int argc, char** argv) {
   const edge::ServerConfig server;
   const int runs = smoke ? 5 : bench::bench_runs();
   bool all_ok = true;
+  bench::BenchJson json("forecast");
 
   // --- Part A: forecaster quality on deterministic traces -----------------
   std::printf("Part A: horizon-ahead forecast quality (window 0.5 s, horizon 3)\n\n");
@@ -163,6 +164,9 @@ int main(int argc, char** argv) {
                        std::to_string(s.forecasts), format_percent(s.mape(), 1),
                        format_percent(s.coverage(), 1), std::to_string(s.changepoints)});
       mape[trace_name + "/" + forecast::forecaster_kind_name(kind)] = s.mape();
+      json.set(trace_name, std::string(forecast::forecaster_kind_name(kind)) + "_mape", s.mape());
+      json.set(trace_name, std::string(forecast::forecaster_kind_name(kind)) + "_coverage",
+               s.coverage());
     }
   }
   std::printf("%s\n", quality.render().c_str());
@@ -210,10 +214,18 @@ int main(int argc, char** argv) {
   add_row(table, "flash crowd", "proactive", on_flash.proactive);
   std::printf("%s\n", table.render().c_str());
 
-  for (const auto& [name, c] : {std::pair<const char*, const Contest*>{"scenario 1+2", &on_s12},
-                                {"flash crowd", &on_flash}}) {
+  for (const auto& [name, c] : {std::pair<const char*, const Contest*>{"scenario_1_2", &on_s12},
+                                {"flash_crowd", &on_flash}}) {
     const edge::RunMetrics& rea = c->reactive.mean;
     const edge::RunMetrics& pro = c->proactive.mean;
+    for (const auto& [policy, r] :
+         {std::pair<const char*, const edge::RepeatedRunResult*>{"reactive", &c->reactive},
+          {"proactive", &c->proactive}}) {
+      json.set(name, std::string(policy) + "_qoe", r->pooled_qoe);
+      json.set(name, std::string(policy) + "_frame_loss", r->pooled_frame_loss);
+      json.set(name, std::string(policy) + "_violation_s", r->mean.violation_s);
+      json.set(name, std::string(policy) + "_stall_s", r->mean.switch_stall_s);
+    }
     std::printf("%s:\n", name);
     all_ok &= check(pro.violation_s < rea.violation_s,
                     "proactive strictly reduces threshold-violation time");
@@ -240,6 +252,9 @@ int main(int argc, char** argv) {
       "fig_forecast_flash_crowd", "Forecast vs actual arrival rate (flash crowd)", "FPS",
       {{"actual", first.forecast_actual_series}, {"predicted", first.forecast_pred_series}});
 
+  if (all_ok) {
+    json.write();
+  }
   std::printf("\n%s\n", all_ok ? "ALL CHECKS PASSED" : "SOME CHECKS FAILED");
   return all_ok ? 0 : 1;
 }

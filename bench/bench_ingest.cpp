@@ -28,7 +28,6 @@
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <memory>
 #include <string>
 
@@ -133,17 +132,13 @@ bool identical(const ingest::IngestMetrics& a, const ingest::IngestMetrics& b) {
          a.final_tier == b.final_tier && a.fleet.dispatched == b.fleet.dispatched;
 }
 
-void append_mode(std::string& json, const char* key, const ingest::IngestMetrics& m,
-                 bool last = false) {
-  char buf[512];
-  std::snprintf(buf, sizeof(buf),
-                "  \"%s\": {\"qoe\": %.6f, \"delivered_fraction\": %.6f, "
-                "\"degraded_fraction\": %.6f, \"e2e_p50_ms\": %.3f, \"e2e_p99_ms\": %.3f, "
-                "\"e2e_p999_ms\": %.3f}%s\n",
-                key, m.qoe(), m.delivered_fraction(), m.degraded_fraction(),
-                m.e2e_latency.percentile(0.5) * 1e3, m.e2e_latency.percentile(0.99) * 1e3,
-                m.e2e_latency.percentile(0.999) * 1e3, last ? "" : ",");
-  json += buf;
+void emit_mode(bench::BenchJson& json, const char* scenario, const ingest::IngestMetrics& m) {
+  json.set(scenario, "qoe", m.qoe());
+  json.set(scenario, "delivered_fraction", m.delivered_fraction());
+  json.set(scenario, "degraded_fraction", m.degraded_fraction());
+  json.set(scenario, "e2e_p50_ms", m.e2e_latency.percentile(0.5) * 1e3);
+  json.set(scenario, "e2e_p99_ms", m.e2e_latency.percentile(0.99) * 1e3);
+  json.set(scenario, "e2e_p999_ms", m.e2e_latency.percentile(0.999) * 1e3);
 }
 
 }  // namespace
@@ -224,17 +219,13 @@ int main(int argc, char** argv) {
   check(identical(ladder, ladder2), "same-seed overload replay is bit-identical");
   check(identical(churn, churn2), "same-seed churn replay is bit-identical");
 
-  // --- JSON artefact --------------------------------------------------------
-  std::string json = "{\n  \"bench\": \"ingest\",\n  \"overload_factor\": 2.0,\n";
-  append_mode(json, "ladder", ladder);
-  append_mode(json, "off", off);
-  append_mode(json, "drop_all", dropall, /*last=*/true);
-  json += "}\n";
-  std::ofstream out("BENCH_ingest.json");
-  require(out.good(), "cannot write BENCH_ingest.json");
-  out << json;
-  out.close();
-  std::printf("wrote BENCH_ingest.json\n");
+  // --- JSON artefact (shared BenchJson schema) ------------------------------
+  bench::BenchJson json("ingest");
+  emit_mode(json, "ladder", ladder);
+  emit_mode(json, "off", off);
+  emit_mode(json, "drop_all", dropall);
+  emit_mode(json, "churn", churn);
+  json.write();
 
   std::printf("bench_ingest: all checks passed\n");
   return 0;

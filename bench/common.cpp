@@ -1,8 +1,11 @@
 #include "common.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
+#include "adaflow/common/error.hpp"
 #include "adaflow/common/strings.hpp"
 #include "adaflow/report/csv.hpp"
 #include "adaflow/report/gnuplot.hpp"
@@ -118,6 +121,55 @@ void export_figure(const std::string& stem, const std::string& title, const std:
   }
   report::write_gnuplot(spec, dir + "/" + stem + ".gp");
   std::printf("[report] wrote %s and %s.gp\n", csv_path.c_str(), (dir + "/" + stem).c_str());
+}
+
+BenchJson::BenchJson(std::string bench_name) : name_(std::move(bench_name)) {
+  require(!name_.empty(), "BenchJson needs a bench name");
+}
+
+void BenchJson::set(const std::string& scenario, const std::string& metric, double value) {
+  require(std::isfinite(value),
+          "BenchJson value for " + scenario + "." + metric + " must be finite");
+  for (auto& [name, metrics] : scenarios_) {
+    if (name != scenario) {
+      continue;
+    }
+    for (auto& [key, old] : metrics) {
+      if (key == metric) {
+        old = value;
+        return;
+      }
+    }
+    metrics.emplace_back(metric, value);
+    return;
+  }
+  scenarios_.emplace_back(scenario, Metrics{{metric, value}});
+}
+
+std::string BenchJson::render() const {
+  std::string json = "{\n  \"bench\": \"" + name_ + "\",\n  \"schema\": 1,\n  \"scenarios\": {";
+  for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+    json += std::string(s == 0 ? "" : ",") + "\n    \"" + scenarios_[s].first + "\": {";
+    const Metrics& metrics = scenarios_[s].second;
+    for (std::size_t m = 0; m < metrics.size(); ++m) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.9g", metrics[m].second);
+      json += std::string(m == 0 ? "" : ",") + "\n      \"" + metrics[m].first + "\": " + buf;
+    }
+    json += "\n    }";
+  }
+  json += "\n  }\n}\n";
+  return json;
+}
+
+void BenchJson::write() const {
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  require(out.good(), "cannot write " + path);
+  out << render();
+  out.close();
+  require(out.good(), "failed writing " + path);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 void print_banner(const std::string& artefact, const std::string& description) {

@@ -60,4 +60,31 @@ void export_figure(const std::string& stem, const std::string& title, const std:
 /// Prints a header banner for a bench artefact.
 void print_banner(const std::string& artefact, const std::string& description);
 
+/// Shared BENCH_*.json emitter: every simulation bench publishes its headline
+/// numbers through this one schema so tools/bench_diff.py can compare any
+/// two artefacts:
+///
+///   {"bench": "<name>", "schema": 1,
+///    "scenarios": {"<scenario>": {"<metric>": <number>, ...}, ...}}
+///
+/// Scenarios and metrics render in insertion order (deterministic output);
+/// values must be finite.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name);
+
+  /// Sets scenarios[scenario][metric] = value (insert or overwrite).
+  void set(const std::string& scenario, const std::string& metric, double value);
+
+  std::string render() const;
+
+  /// Writes BENCH_<name>.json to the working directory and logs the path.
+  void write() const;
+
+ private:
+  using Metrics = std::vector<std::pair<std::string, double>>;
+  std::string name_;
+  std::vector<std::pair<std::string, Metrics>> scenarios_;
+};
+
 }  // namespace adaflow::bench

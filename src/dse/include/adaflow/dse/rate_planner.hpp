@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file rate_planner.hpp
+/// Data-rate-aware folding planning: pick the folding whose *sustained*
+/// throughput matches a workload's offered data rate instead of maximizing
+/// peak FPS. The Data-Rate-Aware High-Speed CNN Inference line of work
+/// (PAPERS.md) observes that a dataflow accelerator provisioned for peak FPS
+/// wastes parallelism (LUTs/DSPs scale with PE*SIMD) whenever the sustained
+/// offered rate is far below peak — capacity a multi-tenant coordinator
+/// would rather hand to a hungrier tenant.
+///
+/// The planner wraps hls::folding_for_target_fps: the tenant's aggregate
+/// offered rate is split over its device share, inflated by a headroom
+/// factor (queueing at utilization ~1 is unstable), and the greedy
+/// bottleneck walk stops as soon as that per-device rate is sustained. The
+/// returned plan reports the achieved sustained FPS and the parallelism
+/// cost so callers can quantify what rate-matching saved versus a
+/// peak-provisioned folding (see parallelism_cost / plan_peak_folding).
+
+#include <cstdint>
+
+#include "adaflow/hls/folding.hpp"
+#include "adaflow/nn/model.hpp"
+
+namespace adaflow::dse {
+
+struct RatePlanConfig {
+  /// Sustained-rate multiplier the folding must cover: target = offered
+  /// rate / devices * headroom. >1 keeps device utilization bounded away
+  /// from 1 so queues stay finite.
+  double headroom = 1.2;
+  double clock_hz = 100e6;
+
+  /// Throws ConfigError naming the offending field.
+  void validate() const;
+};
+
+/// One tenant's rate-matched folding.
+struct RateFoldingPlan {
+  double offered_fps = 0.0;     ///< aggregate offered rate planned against
+  double target_fps = 0.0;      ///< per-device target after share + headroom
+  hls::FoldingConfig folding;   ///< the rate-matched folding
+  double sustained_fps = 0.0;   ///< clock / bottleneck cycles of `folding`
+  bool meets_target = false;    ///< sustained_fps >= target_fps
+  std::int64_t parallelism = 0; ///< sum of pe*simd — the hardware-cost proxy
+};
+
+/// Steady-state throughput of \p folding on \p model: the initiation
+/// interval is the slowest MVTU layer's cycles, so FPS = clock / max cycles.
+double sustained_fps(const nn::Model& model, const hls::FoldingConfig& folding, double clock_hz);
+
+/// Total PE*SIMD over all layers: the resource proxy rate-matching minimizes
+/// (MVTU LUT/DSP cost grows essentially linearly in it).
+std::int64_t parallelism_cost(const hls::FoldingConfig& folding);
+
+/// Folding matched to \p offered_fps spread over \p devices: calls
+/// hls::folding_for_target_fps at offered_fps / devices * headroom.
+/// meets_target is false when the model is fully unrolled below the target
+/// (the offered rate exceeds what one device can sustain).
+RateFoldingPlan plan_folding_for_rate(const nn::Model& model, double offered_fps, int devices,
+                                      const RatePlanConfig& config);
+
+/// The peak-FPS baseline the rate planner is measured against: the fully
+/// provisioned folding (target effectively infinite — every layer steps to
+/// its maximum divisor). Same RateFoldingPlan shape so the two plans diff
+/// directly (parallelism saved, FPS left on the table).
+RateFoldingPlan plan_peak_folding(const nn::Model& model, const RatePlanConfig& config);
+
+}  // namespace adaflow::dse

@@ -1,0 +1,68 @@
+#include "adaflow/dse/rate_planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow::dse {
+
+void RatePlanConfig::validate() const {
+  if (!(std::isfinite(headroom) && headroom >= 1.0)) {
+    throw ConfigError("RatePlanConfig.headroom must be >= 1");
+  }
+  if (!(std::isfinite(clock_hz) && clock_hz > 0.0)) {
+    throw ConfigError("RatePlanConfig.clock_hz must be positive");
+  }
+}
+
+double sustained_fps(const nn::Model& model, const hls::FoldingConfig& folding, double clock_hz) {
+  const std::vector<hls::MvtuLayerDesc> layers = hls::enumerate_mvtu_layers(model);
+  require(layers.size() == folding.layers.size(),
+          "folding has " + std::to_string(folding.layers.size()) + " layers, model has " +
+              std::to_string(layers.size()));
+  std::int64_t worst = 1;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    worst = std::max(worst, hls::mvtu_layer_cycles(layers[i], folding.layers[i]));
+  }
+  return clock_hz / static_cast<double>(worst);
+}
+
+std::int64_t parallelism_cost(const hls::FoldingConfig& folding) {
+  std::int64_t total = 0;
+  for (const hls::LayerFolding& layer : folding.layers) {
+    total += layer.pe * layer.simd;
+  }
+  return total;
+}
+
+RateFoldingPlan plan_folding_for_rate(const nn::Model& model, double offered_fps, int devices,
+                                      const RatePlanConfig& config) {
+  config.validate();
+  require(offered_fps > 0.0, "offered_fps must be positive");
+  require(devices >= 1, "devices must be >= 1");
+  RateFoldingPlan plan;
+  plan.offered_fps = offered_fps;
+  plan.target_fps = offered_fps / static_cast<double>(devices) * config.headroom;
+  plan.folding = hls::folding_for_target_fps(model, plan.target_fps, config.clock_hz);
+  plan.sustained_fps = sustained_fps(model, plan.folding, config.clock_hz);
+  plan.meets_target = plan.sustained_fps >= plan.target_fps;
+  plan.parallelism = parallelism_cost(plan.folding);
+  return plan;
+}
+
+RateFoldingPlan plan_peak_folding(const nn::Model& model, const RatePlanConfig& config) {
+  config.validate();
+  RateFoldingPlan plan;
+  // The greedy walk unrolls every bottleneck until no divisor remains when
+  // the target is unreachable: one cycle per frame stands in for "infinite".
+  plan.target_fps = config.clock_hz;
+  plan.offered_fps = plan.target_fps;
+  plan.folding = hls::folding_for_target_fps(model, plan.target_fps, config.clock_hz);
+  plan.sustained_fps = sustained_fps(model, plan.folding, config.clock_hz);
+  plan.meets_target = plan.sustained_fps >= plan.target_fps;
+  plan.parallelism = parallelism_cost(plan.folding);
+  return plan;
+}
+
+}  // namespace adaflow::dse

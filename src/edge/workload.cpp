@@ -91,9 +91,12 @@ WorkloadTrace::WorkloadTrace(std::vector<double> times, std::vector<double> rate
   for (std::size_t i = 0; i < times.size(); ++i) {
     const std::string where = "trace segment " + std::to_string(i) + ": ";
     require(std::isfinite(times[i]), where + "non-finite start time");
-    require(i == 0 || times[i] > times[i - 1],
-            where + "start times must be strictly ascending, got " +
-                std::to_string(times[i]) + " after " + std::to_string(times[i - 1]));
+    // The message argument is evaluated eagerly, so times[i - 1] must stay
+    // behind the index check rather than inside a short-circuited require.
+    if (i > 0 && !(times[i] > times[i - 1])) {
+      throw ConfigError(where + "start times must be strictly ascending, got " +
+                        std::to_string(times[i]) + " after " + std::to_string(times[i - 1]));
+    }
     require(std::isfinite(rates[i]) && rates[i] >= 0.0,
             where + "rate must be finite and >= 0, got " + std::to_string(rates[i]));
   }

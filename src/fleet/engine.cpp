@@ -61,6 +61,8 @@ FleetEngine::FleetEngine(sim::EventQueue& queue, const core::AcceleratorLibrary&
   accepting_.assign(n, 1);
   probe_wanted_.assign(n, 0);
   queued_since_.resize(n);
+  default_ingress_ = std::make_unique<FifoIngress>(config_.ingress_capacity);
+  ingress_ = default_ingress_.get();
   metrics_.workload_series.interval_s = config_.sample_interval_s;
   metrics_.loss_series.interval_s = config_.sample_interval_s;
   metrics_.qoe_series.interval_s = config_.sample_interval_s;
@@ -91,6 +93,14 @@ void FleetEngine::set_frame_hooks(std::function<void(std::int64_t, double)> on_d
   on_frame_done_ = std::move(on_done);
   on_frame_lost_ = std::move(on_lost);
 }
+
+void FleetEngine::set_ingress_queue(IngressQueue& ingress) {
+  require(metrics_.arrived == 0, "set_ingress_queue must be called before any frame is offered");
+  require(ingress.empty(), "set_ingress_queue requires an empty queue");
+  ingress_ = &ingress;
+}
+
+void FleetEngine::pump() { drain_ingress(); }
 
 void FleetEngine::command_device_switch(std::size_t i, const edge::SwitchAction& action) {
   devices_.at(i)->command_switch(action);
@@ -123,12 +133,15 @@ bool FleetEngine::try_dispatch(std::int64_t tag, std::size_t exclude) {
   if (!any_eligible) {
     return false;
   }
-  const std::size_t idx = router_.route(queue_.now(), statuses);
+  const std::size_t idx = router_.route_tagged(queue_.now(), tag, statuses);
+  if (idx == RoutingPolicy::kDecline) {
+    return false;  // class-based router keeps this frame at ingress
+  }
   require(idx < devices_.size() && statuses[idx].eligible,
           "router '" + router_.name() + "' returned an ineligible device");
   // Timestamp first: offer_frame may start service synchronously and fire
   // the headroom callback, which pops this very entry.
-  queued_since_[idx].push_back(queue_.now());
+  queued_since_[idx].push_back(QueuedFrame{queue_.now(), tag});
   const bool taken = devices_[idx]->offer_frame(/*count_loss=*/false, tag);
   require(taken, "eligible device '" + devices_[idx]->name() + "' rejected a frame");
   ++metrics_.dispatched;
@@ -143,7 +156,7 @@ bool FleetEngine::try_probe_dispatch(std::int64_t tag) {
     if (probe_wanted_[i] == 0 || devices_[i]->free_slots() <= 0) {
       continue;
     }
-    queued_since_[i].push_back(queue_.now());
+    queued_since_[i].push_back(QueuedFrame{queue_.now(), tag});
     const bool taken = devices_[i]->offer_frame(/*count_loss=*/false, tag);
     if (!taken) {
       queued_since_[i].pop_back();
@@ -169,11 +182,10 @@ void FleetEngine::drain_ingress() {
     return;
   }
   draining_ = true;
-  while (!ingress_.empty()) {
-    const std::int64_t tag = ingress_.front();
-    ingress_.pop_front();
+  while (!ingress_->empty()) {
+    const std::int64_t tag = ingress_->pop();
     if (!try_probe_dispatch(tag) && !try_dispatch(tag)) {
-      ingress_.push_front(tag);
+      ingress_->unpop(tag);
       break;
     }
   }
@@ -189,22 +201,73 @@ void FleetEngine::on_device_headroom(std::size_t i) {
 }
 
 FleetEngine::Admit FleetEngine::offer_frame(std::int64_t tag) {
+  if (config_.health.hedge_budget_s > 0.0 && config_.health.hedge_duplicate) {
+    require(tag >= 0 || tag == edge::DeviceSim::kNoTag,
+            "hedge_duplicate reserves negative frame tags for the engine");
+    if (tag == edge::DeviceSim::kNoTag) {
+      // Anonymous frames get engine-internal tags (< -1) so a duplicated
+      // copy can be deduped at completion; user hooks never see them.
+      tag = next_internal_tag_--;
+    }
+  }
   ++metrics_.arrived;
   if (config_.coordinator.enabled) {
     recent_arrivals_.push_back(queue_.now());
   }
-  // Waiting frames go first: keeping FIFO order keeps the ingress queue an
-  // honest queue (and keeps tagged latencies monotone with arrival order).
-  if (ingress_.empty() && (try_probe_dispatch(tag) || try_dispatch(tag))) {
+  // Waiting frames go first: draining in the queue's scheduling order keeps
+  // the ingress an honest queue (and tagged latencies monotone under FIFO).
+  if (ingress_->empty() && (try_probe_dispatch(tag) || try_dispatch(tag))) {
     return Admit::kDispatched;
   }
-  if (static_cast<std::int64_t>(ingress_.size()) < config_.ingress_capacity) {
-    ingress_.push_back(tag);
+  if (ingress_->push(tag)) {
     drain_ingress();
     return Admit::kQueued;
   }
   ++metrics_.ingress_lost;
   return Admit::kShed;
+}
+
+// --- frame outcome funnel ---------------------------------------------------
+
+void FleetEngine::frame_done(std::int64_t tag, double accuracy) {
+  const auto it = hedge_copies_.find(tag);
+  if (it != hedge_copies_.end()) {
+    HedgeEntry& entry = it->second;
+    const bool winner = !entry.delivered;
+    entry.delivered = true;
+    if (--entry.copies == 0) {
+      hedge_copies_.erase(it);
+    }
+    if (!winner) {
+      // The race was already won: this completion must not count toward
+      // delivered frames, QoE, or latency. finalize() subtracts it from the
+      // device-side sums.
+      ++metrics_.hedge_wasted;
+      hedge_wasted_qoe_ += accuracy;
+      return;
+    }
+  }
+  if (tag >= 0 && on_frame_done_) {
+    on_frame_done_(tag, accuracy);
+  }
+}
+
+void FleetEngine::frame_lost(std::int64_t tag) {
+  const auto it = hedge_copies_.find(tag);
+  if (it != hedge_copies_.end()) {
+    HedgeEntry& entry = it->second;
+    const bool delivered = entry.delivered;
+    const bool last = --entry.copies == 0;
+    if (last) {
+      hedge_copies_.erase(it);
+    }
+    if (delivered || !last) {
+      return;  // the other copy already delivered, or still might
+    }
+  }
+  if (tag >= 0 && on_frame_lost_) {
+    on_frame_lost_(tag);
+  }
 }
 
 // --- health monitoring ------------------------------------------------------
@@ -214,14 +277,11 @@ void FleetEngine::redispatch_or_park(std::int64_t tag, std::size_t exclude) {
   if (try_dispatch(tag, exclude)) {
     return;
   }
-  if (static_cast<std::int64_t>(ingress_.size()) < config_.ingress_capacity) {
-    ingress_.push_back(tag);
+  if (ingress_->push(tag)) {
     return;
   }
   ++metrics_.ingress_lost;
-  if (tag != edge::DeviceSim::kNoTag && on_frame_lost_) {
-    on_frame_lost_(tag);
-  }
+  frame_lost(tag);
 }
 
 /// Pulls every waiting frame off a newly-quarantined device and routes it
@@ -245,6 +305,42 @@ bool FleetEngine::any_other_eligible(std::size_t i) const {
     }
   }
   return false;
+}
+
+/// Duplicate hedging: every frame stuck past the budget keeps its queue
+/// position and a duplicate copy is dispatched to another eligible device
+/// (at most one duplicate per frame — the hedge_copies_ entry marks it).
+/// Whichever copy completes first wins; frame_done/frame_lost resolve the
+/// race so exactly one outcome reaches the caller.
+void FleetEngine::hedge_duplicates(double now) {
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (excluded(i)) {
+      continue;
+    }
+    // Index loop with per-step re-check: dispatching the duplicate can start
+    // service synchronously, fire a headroom event, and reshape any
+    // queued_since_ deque under us.
+    for (std::size_t k = 0; k < queued_since_[i].size(); ++k) {
+      const QueuedFrame q = queued_since_[i][k];
+      if (now - q.since < config_.health.hedge_budget_s) {
+        break;  // front = oldest; everything behind is younger
+      }
+      if (q.tag == edge::DeviceSim::kNoTag || hedge_copies_.count(q.tag) != 0) {
+        continue;  // anonymous (untracked) or already duplicated
+      }
+      if (!any_other_eligible(i)) {
+        return;  // nowhere to put a duplicate; try again next tick
+      }
+      if (!try_dispatch(q.tag, i)) {
+        return;  // class-based router declined every peer; retry next tick
+      }
+      // Completion is always a scheduled event, so registering the race
+      // right after the synchronous dispatch cannot miss the winner.
+      hedge_copies_.emplace(q.tag, HedgeEntry{});
+      ++metrics_.redispatched;
+      ++metrics_.hedged;
+    }
+  }
 }
 
 void FleetEngine::health_tick() {
@@ -299,24 +395,34 @@ void FleetEngine::health_tick() {
   // back and re-routed — but only when somewhere better exists right now
   // (hedging into a full fleet would just forfeit the frame's position).
   if (config_.health.hedge_budget_s > 0.0) {
-    for (std::size_t i = 0; i < devices_.size(); ++i) {
-      if (excluded(i)) {
-        continue;  // quarantine drain already emptied it
-      }
-      while (!queued_since_[i].empty() &&
-             now - queued_since_[i].front() >= config_.health.hedge_budget_s &&
-             any_other_eligible(i)) {
-        std::vector<std::int64_t> tags;
-        if (devices_[i]->take_queued(1, &tags) == 0) {
-          break;
+    if (config_.health.hedge_duplicate) {
+      hedge_duplicates(now);
+    } else {
+      for (std::size_t i = 0; i < devices_.size(); ++i) {
+        if (excluded(i)) {
+          continue;  // quarantine drain already emptied it
         }
-        queued_since_[i].pop_front();
-        ++metrics_.redispatched;
-        ++metrics_.hedged;
-        const bool placed = try_dispatch(tags.front(), i);
-        require(placed, "hedge re-dispatch failed despite an eligible device");
+        while (!queued_since_[i].empty() &&
+               now - queued_since_[i].front().since >= config_.health.hedge_budget_s &&
+               any_other_eligible(i)) {
+          std::vector<std::int64_t> tags;
+          if (devices_[i]->take_queued(1, &tags) == 0) {
+            break;
+          }
+          queued_since_[i].pop_front();
+          ++metrics_.redispatched;
+          ++metrics_.hedged;
+          const bool placed = try_dispatch(tags.front(), i);
+          require(placed, "hedge re-dispatch failed despite an eligible device");
+        }
       }
     }
+  }
+  // Frames a class-based router declined earlier wait at ingress without a
+  // headroom event of their own; the tick retries them (no-op otherwise —
+  // never-declining routers drain eagerly on every push and headroom event).
+  if (!ingress_->empty()) {
+    drain_ingress();
   }
   const double next = now + config_.health.tick_interval_s;
   if (next <= horizon_s_) {
@@ -495,6 +601,7 @@ void FleetEngine::fleet_sample() {
     qoe_total += dev->metrics().qoe_accuracy_sum;
     worst_backlog_s = std::max(worst_backlog_s, dev->backlog_seconds());
   }
+  qoe_total -= hedge_wasted_qoe_;  // discarded duplicate completions
   const std::int64_t d_arrived = arrived_total - snap_arrived_;
   const std::int64_t d_lost = lost_total - snap_lost_;
   const double d_qoe = qoe_total - snap_qoe_;
@@ -520,16 +627,8 @@ void FleetEngine::start() {
     devices_[i]->start();
     devices_[i]->set_on_headroom([this, i] { on_device_headroom(i); });
     devices_[i]->set_frame_hooks(
-        [this](std::int64_t tag, double accuracy) {
-          if (on_frame_done_) {
-            on_frame_done_(tag, accuracy);
-          }
-        },
-        [this](std::int64_t tag) {
-          if (on_frame_lost_) {
-            on_frame_lost_(tag);
-          }
-        });
+        [this](std::int64_t tag, double accuracy) { frame_done(tag, accuracy); },
+        [this](std::int64_t tag) { frame_lost(tag); });
   }
   const double t0 = queue_.now();
   for (std::size_t i = 0; i < devices_.size(); ++i) {
@@ -548,7 +647,7 @@ void FleetEngine::start() {
 
 FleetMetrics FleetEngine::finalize(double duration_s) {
   metrics_.duration_s = duration_s;
-  metrics_.ingress_backlog = static_cast<std::int64_t>(ingress_.size());
+  metrics_.ingress_backlog = static_cast<std::int64_t>(ingress_->size());
   metrics_.devices.reserve(devices_.size());
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     devices_[i]->finalize(duration_s);
@@ -569,6 +668,10 @@ FleetMetrics FleetEngine::finalize(double duration_s) {
     result.metrics = std::move(m);
     metrics_.devices.push_back(std::move(result));
   }
+  // Duplicate-hedge losers were counted by their devices; delivered frames
+  // and QoE must count each frame once.
+  metrics_.processed -= metrics_.hedge_wasted;
+  metrics_.qoe_accuracy_sum -= hedge_wasted_qoe_;
   metrics_.tail_latency_p95_s = sim::percentile(metrics_.backlog_series.values, 0.95);
   if (coord_tracker_.has_value()) {
     metrics_.forecast = coord_tracker_->stats();

@@ -27,12 +27,61 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "adaflow/edge/device_sim.hpp"
 #include "adaflow/fleet/fleet.hpp"
 
 namespace adaflow::fleet {
+
+/// Scheduling discipline of the dispatcher's bounded ingress queue. The
+/// engine pushes every frame that found no device, pops in whatever order
+/// the implementation decides (FIFO by default, weighted-fair in the
+/// multi-tenant scheduler), and puts a frame back when no device would take
+/// it. Implementations own their capacity policy: push() returning false
+/// means "full for this frame's class" and the engine sheds the frame.
+class IngressQueue {
+ public:
+  virtual ~IngressQueue() = default;
+  virtual bool empty() const = 0;
+  virtual std::size_t size() const = 0;
+  /// Admit one waiting frame; false when full (the caller sheds it).
+  virtual bool push(std::int64_t tag) = 0;
+  /// Removes and returns the next frame in scheduling order. Only called on
+  /// a non-empty queue.
+  virtual std::int64_t pop() = 0;
+  /// Puts back the frame pop() just returned (no device would take it). It
+  /// must keep its place: the next pop returns it again unless a
+  /// higher-priority frame arrived in between.
+  virtual void unpop(std::int64_t tag) = 0;
+};
+
+/// The default bounded FIFO ingress — exactly the pre-tenant dispatcher
+/// queue semantics (push_back / pop_front / put-back at the front).
+class FifoIngress final : public IngressQueue {
+ public:
+  explicit FifoIngress(std::int64_t capacity) : capacity_(capacity) {}
+  bool empty() const override { return frames_.empty(); }
+  std::size_t size() const override { return frames_.size(); }
+  bool push(std::int64_t tag) override {
+    if (static_cast<std::int64_t>(frames_.size()) >= capacity_) {
+      return false;
+    }
+    frames_.push_back(tag);
+    return true;
+  }
+  std::int64_t pop() override {
+    const std::int64_t tag = frames_.front();
+    frames_.pop_front();
+    return tag;
+  }
+  void unpop(std::int64_t tag) override { frames_.push_front(tag); }
+
+ private:
+  std::int64_t capacity_;
+  std::deque<std::int64_t> frames_;
+};
 
 /// The Fixed-Pruning operating point of one library version (what a pinned
 /// device runs, what the coordinator reconfigures to, and what the ingest
@@ -85,6 +134,17 @@ class FleetEngine {
   void set_frame_hooks(std::function<void(std::int64_t tag, double accuracy)> on_done,
                        std::function<void(std::int64_t tag)> on_lost);
 
+  /// Replaces the default bounded-FIFO ingress with a caller-owned
+  /// scheduling discipline (the multi-tenant WFQ). Call before start();
+  /// \p ingress must be empty and outlive the engine.
+  void set_ingress_queue(IngressQueue& ingress);
+
+  /// Re-attempts dispatch of waiting ingress frames. Every internal path
+  /// that frees headroom already pumps; external callers (the tenant
+  /// coordinator after re-partitioning) use this to wake a queue whose
+  /// frames were declined by the router earlier.
+  void pump();
+
   /// Final per-device accounting at \p duration_s; moves the metrics out.
   /// The engine is spent afterwards.
   FleetMetrics finalize(double duration_s);
@@ -94,7 +154,7 @@ class FleetEngine {
   const edge::DeviceSim& device(std::size_t i) const { return *devices_[i]; }
   /// Library device \p i serves from (its own, or the fleet default).
   const core::AcceleratorLibrary& device_library(std::size_t i) const;
-  std::int64_t ingress_backlog() const { return static_cast<std::int64_t>(ingress_.size()); }
+  std::int64_t ingress_backlog() const { return static_cast<std::int64_t>(ingress_->size()); }
   /// Worst per-device backlog drain estimate right now [s].
   double worst_backlog_seconds() const;
   /// Externally commanded switch on device \p i — the same validated,
@@ -112,6 +172,14 @@ class FleetEngine {
   bool try_probe_dispatch(std::int64_t tag);
   void drain_ingress();
   void on_device_headroom(std::size_t i);
+  /// Central frame-outcome funnel: dedupes duplicate-hedge copies, then
+  /// forwards caller tags to the user hooks. Every completion/loss path
+  /// (device hooks, re-park sheds) reports through here.
+  void frame_done(std::int64_t tag, double accuracy);
+  void frame_lost(std::int64_t tag);
+  /// Dispatches duplicate copies of frames stuck past the hedge budget
+  /// (hedge_duplicate mode; health_tick calls it each tick).
+  void hedge_duplicates(double now);
   /// A re-dispatched frame (quarantine drain, probe reclaim, hedge) looks
   /// for a new home: device first, then ingress, else it is shed — and a
   /// shed tagged frame fires the lost hook (its owner must hear of it).
@@ -142,17 +210,36 @@ class FleetEngine {
   HealthMonitor monitor_;
   /// Devices waiting for the dispatcher to route them a half-open probe.
   std::vector<char> probe_wanted_;
-  /// Dispatch timestamps of the frames waiting in each device's queue
-  /// (front = oldest). Kept in lock-step with DeviceSim::queued().
-  std::vector<std::deque<double>> queued_since_;
+  /// One entry per frame waiting in a device's queue (front = oldest):
+  /// dispatch timestamp + tag. Kept in lock-step with DeviceSim::queued();
+  /// the tag lets duplicate hedging name a stuck frame without pulling it.
+  struct QueuedFrame {
+    double since = 0.0;
+    std::int64_t tag = edge::DeviceSim::kNoTag;
+  };
+  std::vector<std::deque<QueuedFrame>> queued_since_;
 
   FleetMetrics metrics_;
-  /// Tags of the frames waiting at ingress (front = oldest).
-  std::deque<std::int64_t> ingress_;
+  /// The frames waiting at ingress, in the queue's scheduling order.
+  /// Points at default_ingress_ unless set_ingress_queue installed another.
+  std::unique_ptr<FifoIngress> default_ingress_;
+  IngressQueue* ingress_ = nullptr;
   bool draining_ = false;  ///< re-entrancy guard for drain_ingress()
 
   std::function<void(std::int64_t, double)> on_frame_done_;
   std::function<void(std::int64_t)> on_frame_lost_;
+
+  /// Duplicate-hedge bookkeeping (hedge_duplicate mode): one entry per frame
+  /// with two live copies in flight. First completion wins; the loser is
+  /// discarded as hedge_wasted. Anonymous frames get internal tags (< -1,
+  /// from next_internal_tag_) at admission so their copies dedupe too.
+  struct HedgeEntry {
+    int copies = 2;
+    bool delivered = false;
+  };
+  std::unordered_map<std::int64_t, HedgeEntry> hedge_copies_;
+  std::int64_t next_internal_tag_ = -2;
+  double hedge_wasted_qoe_ = 0.0;  ///< accuracy sum of discarded duplicates
 
   // Coordinator state (see fleet.hpp for the drain-and-reconfigure design).
   std::deque<double> recent_arrivals_;

@@ -106,6 +106,33 @@ struct FleetConfig {
   void validate() const;
 };
 
+/// Per-tenant accounting row inside FleetMetrics. Filled by drivers that run
+/// multi-tenant traffic (src/tenant); empty for single-tenant runs. Counts
+/// follow one frame's life: offered -> (admitted | throttled) ->
+/// (delivered | shed | lost), so offered == admitted + throttled and
+/// admitted == delivered + shed + lost + in_flight at any instant.
+struct TenantUsage {
+  std::string name;
+  std::int64_t offered = 0;    ///< frames the tenant's trace generated
+  std::int64_t admitted = 0;   ///< past the token-bucket admission control
+  std::int64_t throttled = 0;  ///< rejected by the token bucket
+  std::int64_t shed = 0;       ///< lost at the (per-class) ingress queue
+  std::int64_t delivered = 0;  ///< unique completions (hedge duplicates deduped)
+  std::int64_t lost = 0;       ///< destroyed post-dispatch (devices, re-park sheds)
+  double qoe_accuracy_sum = 0.0;  ///< summed delivered accuracy
+  /// Seconds this tenant spent in SLO violation (per sample window: admitted
+  /// traffic present but nothing delivered, or window p95 latency above the
+  /// tenant's bound).
+  double slo_violation_s = 0.0;
+  sim::LatencyHistogram latency;  ///< capture->result latency of delivered frames
+
+  /// QoE over offered frames (shed/throttled frames score zero), matching
+  /// FleetMetrics::qoe() charging losses to the cluster.
+  double qoe() const {
+    return offered > 0 ? qoe_accuracy_sum / static_cast<double>(offered) : 0.0;
+  }
+};
+
 struct FleetDeviceResult {
   std::string name;
   edge::RunMetrics metrics;
@@ -127,6 +154,10 @@ struct FleetMetrics {
   ///   arrived + redispatched == dispatched + ingress_lost + ingress_backlog.
   std::int64_t redispatched = 0;
   std::int64_t hedged = 0;  ///< subset of redispatched: queue-wait hedges
+  /// Duplicate-hedge completions that lost the race and were discarded
+  /// (hedge_duplicate mode only). finalize() already subtracts them from
+  /// processed and qoe_accuracy_sum, so delivered-frame counts stay honest.
+  std::int64_t hedge_wasted = 0;
   std::int64_t quarantines = 0;  ///< circuit-breaker trips, fleet-wide
   std::int64_t rejoins = 0;      ///< probed recoveries, fleet-wide
   std::int64_t processed = 0;
@@ -160,6 +191,9 @@ struct FleetMetrics {
   sim::LatencyHistogram e2e_latency;
 
   std::vector<FleetDeviceResult> devices;
+
+  /// Per-tenant breakdown (multi-tenant drivers only; see TenantUsage).
+  std::vector<TenantUsage> tenants;
 
   std::int64_t lost() const { return ingress_lost + device_lost; }
   double frame_loss() const {

@@ -31,6 +31,10 @@ struct DeviceStatus {
 
 class RoutingPolicy {
  public:
+  /// route_tagged may return this to decline the frame (no acceptable device
+  /// for its class right now); the dispatcher then parks it at ingress.
+  static constexpr std::size_t kDecline = static_cast<std::size_t>(-1);
+
   virtual ~RoutingPolicy() = default;
   virtual std::string name() const = 0;
 
@@ -38,6 +42,17 @@ class RoutingPolicy {
   /// guarantees at least one status is eligible; implementations must return
   /// the index of an eligible device.
   virtual std::size_t route(double now_s, const std::vector<DeviceStatus>& devices) = 0;
+
+  /// Tag-aware variant the dispatcher actually calls: class-based routers
+  /// (the tenant partition router) see the frame's tag and may return
+  /// kDecline to keep the frame waiting at ingress even though some device
+  /// is eligible (hard partitioning). The default ignores the tag and never
+  /// declines, so every existing router keeps its exact behaviour.
+  virtual std::size_t route_tagged(double now_s, std::int64_t tag,
+                                   const std::vector<DeviceStatus>& devices) {
+    (void)tag;
+    return route(now_s, devices);
+  }
 };
 
 /// Cycles through the devices in index order, skipping ineligible ones.

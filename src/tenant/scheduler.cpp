@@ -1,0 +1,141 @@
+#include "adaflow/tenant/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace adaflow::tenant {
+
+// --- WfqIngress -------------------------------------------------------------
+
+WfqIngress::WfqIngress(std::vector<ClassConfig> classes) : classes_(std::move(classes)) {
+  require(!classes_.empty(), "WfqIngress needs at least one class");
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    require(std::isfinite(classes_[c].weight) && classes_[c].weight > 0.0,
+            "WfqIngress class " + std::to_string(c) + " weight must be positive");
+    require(classes_[c].capacity >= 1,
+            "WfqIngress class " + std::to_string(c) + " capacity must be >= 1");
+  }
+  queues_.resize(classes_.size());
+  last_finish_.assign(classes_.size(), 0.0);
+  rejected_.assign(classes_.size(), 0);
+}
+
+std::size_t WfqIngress::class_of(std::int64_t tag) const {
+  require(tag >= 0, "WfqIngress frames must carry tenant tags (tag >= 0)");
+  const std::size_t cls = tag_tenant(tag);
+  require(cls < classes_.size(),
+          "frame tag names tenant " + std::to_string(cls) + " but only " +
+              std::to_string(classes_.size()) + " classes are configured");
+  return cls;
+}
+
+bool WfqIngress::push(std::int64_t tag) {
+  const std::size_t cls = class_of(tag);
+  if (static_cast<std::int64_t>(queues_[cls].size()) >= classes_[cls].capacity) {
+    ++rejected_[cls];
+    return false;
+  }
+  const double finish = std::max(vtime_, last_finish_[cls]) + 1.0 / classes_[cls].weight;
+  last_finish_[cls] = finish;
+  queues_[cls].push_back(Entry{tag, finish});
+  ++size_;
+  return true;
+}
+
+std::int64_t WfqIngress::pop() {
+  require(size_ > 0, "pop on an empty WfqIngress");
+  std::size_t best = classes_.size();
+  double best_finish = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < queues_.size(); ++c) {
+    if (!queues_[c].empty() && queues_[c].front().finish < best_finish) {
+      best_finish = queues_[c].front().finish;
+      best = c;
+    }
+  }
+  const Entry entry = queues_[best].front();
+  queues_[best].pop_front();
+  --size_;
+  vtime_ = entry.finish;
+  return entry.tag;
+}
+
+void WfqIngress::unpop(std::int64_t tag) {
+  const std::size_t cls = class_of(tag);
+  // The frame keeps its place: re-enter at the head of its class with the
+  // current virtual time (== the finish tag pop() just consumed), so the
+  // next pop returns it before anything pushed later. Capacity is not
+  // re-checked — the slot was still accounted to this frame.
+  queues_[cls].push_front(Entry{tag, vtime_});
+  ++size_;
+}
+
+// --- TenantRouter -----------------------------------------------------------
+
+TenantRouter::TenantRouter(std::size_t tenant_count, std::size_t device_count, bool allow_borrow,
+                           double switching_penalty_s, double foreign_penalty_s)
+    : tenant_count_(tenant_count), allow_borrow_(allow_borrow),
+      switching_penalty_s_(switching_penalty_s), foreign_penalty_s_(foreign_penalty_s) {
+  require(tenant_count_ >= 1, "TenantRouter needs at least one tenant");
+  require(device_count >= 1, "TenantRouter needs at least one device");
+  owner_.resize(device_count);
+  for (std::size_t i = 0; i < device_count; ++i) {
+    owner_[i] = i % tenant_count_;  // round-robin until the coordinator plans
+  }
+}
+
+void TenantRouter::assign(std::size_t device, std::size_t tenant) {
+  require(device < owner_.size() && tenant < tenant_count_, "assign out of range");
+  owner_[device] = tenant;
+}
+
+double TenantRouter::score(const fleet::DeviceStatus& s, bool foreign) const {
+  return s.backlog_s + (s.switching ? switching_penalty_s_ : 0.0) +
+         (foreign ? foreign_penalty_s_ : 0.0);
+}
+
+std::size_t TenantRouter::route(double, const std::vector<fleet::DeviceStatus>& devices) {
+  std::size_t best = kDecline;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    if (!devices[i].eligible) {
+      continue;
+    }
+    const double sc = score(devices[i], /*foreign=*/false);
+    if (sc < best_score) {
+      best_score = sc;
+      best = i;
+    }
+  }
+  return best;  // the dispatcher guarantees at least one eligible device
+}
+
+std::size_t TenantRouter::route_tagged(double now_s, std::int64_t tag,
+                                       const std::vector<fleet::DeviceStatus>& devices) {
+  if (tag < 0) {
+    return route(now_s, devices);  // anonymous traffic: no partition to honour
+  }
+  const std::size_t cls = tag_tenant(tag);
+  if (cls >= tenant_count_) {
+    return route(now_s, devices);
+  }
+  std::size_t best = kDecline;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < devices.size() && i < owner_.size(); ++i) {
+    if (!devices[i].eligible) {
+      continue;
+    }
+    const bool foreign = owner_[i] != cls;
+    if (foreign && !allow_borrow_) {
+      continue;
+    }
+    const double sc = score(devices[i], foreign);
+    if (sc < best_score) {
+      best_score = sc;
+      best = i;
+    }
+  }
+  return best;  // kDecline when the partition is full and borrowing is off
+}
+
+}  // namespace adaflow::tenant

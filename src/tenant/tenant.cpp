@@ -1,0 +1,39 @@
+#include "adaflow/tenant/tenant.hpp"
+
+#include <cmath>
+
+namespace adaflow::tenant {
+
+namespace {
+void check(bool ok, const std::string& tenant, const char* what) {
+  if (!ok) {
+    throw ConfigError("tenant '" + tenant + "': " + what);
+  }
+}
+}  // namespace
+
+void TenantSlo::validate(const std::string& tenant) const {
+  check(std::isfinite(max_latency_s) && max_latency_s > 0.0, tenant,
+        "slo.max_latency_s must be positive");
+  check(std::isfinite(min_deliver_fraction) && min_deliver_fraction >= 0.0 &&
+            min_deliver_fraction <= 1.0,
+        tenant, "slo.min_deliver_fraction must be in [0, 1]");
+}
+
+void AdmissionConfig::validate(const std::string& tenant) const {
+  check(std::isfinite(rate_fps) && rate_fps > 0.0, tenant, "admission.rate_fps must be positive");
+  check(std::isfinite(burst_frames) && burst_frames >= 1.0, tenant,
+        "admission.burst_frames must be >= 1");
+}
+
+void TenantSpec::validate() const {
+  check(!name.empty(), name, "name must not be empty");
+  check(std::isfinite(weight) && weight > 0.0, name, "weight must be positive");
+  check(std::isfinite(accuracy_threshold) && accuracy_threshold >= 0.0, name,
+        "accuracy_threshold must be >= 0");
+  check(ingress_capacity >= 1, name, "ingress_capacity must be >= 1");
+  slo.validate(name);
+  admission.validate(name);
+}
+
+}  // namespace adaflow::tenant

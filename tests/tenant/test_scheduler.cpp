@@ -1,0 +1,197 @@
+/// WfqIngress + TenantRouter + tag codec + TokenBucket unit tests.
+
+#include "adaflow/tenant/scheduler.hpp"
+
+#include "adaflow/common/error.hpp"
+#include "adaflow/tenant/tenant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace adaflow::tenant {
+namespace {
+
+TEST(TenantTag, PacksAndUnpacksTenantAndSequence) {
+  const std::int64_t tag = make_tag(5, 123456789);
+  EXPECT_EQ(tag_tenant(tag), 5u);
+  EXPECT_EQ(tag_seq(tag), 123456789);
+  EXPECT_GE(tag, 0);
+  EXPECT_EQ(tag_tenant(make_tag(0, 0)), 0u);
+  EXPECT_EQ(tag_seq(make_tag(7, 0)), 0);
+}
+
+TEST(TokenBucket, RefillsContinuouslyAndCapsAtBurst) {
+  AdmissionConfig config;
+  config.rate_fps = 10.0;
+  config.burst_frames = 2.0;
+  TokenBucket bucket(config);
+  EXPECT_TRUE(bucket.try_take(0.0));
+  EXPECT_TRUE(bucket.try_take(0.0));
+  EXPECT_FALSE(bucket.try_take(0.0)) << "burst exhausted";
+  EXPECT_FALSE(bucket.try_take(0.05)) << "half a token refilled, still under 1";
+  EXPECT_TRUE(bucket.try_take(0.1)) << "one token refilled after rate*dt = 1";
+  // A long idle stretch caps at burst, not at rate * dt.
+  EXPECT_TRUE(bucket.try_take(100.0));
+  EXPECT_TRUE(bucket.try_take(100.0));
+  EXPECT_FALSE(bucket.try_take(100.0));
+}
+
+std::vector<WfqIngress::ClassConfig> two_classes(double w0, double w1,
+                                                 std::int64_t capacity = 64) {
+  return {WfqIngress::ClassConfig{w0, capacity}, WfqIngress::ClassConfig{w1, capacity}};
+}
+
+TEST(WfqIngress, DrainsBacklogsProportionallyToWeight) {
+  // Tenant 0 has weight 3, tenant 1 weight 1; both push 40 frames. The first
+  // 20 pops must split ~3:1.
+  WfqIngress wfq(two_classes(3.0, 1.0));
+  for (std::int64_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(wfq.push(make_tag(0, i)));
+    ASSERT_TRUE(wfq.push(make_tag(1, i)));
+  }
+  std::map<std::size_t, int> popped;
+  for (int i = 0; i < 20; ++i) {
+    ++popped[tag_tenant(wfq.pop())];
+  }
+  EXPECT_EQ(popped[0], 15);
+  EXPECT_EQ(popped[1], 5);
+}
+
+TEST(WfqIngress, EqualWeightsInterleaveFairly) {
+  WfqIngress wfq(two_classes(1.0, 1.0));
+  for (std::int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(wfq.push(make_tag(0, i)));
+    ASSERT_TRUE(wfq.push(make_tag(1, i)));
+  }
+  std::map<std::size_t, int> popped;
+  for (int i = 0; i < 10; ++i) {
+    ++popped[tag_tenant(wfq.pop())];
+  }
+  EXPECT_EQ(popped[0], 5);
+  EXPECT_EQ(popped[1], 5);
+}
+
+TEST(WfqIngress, AnIdleClassDoesNotBankCredit) {
+  // Classic SCFQ property: a class that was idle while the other drained
+  // cannot burst ahead on arrival — its finish times start at the current
+  // virtual time, not at zero.
+  WfqIngress wfq(two_classes(1.0, 1.0));
+  for (std::int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(wfq.push(make_tag(0, i)));
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(tag_tenant(wfq.pop()), 0u);
+  }
+  // Tenant 1 wakes up; from here on the two must alternate, not tenant-1
+  // monopolize.
+  for (std::int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(wfq.push(make_tag(1, i)));
+  }
+  std::map<std::size_t, int> popped;
+  for (int i = 0; i < 10; ++i) {
+    ++popped[tag_tenant(wfq.pop())];
+  }
+  EXPECT_EQ(popped[0], 5);
+  EXPECT_EQ(popped[1], 5);
+}
+
+TEST(WfqIngress, PerClassCapacityRejectsAndCounts) {
+  WfqIngress wfq({WfqIngress::ClassConfig{1.0, 2}, WfqIngress::ClassConfig{1.0, 64}});
+  EXPECT_TRUE(wfq.push(make_tag(0, 0)));
+  EXPECT_TRUE(wfq.push(make_tag(0, 1)));
+  EXPECT_FALSE(wfq.push(make_tag(0, 2))) << "class 0 is full";
+  EXPECT_TRUE(wfq.push(make_tag(1, 0))) << "class 1 has its own budget";
+  EXPECT_EQ(wfq.rejected(0), 1);
+  EXPECT_EQ(wfq.rejected(1), 0);
+  EXPECT_EQ(wfq.backlog(0), 2u);
+  EXPECT_EQ(wfq.backlog(1), 1u);
+  EXPECT_EQ(wfq.size(), 3u);
+}
+
+TEST(WfqIngress, UnpopKeepsHeadOfLinePosition) {
+  WfqIngress wfq(two_classes(1.0, 1.0));
+  ASSERT_TRUE(wfq.push(make_tag(0, 0)));
+  ASSERT_TRUE(wfq.push(make_tag(0, 1)));
+  const std::int64_t head = wfq.pop();
+  EXPECT_EQ(head, make_tag(0, 0));
+  wfq.unpop(head);
+  EXPECT_EQ(wfq.pop(), head) << "a declined frame keeps its place at the head";
+  EXPECT_EQ(wfq.pop(), make_tag(0, 1));
+  EXPECT_TRUE(wfq.empty());
+}
+
+TEST(WfqIngress, RejectsForeignAndNegativeTags) {
+  WfqIngress wfq(two_classes(1.0, 1.0));
+  EXPECT_THROW(wfq.push(-1), ConfigError);
+  EXPECT_THROW(wfq.push(make_tag(2, 0)), ConfigError) << "only 2 classes configured";
+}
+
+std::vector<fleet::DeviceStatus> statuses(std::size_t n) {
+  std::vector<fleet::DeviceStatus> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].eligible = true;
+    out[i].backlog_s = 0.0;
+    out[i].switching = false;
+  }
+  return out;
+}
+
+TEST(TenantRouter, HonorsThePartitionForTaggedFrames) {
+  TenantRouter router(/*tenant_count=*/2, /*device_count=*/4, /*allow_borrow=*/false);
+  router.assign(0, 0);
+  router.assign(1, 0);
+  router.assign(2, 1);
+  router.assign(3, 1);
+  auto devs = statuses(4);
+  devs[0].backlog_s = 0.5;  // tenant 0's other device is better
+  EXPECT_EQ(router.route_tagged(0.0, make_tag(0, 1), devs), 1u);
+  EXPECT_EQ(router.route_tagged(0.0, make_tag(1, 1), devs), 2u);
+}
+
+TEST(TenantRouter, DeclinesWhenPartitionFullAndBorrowingOff) {
+  TenantRouter router(2, 2, /*allow_borrow=*/false);
+  router.assign(0, 0);
+  router.assign(1, 1);
+  auto devs = statuses(2);
+  devs[0].eligible = false;  // tenant 0's only device is full
+  EXPECT_EQ(router.route_tagged(0.0, make_tag(0, 1), devs), fleet::RoutingPolicy::kDecline);
+  EXPECT_EQ(router.route_tagged(0.0, make_tag(1, 1), devs), 1u);
+}
+
+TEST(TenantRouter, BorrowsTheLeastLoadedForeignDeviceWhenAllowed) {
+  TenantRouter router(2, 3, /*allow_borrow=*/true);
+  router.assign(0, 0);
+  router.assign(1, 1);
+  router.assign(2, 1);
+  auto devs = statuses(3);
+  devs[0].eligible = false;   // own device full
+  devs[1].backlog_s = 0.4;
+  devs[2].backlog_s = 0.0;    // least-loaded foreign device wins
+  EXPECT_EQ(router.route_tagged(0.0, make_tag(0, 1), devs), 2u);
+}
+
+TEST(TenantRouter, PrefersOwnDeviceUnlessForeignIsClearlyBetter) {
+  TenantRouter router(2, 2, /*allow_borrow=*/true, /*switching_penalty_s=*/0.1,
+                      /*foreign_penalty_s=*/0.05);
+  router.assign(0, 0);
+  router.assign(1, 1);
+  auto devs = statuses(2);
+  devs[0].backlog_s = 0.04;  // own backlog below the foreign penalty: stay home
+  EXPECT_EQ(router.route_tagged(0.0, make_tag(0, 1), devs), 0u);
+  devs[0].backlog_s = 0.2;   // own backlog clearly worse: borrow
+  EXPECT_EQ(router.route_tagged(0.0, make_tag(0, 1), devs), 1u);
+}
+
+TEST(TenantRouter, AnonymousFramesIgnoreThePartition) {
+  TenantRouter router(2, 2, /*allow_borrow=*/false);
+  router.assign(0, 0);
+  router.assign(1, 1);
+  auto devs = statuses(2);
+  devs[0].backlog_s = 0.5;
+  EXPECT_EQ(router.route_tagged(0.0, -1, devs), 1u) << "kNoTag routes least-loaded";
+}
+
+}  // namespace
+}  // namespace adaflow::tenant

@@ -12,6 +12,7 @@
 ///   ingest     --cameras N --brownout M             end-to-end ingest pipeline
 ///   tune       --model M --objective O [--budget F]  folding auto-tuner (DSE)
 ///   forecast   --trace T --forecaster F [--horizon N]  forecaster evaluation
+///   tenant     --tenants N --scheduler S --partition P  multi-tenant serving
 ///
 /// Models: cnv-w2a2, cnv-w1a2, tfc-w1a2. Datasets: cifar, gtsrb, mnist.
 
@@ -29,9 +30,11 @@
 #include "adaflow/fleet/fleet.hpp"
 #include "adaflow/forecast/tracker.hpp"
 #include "adaflow/ingest/pipeline.hpp"
+#include "adaflow/edge/workload.hpp"
 #include "adaflow/nn/mlp.hpp"
 #include "adaflow/nn/serialize.hpp"
 #include "adaflow/nn/trainer.hpp"
+#include "adaflow/tenant/serving.hpp"
 
 namespace {
 
@@ -646,9 +649,117 @@ int cmd_tune(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_tenant(const std::vector<std::string>& args) {
+  ArgParser parser("adaflow tenant", "multi-tenant serving over a shared fleet");
+  parser.add_option("library", "library file (empty = built-in synthetic library)", "");
+  parser.add_option("tenants", "number of tenants (2..8); traffic shapes cycle "
+                    "steady / diurnal / flash-crowd", "3");
+  parser.add_option("devices", "number of fleet devices (>= tenants, <= 64)", "8");
+  parser.add_option("duration", "simulated time [s]", "30");
+  parser.add_option("rate", "steady-tenant offered rate [frames/s]; the diurnal "
+                    "and flash shapes scale from it", "800");
+  parser.add_option("scheduler", "wfq | fifo", "wfq");
+  parser.add_option("partition", "rate-aware | peak-fps", "rate-aware");
+  parser.add_option("seed", "rng seed (same seed => bit-identical metrics)", "42");
+  parser.add_flag("no-borrow", "hard partition: tenants never borrow idle foreign devices");
+  parser.parse(args);
+
+  const core::AcceleratorLibrary lib = parser.option("library").empty()
+                                           ? core::synthetic_library()
+                                           : core::load_library(parser.option("library"));
+
+  // Validate every knob here so a bad value names the flag instead of
+  // surfacing as a deep MultiTenantConfig error mid-run.
+  const std::int64_t tenants = parser.option_int("tenants");
+  require(tenants >= 2 && tenants <= 8,
+          "--tenants must be in [2, 8], got '" + parser.option("tenants") + "'");
+  const std::int64_t devices = parser.option_int("devices");
+  require(devices >= tenants && devices <= 64,
+          "--devices must be in [tenants, 64], got '" + parser.option("devices") + "'");
+  const double duration = parser.option_positive_double("duration");
+  const double rate = parser.option_positive_double("rate");
+  const std::string scheduler = parser.option("scheduler");
+  require(scheduler == "wfq" || scheduler == "fifo",
+          "--scheduler must be one of wfq | fifo, got '" + scheduler + "'");
+  const std::string partition = parser.option("partition");
+  require(partition == "rate-aware" || partition == "peak-fps",
+          "--partition must be one of rate-aware | peak-fps, got '" + partition + "'");
+  const std::uint64_t seed = static_cast<std::uint64_t>(parser.option_int("seed"));
+
+  tenant::MultiTenantConfig config;
+  config.devices = static_cast<int>(devices);
+  config.duration_s = duration;
+  config.scheduler = scheduler == "wfq" ? tenant::SchedulerPolicy::kWfq
+                                        : tenant::SchedulerPolicy::kFifo;
+  config.partition = partition == "rate-aware" ? tenant::PartitionPolicy::kRateAware
+                                               : tenant::PartitionPolicy::kPeakFps;
+  config.allow_borrow = !parser.flag("no-borrow");
+  for (std::int64_t i = 0; i < tenants; ++i) {
+    tenant::TenantSpec spec;
+    spec.admission.rate_fps = rate * 2.0;
+    spec.admission.burst_frames = 64;
+    switch (i % 3) {
+      case 0:
+        spec.name = "steady-" + std::to_string(i);
+        spec.accuracy_threshold = 0.03;
+        spec.slo.max_latency_s = 0.04;
+        spec.trace = edge::WorkloadTrace{{0.0}, {rate}, duration};
+        break;
+      case 1:
+        spec.name = "diurnal-" + std::to_string(i);
+        spec.weight = 1.5;
+        spec.accuracy_threshold = 0.07;
+        spec.slo.max_latency_s = 0.05;
+        spec.trace = edge::diurnal_trace(rate * 0.4, rate * 1.5, duration * 0.5, duration,
+                                         1.0, 0.05, seed + static_cast<std::uint64_t>(i));
+        break;
+      default:
+        spec.name = "flash-" + std::to_string(i);
+        spec.weight = 2.0;
+        spec.accuracy_threshold = 0.12;
+        spec.slo.max_latency_s = 0.08;
+        spec.slo.min_deliver_fraction = 0.75;
+        spec.admission.rate_fps = rate * 5.0;
+        spec.admission.burst_frames = 128;
+        spec.ingress_capacity = 96;
+        spec.trace = edge::flash_crowd_trace(rate * 0.4, rate * 5.0, duration * 0.35,
+                                             duration * 0.1, duration * 0.2, duration, 0.5,
+                                             0.05, seed + static_cast<std::uint64_t>(i));
+        break;
+    }
+    config.tenants.push_back(std::move(spec));
+  }
+
+  const tenant::MultiTenantMetrics m = tenant::run_tenants(config, lib, seed);
+
+  std::printf("tenant=%lld tenants -> %lld devices, scheduler=%s, partition=%s%s, %.0fs\n",
+              static_cast<long long>(tenants), static_cast<long long>(devices),
+              scheduler.c_str(), partition.c_str(),
+              config.allow_borrow ? "" : ", no-borrow", duration);
+  TextTable table({"tenant", "offered", "throttled", "delivered", "shed", "QoE", "accuracy",
+                   "p95[ms]", "violation[s]", "version"});
+  for (const tenant::TenantResult& t : m.tenants) {
+    table.add_row({t.usage.name, std::to_string(t.usage.offered),
+                   std::to_string(t.usage.throttled), std::to_string(t.usage.delivered),
+                   std::to_string(t.usage.shed), format_percent(t.usage.qoe(), 1),
+                   format_percent(t.mean_accuracy, 1), format_double(t.latency_p95_s * 1e3, 1),
+                   format_double(t.usage.slo_violation_s, 1),
+                   "v" + std::to_string(t.final_version)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("worst-tenant SLO violation %.1fs, total %.1fs\n", m.worst_violation_s,
+              m.total_violation_s);
+  std::printf("coordinator: %lld device moves, %lld version switches, fleet QoE %s\n",
+              static_cast<long long>(m.device_moves),
+              static_cast<long long>(m.version_switches),
+              format_percent(m.fleet.qoe(), 2).c_str());
+  return 0;
+}
+
 int dispatch(int argc, char** argv) {
   const std::string usage =
-      "usage: adaflow <devices|train|prune|eval|library|show|simulate|fleet|ingest|tune|forecast>"
+      "usage: adaflow "
+      "<devices|train|prune|eval|library|show|simulate|fleet|ingest|tune|forecast|tenant>"
       " [options]\n";
   if (argc < 2) {
     std::fprintf(stderr, "%s", usage.c_str());
@@ -691,6 +802,9 @@ int dispatch(int argc, char** argv) {
   }
   if (command == "forecast") {
     return cmd_forecast(rest);
+  }
+  if (command == "tenant") {
+    return cmd_tenant(rest);
   }
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), usage.c_str());
   return 2;

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json artefacts and flag regressions.
+
+Every simulation bench emits the shared schema (bench/common.hpp BenchJson):
+
+    {"bench": "<name>", "schema": 1,
+     "scenarios": {"<scenario>": {"<metric>": <number>, ...}, ...}}
+
+Usage:
+    tools/bench_diff.py OLD.json NEW.json [--tolerance 0.05]
+
+For each metric present in both files the direction of "better" is inferred
+from the metric name (violation/latency/loss-style metrics want to go down;
+qoe/accuracy/delivered-style metrics want to go up; bookkeeping counts like
+device_moves are informational only). A metric that moves in the worse
+direction by more than --tolerance (relative, with a small absolute floor)
+is a regression; the script lists every change and exits 1 if any metric
+regressed. Scenarios or metrics present on one side only are reported but
+are not regressions (benches grow new scenarios over time).
+
+Stdlib only — no pip dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+# Substring -> direction. First match wins, checked in order: the most
+# specific fragments come first ("delivered_fraction" must not hit "loss"
+# rules via a later fragment, "in_budget_delivered" must count as
+# higher-is-better even though "budget" alone says nothing).
+LOWER_IS_BETTER = (
+    "violation",
+    "loss",
+    "lost",
+    "shed",
+    "throttled",
+    "latency",
+    "_ms",
+    "p50",
+    "p95",
+    "p99",
+    "mape",
+    "stall",
+    "drops",
+    "wasted",
+    "error",
+    "degraded",
+    "power",
+)
+HIGHER_IS_BETTER = (
+    "qoe",
+    "accuracy",
+    "delivered",
+    "coverage",
+    "admitted",
+    "fraction",
+)
+# Bookkeeping counters: neither direction is a regression.
+NEUTRAL = (
+    "moves",
+    "switches",
+    "reconfigurations",
+    "quarantines",
+    "rejoins",
+    "redispatched",
+)
+
+
+def direction(metric):
+    """Returns 'down', 'up', or 'neutral' for a metric name."""
+    name = metric.lower()
+    for fragment in NEUTRAL:
+        if fragment in name:
+            return "neutral"
+    for fragment in LOWER_IS_BETTER:
+        if fragment in name:
+            return "down"
+    for fragment in HIGHER_IS_BETTER:
+        if fragment in name:
+            return "up"
+    return "neutral"
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    for key in ("bench", "schema", "scenarios"):
+        if key not in doc:
+            sys.exit(f"bench_diff: {path} is missing the '{key}' field "
+                     "(not a BenchJson artefact?)")
+    if doc["schema"] != 1:
+        sys.exit(f"bench_diff: {path} has unsupported schema {doc['schema']}")
+    return doc
+
+
+def worsened(metric, old, new, tolerance, abs_floor):
+    """True when new is worse than old beyond tolerance."""
+    d = direction(metric)
+    if d == "neutral":
+        return False
+    delta = new - old if d == "up" else old - new  # positive = improvement
+    if delta >= 0:
+        return False
+    slack = max(abs(old) * tolerance, abs_floor)
+    return -delta > slack
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare two BENCH_*.json artefacts and flag regressions.")
+    parser.add_argument("old", help="baseline artefact")
+    parser.add_argument("new", help="candidate artefact")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="relative slack before a worse value counts as a "
+                             "regression (default 0.05)")
+    parser.add_argument("--abs-floor", type=float, default=1e-9,
+                        help="absolute slack floor for near-zero baselines")
+    args = parser.parse_args()
+
+    old_doc = load(args.old)
+    new_doc = load(args.new)
+    if old_doc["bench"] != new_doc["bench"]:
+        sys.exit(f"bench_diff: comparing different benches: "
+                 f"'{old_doc['bench']}' vs '{new_doc['bench']}'")
+
+    old_s = old_doc["scenarios"]
+    new_s = new_doc["scenarios"]
+    regressions = []
+    improvements = 0
+    unchanged = 0
+
+    for scenario in sorted(set(old_s) | set(new_s)):
+        if scenario not in new_s:
+            print(f"  [gone]  {scenario} (only in {args.old})")
+            continue
+        if scenario not in old_s:
+            print(f"  [new]   {scenario} (only in {args.new})")
+            continue
+        for metric in sorted(set(old_s[scenario]) | set(new_s[scenario])):
+            if metric not in new_s[scenario] or metric not in old_s[scenario]:
+                continue
+            old_v = old_s[scenario][metric]
+            new_v = new_s[scenario][metric]
+            if not isinstance(old_v, (int, float)) or not isinstance(new_v, (int, float)):
+                sys.exit(f"bench_diff: {scenario}.{metric} is not numeric")
+            key = f"{scenario}.{metric}"
+            if old_v == new_v:
+                unchanged += 1
+            elif worsened(metric, old_v, new_v, args.tolerance, args.abs_floor):
+                regressions.append((key, old_v, new_v))
+                print(f"  [WORSE] {key}: {old_v:g} -> {new_v:g}")
+            else:
+                improvements += 1
+                arrow = "better" if direction(metric) != "neutral" else "changed"
+                print(f"  [ok]    {key}: {old_v:g} -> {new_v:g} ({arrow})")
+
+    print(f"bench_diff: {old_doc['bench']}: {len(regressions)} regression(s), "
+          f"{improvements} changed-ok, {unchanged} unchanged "
+          f"(tolerance {args.tolerance:g})")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Full local gate: tier-1 release build (-Werror) + full test suite, fast
 # label groups for iterating on src/fleet, the resilience layer, src/forecast,
-# src/dse and src/ingest, then the fast suites again under AddressSanitizer +
-# UndefinedBehaviorSanitizer (ADAFLOW_SANITIZE=ON).
+# src/dse, src/ingest and src/tenant, then the fast suites again under
+# AddressSanitizer + UndefinedBehaviorSanitizer (ADAFLOW_SANITIZE=ON).
 #
 # Usage: tools/check.sh [jobs]
 set -euo pipefail
@@ -30,13 +30,16 @@ ctest --test-dir "$root/build" -L dse --output-on-failure -j "$jobs"
 echo "== ingest group (ctest -L ingest: pipeline tests + CLI validation + bench_ingest smoke) =="
 ctest --test-dir "$root/build" -L ingest --output-on-failure -j "$jobs"
 
+echo "== tenant group (ctest -L tenant: multi-tenant tests + CLI validation + bench_tenant smoke) =="
+ctest --test-dir "$root/build" -L tenant --output-on-failure -j "$jobs"
+
 echo "== tier 2: ASan+UBSan unit tests =="
 cmake -B "$root/build-asan" -S "$root" -DADAFLOW_SANITIZE=ON \
   -DADAFLOW_BUILD_BENCH=OFF -DADAFLOW_BUILD_EXAMPLES=OFF
 cmake --build "$root/build-asan" -j "$jobs" --target adaflow_unit_tests \
   --target adaflow_fleet_tests --target adaflow_chaos_tests \
   --target adaflow_forecast_tests --target adaflow_dse_tests \
-  --target adaflow_ingest_tests --target adaflow_cli
-ctest --test-dir "$root/build-asan" -L 'unit|fleet|chaos|forecast|dse|ingest' --output-on-failure -j "$jobs"
+  --target adaflow_ingest_tests --target adaflow_tenant_tests --target adaflow_cli
+ctest --test-dir "$root/build-asan" -L 'unit|fleet|chaos|forecast|dse|ingest|tenant' --output-on-failure -j "$jobs"
 
 echo "== all checks passed =="
