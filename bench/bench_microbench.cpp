@@ -1,6 +1,8 @@
 /// Google-benchmark microbenchmarks of the library's primitives: software
 /// conv forward, functional dataflow inference (fixed vs flexible), the
-/// dataflow-aware pruner, threshold folding, and the discrete-event engine.
+/// dataflow-aware pruner, threshold folding, and the hot paths the sharded
+/// parallel engine leans on — EventQueue scheduling at standing depth,
+/// latency-histogram record/merge, and the mailbox exchange.
 
 #include <benchmark/benchmark.h>
 
@@ -8,7 +10,9 @@
 #include "adaflow/hls/accelerator.hpp"
 #include "adaflow/nn/cnv.hpp"
 #include "adaflow/pruning/prune.hpp"
+#include "adaflow/shard/mailbox.hpp"
 #include "adaflow/sim/event_queue.hpp"
+#include "adaflow/sim/stats.hpp"
 
 namespace {
 
@@ -115,6 +119,86 @@ void BM_EventQueueThroughput(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventQueueThroughput);
+
+// schedule_at + pop at a standing queue depth — the sharded engine keeps
+// hundreds of cadence events per shard in flight, so cost per operation at
+// depth (not on an empty heap) is the number that matters.
+void BM_EventQueueScheduleAtDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  sim::EventQueue q;
+  int fired = 0;
+  double horizon = 1.0;
+  for (int i = 0; i < depth; ++i) {
+    q.schedule_at(horizon + static_cast<double>(i), [&fired] { ++fired; });
+  }
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.001;
+    q.schedule_at(t, [&fired] { ++fired; });
+    q.run_until(t);  // pops exactly the one event; the standing depth stays
+    if (t > horizon - 0.5) {
+      state.PauseTiming();
+      q.run_until(horizon + static_cast<double>(depth));
+      horizon = q.now() + 1.0;
+      for (int i = 0; i < depth; ++i) {
+        q.schedule_at(horizon + static_cast<double>(i), [&fired] { ++fired; });
+      }
+      t = q.now();
+      state.ResumeTiming();
+    }
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventQueueScheduleAtDepth)->Arg(64)->Arg(1024);
+
+void BM_LatencyHistogramRecord(benchmark::State& state) {
+  sim::LatencyHistogram h;
+  double s = 1e-4;
+  for (auto _ : state) {
+    s = s * 1.37 + 1e-5;
+    if (s > 10.0) s = 1e-4;
+    h.record(s);
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_LatencyHistogramRecord);
+
+void BM_LatencyHistogramMerge(benchmark::State& state) {
+  sim::LatencyHistogram a;
+  sim::LatencyHistogram b;
+  for (int i = 0; i < 10000; ++i) {
+    a.record(1e-4 * static_cast<double>(1 + i % 500));
+    b.record(2e-4 * static_cast<double>(1 + i % 300));
+  }
+  for (auto _ : state) {
+    sim::LatencyHistogram merged = a;
+    merged.merge(b);
+    benchmark::DoNotOptimize(merged.count());
+  }
+}
+BENCHMARK(BM_LatencyHistogramMerge);
+
+// One window barrier's worth of cross-shard traffic: push N handoffs into an
+// outbox, drain it into an inbox, drain the inbox.
+void BM_MailboxExchange(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    shard::Mailbox outbox;
+    shard::Mailbox inbox;
+    for (std::int64_t i = 0; i < n; ++i) {
+      outbox.push(shard::Handoff{i, 1});
+    }
+    for (const shard::Handoff& h : outbox.drain()) {
+      inbox.push(h);
+    }
+    std::int64_t sum = 0;
+    for (const shard::Handoff& h : inbox.drain()) {
+      sum += h.tag;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_MailboxExchange)->Arg(16)->Arg(256);
 
 }  // namespace
 

@@ -2,8 +2,15 @@
 
 /// \file parallel.hpp
 /// A tiny persistent thread pool exposing parallel_for. Used by the training
-/// substrate to spread conv/GEMM work over cores; everything else in AdaFlow
-/// is single-threaded and deterministic.
+/// substrate to spread conv/GEMM work over cores, by run_repeated to run
+/// independent simulation repetitions concurrently, and by the sharded fleet
+/// engine (src/shard) to advance shards inside a conservative time window.
+///
+/// Worker-count policy: the pool starts at the ADAFLOW_THREADS environment
+/// override when set (clamped to [1, 512]), else hardware_concurrency().
+/// set_worker_count() resizes it at runtime — tests and benches use this to
+/// prove thread-count invariance ({1, 4, hw} must produce bit-identical
+/// simulation metrics).
 
 #include <cstdint>
 #include <functional>
@@ -17,5 +24,17 @@ void parallel_for(std::int64_t count, const std::function<void(std::int64_t)>& f
 
 /// Number of workers in the global pool (>= 1).
 int parallel_worker_count();
+
+/// Resizes the global pool to \p workers threads (the calling thread counts
+/// as one of them, so \p workers == 1 means fully serial). \p workers <= 0
+/// resets to the default: the ADAFLOW_THREADS environment override when set,
+/// else hardware_concurrency(). Values are clamped to [1, 512]. Must not be
+/// called concurrently with parallel_for.
+void set_worker_count(int workers);
+
+/// The default worker count: ADAFLOW_THREADS (clamped to [1, 512]) when the
+/// environment variable is set to a positive integer, else
+/// hardware_concurrency() (>= 1). Malformed values are ignored.
+int default_worker_count();
 
 }  // namespace adaflow

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -10,34 +11,27 @@ namespace adaflow {
 
 namespace {
 
+constexpr int kMaxWorkers = 512;
+
 /// Persistent pool: workers sleep until a job (function + iteration range) is
 /// published, grab iterations via an atomic counter, then report completion.
 class Pool {
  public:
-  Pool() {
-    unsigned n = std::thread::hardware_concurrency();
-    if (n == 0) {
-      n = 1;
-    }
-    // The caller thread also works, so spawn n-1 helpers.
-    for (unsigned i = 1; i < n; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
-    }
-    worker_count_ = static_cast<int>(n);
-  }
+  explicit Pool(int n) { spawn(n); }
 
-  ~Pool() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      shutdown_ = true;
-    }
-    cv_.notify_all();
-    for (auto& w : workers_) {
-      w.join();
-    }
-  }
+  ~Pool() { stop(); }
 
   int worker_count() const { return worker_count_; }
+
+  /// Joins every worker and restarts the pool at \p n threads (including the
+  /// caller). Callers guarantee no parallel_for is in flight.
+  void resize(int n) {
+    if (n == worker_count_) {
+      return;
+    }
+    stop();
+    spawn(n);
+  }
 
   void run(std::int64_t count, const std::function<void(std::int64_t)>& fn) {
     if (count <= 0) {
@@ -66,6 +60,38 @@ class Pool {
   }
 
  private:
+  void spawn(int n) {
+    if (n < 1) {
+      n = 1;
+    }
+    if (n > kMaxWorkers) {
+      n = kMaxWorkers;
+    }
+    // The caller thread also works, so spawn n-1 helpers. New workers start
+    // at the current generation so a stale job is never re-drained.
+    for (int i = 1; i < n; ++i) {
+      workers_.emplace_back([this, g = generation_] { worker_loop(g); });
+    }
+    worker_count_ = n;
+  }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) {
+      w.join();
+    }
+    workers_.clear();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = false;
+    }
+    worker_count_ = 1;
+  }
+
   void drain() {
     while (true) {
       const std::int64_t i = next_.fetch_add(1);
@@ -80,8 +106,7 @@ class Pool {
     }
   }
 
-  void worker_loop() {
-    std::uint64_t seen = 0;
+  void worker_loop(std::uint64_t seen) {
     while (true) {
       {
         std::unique_lock<std::mutex> lock(mutex_);
@@ -109,16 +134,32 @@ class Pool {
 };
 
 Pool& pool() {
-  static Pool p;
+  static Pool p(default_worker_count());
   return p;
 }
 
 }  // namespace
+
+int default_worker_count() {
+  if (const char* env = std::getenv("ADAFLOW_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return v > kMaxWorkers ? kMaxWorkers : static_cast<int>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw > kMaxWorkers ? kMaxWorkers : hw);
+}
 
 void parallel_for(std::int64_t count, const std::function<void(std::int64_t)>& fn) {
   pool().run(count, fn);
 }
 
 int parallel_worker_count() { return pool().worker_count(); }
+
+void set_worker_count(int workers) {
+  pool().resize(workers <= 0 ? default_worker_count() : workers);
+}
 
 }  // namespace adaflow

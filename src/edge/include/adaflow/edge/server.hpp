@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "adaflow/common/error.hpp"
+#include "adaflow/common/parallel.hpp"
 #include "adaflow/edge/policy.hpp"
 #include "adaflow/edge/server_types.hpp"
 #include "adaflow/edge/workload.hpp"
@@ -87,11 +88,29 @@ RepeatedRunResult run_repeated(TraceFactory&& trace_factory, PolicyFactory&& fac
   std::vector<sim::TimeSeries> workload_s, loss_s, qoe_s, power_s;
   std::vector<sim::TimeSeries> fc_actual_s, fc_pred_s;
   RunMetrics total;
+  // Traces and policies are built serially (factories may share state — RNGs,
+  // captured configs); the runs themselves are independent simulations with
+  // fixed per-run seeds, so they fan out over the worker pool. Aggregation
+  // below walks results in run order, so the outcome is bit-identical to the
+  // serial loop regardless of worker count.
+  std::vector<WorkloadTrace> traces;
+  std::vector<decltype(factory())> policies;
+  traces.reserve(static_cast<std::size_t>(runs));
+  policies.reserve(static_cast<std::size_t>(runs));
   for (int r = 0; r < runs; ++r) {
     const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(r);
-    WorkloadTrace trace = trace_factory(seed);
-    auto policy = factory();
-    RunMetrics m = run_simulation(trace, *policy, config, seed ^ 0x5bd1e995ULL);
+    traces.push_back(trace_factory(seed));
+    policies.push_back(factory());
+  }
+  std::vector<RunMetrics> results(static_cast<std::size_t>(runs));
+  parallel_for(runs, [&](std::int64_t r) {
+    const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(r);
+    const auto idx = static_cast<std::size_t>(r);
+    results[idx] =
+        run_simulation(traces[idx], *policies[idx], config, seed ^ 0x5bd1e995ULL);
+  });
+  for (int r = 0; r < runs; ++r) {
+    RunMetrics& m = results[static_cast<std::size_t>(r)];
     total.arrived += m.arrived;
     total.processed += m.processed;
     total.lost += m.lost;

@@ -96,6 +96,17 @@ struct RunMetrics {
   double average_power_w() const { return duration_s > 0 ? energy_j / duration_s : 0.0; }
   /// Processed inferences per watt-second (per joule).
   double power_efficiency() const { return energy_j > 0 ? processed / energy_j : 0.0; }
+
+  /// Folds \p other — metrics of a DISJOINT device subset simulated over the
+  /// same wall of time — into this one (the sharded engine's reduction).
+  /// Counters, energy, stall/violation time, fault/forecast stats, and the
+  /// e2e histogram add; duration takes the max; switch records concatenate in
+  /// call order; workload/power series merge element-wise additively,
+  /// loss/qoe series as the workload-weighted mean, forecast series
+  /// additively. A default-constructed RunMetrics is the identity, and the
+  /// integer state merges associatively (doubles to rounding) — see the
+  /// series-merge contract in sim/stats.hpp.
+  void merge(const RunMetrics& other);
 };
 
 }  // namespace adaflow::edge

@@ -205,6 +205,19 @@ struct FleetMetrics {
     return arrived > 0 ? qoe_accuracy_sum / static_cast<double>(arrived) : 0.0;
   }
   double average_power_w() const { return duration_s > 0 ? energy_j / duration_s : 0.0; }
+
+  /// Folds \p other — the metrics of a DISJOINT shard of the fleet simulated
+  /// over the same wall of time — into this one (the sharded engine's
+  /// reduction, run on the main thread in fixed shard order). Counters,
+  /// energy, fault/forecast stats, and the e2e histogram add; duration and
+  /// tail_latency_p95_s take the max (each shard's p95 lower-bounds the
+  /// union's, and the conservative-window engine reports the worst shard);
+  /// device results and tenant rows concatenate in call order; the workload
+  /// series merges additively, backlog as element-wise max, loss/qoe as the
+  /// workload-weighted mean. A default-constructed FleetMetrics is the
+  /// identity and the integer state merges associatively (doubles to
+  /// rounding) — the contract tests/shard/test_merge.cpp pins.
+  void merge(const FleetMetrics& other);
 };
 
 /// Serves one library version on its Fixed-Pruning accelerator and never

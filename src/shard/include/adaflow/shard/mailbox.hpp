@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file mailbox.hpp
+/// Deterministic per-shard handoff buffers for the sharded fleet engine.
+///
+/// Shards never touch each other's state while a window is running; a frame
+/// that one shard cannot place (its ingress shed it) is recorded in that
+/// shard's OUTBOX, and the main thread moves outboxes into inboxes between
+/// windows, always in shard order. Because a mailbox is only ever written by
+/// its owning shard inside the parallel region and only ever exchanged on
+/// the main thread at the barrier, the contents — and therefore the whole
+/// simulation — are independent of how many worker threads advanced the
+/// shards.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace adaflow::shard {
+
+/// One frame in transit between shards: the opaque frame tag (DeviceSim's
+/// kNoTag for anonymous traffic) plus how many shard boundaries it has
+/// crossed already (bounded by ShardConfig::max_hops).
+struct Handoff {
+  std::int64_t tag = -1;
+  int hops = 0;
+};
+
+/// FIFO handoff buffer. push order is preserved by drain(), which is what
+/// makes delivery deterministic: the owning shard pushes in simulation-event
+/// order, and the receiver offers frames in exactly that order at the next
+/// window start.
+class Mailbox {
+ public:
+  void push(const Handoff& h) { items_.push_back(h); }
+
+  /// Moves the buffered handoffs out, leaving the mailbox empty.
+  std::vector<Handoff> drain() {
+    std::vector<Handoff> out = std::move(items_);
+    items_.clear();
+    return out;
+  }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+ private:
+  std::vector<Handoff> items_;
+};
+
+}  // namespace adaflow::shard

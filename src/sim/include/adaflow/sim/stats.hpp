@@ -44,6 +44,25 @@ struct TimeSeries {
 /// interval is taken from the first series.
 TimeSeries average_series(const std::vector<TimeSeries>& runs);
 
+/// Element-wise combination of per-window series from DISJOINT substreams of
+/// the same run window (the sharded engine's metric reduction). All three
+/// helpers share the merge contract of this file: an EMPTY series is the
+/// identity (the other operand is returned unchanged, preserving its
+/// interval), two non-empty series are truncated to the shorter one, and the
+/// operations are associative — exactly for the integer-weighted cases the
+/// determinism tests exercise, to rounding otherwise.
+///
+/// merge_sum_series: additive quantities (aggregate FPS, watts).
+TimeSeries merge_sum_series(const TimeSeries& a, const TimeSeries& b);
+/// merge_max_series: worst-of quantities (worst-device backlog).
+TimeSeries merge_max_series(const TimeSeries& a, const TimeSeries& b);
+/// merge_weighted_series: per-window fractions (loss, QoE) combined as the
+/// weight-proportional mean (weight = that side's per-window arrivals, taken
+/// from its workload series). Windows whose combined weight is zero keep 0.
+/// \p wa / \p wb must be at least as long as the respective series.
+TimeSeries merge_weighted_series(const TimeSeries& a, const std::vector<double>& wa,
+                                 const TimeSeries& b, const std::vector<double>& wb);
+
 /// Classical nearest-rank percentile of \p values (q in [0, 1]; q=0.95 ->
 /// p95): the smallest element with at least ceil(q*N) elements <= it, i.e.
 /// sorted[clamp(ceil(q*N) - 1, 0, N-1)]. No interpolation is performed — the
@@ -83,7 +102,14 @@ class LatencyHistogram {
   /// Returns 0 when empty. Throws ConfigError on q outside [0, 1].
   double percentile(double q) const;
 
-  void accumulate(const LatencyHistogram& other);
+  /// Folds \p other into this histogram: bucket counts, count, and sum add;
+  /// min/max combine. Because the bucket layout is compile-time constant the
+  /// operation is exact on the integer state, so merge is associative and
+  /// commutative there, and a default-constructed histogram is the identity
+  /// — the contract the sharded engine's metric reduction relies on (sum_s
+  /// is a double sum: associative to rounding, exact for the representable
+  /// values the determinism tests use).
+  void merge(const LatencyHistogram& other);
 
   /// True when the bucket counts (and count/min/max/sum) match exactly —
   /// the bit-identical-replay check for tail metrics.

@@ -129,7 +129,7 @@ double LatencyHistogram::percentile(double q) const {
   return max_s_;
 }
 
-void LatencyHistogram::accumulate(const LatencyHistogram& other) {
+void LatencyHistogram::merge(const LatencyHistogram& other) {
   if (other.count_ == 0) {
     return;
   }
@@ -145,6 +145,72 @@ void LatencyHistogram::accumulate(const LatencyHistogram& other) {
   for (int i = 0; i < kBuckets; ++i) {
     buckets_[static_cast<std::size_t>(i)] += other.buckets_[static_cast<std::size_t>(i)];
   }
+}
+
+namespace {
+
+/// Shared empty-identity / truncate-to-shorter preamble of the series merge
+/// helpers. Returns true when \p out was fully resolved by an empty operand.
+bool merge_identity(const TimeSeries& a, const TimeSeries& b, TimeSeries& out) {
+  if (a.values.empty()) {
+    out = b;
+    return true;
+  }
+  if (b.values.empty()) {
+    out = a;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TimeSeries merge_sum_series(const TimeSeries& a, const TimeSeries& b) {
+  TimeSeries out;
+  if (merge_identity(a, b, out)) {
+    return out;
+  }
+  const std::size_t len = std::min(a.values.size(), b.values.size());
+  out.interval_s = a.interval_s;
+  out.values.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.values.push_back(a.values[i] + b.values[i]);
+  }
+  return out;
+}
+
+TimeSeries merge_max_series(const TimeSeries& a, const TimeSeries& b) {
+  TimeSeries out;
+  if (merge_identity(a, b, out)) {
+    return out;
+  }
+  const std::size_t len = std::min(a.values.size(), b.values.size());
+  out.interval_s = a.interval_s;
+  out.values.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.values.push_back(std::max(a.values[i], b.values[i]));
+  }
+  return out;
+}
+
+TimeSeries merge_weighted_series(const TimeSeries& a, const std::vector<double>& wa,
+                                 const TimeSeries& b, const std::vector<double>& wb) {
+  TimeSeries out;
+  if (merge_identity(a, b, out)) {
+    return out;
+  }
+  const std::size_t len = std::min(a.values.size(), b.values.size());
+  require(wa.size() >= len && wb.size() >= len,
+          "merge_weighted_series weights shorter than the series");
+  out.interval_s = a.interval_s;
+  out.values.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    const double w = wa[i] + wb[i];
+    // Numerator-sum over weight-sum (not a mean of means): associative, and
+    // re-derivable from the additive workload series it is weighted by.
+    out.values.push_back(w > 0.0 ? (a.values[i] * wa[i] + b.values[i] * wb[i]) / w : 0.0);
+  }
+  return out;
 }
 
 bool LatencyHistogram::identical(const LatencyHistogram& other) const {

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "adaflow/edge/server_types.hpp"
+#include "adaflow/fleet/fleet.hpp"
+#include "adaflow/shard/sharded_engine.hpp"
+#include "adaflow/sim/stats.hpp"
+
+namespace adaflow {
+namespace {
+
+sim::TimeSeries series(std::vector<double> values, double interval = 0.5) {
+  sim::TimeSeries s;
+  s.interval_s = interval;
+  s.values = std::move(values);
+  return s;
+}
+
+TEST(SeriesMerge, EmptyIsTheIdentity) {
+  const sim::TimeSeries a = series({1.0, 2.0, 3.0});
+  const sim::TimeSeries empty;
+  EXPECT_EQ(sim::merge_sum_series(a, empty).values, a.values);
+  EXPECT_EQ(sim::merge_sum_series(empty, a).values, a.values);
+  EXPECT_EQ(sim::merge_max_series(empty, a).values, a.values);
+  EXPECT_EQ(sim::merge_weighted_series(a, {1, 1, 1}, empty, {}).values, a.values);
+  EXPECT_TRUE(sim::merge_sum_series(empty, empty).values.empty());
+  // The identity preserves the surviving operand's interval.
+  EXPECT_DOUBLE_EQ(sim::merge_sum_series(empty, a).interval_s, 0.5);
+}
+
+TEST(SeriesMerge, SumAndMaxAreElementWiseAndTruncateToShorter) {
+  const sim::TimeSeries a = series({1.0, 2.0, 3.0});
+  const sim::TimeSeries b = series({10.0, 1.0});
+  const sim::TimeSeries sum = sim::merge_sum_series(a, b);
+  ASSERT_EQ(sum.values.size(), 2u);
+  EXPECT_DOUBLE_EQ(sum.values[0], 11.0);
+  EXPECT_DOUBLE_EQ(sum.values[1], 3.0);
+  const sim::TimeSeries mx = sim::merge_max_series(a, b);
+  ASSERT_EQ(mx.values.size(), 2u);
+  EXPECT_DOUBLE_EQ(mx.values[0], 10.0);
+  EXPECT_DOUBLE_EQ(mx.values[1], 2.0);
+}
+
+TEST(SeriesMerge, SumIsAssociative) {
+  const sim::TimeSeries a = series({1.0, 2.0});
+  const sim::TimeSeries b = series({4.0, 8.0});
+  const sim::TimeSeries c = series({16.0, 32.0});
+  const auto left = sim::merge_sum_series(sim::merge_sum_series(a, b), c);
+  const auto right = sim::merge_sum_series(a, sim::merge_sum_series(b, c));
+  EXPECT_EQ(left.values, right.values);
+}
+
+TEST(SeriesMerge, WeightedMergeIsTheWeightProportionalMean) {
+  // Window 0: loss 0.5 over 100 frames + loss 0.1 over 300 frames -> 0.2.
+  // Window 1: both sides idle -> 0.
+  const sim::TimeSeries a = series({0.5, 0.0});
+  const sim::TimeSeries b = series({0.1, 0.0});
+  const auto merged = sim::merge_weighted_series(a, {100.0, 0.0}, b, {300.0, 0.0});
+  ASSERT_EQ(merged.values.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged.values[0], 0.2);
+  EXPECT_DOUBLE_EQ(merged.values[1], 0.0);
+}
+
+TEST(SeriesMerge, WeightedMergeIsAssociativeForIntegerWeights) {
+  const sim::TimeSeries a = series({0.5});
+  const sim::TimeSeries b = series({0.25});
+  const sim::TimeSeries c = series({1.0});
+  const std::vector<double> wa = {4.0}, wb = {8.0}, wc = {4.0};
+  // Associativity needs each intermediate to carry the combined weight —
+  // exactly what the sharded reduction does via the summed workload series.
+  const auto ab = sim::merge_weighted_series(a, wa, b, wb);
+  const auto left = sim::merge_weighted_series(ab, {12.0}, c, wc);
+  const auto bc = sim::merge_weighted_series(b, wb, c, wc);
+  const auto right = sim::merge_weighted_series(a, wa, bc, {12.0});
+  ASSERT_EQ(left.values.size(), 1u);
+  EXPECT_DOUBLE_EQ(left.values[0], right.values[0]);
+  EXPECT_DOUBLE_EQ(left.values[0], 0.5);  // (4*0.5 + 8*0.25 + 4*1.0) / 16
+}
+
+TEST(LatencyHistogramMerge, EmptyIsTheIdentityAndMergeIsAssociative) {
+  sim::LatencyHistogram a, b, c;
+  for (double s : {0.001, 0.01, 0.02}) {
+    a.record(s);
+  }
+  for (double s : {0.1, 0.25}) {
+    b.record(s);
+  }
+  c.record(1.5);
+
+  sim::LatencyHistogram identity_check = a;
+  identity_check.merge(sim::LatencyHistogram{});
+  EXPECT_TRUE(identity_check.identical(a));
+  sim::LatencyHistogram from_empty;
+  from_empty.merge(a);
+  EXPECT_TRUE(from_empty.identical(a));
+
+  sim::LatencyHistogram left = a;
+  left.merge(b);
+  left.merge(c);
+  sim::LatencyHistogram bc = b;
+  bc.merge(c);
+  sim::LatencyHistogram right = a;
+  right.merge(bc);
+  EXPECT_TRUE(left.identical(right));
+  EXPECT_EQ(left.count(), 6);
+  EXPECT_DOUBLE_EQ(left.min_s(), 0.001);
+  EXPECT_DOUBLE_EQ(left.max_s(), 1.5);
+}
+
+edge::RunMetrics sample_run_metrics(std::int64_t scale) {
+  edge::RunMetrics m;
+  m.arrived = 100 * scale;
+  m.processed = 90 * scale;
+  m.lost = 10 * scale;
+  m.qoe_accuracy_sum = 81.0 * static_cast<double>(scale);
+  m.energy_j = 5.0 * static_cast<double>(scale);
+  m.duration_s = 10.0;
+  m.model_switches = static_cast<int>(scale);
+  m.workload_series = series({10.0 * static_cast<double>(scale)});
+  m.loss_series = series({0.1});
+  m.qoe_series = series({0.8});
+  m.power_series = series({0.5 * static_cast<double>(scale)});
+  // Exact binary fraction: sum_s stays bit-exact under any merge order.
+  m.e2e_latency.record(0.015625 * static_cast<double>(scale));
+  return m;
+}
+
+TEST(RunMetricsMerge, DefaultConstructedIsTheIdentity) {
+  const edge::RunMetrics m = sample_run_metrics(2);
+  edge::RunMetrics merged;
+  merged.merge(m);
+  EXPECT_EQ(merged.arrived, m.arrived);
+  EXPECT_EQ(merged.processed, m.processed);
+  EXPECT_EQ(merged.lost, m.lost);
+  EXPECT_DOUBLE_EQ(merged.qoe_accuracy_sum, m.qoe_accuracy_sum);
+  EXPECT_DOUBLE_EQ(merged.duration_s, m.duration_s);
+  EXPECT_EQ(merged.workload_series.values, m.workload_series.values);
+  EXPECT_EQ(merged.loss_series.values, m.loss_series.values);
+  EXPECT_TRUE(merged.e2e_latency.identical(m.e2e_latency));
+}
+
+TEST(RunMetricsMerge, IsAssociativeAndWeightsLossByWorkload) {
+  const edge::RunMetrics a = sample_run_metrics(1);
+  const edge::RunMetrics b = sample_run_metrics(2);
+  const edge::RunMetrics c = sample_run_metrics(4);
+
+  edge::RunMetrics left = a;
+  left.merge(b);
+  left.merge(c);
+  edge::RunMetrics bc = b;
+  bc.merge(c);
+  edge::RunMetrics right = a;
+  right.merge(bc);
+
+  EXPECT_EQ(left.arrived, right.arrived);
+  EXPECT_EQ(left.arrived, 700);
+  EXPECT_EQ(left.processed, right.processed);
+  EXPECT_DOUBLE_EQ(left.qoe_accuracy_sum, right.qoe_accuracy_sum);
+  EXPECT_EQ(left.workload_series.values, right.workload_series.values);
+  EXPECT_EQ(left.loss_series.values, right.loss_series.values);
+  EXPECT_TRUE(left.e2e_latency.identical(right.e2e_latency));
+  // All three substreams report loss 0.1, so any weighting returns 0.1.
+  EXPECT_DOUBLE_EQ(left.loss_series.values[0], 0.1);
+  // Workload adds: 10 + 20 + 40.
+  EXPECT_DOUBLE_EQ(left.workload_series.values[0], 70.0);
+}
+
+fleet::FleetMetrics sample_fleet_metrics(std::int64_t scale) {
+  fleet::FleetMetrics m;
+  m.arrived = 1000 * scale;
+  m.dispatched = 900 * scale;
+  m.ingress_lost = 80 * scale;
+  m.ingress_backlog = 20 * scale;
+  m.processed = 850 * scale;
+  m.device_lost = 50 * scale;
+  m.qoe_accuracy_sum = 700.0 * static_cast<double>(scale);
+  m.energy_j = 12.0 * static_cast<double>(scale);
+  m.duration_s = 10.0;
+  m.tail_latency_p95_s = 0.01 * static_cast<double>(scale);
+  m.workload_series = series({100.0 * static_cast<double>(scale)});
+  m.loss_series = series({0.1});
+  m.qoe_series = series({0.7});
+  m.backlog_series = series({0.02 * static_cast<double>(scale)});
+  fleet::FleetDeviceResult d;
+  d.name = "dev" + std::to_string(scale);
+  d.metrics = sample_run_metrics(scale);
+  m.devices.push_back(d);
+  return m;
+}
+
+TEST(FleetMetricsMerge, IdentityAssociativityAndWorstOfSemantics) {
+  const fleet::FleetMetrics a = sample_fleet_metrics(1);
+  const fleet::FleetMetrics b = sample_fleet_metrics(3);
+
+  fleet::FleetMetrics identity;
+  identity.merge(a);
+  EXPECT_EQ(shard::metrics_fingerprint(identity), shard::metrics_fingerprint(a));
+
+  const fleet::FleetMetrics c = sample_fleet_metrics(5);
+  fleet::FleetMetrics left = a;
+  left.merge(b);
+  left.merge(c);
+  fleet::FleetMetrics bc = b;
+  bc.merge(c);
+  fleet::FleetMetrics right = a;
+  right.merge(bc);
+  EXPECT_EQ(shard::metrics_fingerprint(left), shard::metrics_fingerprint(right));
+
+  // Worst-of fields take the max; counters add; device rows concatenate.
+  EXPECT_DOUBLE_EQ(left.tail_latency_p95_s, 0.05);
+  EXPECT_DOUBLE_EQ(left.backlog_series.values[0], 0.10);
+  EXPECT_EQ(left.arrived, 9000);
+  ASSERT_EQ(left.devices.size(), 3u);
+  EXPECT_EQ(left.devices[0].name, "dev1");
+  EXPECT_EQ(left.devices[2].name, "dev5");
+  // Flow conservation survives the merge.
+  EXPECT_EQ(left.arrived + left.redispatched,
+            left.dispatched + left.ingress_lost + left.ingress_backlog);
+}
+
+}  // namespace
+}  // namespace adaflow

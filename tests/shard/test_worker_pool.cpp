@@ -1,0 +1,85 @@
+#include "adaflow/common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+namespace adaflow {
+namespace {
+
+/// Restores the pool and ADAFLOW_THREADS after each test so the global pool
+/// state never leaks across test cases.
+class WorkerPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ::unsetenv("ADAFLOW_THREADS"); }
+  void TearDown() override {
+    ::unsetenv("ADAFLOW_THREADS");
+    set_worker_count(0);  // back to the default
+  }
+};
+
+TEST_F(WorkerPoolTest, SetWorkerCountResizesThePool) {
+  set_worker_count(3);
+  EXPECT_EQ(parallel_worker_count(), 3);
+  set_worker_count(1);
+  EXPECT_EQ(parallel_worker_count(), 1);
+  set_worker_count(0);
+  EXPECT_EQ(parallel_worker_count(), default_worker_count());
+}
+
+TEST_F(WorkerPoolTest, WorkerCountClampsToBounds) {
+  set_worker_count(100000);
+  EXPECT_EQ(parallel_worker_count(), 512);
+  set_worker_count(-7);  // <= 0 resets to the default, never below 1
+  EXPECT_GE(parallel_worker_count(), 1);
+}
+
+TEST_F(WorkerPoolTest, ParallelForRunsEveryIndexExactlyOnceAtAnyWorkerCount) {
+  for (int workers : {1, 2, 4}) {
+    set_worker_count(workers);
+    constexpr std::int64_t kCount = 257;
+    std::vector<std::atomic<int>> hits(kCount);
+    parallel_for(kCount, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+    for (std::int64_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i << " at "
+                                                             << workers << " workers";
+    }
+  }
+}
+
+TEST_F(WorkerPoolTest, PoolSurvivesRepeatedResizeAndReuse) {
+  std::atomic<std::int64_t> sum{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int workers : {4, 1, 2}) {
+      set_worker_count(workers);
+      sum.store(0);
+      parallel_for(100, [&](std::int64_t i) { sum += i; });
+      EXPECT_EQ(sum.load(), 4950);
+    }
+  }
+}
+
+TEST_F(WorkerPoolTest, EnvOverrideSetsTheDefault) {
+  ::setenv("ADAFLOW_THREADS", "3", 1);
+  EXPECT_EQ(default_worker_count(), 3);
+  set_worker_count(0);  // reset honours the override
+  EXPECT_EQ(parallel_worker_count(), 3);
+}
+
+TEST_F(WorkerPoolTest, EnvOverrideClampsAndIgnoresMalformedValues) {
+  ::setenv("ADAFLOW_THREADS", "99999", 1);
+  EXPECT_EQ(default_worker_count(), 512);
+  const int hw_default = [] {
+    ::unsetenv("ADAFLOW_THREADS");
+    return default_worker_count();
+  }();
+  for (const char* bad : {"0", "-2", "abc", "4x", ""}) {
+    ::setenv("ADAFLOW_THREADS", bad, 1);
+    EXPECT_EQ(default_worker_count(), hw_default) << "ADAFLOW_THREADS='" << bad << "'";
+  }
+}
+
+}  // namespace
+}  // namespace adaflow

@@ -220,7 +220,7 @@ TEST(LatencyHistogram, OutOfRangeQuantileThrows) {
   EXPECT_THROW(h.percentile(1.1), ConfigError);
 }
 
-TEST(LatencyHistogram, AccumulateMergesAndIdenticalDetectsDrift) {
+TEST(LatencyHistogram, MergeCombinesAndIdenticalDetectsDrift) {
   LatencyHistogram a;
   LatencyHistogram b;
   for (double s : {0.001, 0.010, 0.100}) {
@@ -229,8 +229,8 @@ TEST(LatencyHistogram, AccumulateMergesAndIdenticalDetectsDrift) {
   }
   EXPECT_TRUE(a.identical(b));
   LatencyHistogram merged;
-  merged.accumulate(a);
-  merged.accumulate(b);
+  merged.merge(a);
+  merged.merge(b);
   EXPECT_EQ(merged.count(), 6);
   EXPECT_DOUBLE_EQ(merged.sum_s(), a.sum_s() + b.sum_s());
   b.record(0.2);

@@ -13,6 +13,7 @@
 ///   tune       --model M --objective O [--budget F]  folding auto-tuner (DSE)
 ///   forecast   --trace T --forecaster F [--horizon N]  forecaster evaluation
 ///   tenant     --tenants N --scheduler S --partition P  multi-tenant serving
+///   shard      --devices N --shards S --threads T   sharded parallel fleet sim
 ///
 /// Models: cnv-w2a2, cnv-w1a2, tfc-w1a2. Datasets: cifar, gtsrb, mnist.
 
@@ -34,6 +35,7 @@
 #include "adaflow/nn/mlp.hpp"
 #include "adaflow/nn/serialize.hpp"
 #include "adaflow/nn/trainer.hpp"
+#include "adaflow/shard/sharded_engine.hpp"
 #include "adaflow/tenant/serving.hpp"
 
 namespace {
@@ -376,6 +378,95 @@ int cmd_fleet(const std::vector<std::string>& args) {
                    fleet::health_state_name(d.final_health)});
   }
   std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_shard(const std::vector<std::string>& args) {
+  ArgParser parser("adaflow shard", "sharded parallel fleet simulation");
+  parser.add_option("library", "library file (empty = built-in synthetic library)", "");
+  parser.add_option("devices", "number of devices (1..4096)", "16");
+  parser.add_option("shards", "number of shards (1..devices)", "4");
+  parser.add_option("threads", "worker threads; 0 = keep the process default", "0");
+  parser.add_option("window", "conservative sync window [s]", "0.25");
+  parser.add_option("max-hops", "overflow handoff hop budget; 0 disables forwarding", "2");
+  parser.add_option("router", "round-robin | least-loaded | accuracy-aware", "least-loaded");
+  parser.add_option("fps", "aggregate arrival rate (empty = 70% of fleet capacity)", "");
+  parser.add_option("duration", "trace duration [s]", "10");
+  parser.add_option("seed", "rng seed", "42");
+  parser.parse(args);
+
+  const core::AcceleratorLibrary lib = parser.option("library").empty()
+                                           ? core::synthetic_library()
+                                           : core::load_library(parser.option("library"));
+
+  const std::int64_t devices = parser.option_int("devices");
+  require(devices >= 1 && devices <= 4096, "--devices must be in [1, 4096], got '" +
+                                               parser.option("devices") + "'");
+  const std::string router_name = parser.option("router");
+  {
+    const std::vector<std::string> names = fleet::router_names();
+    bool known = false;
+    for (const std::string& n : names) {
+      known = known || n == router_name;
+    }
+    require(known, "--router must be one of " + join(names, " | ") + ", got '" + router_name + "'");
+  }
+  const double duration = parser.option_double("duration");
+  require(duration > 0.0, "--duration must be positive, got '" + parser.option("duration") + "'");
+  const std::uint64_t seed = static_cast<std::uint64_t>(parser.option_int("seed"));
+
+  // ShardConfig::validate re-checks these, but the CLI validates first so a
+  // bad value names the flag instead of a ShardConfig field.
+  const std::int64_t shards = parser.option_int("shards");
+  require(shards >= 1 && shards <= devices, "--shards must be in [1, --devices], got '" +
+                                                parser.option("shards") + "'");
+  const std::int64_t threads = parser.option_int("threads");
+  require(threads >= 0, "--threads must be >= 0, got '" + parser.option("threads") + "'");
+  const double window = parser.option_positive_double("window");
+  const std::int64_t max_hops = parser.option_int("max-hops");
+  require(max_hops >= 0, "--max-hops must be >= 0, got '" + parser.option("max-hops") + "'");
+
+  core::RuntimeManagerConfig rmc;
+  fleet::FleetConfig config;
+  config.devices = fleet::homogeneous_devices(lib, rmc, static_cast<int>(devices));
+  config.ingress_capacity = 16 * devices;
+
+  // Default the trace to 70% of the fleet's most-accurate-version capacity.
+  double rate = static_cast<double>(devices) * lib.versions.front().fps_fixed * 0.7;
+  if (!parser.option("fps").empty()) {
+    rate = parser.option_double("fps");
+    require(rate > 0.0, "--fps must be positive, got '" + parser.option("fps") + "'");
+  }
+  edge::WorkloadConfig workload;
+  workload.devices = 1;
+  workload.fps_per_device = rate;
+  workload.phases = {edge::WorkloadPhase{0.5, 2.0, duration}};
+  const edge::WorkloadTrace trace(workload, seed);
+
+  shard::ShardConfig shard_config;
+  shard_config.shards = static_cast<int>(shards);
+  shard_config.threads = static_cast<int>(threads);
+  shard_config.window_s = window;
+  shard_config.max_hops = static_cast<int>(max_hops);
+  const shard::ShardedMetrics m =
+      shard::run_sharded_fleet(trace, lib, config, shard_config, router_name, seed);
+
+  std::printf("shard=%lld shards x %lld threads, %lld devices router=%s rate=%.0f FPS "
+              "duration=%.0fs window=%.3fs\n",
+              static_cast<long long>(shards), static_cast<long long>(threads),
+              static_cast<long long>(devices), router_name.c_str(), rate, duration, window);
+  std::printf("frame loss   %s (ingress %lld, device %lld)\n",
+              format_percent(m.fleet.frame_loss(), 2).c_str(),
+              static_cast<long long>(m.fleet.ingress_lost),
+              static_cast<long long>(m.fleet.device_lost));
+  std::printf("QoE          %s\n", format_percent(m.fleet.qoe(), 2).c_str());
+  std::printf("p95 backlog  %.0f ms\n", m.fleet.tail_latency_p95_s * 1e3);
+  std::printf("wall clock   %s s over %lld windows (%lld handoffs, %lld dropped at hop cap)\n",
+              format_double(m.stats.wall_seconds, 3).c_str(),
+              static_cast<long long>(m.stats.windows),
+              static_cast<long long>(m.stats.handoffs),
+              static_cast<long long>(m.stats.handoff_lost));
+  std::printf("fingerprint  %s\n", shard::metrics_fingerprint(m.fleet).c_str());
   return 0;
 }
 
@@ -759,7 +850,7 @@ int cmd_tenant(const std::vector<std::string>& args) {
 int dispatch(int argc, char** argv) {
   const std::string usage =
       "usage: adaflow "
-      "<devices|train|prune|eval|library|show|simulate|fleet|ingest|tune|forecast|tenant>"
+      "<devices|train|prune|eval|library|show|simulate|fleet|ingest|tune|forecast|tenant|shard>"
       " [options]\n";
   if (argc < 2) {
     std::fprintf(stderr, "%s", usage.c_str());
@@ -805,6 +896,9 @@ int dispatch(int argc, char** argv) {
   }
   if (command == "tenant") {
     return cmd_tenant(rest);
+  }
+  if (command == "shard") {
+    return cmd_shard(rest);
   }
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), usage.c_str());
   return 2;

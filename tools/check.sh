@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full local gate: tier-1 release build (-Werror) + full test suite, fast
 # label groups for iterating on src/fleet, the resilience layer, src/forecast,
-# src/dse, src/ingest and src/tenant, then the fast suites again under
-# AddressSanitizer + UndefinedBehaviorSanitizer (ADAFLOW_SANITIZE=ON).
+# src/dse, src/ingest, src/tenant and src/shard, the fast suites again under
+# AddressSanitizer + UndefinedBehaviorSanitizer (ADAFLOW_SANITIZE=ON), the
+# concurrency-bearing suites under ThreadSanitizer (ADAFLOW_TSAN=ON), and a
+# bench smoke tier gated against the committed baselines in bench/baselines/.
 #
 # Usage: tools/check.sh [jobs]
 set -euo pipefail
@@ -33,13 +35,48 @@ ctest --test-dir "$root/build" -L ingest --output-on-failure -j "$jobs"
 echo "== tenant group (ctest -L tenant: multi-tenant tests + CLI validation + bench_tenant smoke) =="
 ctest --test-dir "$root/build" -L tenant --output-on-failure -j "$jobs"
 
+echo "== shard group (ctest -L shard: sharded-engine tests + CLI validation + bench_shard smoke) =="
+ctest --test-dir "$root/build" -L shard --output-on-failure -j "$jobs"
+
 echo "== tier 2: ASan+UBSan unit tests =="
 cmake -B "$root/build-asan" -S "$root" -DADAFLOW_SANITIZE=ON \
   -DADAFLOW_BUILD_BENCH=OFF -DADAFLOW_BUILD_EXAMPLES=OFF
 cmake --build "$root/build-asan" -j "$jobs" --target adaflow_unit_tests \
   --target adaflow_fleet_tests --target adaflow_chaos_tests \
   --target adaflow_forecast_tests --target adaflow_dse_tests \
-  --target adaflow_ingest_tests --target adaflow_tenant_tests --target adaflow_cli
-ctest --test-dir "$root/build-asan" -L 'unit|fleet|chaos|forecast|dse|ingest|tenant' --output-on-failure -j "$jobs"
+  --target adaflow_ingest_tests --target adaflow_tenant_tests \
+  --target adaflow_shard_tests --target adaflow_cli
+ctest --test-dir "$root/build-asan" -L 'unit|fleet|chaos|forecast|dse|ingest|tenant|shard' --output-on-failure -j "$jobs"
+
+# The concurrency surface lives in common/parallel (worker pool), the shard
+# engine (window barriers + mailboxes) and the fleet paths the shards drive,
+# so TSan covers exactly those groups; the nn-training-heavy unit suite is
+# narrowed to its Parallel.* tests to keep the tier's runtime sane.
+echo "== tier 3: ThreadSanitizer shard/fleet/common tests =="
+cmake -B "$root/build-tsan" -S "$root" -DADAFLOW_TSAN=ON \
+  -DADAFLOW_BUILD_BENCH=OFF -DADAFLOW_BUILD_EXAMPLES=OFF
+cmake --build "$root/build-tsan" -j "$jobs" --target adaflow_unit_tests \
+  --target adaflow_fleet_tests --target adaflow_shard_tests --target adaflow_cli
+ctest --test-dir "$root/build-tsan" -L 'shard|fleet' --output-on-failure -j "$jobs"
+ctest --test-dir "$root/build-tsan" -L unit -R '^Parallel\.' --output-on-failure -j "$jobs"
+
+# Every simulation bench is deterministic in its quality metrics (loss, QoE,
+# conservation counters), so a --smoke run compared against the committed
+# baseline catches behavioural regressions; wall-clock metrics are neutral
+# in bench_diff.py and only inform.
+echo "== tier 4: bench smoke runs gated against bench/baselines =="
+bench_gate="$root/build/bench-gate"
+rm -rf "$bench_gate"
+mkdir -p "$bench_gate"
+for b in fleet chaos forecast ingest tenant shard; do
+  echo "-- bench_$b --smoke"
+  (cd "$bench_gate" && "$root/build/bench/bench_$b" --smoke > "bench_$b.log" 2>&1) || {
+    cat "$bench_gate/bench_$b.log"
+    echo "bench_$b --smoke failed"
+    exit 1
+  }
+  python3 "$root/tools/bench_diff.py" \
+    "$root/bench/baselines/BENCH_$b.json" "$bench_gate/BENCH_$b.json"
+done
 
 echo "== all checks passed =="
