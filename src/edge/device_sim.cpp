@@ -51,6 +51,12 @@ void DeviceSim::start() {
       queue_.schedule_at(w.start_s, [this, w] { on_device_fault_begin(w); });
       queue_.schedule_at(w.end_s, [this, w] { on_device_fault_end(w); });
     }
+    // Config upsets were likewise resolved at injector construction; each is
+    // a point event that lands on whatever configuration happens to be
+    // loaded at its arrival time.
+    for (const faults::ConfigUpsetEvent& u : injector_->config_upset_events()) {
+      queue_.schedule_at(u.time_s, [this, u] { on_config_upset(u); });
+    }
   }
 }
 
@@ -93,7 +99,54 @@ void DeviceSim::account_violation() {
 void DeviceSim::set_mode(const ServingMode& m) {
   integrate_power();
   mode_ = m;
+  repair_upsets();
 }
+
+/// A configuration upset lands. The damage is durable — it degrades every
+/// frame until the next completed (re)load — and scales with the loaded
+/// variant's cross-section: a Fixed bitstream exposes every essential config
+/// bit (full penalty), while the shared Flexible overlay re-reads most
+/// parameters per frame and exposes only its smaller cross-section fraction.
+/// The scaling is deterministic (no device-side randomness), so replay
+/// depends only on the injector's pre-resolved schedule.
+void DeviceSim::on_config_upset(const faults::ConfigUpsetEvent& upset) {
+  const bool flexible = mode_.accelerator.rfind("Flexible", 0) == 0;
+  const double penalty =
+      upset.accuracy_penalty * (flexible ? upset.flexible_cross_section : 1.0);
+  if (penalty <= 0.0) {
+    return;
+  }
+  if (upset_accuracy_penalty_ <= 0.0) {
+    corrupt_since_ = queue_.now();
+  }
+  upset_accuracy_penalty_ = std::min(1.0, upset_accuracy_penalty_ + penalty);
+  ++metrics_.integrity.upsets_injected;
+}
+
+/// Every COMPLETED switch reprograms the accelerator configuration, so it
+/// doubles as the repair action: a Fixed reconfiguration rewrites the whole
+/// bitstream (scrub-by-reload), and even the sub-ms Flexible switch rewrites
+/// the overlay's config registers — the cheap-repair fallback the integrity
+/// policy exploits when the full reload keeps failing.
+void DeviceSim::repair_upsets() {
+  if (upset_accuracy_penalty_ <= 0.0) {
+    return;
+  }
+  upset_accuracy_penalty_ = 0.0;
+  metrics_.integrity.corrupt_time_s += queue_.now() - corrupt_since_;
+  ++metrics_.integrity.repairs;
+}
+
+void DeviceSim::note_integrity_detection() {
+  if (upset_accuracy_penalty_ > 0.0) {
+    ++metrics_.integrity.detections;
+    metrics_.integrity.detection_latency_sum_s += queue_.now() - corrupt_since_;
+  } else {
+    ++metrics_.integrity.false_alarms;
+  }
+}
+
+void DeviceSim::note_scrub() { ++metrics_.integrity.scrubs; }
 
 void DeviceSim::enter_degraded() {
   if (!degraded_) {
@@ -128,6 +181,11 @@ void DeviceSim::start_next_frame() {
   --queued_;
   inflight_tag_ = queued_tags_.front();
   queued_tags_.pop_front();
+  inflight_canary_ = queued_canary_.front() != 0;
+  queued_canary_.pop_front();
+  if (inflight_canary_) {
+    --queued_canaries_;
+  }
   account_violation();
   if (on_headroom_) {
     on_headroom_();
@@ -177,17 +235,37 @@ void DeviceSim::start_next_frame() {
 void DeviceSim::finish_frame() {
   integrate_power();
   processing_ = false;
-  ++metrics_.processed;
-  // A degraded window elevates mispredictions: the frame still completes but
-  // contributes less accuracy to QoE.
-  const double accuracy = mode_.accuracy * (1.0 - degrade_accuracy_penalty_);
-  metrics_.qoe_accuracy_sum += accuracy;
-  window_qoe_sum_ += accuracy;
-  if (inflight_tag_ != kNoTag) {
-    const std::int64_t tag = inflight_tag_;
-    inflight_tag_ = kNoTag;
-    if (on_frame_done_) {
-      on_frame_done_(tag, accuracy);
+  if (inflight_canary_) {
+    // A canary completes: its output is compared against the golden answer.
+    // It is not workload — no processed/QoE accounting — its cost was the
+    // service slot it occupied.
+    inflight_canary_ = false;
+    const double error = std::min(1.0, upset_accuracy_penalty_ + degrade_accuracy_penalty_);
+    if (error > 0.0) {
+      ++metrics_.integrity.canaries_failed;
+    }
+    if (on_canary_) {
+      on_canary_(queue_.now(), error);
+    }
+  } else {
+    ++metrics_.processed;
+    // A degraded window elevates mispredictions, and a corrupted
+    // configuration silently degrades every delivered frame on top of it:
+    // the frame still counts as delivered but contributes less accuracy to
+    // QoE (delivered != correct).
+    const double accuracy = mode_.accuracy * (1.0 - degrade_accuracy_penalty_) *
+                            (1.0 - upset_accuracy_penalty_);
+    metrics_.qoe_accuracy_sum += accuracy;
+    window_qoe_sum_ += accuracy;
+    if (upset_accuracy_penalty_ > 0.0) {
+      ++metrics_.integrity.wrong_frames;
+    }
+    if (inflight_tag_ != kNoTag) {
+      const std::int64_t tag = inflight_tag_;
+      inflight_tag_ = kNoTag;
+      if (on_frame_done_) {
+        on_frame_done_(tag, accuracy);
+      }
     }
   }
   if (has_pending_retry_) {
@@ -205,14 +283,20 @@ void DeviceSim::on_watchdog_fired() {
   integrate_power();
   enter_degraded();
   processing_ = false;
-  ++metrics_.lost;  // the wedged frame never produces a result
-  ++window_lost_;
   ++metrics_.faults.stalls_recovered;
-  if (inflight_tag_ != kNoTag) {
-    const std::int64_t tag = inflight_tag_;
-    inflight_tag_ = kNoTag;
-    if (on_frame_lost_) {
-      on_frame_lost_(tag);
+  if (inflight_canary_) {
+    // A wedged canary is silently discarded — it is not workload, so no
+    // loss is charged; the prober just sees a gap in the canary stream.
+    inflight_canary_ = false;
+  } else {
+    ++metrics_.lost;  // the wedged frame never produces a result
+    ++window_lost_;
+    if (inflight_tag_ != kNoTag) {
+      const std::int64_t tag = inflight_tag_;
+      inflight_tag_ = kNoTag;
+      if (on_frame_lost_) {
+        on_frame_lost_(tag);
+      }
     }
   }
   switching_ = true;  // the re-load blocks the accelerator like a switch
@@ -253,13 +337,17 @@ void DeviceSim::on_device_fault_begin(const faults::DeviceFaultWindow& window) {
         ++service_epoch_;
         if (processing_) {
           processing_ = false;
-          ++metrics_.lost;
-          ++window_lost_;
-          if (inflight_tag_ != kNoTag) {
-            const std::int64_t tag = inflight_tag_;
-            inflight_tag_ = kNoTag;
-            if (on_frame_lost_) {
-              on_frame_lost_(tag);
+          if (inflight_canary_) {
+            inflight_canary_ = false;  // a wiped canary is not a workload loss
+          } else {
+            ++metrics_.lost;
+            ++window_lost_;
+            if (inflight_tag_ != kNoTag) {
+              const std::int64_t tag = inflight_tag_;
+              inflight_tag_ = kNoTag;
+              if (on_frame_lost_) {
+                on_frame_lost_(tag);
+              }
             }
           }
         }
@@ -478,24 +566,50 @@ bool DeviceSim::offer_frame(bool count_loss, std::int64_t tag) {
   }
   ++queued_;
   queued_tags_.push_back(tag);
+  queued_canary_.push_back(0);
+  account_violation();
+  start_next_frame();
+  return true;
+}
+
+bool DeviceSim::offer_canary() {
+  // NOT an arrival: the rate estimator and the workload metrics never see
+  // probe traffic — only its cost, the real service slot it occupies.
+  if (queued_ >= config_.queue_capacity) {
+    return false;  // saturated device: skip the probe, don't displace work
+  }
+  ++metrics_.integrity.canaries_sent;
+  ++queued_;
+  ++queued_canaries_;
+  queued_tags_.push_back(kNoTag);
+  queued_canary_.push_back(1);
   account_violation();
   start_next_frame();
   return true;
 }
 
 std::int64_t DeviceSim::take_queued(std::int64_t max_frames, std::vector<std::int64_t>* tags) {
-  const std::int64_t n = std::min(max_frames, queued_);
-  queued_ -= n;
-  for (std::int64_t i = 0; i < n; ++i) {
+  std::int64_t taken = 0;
+  while (taken < max_frames && queued_ > 0) {
     // Oldest first: the longest-waiting frames are the ones a hedge or a
     // quarantine drain wants somewhere else.
-    if (tags != nullptr) {
-      tags->push_back(queued_tags_.front());
-    }
+    const bool canary = queued_canary_.front() != 0;
+    const std::int64_t tag = queued_tags_.front();
+    queued_canary_.pop_front();
     queued_tags_.pop_front();
+    --queued_;
+    if (canary) {
+      --queued_canaries_;
+      continue;  // drained canaries are discarded, not re-dispatched — the
+                 // prober sends fresh ones; they don't count toward taken
+    }
+    if (tags != nullptr) {
+      tags->push_back(tag);
+    }
+    ++taken;
   }
   account_violation();
-  return n;
+  return taken;
 }
 
 double DeviceSim::estimate_incoming_fps() {
@@ -597,6 +711,10 @@ void DeviceSim::finalize(double duration_s) {
     // Still degraded at sim end: charge the open episode, but it is not a
     // recovery — MTTR only averages completed recoveries.
     metrics_.faults.time_degraded_s += duration_s - degraded_since_;
+  }
+  if (upset_accuracy_penalty_ > 0.0) {
+    // Still corrupted at sim end: charge the open episode (not a repair).
+    metrics_.integrity.corrupt_time_s += duration_s - corrupt_since_;
   }
   metrics_.duration_s = duration_s;
   if (injector_ != nullptr) {

@@ -30,6 +30,7 @@
 namespace adaflow::faults {
 class FaultInjector;
 struct DeviceFaultWindow;
+struct ConfigUpsetEvent;
 }
 
 namespace adaflow::edge {
@@ -69,6 +70,31 @@ class DeviceSim {
   /// appended to \p tags when non-null.
   std::int64_t take_queued(std::int64_t max_frames, std::vector<std::int64_t>* tags = nullptr);
 
+  /// Enqueues one golden (known-output) canary frame through the NORMAL
+  /// queue: it occupies a real service slot — the probing throughput tax —
+  /// but is not workload, so it never counts toward arrived/processed/QoE
+  /// and is invisible to the rate estimator. On completion the canary hook
+  /// receives the output error against the golden answer (0 on a clean
+  /// fabric). Returns false (and sends nothing) when the queue is full — a
+  /// saturated device skips the probe rather than displacing real frames.
+  bool offer_canary();
+
+  /// Receives every completed canary: (completion time, output error vs the
+  /// golden answer). The integrity layer feeds its drift detector from this.
+  void set_canary_hook(std::function<void(double now_s, double error)> fn) {
+    on_canary_ = std::move(fn);
+  }
+
+  /// The drift detector tripped: score the verdict against ground truth —
+  /// a detection (with its upset-landing -> trip latency) when the fabric is
+  /// corrupted, a false alarm when it is clean — in metrics().integrity.
+  void note_integrity_detection();
+
+  /// A blind periodic scrub reload was issued for this device (counted in
+  /// metrics().integrity.scrubs; the reload itself travels through the
+  /// normal supervised-switch path).
+  void note_scrub();
+
   /// One monitor poll: estimates the device's incoming FPS over the
   /// configured window (fault-injector glitches applied) and lets the
   /// serving policy act. No-op while a switch ladder is in flight.
@@ -90,6 +116,12 @@ class DeviceSim {
   const std::string& name() const { return name_; }
   const ServingMode& mode() const { return mode_; }
   std::int64_t queued() const { return queued_; }
+  /// Canary frames currently waiting in the queue (subset of queued()). The
+  /// health monitor subtracts these: canaries never raise `processed`, so
+  /// counting them as work would make an idle probed device look stalled.
+  std::int64_t queued_canaries() const { return queued_canaries_; }
+  /// True while the frame in service is a canary (same exclusion).
+  bool canary_in_service() const { return inflight_canary_; }
   std::int64_t queue_capacity() const { return config_.queue_capacity; }
   std::int64_t free_slots() const { return config_.queue_capacity - queued_; }
   bool processing() const { return processing_; }
@@ -109,6 +141,13 @@ class DeviceSim {
   bool crashed() const { return crash_depth_ > 0; }
   bool hung() const { return hang_depth_ > 0; }
   bool degraded_service() const { return degrade_depth_ > 0; }
+  /// Ground truth of the silent-corruption model: true while landed config
+  /// upsets degrade the loaded configuration (benches and verdict scoring
+  /// read this; detectors deliberately never do — they only see the canary
+  /// error stream, the way a real integrity layer has to).
+  bool corrupted() const { return upset_accuracy_penalty_ > 0.0; }
+  /// When the current corrupt episode began (meaningful while corrupted()).
+  double corrupt_since() const { return corrupt_since_; }
   /// Drain-time estimate of the backlog: (queued + in-flight) / mode FPS.
   double backlog_seconds() const;
 
@@ -144,6 +183,8 @@ class DeviceSim {
   void on_watchdog_fired();
   void on_device_fault_begin(const faults::DeviceFaultWindow& window);
   void on_device_fault_end(const faults::DeviceFaultWindow& window);
+  void on_config_upset(const faults::ConfigUpsetEvent& upset);
+  void repair_upsets();
   void abort_switch_episode();
   void begin_switch();
   void attempt_switch(const SwitchAction& action, int attempt);
@@ -206,6 +247,19 @@ class DeviceSim {
   std::deque<std::int64_t> queued_tags_;
   std::int64_t inflight_tag_ = kNoTag;
 
+  // Canary flags ride the same FIFO in lock-step with queued_tags_: a canary
+  // costs a real service slot (the probing tax) but its completion routes to
+  // the canary hook instead of the workload metrics.
+  std::deque<char> queued_canary_;
+  std::int64_t queued_canaries_ = 0;
+  bool inflight_canary_ = false;
+
+  // Silent-corruption state: accumulated accuracy penalty of the config
+  // upsets that landed since the last completed (re)load (0 = clean fabric)
+  // and when the open corrupt episode began.
+  double upset_accuracy_penalty_ = 0.0;
+  double corrupt_since_ = 0.0;
+
   // Per-sample-window counters.
   std::int64_t window_arrived_ = 0;
   std::int64_t window_lost_ = 0;
@@ -215,6 +269,7 @@ class DeviceSim {
   std::function<void()> on_headroom_;
   std::function<void(std::int64_t, double)> on_frame_done_;
   std::function<void(std::int64_t)> on_frame_lost_;
+  std::function<void(double, double)> on_canary_;
 };
 
 }  // namespace adaflow::edge

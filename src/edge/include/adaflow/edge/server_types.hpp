@@ -71,6 +71,11 @@ struct RunMetrics {
 
   sim::FaultStats faults;        ///< robustness observability (zero without injector)
   sim::ForecastStats forecast;   ///< forecast quality (zero for reactive policies)
+  /// Silent-corruption observability: upsets landed, silently-wrong frames
+  /// delivered (charged against QoE — delivered != correct), canary tax,
+  /// detector verdicts, repair traffic (zero without kConfigUpset faults or
+  /// an integrity layer).
+  sim::IntegrityStats integrity;
 
   /// True end-to-end capture->result latency of delivered frames (filled only
   /// by drivers that tag frames, i.e. the ingest pipeline; empty otherwise).
@@ -99,8 +104,8 @@ struct RunMetrics {
 
   /// Folds \p other — metrics of a DISJOINT device subset simulated over the
   /// same wall of time — into this one (the sharded engine's reduction).
-  /// Counters, energy, stall/violation time, fault/forecast stats, and the
-  /// e2e histogram add; duration takes the max; switch records concatenate in
+  /// Counters, energy, stall/violation time, fault/forecast/integrity stats,
+  /// and the e2e histogram add; duration takes the max; switch records concatenate in
   /// call order; workload/power series merge element-wise additively,
   /// loss/qoe series as the workload-weighted mean, forecast series
   /// additively. A default-constructed RunMetrics is the identity, and the

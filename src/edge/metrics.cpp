@@ -29,6 +29,7 @@ void RunMetrics::merge(const RunMetrics& other) {
   switches.insert(switches.end(), other.switches.begin(), other.switches.end());
   faults.accumulate(other.faults);
   forecast.accumulate(other.forecast);
+  integrity.accumulate(other.integrity);
   e2e_latency.merge(other.e2e_latency);
 }
 

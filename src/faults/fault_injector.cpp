@@ -30,6 +30,8 @@ const char* fault_kind_name(FaultKind kind) {
       return "network-outage";
     case FaultKind::kDecodeFault:
       return "decode-fault";
+    case FaultKind::kConfigUpset:
+      return "config-upset";
   }
   return "unknown";
 }
@@ -59,6 +61,13 @@ void FaultSchedule::validate() const {
     if (f.kind == FaultKind::kDeviceDegrade) {
       require(f.magnitude >= 1.0,
               where + "magnitude is the service-time multiplier and must be >= 1");
+    }
+    if (f.kind == FaultKind::kConfigUpset) {
+      require(std::isfinite(f.flexible_cross_section) && f.flexible_cross_section >= 0.0 &&
+                  f.flexible_cross_section <= 1.0,
+              where + "flexible_cross_section must be in [0, 1]");
+      require(f.accuracy_penalty > 0.0,
+              where + "accuracy_penalty must be positive (an upset must corrupt something)");
     }
   }
 }
@@ -114,14 +123,48 @@ FaultSchedule decode_fault_window(double start_s, double end_s, double probabili
   return s;
 }
 
+FaultSchedule config_upset_storm(double start_s, double end_s, double upsets_per_s,
+                                 double accuracy_penalty, double flexible_cross_section) {
+  FaultSchedule s;
+  FaultSpec spec;
+  spec.kind = FaultKind::kConfigUpset;
+  spec.start_s = start_s;
+  spec.end_s = end_s;
+  spec.probability = 1.0;
+  spec.magnitude = upsets_per_s;
+  spec.accuracy_penalty = accuracy_penalty;
+  spec.flexible_cross_section = flexible_cross_section;
+  s.faults.push_back(spec);
+  return s;
+}
+
 FaultInjector::FaultInjector(FaultSchedule schedule, std::uint64_t seed)
     : schedule_(std::move(schedule)), rng_(seed) {
   schedule_.validate();
   burst_counted_.assign(schedule_.faults.size(), 0);
-  // Whole-device windows are resolved up front (one Bernoulli draw per
-  // window, in schedule order) so the outcome depends only on (schedule,
-  // seed) and the device can pre-schedule its begin/end events.
+  // Whole-device windows and config upsets are resolved up front (in schedule
+  // order: one Bernoulli draw per window, one Poisson arrival stream per
+  // upset spec) so the outcome depends only on (schedule, seed) and the
+  // device can pre-schedule its events. Schedules without these kinds consume
+  // no draws here, so their replay is unchanged.
   for (const FaultSpec& f : schedule_.faults) {
+    if (f.kind == FaultKind::kConfigUpset) {
+      if (f.end_s <= f.start_s || f.magnitude <= 0.0) {
+        continue;
+      }
+      double t = f.start_s + rng_.exponential(f.magnitude);
+      while (t < f.end_s) {
+        // The thinning draw runs per arrival regardless of outcome, so the
+        // stream of consumed randomness depends only on (schedule, seed).
+        if (draw(f)) {
+          upset_events_.push_back(
+              ConfigUpsetEvent{t, f.accuracy_penalty, f.flexible_cross_section});
+          ++injected_[static_cast<int>(f.kind)];
+        }
+        t += rng_.exponential(f.magnitude);
+      }
+      continue;
+    }
     if (!is_device_fault(f.kind) || f.end_s <= f.start_s || !draw(f)) {
       continue;
     }

@@ -23,6 +23,19 @@
 
 namespace adaflow::faults {
 
+/// The fault classes the injector can arm. Three families share the enum:
+///
+/// - Per-opportunity faults (reconfig failure/slowdown, monitor glitches,
+///   stalls, bursts) draw at each switch attempt / poll / frame start.
+/// - Whole-device faults (crash / hang / degrade) manifest per WINDOW: the
+///   decision is drawn ONCE at injector construction, so the device can
+///   pre-schedule begin/end events and replay stays bit-identical.
+/// - Ingest-path faults (network outage, decode fault) draw once per frame
+///   transmitted / decode started inside the window.
+///
+/// kConfigUpset is the silent-data-corruption class (src/integrity): its
+/// Poisson arrival times are resolved at construction like the whole-device
+/// windows, so the shard engine's fingerprint equivalence survives.
 enum class FaultKind {
   kReconfigFailure,   ///< a reconfiguration aborts; the old configuration stays
   kReconfigSlowdown,  ///< a switch takes `magnitude` x its nominal time
@@ -30,23 +43,28 @@ enum class FaultKind {
   kMonitorNoise,      ///< a rate poll is perturbed by +-`magnitude` relative error
   kAcceleratorStall,  ///< the in-flight frame hangs for `magnitude` seconds
   kQueueBurst,        ///< arrival rate is multiplied by `magnitude` in the window
-  // Whole-device fault classes (fleet resilience layer). These manifest per
-  // window, not per opportunity: the manifestation decision is drawn ONCE at
-  // injector construction, so the device can pre-schedule begin/end events
-  // and replay stays bit-identical.
-  kDeviceCrash,    ///< dead during the window: in-flight frame lost, no service
-                   ///< until the scheduled recovery (reboot) at end_s
-  kDeviceHang,     ///< accepts frames but completes none until end_s releases it
-  kDeviceDegrade,  ///< service runs `magnitude` x slower; each processed frame
-                   ///< loses `accuracy_penalty` of its accuracy (mispredictions)
-  // Ingest-path fault classes (end-to-end pipeline ahead of the dispatcher).
-  kNetworkOutage,  ///< each frame transmitted in the window is lost with
-                   ///< `probability` (a flapping uplink / congested backhaul)
-  kDecodeFault,    ///< each decode started in the window fails with
-                   ///< `probability` (corrupt bitstream reaching the decoder)
+  kDeviceCrash,       ///< whole-device: dead during the window — the in-flight
+                      ///< frame is lost and nothing is served until the
+                      ///< scheduled recovery (reboot) at end_s
+  kDeviceHang,        ///< whole-device: accepts frames but completes none
+                      ///< until end_s releases it
+  kDeviceDegrade,     ///< whole-device: service runs `magnitude` x slower and
+                      ///< each processed frame loses `accuracy_penalty` of its
+                      ///< accuracy (mispredictions)
+  kNetworkOutage,     ///< ingest path: each frame transmitted in the window is
+                      ///< lost with `probability` (flapping uplink)
+  kDecodeFault,       ///< ingest path: each decode started in the window fails
+                      ///< with `probability` (corrupt bitstream at the decoder)
+  kConfigUpset,       ///< silent corruption: configuration-memory upsets (SEUs)
+                      ///< arrive as a Poisson stream of rate `magnitude` per
+                      ///< second in the window, each thinned by `probability`;
+                      ///< an upset durably costs the loaded variant
+                      ///< `accuracy_penalty` of its accuracy (scaled by the
+                      ///< Flexible overlay's smaller cross-section) until a
+                      ///< reload repairs the fabric
 };
 
-inline constexpr int kFaultKindCount = 11;
+inline constexpr int kFaultKindCount = 12;
 
 const char* fault_kind_name(FaultKind kind);
 
@@ -60,8 +78,15 @@ struct FaultSpec {
   double end_s = 0.0;
   double probability = 1.0;
   double magnitude = 1.0;
-  /// kDeviceDegrade only: fraction of per-frame accuracy lost in the window.
+  /// kDeviceDegrade: fraction of per-frame accuracy lost in the window.
+  /// kConfigUpset: fraction of accuracy one upset durably costs a loaded
+  /// Fixed bitstream (the Flexible overlay scales it by its cross-section).
   double accuracy_penalty = 0.0;
+  /// kConfigUpset only: the shared Flexible overlay exposes fewer essential
+  /// configuration bits than a per-version Fixed bitstream, so an upset that
+  /// lands while Flexible is loaded costs only this fraction of
+  /// `accuracy_penalty`. Must be in [0, 1].
+  double flexible_cross_section = 0.25;
 };
 
 /// One manifested whole-device fault window (crash, hang, or degraded
@@ -72,6 +97,19 @@ struct DeviceFaultWindow {
   double end_s = 0.0;             ///< scheduled recovery / release time
   double latency_factor = 1.0;    ///< kDeviceDegrade: service-time multiplier
   double accuracy_penalty = 0.0;  ///< kDeviceDegrade: accuracy lost per frame
+};
+
+/// One manifested configuration-memory upset (kConfigUpset), resolved at
+/// injector construction: the Poisson arrival times and thinning draws are
+/// consumed from the seed up front, so the device can pre-schedule the upset
+/// events and a (schedule, seed) pair replays bit-identically. The penalty
+/// the fabric actually takes depends on the variant loaded at `time_s`:
+/// `accuracy_penalty` on a Fixed bitstream, `accuracy_penalty *
+/// flexible_cross_section` on the shared Flexible overlay.
+struct ConfigUpsetEvent {
+  double time_s = 0.0;
+  double accuracy_penalty = 0.0;
+  double flexible_cross_section = 0.25;
 };
 
 struct FaultSchedule {
@@ -108,6 +146,14 @@ FaultSchedule device_degrade_window(double start_s, double end_s, double latency
 /// fail with \p probability (decode-fault burst).
 FaultSchedule network_outage_window(double start_s, double end_s, double probability = 1.0);
 FaultSchedule decode_fault_window(double start_s, double end_s, double probability);
+
+/// Canned silent-corruption schedule: configuration upsets arrive at
+/// \p upsets_per_s in [start_s, end_s), each durably costing a loaded Fixed
+/// bitstream \p accuracy_penalty of its accuracy (the Flexible overlay takes
+/// only \p flexible_cross_section of that) until a reload scrubs the fabric.
+FaultSchedule config_upset_storm(double start_s, double end_s, double upsets_per_s,
+                                 double accuracy_penalty = 0.08,
+                                 double flexible_cross_section = 0.25);
 
 class FaultInjector {
  public:
@@ -152,6 +198,14 @@ class FaultInjector {
     return device_windows_;
   }
 
+  /// Configuration upsets that manifested (Poisson arrivals drawn from the
+  /// seed at construction), in schedule order, time-ascending within each
+  /// kConfigUpset spec. The device pre-schedules one corruption event per
+  /// entry; how hard each hits depends on the variant loaded when it lands.
+  const std::vector<ConfigUpsetEvent>& config_upset_events() const {
+    return upset_events_;
+  }
+
   /// Number of manifested faults of one kind / in total so far.
   int injected(FaultKind kind) const;
   int injected_total() const;
@@ -164,6 +218,7 @@ class FaultInjector {
   int injected_[kFaultKindCount] = {};
   std::vector<char> burst_counted_;  ///< each burst window counted once
   std::vector<DeviceFaultWindow> device_windows_;
+  std::vector<ConfigUpsetEvent> upset_events_;
 };
 
 }  // namespace adaflow::faults

@@ -61,6 +61,13 @@ FleetEngine::FleetEngine(sim::EventQueue& queue, const core::AcceleratorLibrary&
   accepting_.assign(n, 1);
   probe_wanted_.assign(n, 0);
   queued_since_.resize(n);
+  if (config_.integrity.enabled) {
+    integrity_detectors_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      integrity_detectors_.emplace_back(config_.integrity.detector);
+    }
+    last_repair_s_.assign(n, -1e18);
+  }
   default_ingress_ = std::make_unique<FifoIngress>(config_.ingress_capacity);
   ingress_ = default_ingress_.get();
   metrics_.workload_series.interval_s = config_.sample_interval_s;
@@ -349,7 +356,11 @@ void FleetEngine::health_tick() {
     const edge::DeviceSim& dev = *devices_[i];
     HealthMonitor::Observation obs;
     obs.processed = dev.metrics().processed;
-    obs.has_work = dev.queued() > 0 || dev.processing();
+    // Canary frames occupy queue slots but never raise `processed`; counting
+    // them as work would make a device with canary-only traffic look
+    // stalled and quarantine it for being probed.
+    obs.has_work = dev.queued() - dev.queued_canaries() > 0 ||
+                   (dev.processing() && !dev.canary_in_service());
     obs.in_maintenance =
         dev.switch_in_flight() || (coord_state_ != CoordState::kIdle && coord_device_ == i);
     obs.nominal_fps = dev.mode().fps;
@@ -427,6 +438,68 @@ void FleetEngine::health_tick() {
   const double next = now + config_.health.tick_interval_s;
   if (next <= horizon_s_) {
     queue_.schedule_at(next, [this] { health_tick(); });
+  }
+}
+
+// --- integrity layer --------------------------------------------------------
+
+/// One canary round: every device gets one golden frame through its normal
+/// queue (the probing throughput tax). A full queue skips its probe — a
+/// saturated device must not displace real frames — and a quarantined device
+/// keeps probing, so corruption clearing under quarantine is still observed.
+void FleetEngine::canary_tick() {
+  for (auto& dev : devices_) {
+    dev->offer_canary();
+  }
+  const double next = queue_.now() + config_.integrity.canary_interval_s;
+  if (next <= horizon_s_) {
+    queue_.schedule_at(next, [this] { canary_tick(); });
+  }
+}
+
+void FleetEngine::on_canary_result(std::size_t i, double now, double error) {
+  if (!integrity_detectors_[i].feed(error)) {
+    return;
+  }
+  integrity_detectors_[i].reset();
+  // Score the verdict against ground truth (detection vs false alarm).
+  devices_[i]->note_integrity_detection();
+  // Detection-triggered reload of the live configuration through the
+  // supervised-switch path: full reconfiguration for a Fixed variant, the
+  // fast config-register rewrite for the shared Flexible overlay. Cooldown
+  // keeps a flapping detector from hammering the PR controller; a switch
+  // already in flight (retry ladder, coordinator cycle) repairs on its own.
+  if (now - last_repair_s_[i] >= config_.integrity.repair_cooldown_s &&
+      !devices_[i]->switch_in_flight()) {
+    const core::AcceleratorLibrary& lib = device_library(i);
+    const edge::ServingMode& mode = devices_[i]->mode();
+    const std::size_t version = find_version(lib, mode.model_version);
+    if (version < lib.versions.size()) {
+      edge::SwitchAction action;
+      action.target = mode;
+      if (mode.accelerator == "Flexible") {
+        action.switch_time_s = lib.versions[version].flexible_switch_time_s;
+        action.is_reconfiguration = false;
+      } else {
+        action.switch_time_s = lib.reconfig_time_s;
+        action.is_reconfiguration = true;
+      }
+      last_repair_s_[i] = now;
+      command_device_switch(i, action);
+    }
+  }
+  // Confirmed-corrupt devices leave the routing set through the SAME
+  // quarantine/drain/probe/rejoin machinery crashes use; the reload just
+  // issued doubles as the cure the rejoin probes will verify.
+  if (config_.integrity.quarantine_on_detect && monitor_.force_quarantine(i, now)) {
+    ++metrics_.quarantines;
+    if (coord_state_ != CoordState::kIdle && coord_device_ == i) {
+      accepting_[i] = 1;
+      coord_state_ = CoordState::kIdle;
+      last_repartition_end_s_ = now;
+    }
+    quarantine_drain(i);
+    last_converged_fps_ = -1.0;
   }
 }
 
@@ -629,6 +702,10 @@ void FleetEngine::start() {
     devices_[i]->set_frame_hooks(
         [this](std::int64_t tag, double accuracy) { frame_done(tag, accuracy); },
         [this](std::int64_t tag) { frame_lost(tag); });
+    if (config_.integrity.enabled) {
+      devices_[i]->set_canary_hook(
+          [this, i](double now_s, double error) { on_canary_result(i, now_s, error); });
+    }
   }
   const double t0 = queue_.now();
   for (std::size_t i = 0; i < devices_.size(); ++i) {
@@ -642,6 +719,9 @@ void FleetEngine::start() {
   }
   if (config_.health.enabled) {
     queue_.schedule_at(t0 + config_.health.tick_interval_s, [this] { health_tick(); });
+  }
+  if (config_.integrity.enabled && config_.integrity.canary_interval_s > 0.0) {
+    queue_.schedule_at(t0 + config_.integrity.canary_interval_s, [this] { canary_tick(); });
   }
 }
 
@@ -659,6 +739,7 @@ FleetMetrics FleetEngine::finalize(double duration_s) {
     metrics_.model_switches += m.model_switches;
     metrics_.reconfigurations += m.reconfigurations;
     metrics_.faults.accumulate(m.faults);
+    metrics_.integrity.accumulate(m.integrity);
     FleetDeviceResult result;
     result.name = config_.devices[i].name;
     result.queued_at_end = devices_[i]->queued();

@@ -62,6 +62,14 @@ void FleetConfig::validate() const {
   if (health.enabled) {
     health.validate();
   }
+  if (integrity.enabled) {
+    integrity.validate();
+    if (integrity.quarantine_on_detect && !health.enabled) {
+      throw ConfigError(
+          "FleetIntegrityConfig.quarantine_on_detect requires health.enabled (the "
+          "quarantine/probe/rejoin machinery lives in the health monitor)");
+    }
+  }
 }
 
 void FleetMetrics::merge(const FleetMetrics& other) {
@@ -93,6 +101,7 @@ void FleetMetrics::merge(const FleetMetrics& other) {
   tail_latency_p95_s = std::max(tail_latency_p95_s, other.tail_latency_p95_s);
   faults.accumulate(other.faults);
   forecast.accumulate(other.forecast);
+  integrity.accumulate(other.integrity);
   e2e_latency.merge(other.e2e_latency);
   devices.insert(devices.end(), other.devices.begin(), other.devices.end());
   tenants.insert(tenants.end(), other.tenants.begin(), other.tenants.end());

@@ -149,6 +149,21 @@ HealthAction HealthMonitor::observe(std::size_t i, double now, const Observation
   return action;
 }
 
+bool HealthMonitor::force_quarantine(std::size_t i, double now) {
+  require(i < devices_.size(), "HealthMonitor::force_quarantine: device index out of range");
+  DeviceHealth& d = devices_[i];
+  if (d.state == HealthState::kQuarantined || d.state == HealthState::kProbing) {
+    return false;  // already out of rotation; nothing to drain
+  }
+  d.state = HealthState::kQuarantined;
+  ++d.quarantines;
+  d.last_probe_s = now;  // first probe waits a full probe interval
+  d.probe_successes = 0;
+  d.probe_in_flight = false;
+  d.rate_history.clear();
+  return true;
+}
+
 void HealthMonitor::on_probe_dispatched(std::size_t i, double now,
                                         std::int64_t processed_at_dispatch) {
   require(i < devices_.size(), "HealthMonitor::on_probe_dispatched: device index out of range");

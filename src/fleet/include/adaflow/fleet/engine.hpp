@@ -32,6 +32,7 @@
 
 #include "adaflow/edge/device_sim.hpp"
 #include "adaflow/fleet/fleet.hpp"
+#include "adaflow/integrity/detector.hpp"
 
 namespace adaflow::fleet {
 
@@ -187,6 +188,14 @@ class FleetEngine {
   void quarantine_drain(std::size_t i);
   bool any_other_eligible(std::size_t i) const;
   void health_tick();
+  /// Offers one golden canary frame to every device (integrity layer
+  /// cadence); full queues skip their probe this round.
+  void canary_tick();
+  /// A canary completed on device \p i with \p error against the golden
+  /// answer: feeds that device's drift detector, and on a trip scores the
+  /// verdict, issues the detection-triggered reload (cooldown-gated), and
+  /// optionally force-quarantines the device.
+  void on_canary_result(std::size_t i, double now, double error);
   double aggregate_fps();
   double planning_rate(double measured) const;
   void maybe_start_repartition(double now);
@@ -210,6 +219,13 @@ class FleetEngine {
   HealthMonitor monitor_;
   /// Devices waiting for the dispatcher to route them a half-open probe.
   std::vector<char> probe_wanted_;
+
+  /// Integrity layer (sized to the fleet only when config.integrity.enabled):
+  /// one drift detector per device fed from that device's canary stream, and
+  /// the time of the last detection-triggered reload (cooldown gate, so a
+  /// slow reload is not re-issued on every canary while corruption clears).
+  std::vector<integrity::DriftDetector> integrity_detectors_;
+  std::vector<double> last_repair_s_;
   /// One entry per frame waiting in a device's queue (front = oldest):
   /// dispatch timestamp + tag. Kept in lock-step with DeviceSim::queued();
   /// the tag lets duplicate hedging name a stuck frame without pulling it.

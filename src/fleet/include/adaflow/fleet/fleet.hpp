@@ -36,6 +36,7 @@
 #include "adaflow/forecast/tracker.hpp"
 #include "adaflow/fleet/health.hpp"
 #include "adaflow/fleet/routing.hpp"
+#include "adaflow/integrity/manager.hpp"
 #include "adaflow/sim/stats.hpp"
 
 namespace adaflow::fleet {
@@ -101,6 +102,10 @@ struct FleetConfig {
   /// Dispatcher-side resilience: circuit-breaker health monitoring, probed
   /// recovery, and hedged re-dispatch. Off by default (PR 2 behaviour).
   HealthConfig health;
+  /// Silent-corruption detection: per-device canary probing + drift
+  /// detectors, detection-triggered reload, and optional quarantine of
+  /// confirmed-corrupt devices. Off by default.
+  integrity::FleetIntegrityConfig integrity;
 
   /// Throws ConfigError naming the offending device/field.
   void validate() const;
@@ -184,6 +189,12 @@ struct FleetMetrics {
   /// Quality of the coordinator's aggregate-rate forecast (all-zero unless
   /// the coordinator runs with `predictive` set).
   sim::ForecastStats forecast;
+
+  /// Summed over devices: the silent-corruption ledger — config upsets that
+  /// landed, wrong frames served while corrupt, canary traffic and its
+  /// verdicts, scrubs and repairs (all-zero unless upsets or the integrity
+  /// layer are configured).
+  sim::IntegrityStats integrity;
 
   /// True end-to-end capture->result latency over delivered frames. Filled
   /// only by drivers that tag their frames (the ingest pipeline); empty for

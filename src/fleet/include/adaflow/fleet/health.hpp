@@ -101,6 +101,14 @@ class HealthMonitor {
   /// device's cumulative completion count at the moment of dispatch.
   void on_probe_dispatched(std::size_t i, double now, std::int64_t processed_at_dispatch);
 
+  /// External verdict (the integrity layer's drift detector confirming a
+  /// silently-corrupt device): quarantine \p i immediately, bypassing the
+  /// progress-based escalation — silent corruption completes frames at full
+  /// rate, so the stall/rate checks can never catch it. Returns true when
+  /// the device transitioned (the caller then drains its queue, exactly as
+  /// on an observe() quarantine); false when it was already out of rotation.
+  bool force_quarantine(std::size_t i, double now);
+
   HealthState state(std::size_t i) const { return devices_[i].state; }
   /// True while the device is out of the normal routing set (quarantined or
   /// probing). Probing devices take probe traffic only.

@@ -1,0 +1,35 @@
+#include "adaflow/integrity/detector.hpp"
+
+#include <algorithm>
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow::integrity {
+
+void DriftDetectorConfig::validate() const {
+  require(epsilon >= 0.0, "drift detector epsilon must be >= 0");
+  require(threshold > 0.0, "drift detector threshold must be > 0");
+}
+
+DriftDetector::DriftDetector(DriftDetectorConfig config) : config_(config) {
+  config_.validate();
+}
+
+bool DriftDetector::feed(double error) {
+  ++samples_;
+  m_ += error - config_.epsilon;
+  min_m_ = std::min(min_m_, m_);
+  if (m_ - min_m_ > config_.threshold) {
+    tripped_ = true;
+  }
+  return tripped_;
+}
+
+void DriftDetector::reset() {
+  m_ = 0.0;
+  min_m_ = 0.0;
+  tripped_ = false;
+  // samples_ keeps counting across resets: it is the lifetime feed count.
+}
+
+}  // namespace adaflow::integrity

@@ -124,6 +124,7 @@ class Runner {
       sh->config.sample_interval_s = config.sample_interval_s;
       sh->config.coordinator = config.coordinator;
       sh->config.health = config.health;
+      sh->config.integrity = config.integrity;
       for (std::size_t i = static_cast<std::size_t>(s); i < config.devices.size();
            i += static_cast<std::size_t>(S)) {
         sh->config.devices.push_back(config.devices[i]);
@@ -326,6 +327,16 @@ std::string metrics_fingerprint(const fleet::FleetMetrics& m) {
   f.f64(m.faults.time_degraded_s);
   f.i64(m.forecast.forecasts);
   f.f64(m.forecast.abs_pct_error_sum);
+  f.i64(m.integrity.upsets_injected);
+  f.i64(m.integrity.wrong_frames);
+  f.i64(m.integrity.canaries_sent);
+  f.i64(m.integrity.canaries_failed);
+  f.i64(m.integrity.detections);
+  f.i64(m.integrity.false_alarms);
+  f.i64(m.integrity.scrubs);
+  f.i64(m.integrity.repairs);
+  f.f64(m.integrity.corrupt_time_s);
+  f.f64(m.integrity.detection_latency_sum_s);
   f.i64(m.e2e_latency.count());
   f.f64(m.e2e_latency.sum_s());
   for (std::int64_t b : m.e2e_latency.buckets()) {

@@ -177,6 +177,46 @@ struct FaultStats {
   void divide(int runs);
 };
 
+/// Silent-data-corruption observability of one simulated run (src/integrity):
+/// configuration upsets that landed, frames delivered while the fabric was
+/// corrupted (delivered != correct), the canary-probing tax, drift-detector
+/// verdicts scored against ground truth, and the repair traffic. All-zero
+/// when no kConfigUpset schedule and no integrity layer are armed.
+struct IntegrityStats {
+  // The fault side.
+  std::int64_t upsets_injected = 0;  ///< config upsets that landed on the fabric
+  std::int64_t wrong_frames = 0;     ///< frames delivered while corrupted
+  double corrupt_time_s = 0.0;       ///< time served with a corrupted configuration
+  // The detection side.
+  std::int64_t canaries_sent = 0;    ///< golden frames injected through the queue
+  std::int64_t canaries_failed = 0;  ///< canary outputs that mismatched golden
+  std::int64_t detections = 0;       ///< detector trips with corruption present
+  std::int64_t false_alarms = 0;     ///< detector trips on a clean fabric
+  double detection_latency_sum_s = 0.0;  ///< upset landing -> detector trip
+  // The repair side.
+  std::int64_t scrubs = 0;   ///< blind periodic scrub reloads issued
+  std::int64_t repairs = 0;  ///< reloads that actually cleared a corruption
+
+  /// Fraction of delivered frames that were silently wrong.
+  double wrong_fraction(std::int64_t processed) const {
+    return processed > 0 ? static_cast<double>(wrong_frames) / static_cast<double>(processed)
+                         : 0.0;
+  }
+  /// Throughput tax of the probing: canaries per served (real) frame.
+  double canary_overhead(std::int64_t processed) const {
+    return processed > 0 ? static_cast<double>(canaries_sent) / static_cast<double>(processed)
+                         : 0.0;
+  }
+  /// Mean upset-landing -> detector-trip latency (0 when nothing detected).
+  double mean_detection_latency_s() const {
+    return detections > 0 ? detection_latency_sum_s / static_cast<double>(detections) : 0.0;
+  }
+
+  void accumulate(const IntegrityStats& other);
+  /// In-place mean over \p runs (counts rounded to nearest).
+  void divide(int runs);
+};
+
 /// Forecast quality of one simulated run: how well the workload forecaster
 /// predicted the per-window arrival rate `horizon` windows ahead. Filled by
 /// the forecast tracker inside proactive serving policies; all-zero for

@@ -271,6 +271,37 @@ void FaultStats::divide(int runs) {
   recoveries = mean_count(recoveries);
 }
 
+void IntegrityStats::accumulate(const IntegrityStats& other) {
+  upsets_injected += other.upsets_injected;
+  wrong_frames += other.wrong_frames;
+  corrupt_time_s += other.corrupt_time_s;
+  canaries_sent += other.canaries_sent;
+  canaries_failed += other.canaries_failed;
+  detections += other.detections;
+  false_alarms += other.false_alarms;
+  detection_latency_sum_s += other.detection_latency_sum_s;
+  scrubs += other.scrubs;
+  repairs += other.repairs;
+}
+
+void IntegrityStats::divide(int runs) {
+  require(runs > 0, "IntegrityStats::divide needs runs > 0");
+  auto mean_count = [runs](std::int64_t v) {
+    return static_cast<std::int64_t>(
+        std::llround(static_cast<double>(v) / static_cast<double>(runs)));
+  };
+  upsets_injected = mean_count(upsets_injected);
+  wrong_frames = mean_count(wrong_frames);
+  corrupt_time_s /= static_cast<double>(runs);
+  canaries_sent = mean_count(canaries_sent);
+  canaries_failed = mean_count(canaries_failed);
+  detections = mean_count(detections);
+  false_alarms = mean_count(false_alarms);
+  detection_latency_sum_s /= static_cast<double>(runs);
+  scrubs = mean_count(scrubs);
+  repairs = mean_count(repairs);
+}
+
 void ForecastStats::accumulate(const ForecastStats& other) {
   forecasts += other.forecasts;
   abs_pct_error_sum += other.abs_pct_error_sum;

@@ -1,0 +1,95 @@
+#include "adaflow/integrity/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adaflow/common/error.hpp"
+#include "adaflow/common/rng.hpp"
+
+namespace adaflow::integrity {
+namespace {
+
+TEST(DriftDetectorConfig, RejectsBadFields) {
+  DriftDetectorConfig c;
+  c.epsilon = -0.01;
+  EXPECT_THROW(c.validate(), Error);
+  c.epsilon = 0.02;
+  c.threshold = 0.0;
+  EXPECT_THROW(c.validate(), Error);
+  c.threshold = 0.10;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(DriftDetector, CleanStreamNeverTrips) {
+  DriftDetector d;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(d.feed(0.0));
+  }
+  EXPECT_FALSE(d.tripped());
+  EXPECT_DOUBLE_EQ(d.statistic(), 0.0);
+  EXPECT_EQ(d.samples(), 1000);
+}
+
+TEST(DriftDetector, TripsAfterEvidenceAccumulates) {
+  // epsilon 0.02, threshold 0.10, per-sample error 0.08: each corrupted
+  // canary adds 0.06 of evidence, so the second sample crosses 0.10.
+  DriftDetector d(DriftDetectorConfig{0.02, 0.10});
+  EXPECT_FALSE(d.feed(0.08));
+  EXPECT_TRUE(d.feed(0.08));
+  EXPECT_TRUE(d.tripped());
+}
+
+TEST(DriftDetector, StaysLatchedUntilReset) {
+  DriftDetector d(DriftDetectorConfig{0.02, 0.10});
+  d.feed(0.5);
+  ASSERT_TRUE(d.tripped());
+  // Even clean samples keep reporting the trip until the caller re-arms.
+  EXPECT_TRUE(d.feed(0.0));
+  d.reset();
+  EXPECT_FALSE(d.tripped());
+  EXPECT_FALSE(d.feed(0.0));
+  EXPECT_DOUBLE_EQ(d.statistic(), 0.0);
+  // Lifetime sample count survives the re-arm.
+  EXPECT_EQ(d.samples(), 3);
+}
+
+TEST(DriftDetector, RunningMinimumForgivesAnIsolatedSpike) {
+  // One big spike below the threshold, then a long clean stretch: the
+  // running minimum follows the walk down, so the spike's evidence does not
+  // linger and later accumulate with unrelated noise.
+  DriftDetector d(DriftDetectorConfig{0.02, 0.10});
+  EXPECT_FALSE(d.feed(0.09));  // statistic 0.07
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(d.feed(0.0));
+  }
+  EXPECT_DOUBLE_EQ(d.statistic(), 0.0);
+  EXPECT_FALSE(d.feed(0.09));  // a fresh spike starts from zero again
+}
+
+TEST(DriftDetector, NoiseBelowEpsilonNeverFalseAlarms) {
+  // Seed sweep: sub-allowance noise must not trip regardless of the stream.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    DriftDetector d(DriftDetectorConfig{0.02, 0.10});
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_FALSE(d.feed(rng.uniform(0.0, 0.02))) << "seed " << seed << " sample " << i;
+    }
+  }
+}
+
+TEST(DriftDetector, PersistentShiftDetectedUnderNoise) {
+  // Seed sweep: a durable 0.08 shift plus sub-allowance jitter trips within
+  // a handful of samples for every seed (mean evidence/sample >= 0.06).
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    DriftDetector d(DriftDetectorConfig{0.02, 0.10});
+    int samples_to_trip = 0;
+    while (samples_to_trip < 10 && !d.feed(0.08 + rng.uniform(0.0, 0.015))) {
+      ++samples_to_trip;
+    }
+    EXPECT_TRUE(d.tripped()) << "seed " << seed;
+    EXPECT_LE(samples_to_trip, 3) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace adaflow::integrity

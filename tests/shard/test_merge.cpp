@@ -121,6 +121,10 @@ edge::RunMetrics sample_run_metrics(std::int64_t scale) {
   m.loss_series = series({0.1});
   m.qoe_series = series({0.8});
   m.power_series = series({0.5 * static_cast<double>(scale)});
+  m.integrity.upsets_injected = 2 * scale;
+  m.integrity.wrong_frames = 15 * scale;
+  m.integrity.canaries_sent = 8 * scale;
+  m.integrity.corrupt_time_s = 0.5 * static_cast<double>(scale);
   // Exact binary fraction: sum_s stays bit-exact under any merge order.
   m.e2e_latency.record(0.015625 * static_cast<double>(scale));
   return m;
@@ -164,6 +168,11 @@ TEST(RunMetricsMerge, IsAssociativeAndWeightsLossByWorkload) {
   EXPECT_DOUBLE_EQ(left.loss_series.values[0], 0.1);
   // Workload adds: 10 + 20 + 40.
   EXPECT_DOUBLE_EQ(left.workload_series.values[0], 70.0);
+  // The per-device integrity ledger adds like the frame counters.
+  EXPECT_EQ(left.integrity.upsets_injected, 14);
+  EXPECT_EQ(left.integrity.wrong_frames, 105);
+  EXPECT_EQ(left.integrity.canaries_sent, 56);
+  EXPECT_DOUBLE_EQ(left.integrity.corrupt_time_s, 3.5);
 }
 
 fleet::FleetMetrics sample_fleet_metrics(std::int64_t scale) {
@@ -182,6 +191,14 @@ fleet::FleetMetrics sample_fleet_metrics(std::int64_t scale) {
   m.loss_series = series({0.1});
   m.qoe_series = series({0.7});
   m.backlog_series = series({0.02 * static_cast<double>(scale)});
+  m.integrity.upsets_injected = 5 * scale;
+  m.integrity.wrong_frames = 40 * scale;
+  m.integrity.corrupt_time_s = 1.5 * static_cast<double>(scale);
+  m.integrity.canaries_sent = 20 * scale;
+  m.integrity.canaries_failed = 6 * scale;
+  m.integrity.detections = 2 * scale;
+  m.integrity.scrubs = 3 * scale;
+  m.integrity.repairs = 2 * scale;
   fleet::FleetDeviceResult d;
   d.name = "dev" + std::to_string(scale);
   d.metrics = sample_run_metrics(scale);
@@ -211,6 +228,13 @@ TEST(FleetMetricsMerge, IdentityAssociativityAndWorstOfSemantics) {
   EXPECT_DOUBLE_EQ(left.tail_latency_p95_s, 0.05);
   EXPECT_DOUBLE_EQ(left.backlog_series.values[0], 0.10);
   EXPECT_EQ(left.arrived, 9000);
+  // The silent-corruption ledger is additive like the other counters.
+  EXPECT_EQ(left.integrity.upsets_injected, 45);
+  EXPECT_EQ(left.integrity.wrong_frames, 360);
+  EXPECT_DOUBLE_EQ(left.integrity.corrupt_time_s, 13.5);
+  EXPECT_EQ(left.integrity.canaries_sent, 180);
+  EXPECT_EQ(left.integrity.detections, 18);
+  EXPECT_EQ(left.integrity.repairs, 18);
   ASSERT_EQ(left.devices.size(), 3u);
   EXPECT_EQ(left.devices[0].name, "dev1");
   EXPECT_EQ(left.devices[2].name, "dev5");

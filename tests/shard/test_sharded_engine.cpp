@@ -87,6 +87,35 @@ TEST(ShardedEngine, SingleShardReplaysRunFleetBitIdentically) {
   EXPECT_EQ(sharded.stats.shards, 1);
 }
 
+TEST(ShardedEngine, SingleShardAgreesUnderUpsetsAndCanaryProbing) {
+  // The S == 1 contract extended to the integrity layer: canary cadence,
+  // per-device drift detectors, and the pre-scheduled upset stream all live
+  // inside a shard, so the fingerprint (which now folds in the integrity
+  // ledger) must agree with the classic entry point bit for bit.
+  const core::AcceleratorLibrary lib = core::synthetic_library();
+  fleet::FleetConfig config = fleet_of(lib, 3);
+  config.devices[1].fault_schedule = faults::config_upset_storm(1.0, 10.0, 0.8);
+  config.integrity.enabled = true;
+  config.integrity.canary_interval_s = 0.25;
+  config.integrity.quarantine_on_detect = false;  // keep health out of it
+  edge::WorkloadTrace trace(bursty_workload(1300.0, 12.0), 19);
+
+  auto router = fleet::make_router("least-loaded");
+  const fleet::FleetMetrics classic = fleet::run_fleet(trace, lib, config, *router, 17);
+
+  ShardConfig shard_cfg;
+  shard_cfg.shards = 1;
+  const ShardedMetrics sharded =
+      run_sharded_fleet(trace, lib, config, shard_cfg, "least-loaded", 17);
+
+  EXPECT_EQ(metrics_fingerprint(sharded.fleet), metrics_fingerprint(classic));
+  EXPECT_GT(classic.integrity.upsets_injected, 0);
+  EXPECT_GT(classic.integrity.canaries_sent, 0);
+  EXPECT_EQ(sharded.fleet.integrity.canaries_sent, classic.integrity.canaries_sent);
+  EXPECT_EQ(sharded.fleet.integrity.wrong_frames, classic.integrity.wrong_frames);
+  EXPECT_EQ(sharded.fleet.integrity.detections, classic.integrity.detections);
+}
+
 TEST(ShardedEngine, MetricsAreBitIdenticalAcrossThreadCounts) {
   // The tentpole determinism contract: at a fixed (seed, shards, window),
   // the worker count must not leak into the results — threads only decide

@@ -14,6 +14,7 @@
 ///   forecast   --trace T --forecaster F [--horizon N]  forecaster evaluation
 ///   tenant     --tenants N --scheduler S --partition P  multi-tenant serving
 ///   shard      --devices N --shards S --threads T   sharded parallel fleet sim
+///   integrity  --upset-rate R --canary-interval C --scrub-period P  SEU integrity sim
 ///
 /// Models: cnv-w2a2, cnv-w1a2, tfc-w1a2. Datasets: cifar, gtsrb, mnist.
 
@@ -31,6 +32,7 @@
 #include "adaflow/fleet/fleet.hpp"
 #include "adaflow/forecast/tracker.hpp"
 #include "adaflow/ingest/pipeline.hpp"
+#include "adaflow/integrity/runner.hpp"
 #include "adaflow/edge/workload.hpp"
 #include "adaflow/nn/mlp.hpp"
 #include "adaflow/nn/serialize.hpp"
@@ -847,11 +849,103 @@ int cmd_tenant(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_integrity(const std::vector<std::string>& args) {
+  ArgParser parser("adaflow integrity", "silent-corruption integrity simulation (one device)");
+  parser.add_option("library", "library file (empty = built-in synthetic library)", "");
+  parser.add_option("policy", "adaflow | finn | reconf | proactive", "adaflow");
+  parser.add_option("fps", "arrival rate (empty = 70% of the top version's FPS)", "");
+  parser.add_option("duration", "trace duration [s]", "30");
+  parser.add_option("upset-rate", "config-upset arrival rate [1/s]; 0 = clean fabric", "0.2");
+  parser.add_option("upset-penalty", "accuracy penalty per landed upset (0, 1]", "0.08");
+  parser.add_option("cross-section",
+                    "Flexible-overlay exposure relative to a Fixed bitstream [0, 1]", "0.25");
+  parser.add_option("canary-interval", "seconds between canary probes; 0 = no detection", "0.5");
+  parser.add_option("scrub-period", "blind scrub reload period [s]; 0 = no scrubbing", "0");
+  parser.add_option("detect-threshold", "drift-detector trip threshold (> 0)", "0.10");
+  parser.add_option("epsilon", "drift-detector per-sample error allowance (>= 0)", "0.02");
+  parser.add_option("repair-cooldown", "minimum gap between integrity reloads [s]", "1");
+  parser.add_option("seed", "rng seed (same seed => bit-identical metrics)", "42");
+  parser.parse(args);
+
+  const core::AcceleratorLibrary lib = parser.option("library").empty()
+                                           ? core::synthetic_library()
+                                           : core::load_library(parser.option("library"));
+
+  // Every knob is validated here so a bad value names the flag instead of
+  // surfacing as a deep IntegrityRunConfig error mid-run.
+  const double duration = parser.option_positive_double("duration");
+  const double upset_rate = parser.option_nonnegative_double("upset-rate");
+  const double upset_penalty = parser.option_double("upset-penalty");
+  require(upset_penalty > 0.0 && upset_penalty <= 1.0,
+          "--upset-penalty must be in (0, 1], got '" + parser.option("upset-penalty") + "'");
+  const double cross_section = parser.option_double("cross-section");
+  require(cross_section >= 0.0 && cross_section <= 1.0,
+          "--cross-section must be in [0, 1], got '" + parser.option("cross-section") + "'");
+  const double canary_interval = parser.option_nonnegative_double("canary-interval");
+  const double scrub_period = parser.option_nonnegative_double("scrub-period");
+  const double detect_threshold = parser.option_positive_double("detect-threshold");
+  const double epsilon = parser.option_nonnegative_double("epsilon");
+  const double repair_cooldown = parser.option_nonnegative_double("repair-cooldown");
+  const std::uint64_t seed = static_cast<std::uint64_t>(parser.option_int("seed"));
+  // Resolves the policy up front so a typo names --policy, not a deep error.
+  const core::PolicyKind kind = core::policy_kind_from_name(parser.option("policy"));
+
+  double rate = lib.versions.front().fps_fixed * 0.7;
+  if (!parser.option("fps").empty()) {
+    rate = parser.option_double("fps");
+    require(rate > 0.0, "--fps must be positive, got '" + parser.option("fps") + "'");
+  }
+  edge::WorkloadConfig workload;
+  workload.devices = 1;
+  workload.fps_per_device = rate;
+  workload.phases = {edge::WorkloadPhase{0.5, 2.0, duration}};
+  const edge::WorkloadTrace trace(workload, seed);
+
+  integrity::IntegrityRunConfig config;
+  config.canary.canary_interval_s = canary_interval;
+  config.canary.detector.threshold = detect_threshold;
+  config.canary.detector.epsilon = epsilon;
+  config.policy.scrub_period_s = scrub_period;
+  config.policy.repair_cooldown_s = repair_cooldown;
+
+  const faults::FaultSchedule schedule =
+      upset_rate > 0.0
+          ? faults::config_upset_storm(0.0, duration, upset_rate, upset_penalty, cross_section)
+          : faults::FaultSchedule{};
+  core::RuntimeManagerConfig rmc;
+  const edge::RunMetrics m = integrity::run_integrity(
+      trace, core::make_serving_policy(kind, lib, rmc), lib, config, schedule, seed);
+
+  const sim::IntegrityStats& s = m.integrity;
+  std::printf("integrity policy=%s rate=%.0f FPS duration=%.0fs upsets=%.2f/s "
+              "canary=%.2gs scrub=%.2gs\n",
+              parser.option("policy").c_str(), rate, duration, upset_rate, canary_interval,
+              scrub_period);
+  std::printf("QoE            %s (frame loss %s)\n", format_percent(m.qoe(), 2).c_str(),
+              format_percent(m.frame_loss(), 2).c_str());
+  std::printf("upsets landed  %lld, corrupt for %.1fs (%s of the run)\n",
+              static_cast<long long>(s.upsets_injected), s.corrupt_time_s,
+              format_percent(s.corrupt_time_s / duration, 1).c_str());
+  std::printf("wrong frames   %lld (%s of delivered)\n", static_cast<long long>(s.wrong_frames),
+              format_percent(s.wrong_fraction(m.processed), 2).c_str());
+  std::printf("canaries       %lld sent, %lld failed (%s throughput tax)\n",
+              static_cast<long long>(s.canaries_sent), static_cast<long long>(s.canaries_failed),
+              format_percent(s.canary_overhead(m.processed), 2).c_str());
+  std::printf("detections     %lld (+%lld false alarms), mean latency %.2fs\n",
+              static_cast<long long>(s.detections), static_cast<long long>(s.false_alarms),
+              s.mean_detection_latency_s());
+  std::printf("repairs        %lld (of which %lld blind scrubs issued), "
+              "%d reconfigurations total\n",
+              static_cast<long long>(s.repairs), static_cast<long long>(s.scrubs),
+              m.reconfigurations);
+  return 0;
+}
+
 int dispatch(int argc, char** argv) {
   const std::string usage =
       "usage: adaflow "
-      "<devices|train|prune|eval|library|show|simulate|fleet|ingest|tune|forecast|tenant|shard>"
-      " [options]\n";
+      "<devices|train|prune|eval|library|show|simulate|fleet|ingest|tune|forecast|tenant|shard|"
+      "integrity> [options]\n";
   if (argc < 2) {
     std::fprintf(stderr, "%s", usage.c_str());
     return 2;
@@ -899,6 +993,9 @@ int dispatch(int argc, char** argv) {
   }
   if (command == "shard") {
     return cmd_shard(rest);
+  }
+  if (command == "integrity") {
+    return cmd_integrity(rest);
   }
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), usage.c_str());
   return 2;

@@ -47,6 +47,11 @@ LOWER_IS_BETTER = (
     "error",
     "degraded",
     "power",
+    "wrong",
+    "upset",
+    "corrupt",
+    "false_alarm",
+    "overhead",
 )
 HIGHER_IS_BETTER = (
     "qoe",

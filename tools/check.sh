@@ -38,6 +38,9 @@ ctest --test-dir "$root/build" -L tenant --output-on-failure -j "$jobs"
 echo "== shard group (ctest -L shard: sharded-engine tests + CLI validation + bench_shard smoke) =="
 ctest --test-dir "$root/build" -L shard --output-on-failure -j "$jobs"
 
+echo "== integrity group (ctest -L integrity: silent-corruption tests + CLI validation + bench_integrity smoke) =="
+ctest --test-dir "$root/build" -L integrity --output-on-failure -j "$jobs"
+
 echo "== tier 2: ASan+UBSan unit tests =="
 cmake -B "$root/build-asan" -S "$root" -DADAFLOW_SANITIZE=ON \
   -DADAFLOW_BUILD_BENCH=OFF -DADAFLOW_BUILD_EXAMPLES=OFF
@@ -45,8 +48,8 @@ cmake --build "$root/build-asan" -j "$jobs" --target adaflow_unit_tests \
   --target adaflow_fleet_tests --target adaflow_chaos_tests \
   --target adaflow_forecast_tests --target adaflow_dse_tests \
   --target adaflow_ingest_tests --target adaflow_tenant_tests \
-  --target adaflow_shard_tests --target adaflow_cli
-ctest --test-dir "$root/build-asan" -L 'unit|fleet|chaos|forecast|dse|ingest|tenant|shard' --output-on-failure -j "$jobs"
+  --target adaflow_shard_tests --target adaflow_integrity_tests --target adaflow_cli
+ctest --test-dir "$root/build-asan" -L 'unit|fleet|chaos|forecast|dse|ingest|tenant|shard|integrity' --output-on-failure -j "$jobs"
 
 # The concurrency surface lives in common/parallel (worker pool), the shard
 # engine (window barriers + mailboxes) and the fleet paths the shards drive,
@@ -68,7 +71,7 @@ echo "== tier 4: bench smoke runs gated against bench/baselines =="
 bench_gate="$root/build/bench-gate"
 rm -rf "$bench_gate"
 mkdir -p "$bench_gate"
-for b in fleet chaos forecast ingest tenant shard; do
+for b in fleet chaos forecast ingest tenant shard integrity; do
   echo "-- bench_$b --smoke"
   (cd "$bench_gate" && "$root/build/bench/bench_$b" --smoke > "bench_$b.log" 2>&1) || {
     cat "$bench_gate/bench_$b.log"
