@@ -47,6 +47,10 @@ struct ModelVersion {
 struct AcceleratorLibrary {
   std::string model_name;
   std::string dataset_name;
+  /// graph::Graph::topology_hash() of the unpruned topology this library was
+  /// generated from (0 = unknown/synthetic). Keys the TSV cache: a CNV cache
+  /// can never be mistaken for a detection cache with the same path.
+  std::uint64_t topology_hash = 0;
   double base_accuracy = 0;  ///< accuracy of the unpruned version
   double clock_hz = 100e6;
   double reconfig_time_s = 0;  ///< full FPGA reconfiguration

@@ -13,6 +13,7 @@
 
 #include "adaflow/core/library.hpp"
 #include "adaflow/datasets/synthetic.hpp"
+#include "adaflow/graph/graph.hpp"
 #include "adaflow/fpga/device.hpp"
 #include "adaflow/fpga/power.hpp"
 #include "adaflow/fpga/reconfig.hpp"
@@ -82,8 +83,17 @@ class LibraryGenerator {
       : device_(std::move(device)), config_(std::move(config)) {}
 
   /// Runs the full design-time flow for one (initial CNN, dataset) pair.
+  /// Routed through the graph IR (from_cnv -> lower_model), so the produced
+  /// table carries the topology hash; bit-identical to the pre-IR path.
   GeneratedLibrary generate(const nn::CnvTopology& topology,
                             const datasets::SyntheticDataset& dataset) const;
+
+  /// Graph-IR entry point: lowers \p graph to a trainable model (linear
+  /// chains only — branchy graphs take the geometry-based detection route in
+  /// src/detect) and runs the full flow. The table's topology_hash is the
+  /// graph's.
+  GeneratedLibrary generate_graph(const graph::Graph& graph,
+                                  const datasets::SyntheticDataset& dataset) const;
 
   /// Same flow for an arbitrary (untrained) initial model — e.g. the TFC
   /// fully-connected topology. Quantization precisions are derived from the
@@ -99,7 +109,10 @@ class LibraryGenerator {
 };
 
 /// Cache wrapper: loads \p cache_path if present, otherwise generates the
-/// library (table only) and saves it. Keeps bench start-up fast.
+/// library (table only) and saves it. Keeps bench start-up fast. The cache
+/// is keyed on the topology hash: a cache whose hash differs from
+/// \p topology's graph (or with a stale schema, or corrupt) is discarded
+/// with a warning and transparently regenerated.
 AcceleratorLibrary load_or_generate_library(const std::string& cache_path,
                                             const fpga::FpgaDevice& device,
                                             const LibraryConfig& config,

@@ -89,8 +89,10 @@ AcceleratorLibrary scale_library_fps(const AcceleratorLibrary& library, double s
 }
 
 namespace {
-// v3 added the persisted foldings (per-version Fixed + shared Flexible).
-constexpr int kCacheVersion = 3;
+// v3 added the persisted foldings (per-version Fixed + shared Flexible);
+// v4 keys the cache on the graph topology hash (CNV and detection libraries
+// can never collide).
+constexpr int kCacheVersion = 4;
 
 void write_usage(std::ostream& out, const fpga::ResourceUsage& u) {
   out << u.luts << '\t' << u.flip_flops << '\t' << u.bram18 << '\t' << u.dsp;
@@ -136,7 +138,8 @@ void save_library(const AcceleratorLibrary& library, const std::string& path) {
   require(out.good(), "cannot write library cache " + tmp.string());
   out.precision(17);  // max_digits10: doubles survive the text round-trip
   out << "adaflow-library\t" << kCacheVersion << '\n';
-  out << library.model_name << '\t' << library.dataset_name << '\n';
+  out << library.model_name << '\t' << library.dataset_name << '\t' << library.topology_hash
+      << '\n';
   out << library.base_accuracy << '\t' << library.clock_hz << '\t' << library.reconfig_time_s
       << '\t' << library.finn_power_busy_w << '\t' << library.finn_power_idle_w << '\n';
   write_usage(out, library.resources_finn);
@@ -181,7 +184,7 @@ AcceleratorLibrary load_library(const std::string& path) {
               " but this build reads version " + std::to_string(kCacheVersion) +
               "; delete the cache (or let load_or_generate_library regenerate it)");
   AcceleratorLibrary lib;
-  in >> lib.model_name >> lib.dataset_name;
+  in >> lib.model_name >> lib.dataset_name >> lib.topology_hash;
   in >> lib.base_accuracy >> lib.clock_hz >> lib.reconfig_time_s >> lib.finn_power_busy_w >>
       lib.finn_power_idle_w;
   lib.resources_finn = read_usage(in);

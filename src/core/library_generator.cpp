@@ -5,6 +5,8 @@
 #include "adaflow/common/logging.hpp"
 #include "adaflow/common/strings.hpp"
 #include "adaflow/dse/explorer.hpp"
+#include "adaflow/graph/builders.hpp"
+#include "adaflow/graph/lower.hpp"
 #include "adaflow/nn/trainer.hpp"
 #include "adaflow/pruning/prune.hpp"
 
@@ -57,7 +59,14 @@ hls::FoldingConfig tuned_base_folding(const nn::Model& base, const fpga::FpgaDev
 
 GeneratedLibrary LibraryGenerator::generate(const nn::CnvTopology& topology,
                                             const datasets::SyntheticDataset& dataset) const {
-  return generate_from(nn::build_cnv(topology, config_.seed), dataset);
+  return generate_graph(graph::from_cnv(topology), dataset);
+}
+
+GeneratedLibrary LibraryGenerator::generate_graph(
+    const graph::Graph& graph, const datasets::SyntheticDataset& dataset) const {
+  GeneratedLibrary out = generate_from(graph::lower_model(graph, config_.seed), dataset);
+  out.table.topology_hash = graph.topology_hash();
+  return out;
 }
 
 GeneratedLibrary LibraryGenerator::generate_from(nn::Model base,
@@ -234,12 +243,21 @@ AcceleratorLibrary load_or_generate_library(const std::string& cache_path,
                                             const LibraryConfig& config,
                                             const nn::CnvTopology& topology,
                                             const datasets::DatasetSpec& dataset_spec) {
+  const std::uint64_t expected_hash = graph::from_cnv(topology).topology_hash();
   if (library_cache_exists(cache_path)) {
     try {
       log_info("loading cached library ", cache_path);
-      return load_library(cache_path);
+      AcceleratorLibrary cached = load_library(cache_path);
+      if (cached.topology_hash != expected_hash) {
+        throw ConfigError("library cache " + cache_path +
+                          " was generated for a different topology (cache hash " +
+                          std::to_string(cached.topology_hash) + ", expected " +
+                          std::to_string(expected_hash) + ")");
+      }
+      return cached;
     } catch (const ConfigError& e) {
-      // Stale schema or corrupt file: regenerate rather than fail the run.
+      // Stale schema, topology mismatch or corrupt file: regenerate rather
+      // than fail the run.
       log_warn("discarding library cache: ", e.what());
     }
   }

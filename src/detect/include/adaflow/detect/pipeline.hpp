@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file pipeline.hpp
+/// Per-frame detection postprocess model: seeded box proposals, greedy NMS
+/// whose pair count is the O(n^2) cost driver, greedy IoU matching against
+/// ground truth, and an F1-style mAP proxy. This is the analytical stand-in
+/// for a YOLO decode + NMS stage, the same way perf.cpp stands in for RTL
+/// simulation: it does not run a network, it reproduces the COST and QUALITY
+/// surface one induces — candidate counts scale with scene density, box
+/// quality with the serving mode's accuracy (the pruned model's mAP proxy),
+/// and everything draws from an explicit Rng so runs replay bit-identically.
+
+#include <cstdint>
+#include <vector>
+
+#include "adaflow/common/rng.hpp"
+
+namespace adaflow::detect {
+
+/// An axis-aligned box in the unit image with its detector confidence.
+struct Box {
+  double x1 = 0.0, y1 = 0.0, x2 = 0.0, y2 = 0.0;
+  double confidence = 0.0;
+};
+
+/// Intersection-over-union of two boxes (0 for degenerate operands).
+double iou(const Box& a, const Box& b);
+
+/// Cost/quality knobs of the detection head + postprocess.
+struct DetectorModel {
+  double anchors_per_object = 3.0;  ///< mean raw proposals per true object
+  double false_candidates = 3.0;    ///< mean clutter proposals at accuracy 1.0 baseline
+  double nms_iou_threshold = 0.45;  ///< suppress overlaps above this IoU
+  double match_iou = 0.5;           ///< kept box counts as TP above this IoU
+  double crowd_penalty = 0.02;      ///< per-object detection-probability loss
+  double candidate_cost_s = 2e-6;   ///< decode cost per raw proposal
+  double pair_cost_s = 0.2e-6;      ///< cost per IoU comparison inside NMS
+
+  /// Throws ConfigError naming the offending field.
+  void validate() const;
+};
+
+/// Everything one simulated frame produced (the service model folds this
+/// into sim::DetectionStats and the frame's FrameService).
+struct FrameOutcome {
+  std::int64_t objects = 0;     ///< ground-truth boxes drawn this frame
+  std::int64_t candidates = 0;  ///< raw proposals entering NMS
+  std::int64_t suppressed = 0;  ///< proposals NMS removed
+  std::int64_t kept = 0;        ///< surviving detections
+  std::int64_t nms_pairs = 0;   ///< IoU pairs compared (the O(n^2) cost)
+  std::int64_t true_positives = 0;
+  std::int64_t false_positives = 0;
+  std::int64_t missed = 0;
+  double postprocess_s = 0.0;  ///< decode + NMS seconds for this frame
+  double map_proxy = 0.0;      ///< tp / (tp + 0.5 (fp + missed)); 1 for a clean empty frame
+};
+
+/// Greedy confidence-ordered NMS over \p boxes: the canonical algorithm,
+/// with a deterministic (confidence, x1, y1) sort so equal-confidence boxes
+/// never reorder between runs. Returns the kept boxes in pick order and adds
+/// every IoU comparison to \p pairs_compared.
+std::vector<Box> greedy_nms(std::vector<Box> boxes, double iou_threshold,
+                            std::int64_t* pairs_compared);
+
+/// Simulates one frame at scene \p density under a model of \p accuracy
+/// (the serving mode's mAP proxy): draws Poisson(density) ground-truth
+/// objects, jittered proposals plus clutter, runs greedy_nms, matches kept
+/// boxes to ground truth greedily at match_iou, and prices the postprocess.
+/// Same (rng state, density, accuracy, model) -> same outcome.
+FrameOutcome simulate_frame(Rng& rng, double density, double accuracy,
+                            const DetectorModel& model);
+
+}  // namespace adaflow::detect

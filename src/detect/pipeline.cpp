@@ -1,0 +1,196 @@
+#include "adaflow/detect/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow::detect {
+
+double iou(const Box& a, const Box& b) {
+  const double ix = std::max(0.0, std::min(a.x2, b.x2) - std::max(a.x1, b.x1));
+  const double iy = std::max(0.0, std::min(a.y2, b.y2) - std::max(a.y1, b.y1));
+  const double inter = ix * iy;
+  const double area_a = std::max(0.0, a.x2 - a.x1) * std::max(0.0, a.y2 - a.y1);
+  const double area_b = std::max(0.0, b.x2 - b.x1) * std::max(0.0, b.y2 - b.y1);
+  const double uni = area_a + area_b - inter;
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+void DetectorModel::validate() const {
+  require(anchors_per_object >= 1.0 && std::isfinite(anchors_per_object),
+          "DetectorModel.anchors_per_object must be >= 1");
+  require(false_candidates >= 0.0 && std::isfinite(false_candidates),
+          "DetectorModel.false_candidates must be >= 0");
+  require(nms_iou_threshold > 0.0 && nms_iou_threshold < 1.0,
+          "DetectorModel.nms_iou_threshold must be in (0, 1)");
+  require(match_iou > 0.0 && match_iou < 1.0, "DetectorModel.match_iou must be in (0, 1)");
+  require(crowd_penalty >= 0.0 && crowd_penalty < 1.0,
+          "DetectorModel.crowd_penalty must be in [0, 1)");
+  require(candidate_cost_s >= 0.0 && std::isfinite(candidate_cost_s),
+          "DetectorModel.candidate_cost_s must be >= 0");
+  require(pair_cost_s >= 0.0 && std::isfinite(pair_cost_s),
+          "DetectorModel.pair_cost_s must be >= 0");
+}
+
+namespace {
+
+/// Knuth's product-of-uniforms Poisson sampler (Rng has no poisson; lambdas
+/// here stay small — tens of objects — so the O(lambda) loop is fine).
+std::int64_t poisson(Rng& rng, double lambda) {
+  if (lambda <= 0.0) {
+    return 0;
+  }
+  const double limit = std::exp(-lambda);
+  std::int64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+Box jittered(Rng& rng, const Box& truth, double sigma) {
+  const double w = truth.x2 - truth.x1;
+  const double h = truth.y2 - truth.y1;
+  Box b;
+  b.x1 = truth.x1 + rng.normal(0.0, sigma) * w;
+  b.y1 = truth.y1 + rng.normal(0.0, sigma) * h;
+  b.x2 = truth.x2 + rng.normal(0.0, sigma) * w;
+  b.y2 = truth.y2 + rng.normal(0.0, sigma) * h;
+  if (b.x2 < b.x1) std::swap(b.x1, b.x2);
+  if (b.y2 < b.y1) std::swap(b.y1, b.y2);
+  return b;
+}
+
+}  // namespace
+
+std::vector<Box> greedy_nms(std::vector<Box> boxes, double iou_threshold,
+                            std::int64_t* pairs_compared) {
+  // Deterministic pick order: confidence desc, then geometry — equal
+  // confidences must never reorder between insertion orders or runs.
+  std::sort(boxes.begin(), boxes.end(), [](const Box& a, const Box& b) {
+    if (a.confidence != b.confidence) return a.confidence > b.confidence;
+    if (a.x1 != b.x1) return a.x1 < b.x1;
+    return a.y1 < b.y1;
+  });
+  std::vector<char> dead(boxes.size(), 0);
+  std::vector<Box> kept;
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    if (dead[i]) {
+      continue;
+    }
+    kept.push_back(boxes[i]);
+    for (std::size_t j = i + 1; j < boxes.size(); ++j) {
+      if (dead[j]) {
+        continue;
+      }
+      if (pairs_compared != nullptr) {
+        ++*pairs_compared;
+      }
+      if (iou(boxes[i], boxes[j]) > iou_threshold) {
+        dead[j] = 1;
+      }
+    }
+  }
+  return kept;
+}
+
+FrameOutcome simulate_frame(Rng& rng, double density, double accuracy,
+                            const DetectorModel& model) {
+  require(density >= 0.0 && std::isfinite(density), "simulate_frame needs density >= 0");
+  require(accuracy >= 0.0 && accuracy <= 1.0, "simulate_frame needs accuracy in [0, 1]");
+
+  FrameOutcome out;
+  out.objects = poisson(rng, density);
+
+  // Ground truth: boxes scattered over the unit image.
+  std::vector<Box> truth;
+  truth.reserve(static_cast<std::size_t>(out.objects));
+  for (std::int64_t i = 0; i < out.objects; ++i) {
+    const double w = rng.uniform(0.05, 0.20);
+    const double h = rng.uniform(0.05, 0.20);
+    Box b;
+    b.x1 = rng.uniform(0.0, 1.0 - w);
+    b.y1 = rng.uniform(0.0, 1.0 - h);
+    b.x2 = b.x1 + w;
+    b.y2 = b.y1 + h;
+    truth.push_back(b);
+  }
+
+  // Proposals. A localized object spawns tightly-jittered anchors; a crowd-
+  // or pruning-degraded miss spawns the same anchors with the localization
+  // blown up past the match threshold — the candidate COUNT (and thus the
+  // NMS bill) does not shrink just because the model got worse.
+  const double p_detect = std::clamp(
+      accuracy * (1.0 - model.crowd_penalty * static_cast<double>(out.objects)), 0.02, 0.995);
+  std::vector<Box> proposals;
+  for (const Box& t : truth) {
+    const std::int64_t anchors = 1 + poisson(rng, model.anchors_per_object - 1.0);
+    const bool localized = rng.bernoulli(p_detect);
+    const double sigma = localized ? 0.02 + 0.10 * (1.0 - accuracy) : 0.60;
+    for (std::int64_t a = 0; a < anchors; ++a) {
+      Box b = jittered(rng, t, sigma);
+      b.confidence = accuracy * rng.uniform(0.6, 1.0);
+      proposals.push_back(b);
+    }
+  }
+  // Clutter grows as the model degrades (a pruned head fires on background).
+  const double clutter_lambda = model.false_candidates * (1.2 - accuracy);
+  const std::int64_t clutter = poisson(rng, clutter_lambda);
+  for (std::int64_t i = 0; i < clutter; ++i) {
+    const double w = rng.uniform(0.05, 0.20);
+    const double h = rng.uniform(0.05, 0.20);
+    Box b;
+    b.x1 = rng.uniform(0.0, 1.0 - w);
+    b.y1 = rng.uniform(0.0, 1.0 - h);
+    b.x2 = b.x1 + w;
+    b.y2 = b.y1 + h;
+    b.confidence = rng.uniform(0.3, 0.75);
+    proposals.push_back(b);
+  }
+  out.candidates = static_cast<std::int64_t>(proposals.size());
+
+  const std::vector<Box> kept = greedy_nms(std::move(proposals), model.nms_iou_threshold,
+                                           &out.nms_pairs);
+  out.kept = static_cast<std::int64_t>(kept.size());
+  out.suppressed = out.candidates - out.kept;
+
+  // Greedy matching in pick order: each kept box claims its best unmatched
+  // ground-truth object above match_iou.
+  std::vector<char> claimed(truth.size(), 0);
+  for (const Box& k : kept) {
+    double best = model.match_iou;
+    std::int64_t best_idx = -1;
+    for (std::size_t t = 0; t < truth.size(); ++t) {
+      if (claimed[t]) {
+        continue;
+      }
+      const double overlap = iou(k, truth[t]);
+      if (overlap >= best) {
+        best = overlap;
+        best_idx = static_cast<std::int64_t>(t);
+      }
+    }
+    if (best_idx >= 0) {
+      claimed[static_cast<std::size_t>(best_idx)] = 1;
+      ++out.true_positives;
+    } else {
+      ++out.false_positives;
+    }
+  }
+  out.missed = out.objects - out.true_positives;
+
+  const double denom = static_cast<double>(out.true_positives) +
+                       0.5 * static_cast<double>(out.false_positives + out.missed);
+  // A clean empty frame is a perfect detection result; an empty frame with
+  // clutter kept is not.
+  out.map_proxy = denom > 0.0 ? static_cast<double>(out.true_positives) / denom : 1.0;
+
+  out.postprocess_s = model.candidate_cost_s * static_cast<double>(out.candidates) +
+                      model.pair_cost_s * static_cast<double>(out.nms_pairs);
+  return out;
+}
+
+}  // namespace adaflow::detect

@@ -1,0 +1,127 @@
+#include "adaflow/detect/runner.hpp"
+
+#include "adaflow/common/error.hpp"
+#include "adaflow/sim/event_queue.hpp"
+
+namespace adaflow::detect {
+
+DetectionWorkload::DetectionWorkload(SceneTrace scene, DetectorModel model, std::uint64_t seed)
+    : scene_(std::move(scene)), model_(model), seed_(seed) {
+  model_.validate();
+}
+
+void DetectionWorkload::attach(edge::DeviceSim& device, std::uint64_t salt) {
+  // splitmix-style stream separation: adjacent salts give uncorrelated seeds.
+  streams_.push_back(std::make_unique<Rng>(seed_ ^ ((salt + 1) * 0x9e3779b97f4a7c15ULL)));
+  Rng* rng = streams_.back().get();
+  edge::DeviceSim* dev = &device;
+  device.set_service_model([this, rng, dev](double now_s, const edge::ServingMode& mode) {
+    const FrameOutcome f = simulate_frame(*rng, scene_.density_at(now_s), mode.accuracy, model_);
+    sim::DetectionStats& d = dev->metrics().detection;
+    d.frames_scored += 1;
+    d.objects_total += f.objects;
+    d.candidates_total += f.candidates;
+    d.suppressed_total += f.suppressed;
+    d.nms_pairs_total += f.nms_pairs;
+    d.true_positives += f.true_positives;
+    d.false_positives += f.false_positives;
+    d.missed_objects += f.missed;
+    d.postprocess_s += f.postprocess_s;
+    d.map_proxy_sum += f.map_proxy;
+    return edge::DeviceSim::FrameService{f.postprocess_s, f.map_proxy};
+  });
+}
+
+namespace {
+
+/// server.cpp's SingleServerDriver with the detection service model attached
+/// (the workload trace is derived from the scene, so arrival rate and
+/// per-frame cost move together).
+struct DetectionDriver {
+  edge::WorkloadTrace trace;
+  const edge::ServerConfig& config;
+  Rng rng;
+  sim::EventQueue queue;
+  edge::DeviceSim device;
+
+  DetectionDriver(const SceneTrace& scene, edge::ServingPolicy& policy,
+                  const edge::ServerConfig& c, const DetectionRunConfig& run,
+                  std::uint64_t seed)
+      : trace(workload_from_scene(scene, run.base_fps, run.fps_per_object)), config(c),
+        rng(seed), device(queue, policy, c, nullptr, "detector") {}
+
+  void on_arrival() {
+    device.offer_frame(/*count_loss=*/true);
+    schedule_next_arrival();
+  }
+
+  void schedule_next_arrival() {
+    const double rate = trace.rate_at(queue.now());
+    if (rate <= 0.0) {
+      queue.schedule_in(0.05, [this] { schedule_next_arrival(); });
+      return;
+    }
+    const double when = queue.now() + rng.exponential(rate);
+    if (when <= trace.duration()) {
+      queue.schedule_at(when, [this] { on_arrival(); });
+    }
+  }
+
+  void on_poll() {
+    device.poll();
+    const double next = queue.now() + config.poll_interval_s;
+    if (next <= trace.duration()) {
+      queue.schedule_at(next, [this] { on_poll(); });
+    }
+  }
+
+  void on_sample() {
+    device.sample_window();
+    const double next = queue.now() + config.sample_interval_s;
+    if (next <= trace.duration() + 1e-9) {
+      queue.schedule_at(next, [this] { on_sample(); });
+    }
+  }
+};
+
+}  // namespace
+
+edge::RunMetrics run_detection(const SceneTrace& scene, edge::ServingPolicy& policy,
+                               const edge::ServerConfig& server,
+                               const DetectionRunConfig& config, std::uint64_t seed) {
+  DetectionDriver driver(scene, policy, server, config, seed);
+  // An independent stream for the frame outcomes: the arrival process must
+  // not shift when the detector model draws a different number of variates.
+  DetectionWorkload workload(scene, config.detector, seed ^ 0xd37ec7a9b1f05c3dULL);
+  workload.attach(driver.device);
+  driver.device.start();
+
+  driver.schedule_next_arrival();
+  driver.queue.schedule_at(server.poll_interval_s, [&driver] { driver.on_poll(); });
+  driver.queue.schedule_at(server.sample_interval_s, [&driver] { driver.on_sample(); });
+
+  driver.queue.run_until(driver.trace.duration());
+  driver.device.finalize(driver.trace.duration());
+  return std::move(driver.device.metrics());
+}
+
+StaticFlexiblePolicy::StaticFlexiblePolicy(const core::AcceleratorLibrary& library,
+                                           std::size_t version)
+    : library_(library), version_(version) {
+  require(version_ < library_.versions.size(),
+          "StaticFlexiblePolicy version index out of range");
+}
+
+edge::ServingMode StaticFlexiblePolicy::initial_mode() {
+  const core::ModelVersion& v = library_.versions[version_];
+  edge::ServingMode mode;
+  mode.model_version = v.version;
+  mode.accelerator = "Flexible";
+  mode.fps = v.fps_flexible;
+  mode.accuracy = v.accuracy;
+  mode.power_busy_w = v.power_busy_flexible_w;
+  mode.power_idle_w = v.power_idle_flexible_w;
+  return mode;
+}
+
+}  // namespace adaflow::detect

@@ -1,0 +1,86 @@
+#include "adaflow/detect/scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "adaflow/common/error.hpp"
+#include "adaflow/common/rng.hpp"
+
+namespace adaflow::detect {
+
+SceneTrace::SceneTrace(std::vector<double> times, std::vector<double> densities,
+                       double duration_s)
+    : times_(std::move(times)), densities_(std::move(densities)), duration_(duration_s) {
+  require(!times_.empty(), "SceneTrace needs at least one segment");
+  require(times_.size() == densities_.size(),
+          "SceneTrace has " + std::to_string(times_.size()) + " boundaries for " +
+              std::to_string(densities_.size()) + " densities");
+  require(times_.front() == 0.0, "SceneTrace must start at t=0");
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    require(i == 0 || times_[i] > times_[i - 1],
+            "SceneTrace boundaries must be strictly ascending (segment " + std::to_string(i) +
+                ")");
+    require(densities_[i] >= 0.0 && std::isfinite(densities_[i]),
+            "SceneTrace density of segment " + std::to_string(i) + " must be finite and >= 0");
+  }
+  require(duration_ > times_.back(), "SceneTrace duration must extend past the last boundary");
+}
+
+double SceneTrace::density_at(double t) const {
+  // First segment whose start is past t, then step back one.
+  auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t idx = it == times_.begin() ? 0 : static_cast<std::size_t>(it - times_.begin()) - 1;
+  return densities_[idx];
+}
+
+SceneTrace SceneTrace::scaled(double factor) const {
+  require(factor >= 0.0 && std::isfinite(factor), "scene scale must be finite and >= 0");
+  std::vector<double> densities = densities_;
+  for (double& d : densities) {
+    d *= factor;
+  }
+  return SceneTrace(times_, std::move(densities), duration_);
+}
+
+SceneTrace rush_hour_scene(double base_density, double peak_density, double onset_s,
+                           double ramp_s, double hold_s, double duration_s, double step_s,
+                           double jitter, std::uint64_t seed) {
+  require(base_density >= 0.0 && peak_density >= base_density,
+          "rush_hour_scene needs 0 <= base_density <= peak_density");
+  require(onset_s >= 0.0 && ramp_s > 0.0 && hold_s >= 0.0, "rush_hour_scene phase times invalid");
+  require(step_s > 0.0 && duration_s > step_s, "rush_hour_scene needs step_s > 0 and a longer duration");
+  require(jitter >= 0.0 && jitter < 1.0, "rush_hour_scene jitter must be in [0, 1)");
+
+  Rng rng(seed);
+  std::vector<double> times;
+  std::vector<double> densities;
+  for (double t = 0.0; t < duration_s; t += step_s) {
+    double d = base_density;
+    if (t >= onset_s && t < onset_s + ramp_s) {
+      d = base_density + (peak_density - base_density) * (t - onset_s) / ramp_s;
+    } else if (t >= onset_s + ramp_s && t < onset_s + ramp_s + hold_s) {
+      d = peak_density;
+    } else if (t >= onset_s + ramp_s + hold_s && t < onset_s + 2.0 * ramp_s + hold_s) {
+      const double down = t - (onset_s + ramp_s + hold_s);
+      d = peak_density - (peak_density - base_density) * down / ramp_s;
+    }
+    times.push_back(t);
+    densities.push_back(d * rng.uniform(1.0 - jitter, 1.0 + jitter));
+  }
+  return SceneTrace(std::move(times), std::move(densities), duration_s);
+}
+
+edge::WorkloadTrace workload_from_scene(const SceneTrace& scene, double base_fps,
+                                        double fps_per_object) {
+  require(base_fps > 0.0, "workload_from_scene needs base_fps > 0");
+  require(fps_per_object >= 0.0, "workload_from_scene needs fps_per_object >= 0");
+  std::vector<double> rates;
+  rates.reserve(scene.segment_densities().size());
+  for (double d : scene.segment_densities()) {
+    rates.push_back(base_fps + fps_per_object * d);
+  }
+  return edge::WorkloadTrace(scene.change_times(), std::move(rates), scene.duration());
+}
+
+}  // namespace adaflow::detect

@@ -65,10 +65,11 @@ SearchSpace build_search_space(const hls::CompiledModel& geometry, int weight_bi
   space.weight_bits = weight_bits;
   space.act_bits = act_bits;
 
-  // Folding-independent parts: pool stages set a floor on the initiation
-  // interval and a constant resource term; the top-level glue is constant.
+  // Folding-independent parts: every non-MVTU stage (pool, concat, upsample,
+  // global-pool) sets a floor on the initiation interval and a constant
+  // resource term; the top-level glue is constant.
   for (const hls::CompiledStage& stage : geometry.stages) {
-    if (stage.desc.kind != hls::StageKind::kPool) {
+    if (hls::is_mvtu_kind(stage.desc.kind)) {
       space.layers.push_back(LayerSpace{stage.desc, {}, 0});
       continue;
     }
@@ -78,7 +79,10 @@ SearchSpace build_search_space(const hls::CompiledModel& geometry, int weight_bi
     }
     space.pool_ii_cycles = std::max(space.pool_ii_cycles, cycles);
     space.pool_latency_cycles += cycles;
-    space.fixed_overhead += fpga::pool_resources(stage, act_bits, resource_constants);
+    space.fixed_overhead +=
+        stage.desc.kind == hls::StageKind::kPool
+            ? fpga::pool_resources(stage, act_bits, resource_constants)
+            : fpga::stream_stage_resources(stage, act_bits, resource_constants);
   }
   space.fixed_overhead.luts += resource_constants.top_level_luts;
   space.fixed_overhead.flip_flops += resource_constants.top_level_luts * resource_constants.ff_per_lut;

@@ -190,10 +190,21 @@ void DeviceSim::start_next_frame() {
   if (on_headroom_) {
     on_headroom_();
   }
+  // Per-frame service shaping (detection workloads): the service model may
+  // stretch this frame's service time (density-scaled postprocess) and pin
+  // its delivered quality. Canaries are never shaped — their golden outputs
+  // must stay comparable across probes.
+  double nominal_s = 1.0 / mode_.fps;
+  inflight_quality_ = -1.0;
+  if (service_model_ && !inflight_canary_) {
+    const FrameService shaped = service_model_(queue_.now(), mode_);
+    nominal_s += std::max(0.0, shaped.extra_service_s);
+    inflight_quality_ = shaped.quality;
+  }
   // Degraded service slows every frame by the window's latency factor; the
   // watchdog deadline scales with it (degrade is slow-but-alive, not wedged
   // — the HealthMonitor's service-rate check is what catches it).
-  const double service_s = (1.0 / mode_.fps) * degrade_latency_factor_;
+  const double service_s = nominal_s * degrade_latency_factor_;
   const std::uint64_t epoch = service_epoch_;
   const double stall_s = injector_ != nullptr ? injector_->stall_seconds(queue_.now()) : 0.0;
   if (stall_s <= 0.0) {
@@ -252,8 +263,11 @@ void DeviceSim::finish_frame() {
     // A degraded window elevates mispredictions, and a corrupted
     // configuration silently degrades every delivered frame on top of it:
     // the frame still counts as delivered but contributes less accuracy to
-    // QoE (delivered != correct).
-    const double accuracy = mode_.accuracy * (1.0 - degrade_accuracy_penalty_) *
+    // QoE (delivered != correct). A service model that pinned this frame's
+    // quality (detection mAP proxy) replaces the mode accuracy as the base.
+    const double base_accuracy = inflight_quality_ >= 0.0 ? inflight_quality_ : mode_.accuracy;
+    inflight_quality_ = -1.0;
+    const double accuracy = base_accuracy * (1.0 - degrade_accuracy_penalty_) *
                             (1.0 - upset_accuracy_penalty_);
     metrics_.qoe_accuracy_sum += accuracy;
     window_qoe_sum_ += accuracy;

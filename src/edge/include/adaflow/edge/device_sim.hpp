@@ -158,6 +158,22 @@ class DeviceSim {
   /// appeared). A fleet dispatcher uses it to drain its ingress queue.
   void set_on_headroom(std::function<void()> fn) { on_headroom_ = std::move(fn); }
 
+  /// Per-frame service shaping for workloads whose cost and quality vary per
+  /// frame (the detection pipeline: NMS cost scales with scene density, not
+  /// frame count). Consulted once per REAL frame as it enters service;
+  /// canaries are never shaped (their golden outputs must stay comparable).
+  struct FrameService {
+    /// Added to the mode's nominal 1/fps service time (e.g. postprocess
+    /// seconds); degrade latency factors apply on top. Negative is clamped.
+    double extra_service_s = 0.0;
+    /// Per-frame delivered quality replacing mode.accuracy in the QoE
+    /// accounting (degrade/upset penalties still apply); < 0 keeps the
+    /// mode's accuracy (classification behaviour).
+    double quality = -1.0;
+  };
+  using ServiceModel = std::function<FrameService(double now_s, const ServingMode& mode)>;
+  void set_service_model(ServiceModel fn) { service_model_ = std::move(fn); }
+
   /// Per-frame outcome hooks, fired only for frames offered with a real tag:
   /// \p on_done when a frame completes (with the accuracy it delivered,
   /// degrade penalties applied), \p on_lost when it is destroyed inside the
@@ -265,6 +281,11 @@ class DeviceSim {
   std::int64_t window_lost_ = 0;
   double window_qoe_sum_ = 0.0;
   double window_energy_start_ = 0.0;
+
+  // Per-frame service model (detection workloads): quality of the frame
+  // currently in service, < 0 when the mode's accuracy applies.
+  ServiceModel service_model_;
+  double inflight_quality_ = -1.0;
 
   std::function<void()> on_headroom_;
   std::function<void(std::int64_t, double)> on_frame_done_;

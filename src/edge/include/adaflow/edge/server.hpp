@@ -123,6 +123,7 @@ RepeatedRunResult run_repeated(TraceFactory&& trace_factory, PolicyFactory&& fac
     total.reconfigurations += m.reconfigurations;
     total.faults.accumulate(m.faults);
     total.forecast.accumulate(m.forecast);
+    total.detection.accumulate(m.detection);
     if (r == 0) {
       total.switches = m.switches;  // representative first run (paper Fig. 6)
     }
@@ -167,6 +168,7 @@ RepeatedRunResult run_repeated(TraceFactory&& trace_factory, PolicyFactory&& fac
   total.reconfigurations = static_cast<int>(mean_count(total.reconfigurations));
   total.faults.divide(runs);
   total.forecast.divide(runs);
+  total.detection.divide(runs);
   total.workload_series = sim::average_series(workload_s);
   total.loss_series = sim::average_series(loss_s);
   total.qoe_series = sim::average_series(qoe_s);

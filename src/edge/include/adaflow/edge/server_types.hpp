@@ -77,6 +77,12 @@ struct RunMetrics {
   /// an integrity layer).
   sim::IntegrityStats integrity;
 
+  /// Detection observability: NMS/matching counters and mAP-proxy sums filled
+  /// by the detection workload's service model (all-zero on classification
+  /// runs). On detection runs qoe() is the detection QoE: mean per-frame mAP
+  /// proxy x processed-frame fraction.
+  sim::DetectionStats detection;
+
   /// True end-to-end capture->result latency of delivered frames (filled only
   /// by drivers that tag frames, i.e. the ingest pipeline; empty otherwise).
   sim::LatencyHistogram e2e_latency;

@@ -30,6 +30,7 @@ void RunMetrics::merge(const RunMetrics& other) {
   faults.accumulate(other.faults);
   forecast.accumulate(other.forecast);
   integrity.accumulate(other.integrity);
+  detection.accumulate(other.detection);
   e2e_latency.merge(other.e2e_latency);
 }
 

@@ -57,6 +57,9 @@ FleetEngine::FleetEngine(sim::EventQueue& queue, const core::AcceleratorLibrary&
     }
     devices_.push_back(std::make_unique<edge::DeviceSim>(queue_, *policies_.back(), d.server,
                                                          injectors_.back().get(), d.name));
+    if (d.configure) {
+      d.configure(*devices_.back(), i);
+    }
   }
   accepting_.assign(n, 1);
   probe_wanted_.assign(n, 0);
@@ -740,6 +743,7 @@ FleetMetrics FleetEngine::finalize(double duration_s) {
     metrics_.reconfigurations += m.reconfigurations;
     metrics_.faults.accumulate(m.faults);
     metrics_.integrity.accumulate(m.integrity);
+    metrics_.detection.accumulate(m.detection);
     FleetDeviceResult result;
     result.name = config_.devices[i].name;
     result.queued_at_end = devices_[i]->queued();

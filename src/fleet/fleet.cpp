@@ -102,6 +102,7 @@ void FleetMetrics::merge(const FleetMetrics& other) {
   faults.accumulate(other.faults);
   forecast.accumulate(other.forecast);
   integrity.accumulate(other.integrity);
+  detection.accumulate(other.detection);
   e2e_latency.merge(other.e2e_latency);
   devices.insert(devices.end(), other.devices.begin(), other.devices.end());
   tenants.insert(tenants.end(), other.tenants.begin(), other.tenants.end());

@@ -39,6 +39,10 @@
 #include "adaflow/integrity/manager.hpp"
 #include "adaflow/sim/stats.hpp"
 
+namespace adaflow::edge {
+class DeviceSim;
+}
+
 namespace adaflow::fleet {
 
 /// One device slot of the fleet. The policy factory runs once per
@@ -60,6 +64,12 @@ struct FleetDevice {
   /// run_fleet(). Heterogeneous fleets point this at per-device scaled
   /// copies (core::scale_library_fps).
   const core::AcceleratorLibrary* library = nullptr;
+  /// Optional per-device hook run once right after the DeviceSim is built
+  /// (before any traffic), with the device and its index. Workload layers
+  /// use it to install service models — e.g. detect::DetectionWorkload
+  /// attaches its per-frame NMS cost + quality hook here. Must be
+  /// deterministic in (device, index) for bit-identical replay.
+  std::function<void(edge::DeviceSim&, std::size_t)> configure;
 };
 
 /// Fleet-level adaptation knobs (the cluster generalization of the paper's
@@ -195,6 +205,11 @@ struct FleetMetrics {
   /// verdicts, scrubs and repairs (all-zero unless upsets or the integrity
   /// layer are configured).
   sim::IntegrityStats integrity;
+
+  /// Summed over devices: detection-workload counters and mAP-proxy sums
+  /// (all-zero unless a detection service model is attached via
+  /// FleetDevice::configure).
+  sim::DetectionStats detection;
 
   /// True end-to-end capture->result latency over delivered frames. Filled
   /// only by drivers that tag their frames (the ingest pipeline); empty for

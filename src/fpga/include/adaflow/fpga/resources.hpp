@@ -78,6 +78,12 @@ ResourceUsage mvtu_resources(const hls::CompiledStage& stage, const hls::LayerFo
 ResourceUsage pool_resources(const hls::CompiledStage& stage, int act_bits,
                              const ResourceModelConstants& k = default_resource_constants());
 
+/// Resource usage of a folding-free streaming stage (concat / upsample /
+/// global-pool): stream-width muxes and adapters plus, for upsample, the
+/// row-replay line buffer and, for global-pool, per-channel accumulators.
+ResourceUsage stream_stage_resources(const hls::CompiledStage& stage, int act_bits,
+                                     const ResourceModelConstants& k = default_resource_constants());
+
 /// Whole-accelerator usage. For the Flexible variant the geometry of
 /// \p synthesis_model (worst case) is costed and the paper-calibrated
 /// flexibility factors are applied; BRAM does not grow (Fig. 5(a)).

@@ -102,6 +102,38 @@ ResourceUsage pool_resources(const hls::CompiledStage& stage, int act_bits,
   return r;
 }
 
+ResourceUsage stream_stage_resources(const hls::CompiledStage& stage, int act_bits,
+                                     const ResourceModelConstants& k) {
+  const auto& d = stage.desc;
+  ResourceUsage r;
+  switch (d.kind) {
+    case hls::StageKind::kConcat:
+      // Stream merger: per-channel muxes across the full merged width.
+      r.luts += static_cast<double>(d.ch_out) * act_bits * 1.5;
+      break;
+    case hls::StageKind::kUpsample: {
+      // Nearest-neighbour row replication needs one input line buffered.
+      r.luts += static_cast<double>(d.ch_in) * act_bits * 2.0;
+      const double line_bits = static_cast<double>(d.in_dim * d.ch_in) * act_bits * 2.0;
+      r.bram18 += std::max(1.0, std::ceil(line_bits / 18432.0));
+      break;
+    }
+    case hls::StageKind::kGlobalPool: {
+      // One accumulator per channel, wide enough for in_dim^2 summands.
+      const double acc_width =
+          act_bits + std::ceil(std::log2(std::max(2.0, static_cast<double>(d.in_dim * d.in_dim))));
+      r.luts += static_cast<double>(d.ch_in) * acc_width * 1.5;
+      break;
+    }
+    default:
+      throw ConfigError("stream_stage_resources: stage '" + d.name +
+                        "' is not a streaming stage");
+  }
+  r.luts += k.lut_module_base * 0.3;
+  r.flip_flops = r.luts * k.ff_per_lut;
+  return r;
+}
+
 ResourceUsage accelerator_resources(const hls::CompiledModel& synthesis_model,
                                     const hls::FoldingConfig& folding,
                                     hls::AcceleratorVariant variant, int weight_bits,
@@ -111,8 +143,10 @@ ResourceUsage accelerator_resources(const hls::CompiledModel& synthesis_model,
   for (const hls::CompiledStage& stage : synthesis_model.stages) {
     if (stage.desc.kind == hls::StageKind::kPool) {
       total += pool_resources(stage, act_bits, k);
-    } else {
+    } else if (hls::is_mvtu_kind(stage.desc.kind)) {
       total += mvtu_resources(stage, folding.layers[mvtu_ordinal++], weight_bits, act_bits, k);
+    } else {
+      total += stream_stage_resources(stage, act_bits, k);
     }
   }
   total.luts += k.top_level_luts;

@@ -1,0 +1,53 @@
+#include "adaflow/graph/builders.hpp"
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow::graph {
+
+namespace {
+QuantInfo quant_of(const nn::QuantSpec& q) {
+  return QuantInfo{q.weight_bits, q.act_bits, q.act_scale};
+}
+}  // namespace
+
+Graph from_cnv(const nn::CnvTopology& topology) {
+  require(topology.conv_channels.size() == topology.pool_after.size(),
+          "from_cnv: conv_channels / pool_after size mismatch");
+  require(topology.input[1] == topology.input[2],
+          "from_cnv: graph IR carries square inputs only");
+  Graph g(topology.name, topology.input[0], topology.input[1], quant_of(topology.quant));
+  std::int64_t cur = g.input();
+  for (std::size_t i = 0; i < topology.conv_channels.size(); ++i) {
+    const std::string tag = std::to_string(i);
+    cur = g.add_conv("conv" + tag, cur, topology.conv_channels[i], 3, 1, 0);
+    cur = g.add_threshold("act" + tag, "bn" + tag, cur);
+    if (topology.pool_after[i]) {
+      cur = g.add_pool("pool" + tag, cur, 2);
+    }
+  }
+  for (std::size_t i = 0; i < topology.fc_features.size(); ++i) {
+    const std::string tag = std::to_string(i);
+    cur = g.add_fc("fc" + tag, cur, topology.fc_features[i]);
+    cur = g.add_threshold("fc_act" + tag, "fc_bn" + tag, cur);
+  }
+  g.add_fc("classifier", cur, topology.classes);
+  return g;
+}
+
+Graph from_mlp(const nn::MlpTopology& topology) {
+  require(!topology.hidden.empty(), "from_mlp: needs at least one hidden layer");
+  require(topology.input[1] == topology.input[2],
+          "from_mlp: graph IR carries square inputs only");
+  Graph g(topology.name, topology.input[0], topology.input[1],
+          quant_of(topology.quant));
+  std::int64_t cur = g.input();
+  for (std::size_t i = 0; i < topology.hidden.size(); ++i) {
+    const std::string tag = std::to_string(i);
+    cur = g.add_fc("fc" + tag, cur, topology.hidden[i]);
+    cur = g.add_threshold("fc_act" + tag, "fc_bn" + tag, cur);
+  }
+  g.add_fc("classifier", cur, topology.classes);
+  return g;
+}
+
+}  // namespace adaflow::graph

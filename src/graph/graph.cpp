@@ -1,0 +1,437 @@
+#include "adaflow/graph/graph.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "adaflow/common/error.hpp"
+#include "adaflow/common/table.hpp"
+
+namespace adaflow::graph {
+
+namespace {
+
+void hash_u64(std::uint64_t& h, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xffULL;
+    h *= 1099511628211ULL;
+  }
+}
+
+void hash_f32(std::uint64_t& h, float value) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  hash_u64(h, bits);
+}
+
+std::string shape_str(const TensorShape& s) {
+  return std::to_string(s.channels) + "x" + std::to_string(s.dim) + "x" +
+         std::to_string(s.dim);
+}
+
+}  // namespace
+
+const char* node_kind_name(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kInput: return "input";
+    case NodeKind::kConv: return "conv";
+    case NodeKind::kPool: return "pool";
+    case NodeKind::kThreshold: return "threshold";
+    case NodeKind::kConcat: return "concat";
+    case NodeKind::kUpsample: return "upsample";
+    case NodeKind::kGlobalPool: return "global-pool";
+    case NodeKind::kFc: return "fc";
+  }
+  return "?";
+}
+
+Graph::Graph(std::string name, std::int64_t in_channels, std::int64_t in_dim,
+             QuantInfo quant)
+    : name_(std::move(name)), in_channels_(in_channels), in_dim_(in_dim),
+      quant_(quant) {
+  require(in_channels_ >= 1 && in_dim_ >= 1,
+          "graph '" + name_ + "': input shape must be positive");
+  require(quant_.weight_bits >= 1 && quant_.act_bits >= 1,
+          "graph '" + name_ + "': quantization bits must be >= 1");
+  Node input;
+  input.kind = NodeKind::kInput;
+  input.name = "input";
+  input.ch_out = in_channels_;
+  add_node(std::move(input));
+}
+
+std::int64_t Graph::add_node(Node node) {
+  node.id = static_cast<std::int64_t>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+void Graph::add_edge(std::int64_t from, std::int64_t to) {
+  require(to >= 0 && to < static_cast<std::int64_t>(nodes_.size()),
+          "graph '" + name_ + "': add_edge target node id " + std::to_string(to) +
+              " does not exist");
+  nodes_[static_cast<std::size_t>(to)].inputs.push_back(from);
+}
+
+std::int64_t Graph::add_conv(const std::string& name, std::int64_t from,
+                             std::int64_t ch_out, std::int64_t kernel,
+                             std::int64_t stride, std::int64_t pad) {
+  Node n;
+  n.kind = NodeKind::kConv;
+  n.name = name;
+  n.kernel = kernel;
+  n.stride = stride;
+  n.pad = pad;
+  n.ch_out = ch_out;
+  n.inputs = {from};
+  return add_node(std::move(n));
+}
+
+std::int64_t Graph::add_threshold(const std::string& act_name, const std::string& bn_name,
+                                  std::int64_t from) {
+  Node n;
+  n.kind = NodeKind::kThreshold;
+  n.name = act_name;
+  n.bn_name = bn_name;
+  n.inputs = {from};
+  return add_node(std::move(n));
+}
+
+std::int64_t Graph::add_pool(const std::string& name, std::int64_t from,
+                             std::int64_t window) {
+  Node n;
+  n.kind = NodeKind::kPool;
+  n.name = name;
+  n.factor = window;
+  n.inputs = {from};
+  return add_node(std::move(n));
+}
+
+std::int64_t Graph::add_fc(const std::string& name, std::int64_t from,
+                           std::int64_t features) {
+  Node n;
+  n.kind = NodeKind::kFc;
+  n.name = name;
+  n.ch_out = features;
+  n.inputs = {from};
+  return add_node(std::move(n));
+}
+
+std::int64_t Graph::add_concat(const std::string& name, std::vector<std::int64_t> from) {
+  Node n;
+  n.kind = NodeKind::kConcat;
+  n.name = name;
+  n.inputs = std::move(from);
+  return add_node(std::move(n));
+}
+
+std::int64_t Graph::add_upsample(const std::string& name, std::int64_t from,
+                                 std::int64_t factor) {
+  Node n;
+  n.kind = NodeKind::kUpsample;
+  n.name = name;
+  n.factor = factor;
+  n.inputs = {from};
+  return add_node(std::move(n));
+}
+
+std::int64_t Graph::add_global_pool(const std::string& name, std::int64_t from) {
+  Node n;
+  n.kind = NodeKind::kGlobalPool;
+  n.name = name;
+  n.inputs = {from};
+  return add_node(std::move(n));
+}
+
+const Node& Graph::node(std::int64_t id) const {
+  require(id >= 0 && id < static_cast<std::int64_t>(nodes_.size()),
+          "graph '" + name_ + "': node id " + std::to_string(id) + " does not exist");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+std::vector<std::int64_t> Graph::output_ids() const {
+  std::vector<bool> consumed(nodes_.size(), false);
+  for (const Node& n : nodes_) {
+    for (std::int64_t src : n.inputs) {
+      if (src >= 0 && src < static_cast<std::int64_t>(nodes_.size())) {
+        consumed[static_cast<std::size_t>(src)] = true;
+      }
+    }
+  }
+  std::vector<std::int64_t> out;
+  for (const Node& n : nodes_) {
+    if (!consumed[static_cast<std::size_t>(n.id)]) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> Graph::topo_order() const {
+  const std::int64_t count = static_cast<std::int64_t>(nodes_.size());
+  // Dangling edges first: Kahn would silently never release their targets.
+  for (const Node& n : nodes_) {
+    for (std::int64_t src : n.inputs) {
+      require(src >= 0 && src < count,
+              "graph '" + name_ + "': edge into '" + n.name +
+                  "' references unknown node id " + std::to_string(src));
+    }
+  }
+  std::vector<std::int64_t> indegree(nodes_.size(), 0);
+  std::vector<std::vector<std::int64_t>> consumers(nodes_.size());
+  for (const Node& n : nodes_) {
+    indegree[static_cast<std::size_t>(n.id)] =
+        static_cast<std::int64_t>(n.inputs.size());
+    for (std::int64_t src : n.inputs) {
+      consumers[static_cast<std::size_t>(src)].push_back(n.id);
+    }
+  }
+  // Ready set ordered by (name, id): the resulting order depends only on the
+  // topology and the names, never on insertion order.
+  std::set<std::pair<std::string, std::int64_t>> ready;
+  for (const Node& n : nodes_) {
+    if (indegree[static_cast<std::size_t>(n.id)] == 0) ready.insert({n.name, n.id});
+  }
+  std::vector<std::int64_t> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const std::int64_t id = ready.begin()->second;
+    ready.erase(ready.begin());
+    order.push_back(id);
+    for (std::int64_t next : consumers[static_cast<std::size_t>(id)]) {
+      if (--indegree[static_cast<std::size_t>(next)] == 0) {
+        ready.insert({nodes_[static_cast<std::size_t>(next)].name, next});
+      }
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    // Name a node stuck on the cycle (smallest name for a stable message).
+    std::string worst;
+    for (const Node& n : nodes_) {
+      if (indegree[static_cast<std::size_t>(n.id)] > 0 &&
+          (worst.empty() || n.name < worst)) {
+        worst = n.name;
+      }
+    }
+    throw ConfigError("graph '" + name_ + "': cycle through node '" + worst + "'");
+  }
+  return order;
+}
+
+void Graph::validate() const {
+  std::unordered_set<std::string> names;
+  for (const Node& n : nodes_) {
+    require(!n.name.empty(), "graph '" + name_ + "': node " + std::to_string(n.id) +
+                                 " has an empty name");
+    require(names.insert(n.name).second,
+            "graph '" + name_ + "': duplicate node name '" + n.name + "'");
+    switch (n.kind) {
+      case NodeKind::kInput:
+        require(n.id == 0, "graph '" + name_ + "': node '" + n.name +
+                               "' is a second input node");
+        require(n.inputs.empty(),
+                "graph '" + name_ + "': input node '" + n.name + "' has inputs");
+        break;
+      case NodeKind::kConcat:
+        require(n.inputs.size() >= 2, "graph '" + name_ + "': concat '" + n.name +
+                                          "' needs at least 2 inputs, has " +
+                                          std::to_string(n.inputs.size()));
+        break;
+      default:
+        require(n.inputs.size() == 1,
+                "graph '" + name_ + "': node '" + n.name + "' (" +
+                    node_kind_name(n.kind) + ") needs exactly 1 input, has " +
+                    std::to_string(n.inputs.size()));
+        break;
+    }
+    if (n.kind == NodeKind::kConv) {
+      require(n.ch_out >= 1 && n.kernel >= 1 && n.stride >= 1 && n.pad >= 0,
+              "graph '" + name_ + "': conv '" + n.name + "' has invalid parameters");
+    }
+    if (n.kind == NodeKind::kFc) {
+      require(n.ch_out >= 1,
+              "graph '" + name_ + "': fc '" + n.name + "' needs ch_out >= 1");
+    }
+    if (n.kind == NodeKind::kPool || n.kind == NodeKind::kUpsample) {
+      require(n.factor >= 2, "graph '" + name_ + "': node '" + n.name +
+                                 "' needs factor >= 2, has " + std::to_string(n.factor));
+    }
+  }
+  const std::vector<std::int64_t> order = topo_order();  // dangling edges + cycles
+  // Reachability: a node Kahn released but no path from the input feeds is a
+  // disconnected island (its shapes would be undefined).
+  std::vector<bool> reachable(nodes_.size(), false);
+  for (std::int64_t id : order) {
+    const Node& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.kind == NodeKind::kInput) {
+      reachable[static_cast<std::size_t>(id)] = true;
+      continue;
+    }
+    bool all = true;
+    for (std::int64_t src : n.inputs) {
+      all = all && reachable[static_cast<std::size_t>(src)];
+    }
+    reachable[static_cast<std::size_t>(id)] = all;
+    require(all, "graph '" + name_ + "': node '" + n.name +
+                     "' is not reachable from the input");
+  }
+  infer_shapes_checked(order);
+}
+
+std::vector<TensorShape> Graph::infer_shapes() const {
+  return infer_shapes_checked(topo_order());
+}
+
+std::vector<TensorShape> Graph::infer_shapes_checked(
+    const std::vector<std::int64_t>& order) const {
+  std::vector<TensorShape> shapes(nodes_.size());
+  for (std::int64_t id : order) {
+    const Node& n = nodes_[static_cast<std::size_t>(id)];
+    auto in_shape = [&](std::size_t slot) -> const TensorShape& {
+      return shapes[static_cast<std::size_t>(n.inputs.at(slot))];
+    };
+    TensorShape& out = shapes[static_cast<std::size_t>(id)];
+    switch (n.kind) {
+      case NodeKind::kInput:
+        out = {in_channels_, in_dim_};
+        break;
+      case NodeKind::kConv: {
+        const TensorShape& in = in_shape(0);
+        const std::int64_t span = in.dim + 2 * n.pad - n.kernel;
+        require(span >= 0, "graph '" + name_ + "': conv '" + n.name +
+                               "' kernel " + std::to_string(n.kernel) +
+                               " exceeds padded input dim " +
+                               std::to_string(in.dim + 2 * n.pad));
+        require(span % n.stride == 0,
+                "graph '" + name_ + "': conv '" + n.name +
+                    "' stride " + std::to_string(n.stride) +
+                    " does not evenly cover input dim " + std::to_string(in.dim));
+        out = {n.ch_out, span / n.stride + 1};
+        break;
+      }
+      case NodeKind::kPool: {
+        const TensorShape& in = in_shape(0);
+        require(in.dim % n.factor == 0,
+                "graph '" + name_ + "': pool '" + n.name + "' input dim " +
+                    std::to_string(in.dim) + " not divisible by window " +
+                    std::to_string(n.factor));
+        out = {in.channels, in.dim / n.factor};
+        break;
+      }
+      case NodeKind::kThreshold:
+        out = in_shape(0);
+        break;
+      case NodeKind::kConcat: {
+        const TensorShape& first = in_shape(0);
+        std::int64_t channels = first.channels;
+        for (std::size_t slot = 1; slot < n.inputs.size(); ++slot) {
+          const TensorShape& other = in_shape(slot);
+          require(other.dim == first.dim,
+                  "graph '" + name_ + "': concat '" + n.name +
+                      "' input spatial dims differ (" + std::to_string(first.dim) +
+                      " vs " + std::to_string(other.dim) + ")");
+          channels += other.channels;
+        }
+        out = {channels, first.dim};
+        break;
+      }
+      case NodeKind::kUpsample: {
+        const TensorShape& in = in_shape(0);
+        out = {in.channels, in.dim * n.factor};
+        break;
+      }
+      case NodeKind::kGlobalPool:
+        out = {in_shape(0).channels, 1};
+        break;
+      case NodeKind::kFc: {
+        const TensorShape& in = in_shape(0);
+        require(in.channels * in.dim * in.dim >= 1,
+                "graph '" + name_ + "': fc '" + n.name + "' has empty input");
+        out = {n.ch_out, 1};
+        break;
+      }
+    }
+    require(out.channels >= 1 && out.dim >= 1,
+            "graph '" + name_ + "': node '" + n.name + "' output shape collapsed to " +
+                shape_str(out));
+  }
+  return shapes;
+}
+
+std::uint64_t Graph::topology_hash() const {
+  const std::vector<std::int64_t> order = topo_order();
+  std::vector<std::int64_t> position(nodes_.size(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<std::int64_t>(i);
+  }
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  hash_u64(h, static_cast<std::uint64_t>(in_channels_));
+  hash_u64(h, static_cast<std::uint64_t>(in_dim_));
+  hash_u64(h, static_cast<std::uint64_t>(quant_.weight_bits));
+  hash_u64(h, static_cast<std::uint64_t>(quant_.act_bits));
+  hash_f32(h, quant_.act_scale);
+  for (std::int64_t id : order) {
+    const Node& n = nodes_[static_cast<std::size_t>(id)];
+    hash_u64(h, static_cast<std::uint64_t>(n.kind));
+    hash_u64(h, static_cast<std::uint64_t>(n.kernel));
+    hash_u64(h, static_cast<std::uint64_t>(n.stride));
+    hash_u64(h, static_cast<std::uint64_t>(n.pad));
+    hash_u64(h, static_cast<std::uint64_t>(n.ch_out));
+    hash_u64(h, static_cast<std::uint64_t>(n.factor));
+    hash_u64(h, n.inputs.size());
+    for (std::int64_t src : n.inputs) {
+      hash_u64(h, static_cast<std::uint64_t>(position[static_cast<std::size_t>(src)]));
+    }
+  }
+  return h;
+}
+
+std::string Graph::describe() const {
+  validate();
+  const std::vector<std::int64_t> order = topo_order();
+  const std::vector<TensorShape> shapes = infer_shapes();
+  TextTable table({"node", "kind", "inputs", "params", "out shape"});
+  for (std::int64_t id : order) {
+    const Node& n = nodes_[static_cast<std::size_t>(id)];
+    std::string inputs;
+    for (std::size_t slot = 0; slot < n.inputs.size(); ++slot) {
+      if (slot > 0) inputs += ",";
+      inputs += nodes_[static_cast<std::size_t>(n.inputs[slot])].name;
+    }
+    if (inputs.empty()) inputs = "-";
+    std::string params = "-";
+    switch (n.kind) {
+      case NodeKind::kConv:
+        params = "k" + std::to_string(n.kernel) + " s" + std::to_string(n.stride) +
+                 " p" + std::to_string(n.pad) + " ch" + std::to_string(n.ch_out);
+        break;
+      case NodeKind::kFc:
+        params = "ch" + std::to_string(n.ch_out);
+        break;
+      case NodeKind::kPool:
+      case NodeKind::kUpsample:
+        params = "x" + std::to_string(n.factor);
+        break;
+      case NodeKind::kThreshold:
+        params = "bn=" + n.bn_name;
+        break;
+      default:
+        break;
+    }
+    table.add_row({n.name, node_kind_name(n.kind), inputs, params,
+                   shape_str(shapes[static_cast<std::size_t>(id)])});
+  }
+  std::ostringstream out;
+  out << "graph " << name_ << " (w" << quant_.weight_bits << "a" << quant_.act_bits
+      << ", input " << in_channels_ << "x" << in_dim_ << "x" << in_dim_ << ")\n";
+  out << table.render();
+  char hash_hex[32];
+  std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
+                static_cast<unsigned long long>(topology_hash()));
+  out << "topology hash: " << hash_hex << "\n";
+  return out.str();
+}
+
+}  // namespace adaflow::graph

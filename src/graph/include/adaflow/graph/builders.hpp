@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file builders.hpp
+/// Graph-IR builders for the seed topologies. from_cnv / from_mlp emit the
+/// exact node sequence the nn builders instantiate (same layer names, same
+/// order), so lowering a built graph reproduces build_cnv / build_mlp
+/// bit-for-bit — the equivalence pin that lets the whole pipeline switch to
+/// consuming graphs without perturbing a single cached library.
+
+#include "adaflow/graph/graph.hpp"
+#include "adaflow/nn/cnv.hpp"
+#include "adaflow/nn/mlp.hpp"
+
+namespace adaflow::graph {
+
+/// CNV chain: per conv block conv -> threshold (-> pool), per hidden fc
+/// fc -> threshold, bare fc classifier.
+Graph from_cnv(const nn::CnvTopology& topology);
+
+/// TFC/SFC chain: per hidden layer fc -> threshold, bare fc classifier.
+Graph from_mlp(const nn::MlpTopology& topology);
+
+}  // namespace adaflow::graph

@@ -1,0 +1,162 @@
+#pragma once
+
+/// \file graph.hpp
+/// Compact ONNX-like graph IR: the model-agnostic front-end every layer of
+/// the hardware-generation pipeline consumes. Nodes are dataflow operators
+/// (conv / pool / threshold-activation / concat / upsample / global-pool /
+/// fc) with explicit producer edges, so branchy topologies (detection heads,
+/// skip connections) are data, not code. The IR is deliberately small: just
+/// enough structure for shape inference, deterministic topological ordering,
+/// validation (cycles, dangling edges, arity, shape rules) and a stable
+/// topology hash that keys the library cache.
+///
+/// Linear chains lower to trainable nn::Model stacks bit-identically to the
+/// seed builders (graph/lower.hpp); arbitrary DAGs lower to weights-free
+/// hls::CompiledModel geometry for the analytical perf / resource / dse
+/// models.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adaflow::graph {
+
+/// Operator kinds. kThreshold is the fused BatchNorm + quantized-activation
+/// pair (what the FINN flow folds into per-channel thresholds); it carries
+/// two layer names so lowering can reproduce the seed builders' BN + act
+/// naming exactly.
+enum class NodeKind {
+  kInput,
+  kConv,
+  kPool,
+  kThreshold,
+  kConcat,
+  kUpsample,
+  kGlobalPool,
+  kFc,
+};
+
+/// Stable lowercase mnemonic ("conv", "global-pool", ...).
+const char* node_kind_name(NodeKind kind);
+
+/// Shape of the tensor on an edge: channels x dim x dim (square feature
+/// maps, matching the hls stage geometry). Fully-connected outputs use
+/// dim == 1.
+struct TensorShape {
+  std::int64_t channels = 0;
+  std::int64_t dim = 0;
+
+  bool operator==(const TensorShape& other) const {
+    return channels == other.channels && dim == other.dim;
+  }
+};
+
+/// One operator. Only the fields relevant to the kind are meaningful:
+/// kConv uses kernel/stride/pad/ch_out, kFc uses ch_out, kPool and kUpsample
+/// use factor, kThreshold uses bn_name, kInput/kConcat/kGlobalPool carry no
+/// parameters.
+struct Node {
+  std::int64_t id = -1;  ///< index into Graph; assigned by add_node
+  NodeKind kind = NodeKind::kConv;
+  std::string name;
+  std::string bn_name;  ///< kThreshold: name of the folded BatchNorm layer
+
+  std::int64_t kernel = 3;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+  std::int64_t ch_out = 0;  ///< kConv / kFc output width
+  std::int64_t factor = 2;  ///< kPool window / kUpsample scale
+
+  std::vector<std::int64_t> inputs;  ///< producer node ids, slot order
+};
+
+/// Quantization attached to the whole graph (the seed topologies are
+/// uniformly quantized; per-node quant can become a field later without
+/// changing the hash of existing graphs only if versioned — so it would bump
+/// the cache schema).
+struct QuantInfo {
+  int weight_bits = 2;
+  int act_bits = 2;
+  float act_scale = 0.5f;
+};
+
+/// A dataflow DAG with a single kInput source (id 0, created by the
+/// constructor). Construction is permissive — add_node / add_edge happily
+/// build malformed graphs so tests can exercise every rejection path;
+/// validate() (also run by topo_order / infer_shapes / topology_hash
+/// consumers) reports the first violation as ConfigError.
+class Graph {
+ public:
+  /// Creates the graph with its input node: \p in_channels x \p in_dim x
+  /// \p in_dim.
+  Graph(std::string name, std::int64_t in_channels, std::int64_t in_dim,
+        QuantInfo quant = {});
+
+  /// The input node's id (always 0).
+  std::int64_t input() const { return 0; }
+
+  // Typed builders: append a node consuming \p from, return its id.
+  std::int64_t add_conv(const std::string& name, std::int64_t from, std::int64_t ch_out,
+                        std::int64_t kernel = 3, std::int64_t stride = 1,
+                        std::int64_t pad = 0);
+  /// Fused BatchNorm (\p bn_name) + quantized activation (\p act_name).
+  std::int64_t add_threshold(const std::string& act_name, const std::string& bn_name,
+                             std::int64_t from);
+  std::int64_t add_pool(const std::string& name, std::int64_t from, std::int64_t window = 2);
+  std::int64_t add_fc(const std::string& name, std::int64_t from, std::int64_t features);
+  std::int64_t add_concat(const std::string& name, std::vector<std::int64_t> from);
+  std::int64_t add_upsample(const std::string& name, std::int64_t from,
+                            std::int64_t factor = 2);
+  std::int64_t add_global_pool(const std::string& name, std::int64_t from);
+
+  /// Low-level append (id is overwritten); no validation beyond id assignment.
+  std::int64_t add_node(Node node);
+  /// Appends \p from to \p to's input slots. Out-of-range ids are accepted
+  /// here and rejected by validate() (dangling-edge tests need this).
+  void add_edge(std::int64_t from, std::int64_t to);
+
+  const std::string& name() const { return name_; }
+  const QuantInfo& quant() const { return quant_; }
+  TensorShape input_shape() const { return {in_channels_, in_dim_}; }
+  std::size_t size() const { return nodes_.size(); }
+  const Node& node(std::int64_t id) const;
+  /// Node ids whose output no other node consumes (the graph's outputs),
+  /// in id order.
+  std::vector<std::int64_t> output_ids() const;
+
+  /// Full structural + shape validation; throws ConfigError naming the first
+  /// offending node ("cycle through node 'x'", "edge into 'x' references
+  /// unknown node id 7", ...).
+  void validate() const;
+
+  /// Deterministic topological order (Kahn's algorithm, ties broken by node
+  /// name) — identical across insertion orders of the same topology. Throws
+  /// ConfigError on cycles or dangling edges.
+  std::vector<std::int64_t> topo_order() const;
+
+  /// Shape on every node's output edge, indexed by node id. Validates.
+  std::vector<TensorShape> infer_shapes() const;
+
+  /// FNV-1a hash of the canonical serialization: input shape, quantization,
+  /// then per node in topological order its kind, parameters and input slots
+  /// as topological positions. Node NAMES are excluded — renaming layers
+  /// does not invalidate a cached library; any structural or quantization
+  /// change does.
+  std::uint64_t topology_hash() const;
+
+  /// Human-readable topology table (node, kind, inputs, params, output
+  /// shape) plus the topology hash — the `adaflow graph` subcommand output.
+  std::string describe() const;
+
+ private:
+  std::vector<TensorShape> infer_shapes_checked(
+      const std::vector<std::int64_t>& order) const;
+
+  std::string name_;
+  std::int64_t in_channels_ = 0;
+  std::int64_t in_dim_ = 0;
+  QuantInfo quant_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace adaflow::graph

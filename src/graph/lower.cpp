@@ -1,0 +1,173 @@
+#include "adaflow/graph/lower.hpp"
+
+#include <memory>
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow::graph {
+
+nn::QuantSpec quant_spec(const Graph& graph) {
+  nn::QuantSpec q;
+  q.weight_bits = graph.quant().weight_bits;
+  q.act_bits = graph.quant().act_bits;
+  q.act_scale = graph.quant().act_scale;
+  return q;
+}
+
+hls::CompiledModel lower_geometry(const Graph& graph) {
+  graph.validate();
+  const std::vector<std::int64_t> order = graph.topo_order();
+  const std::vector<TensorShape> shapes = graph.infer_shapes();
+
+  hls::CompiledModel compiled;
+  compiled.version = graph.name();
+  for (std::int64_t id : order) {
+    const Node& n = graph.node(id);
+    if (n.kind == NodeKind::kInput || n.kind == NodeKind::kThreshold) {
+      continue;  // thresholds fold into the preceding MVTU at compile time
+    }
+    const TensorShape& in = shapes[static_cast<std::size_t>(n.inputs.at(0))];
+    const TensorShape& out = shapes[static_cast<std::size_t>(id)];
+    hls::CompiledStage stage;
+    stage.desc.name = n.name;
+    switch (n.kind) {
+      case NodeKind::kConv:
+        stage.desc.kind = hls::StageKind::kConv;
+        stage.desc.kernel = n.kernel;
+        stage.desc.stride = n.stride;
+        stage.desc.pad = n.pad;
+        stage.desc.ch_in = in.channels;
+        stage.desc.ch_out = n.ch_out;
+        stage.desc.in_dim = in.dim;
+        stage.desc.out_dim = out.dim;
+        break;
+      case NodeKind::kPool:
+        stage.desc.kind = hls::StageKind::kPool;
+        stage.desc.kernel = n.factor;
+        stage.desc.stride = n.factor;
+        stage.desc.ch_in = in.channels;
+        stage.desc.ch_out = in.channels;
+        stage.desc.in_dim = in.dim;
+        stage.desc.out_dim = out.dim;
+        break;
+      case NodeKind::kFc:
+        stage.desc.kind = hls::StageKind::kFc;
+        stage.desc.kernel = 1;
+        stage.desc.ch_in = in.channels * in.dim * in.dim;
+        stage.desc.ch_out = n.ch_out;
+        stage.desc.in_dim = 1;
+        stage.desc.out_dim = 1;
+        break;
+      case NodeKind::kConcat: {
+        stage.desc.kind = hls::StageKind::kConcat;
+        stage.desc.kernel = 1;
+        std::int64_t ch = 0;
+        for (std::int64_t src : n.inputs) {
+          ch += shapes[static_cast<std::size_t>(src)].channels;
+        }
+        stage.desc.ch_in = ch;
+        stage.desc.ch_out = ch;
+        stage.desc.in_dim = out.dim;
+        stage.desc.out_dim = out.dim;
+        break;
+      }
+      case NodeKind::kUpsample:
+        stage.desc.kind = hls::StageKind::kUpsample;
+        stage.desc.kernel = 1;
+        stage.desc.ch_in = in.channels;
+        stage.desc.ch_out = in.channels;
+        stage.desc.in_dim = in.dim;
+        stage.desc.out_dim = out.dim;
+        break;
+      case NodeKind::kGlobalPool:
+        stage.desc.kind = hls::StageKind::kGlobalPool;
+        stage.desc.kernel = 1;
+        stage.desc.ch_in = in.channels;
+        stage.desc.ch_out = in.channels;
+        stage.desc.in_dim = in.dim;
+        stage.desc.out_dim = 1;
+        break;
+      case NodeKind::kInput:
+      case NodeKind::kThreshold:
+        break;  // unreachable (skipped above)
+    }
+    const bool is_mvtu =
+        n.kind == NodeKind::kConv || n.kind == NodeKind::kFc;
+    compiled.stages.push_back(std::move(stage));
+    if (is_mvtu) {
+      compiled.classes = compiled.stages.back().desc.ch_out;
+    }
+  }
+  require(!compiled.stages.empty(),
+          "graph '" + graph.name() + "' has no dataflow stages");
+  return compiled;
+}
+
+nn::Model lower_model(const Graph& graph, std::uint64_t seed) {
+  graph.validate();
+  const std::vector<std::int64_t> order = graph.topo_order();
+  const std::vector<TensorShape> shapes = graph.infer_shapes();
+
+  // A sequential nn::Model exists only for straight-line graphs: every node
+  // must consume exactly the node before it in topological order.
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Node& n = graph.node(order[i]);
+    switch (n.kind) {
+      case NodeKind::kInput:
+      case NodeKind::kConv:
+      case NodeKind::kThreshold:
+      case NodeKind::kPool:
+      case NodeKind::kFc:
+        break;
+      default:
+        throw ConfigError("graph '" + graph.name() + "': node '" + n.name + "' (" +
+                          node_kind_name(n.kind) +
+                          ") cannot lower to a sequential nn::Model");
+    }
+    if (i > 0) {
+      require(n.inputs.size() == 1 && n.inputs[0] == order[i - 1],
+              "graph '" + graph.name() + "': node '" + n.name +
+                  "' branches; only linear chains lower to nn::Model");
+    }
+  }
+
+  const nn::QuantSpec quant = quant_spec(graph);
+  const TensorShape in = graph.input_shape();
+  Rng rng(seed);
+  nn::Model model(graph.name(), nn::Shape{in.channels, in.dim, in.dim});
+  for (std::int64_t id : order) {
+    const Node& n = graph.node(id);
+    const TensorShape* src =
+        n.inputs.empty() ? nullptr : &shapes[static_cast<std::size_t>(n.inputs[0])];
+    switch (n.kind) {
+      case NodeKind::kInput:
+        break;
+      case NodeKind::kConv: {
+        nn::Conv2dConfig cfg;
+        cfg.in_channels = src->channels;
+        cfg.out_channels = n.ch_out;
+        cfg.kernel = n.kernel;
+        cfg.stride = n.stride;
+        cfg.pad = n.pad;
+        model.add(std::make_unique<nn::Conv2d>(n.name, cfg, quant, rng));
+        break;
+      }
+      case NodeKind::kThreshold:
+        model.add(std::make_unique<nn::BatchNorm>(n.bn_name, src->channels));
+        model.add(std::make_unique<nn::QuantAct>(n.name, quant));
+        break;
+      case NodeKind::kPool:
+        model.add(std::make_unique<nn::MaxPool2d>(n.name, n.factor));
+        break;
+      case NodeKind::kFc:
+        model.add(std::make_unique<nn::Linear>(
+            n.name, src->channels * src->dim * src->dim, n.ch_out, quant, rng));
+        break;
+      default:
+        break;  // unreachable (rejected above)
+    }
+  }
+  return model;
+}
+
+}  // namespace adaflow::graph

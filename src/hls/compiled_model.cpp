@@ -36,7 +36,7 @@ std::int64_t acc_magnitude(const std::vector<std::int8_t>& levels, std::int64_t 
 std::vector<std::size_t> CompiledModel::mvtu_stage_indices() const {
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < stages.size(); ++i) {
-    if (stages[i].desc.kind != StageKind::kPool) {
+    if (is_mvtu_kind(stages[i].desc.kind)) {
       out.push_back(i);
     }
   }

@@ -44,8 +44,31 @@ std::vector<MvtuLayerDesc> enumerate_mvtu_layers(const nn::Model& model) {
   return out;
 }
 
-void validate_folding(const nn::Model& model, const FoldingConfig& folding) {
-  const std::vector<MvtuLayerDesc> layers = enumerate_mvtu_layers(model);
+std::vector<MvtuLayerDesc> enumerate_mvtu_layers(const CompiledModel& geometry) {
+  std::vector<MvtuLayerDesc> out;
+  for (std::size_t i = 0; i < geometry.stages.size(); ++i) {
+    const StageDesc& desc = geometry.stages[i].desc;
+    if (!is_mvtu_kind(desc.kind)) {
+      continue;
+    }
+    MvtuLayerDesc d;
+    d.model_index = i;
+    d.is_conv = desc.kind == StageKind::kConv;
+    d.name = desc.name;
+    d.ch_in = desc.ch_in;
+    d.ch_out = desc.ch_out;
+    d.kernel = desc.kernel;
+    d.in_dim = desc.in_dim;
+    d.out_dim = desc.out_dim;
+    out.push_back(d);
+  }
+  return out;
+}
+
+namespace {
+
+void validate_folding_layers(const std::vector<MvtuLayerDesc>& layers,
+                             const FoldingConfig& folding) {
   if (layers.size() != folding.layers.size()) {
     throw FoldingError("folding has " + std::to_string(folding.layers.size()) +
                        " entries for " + std::to_string(layers.size()) + " MVTU layers");
@@ -65,6 +88,16 @@ void validate_folding(const nn::Model& model, const FoldingConfig& folding) {
                          " does not divide ch_in=" + std::to_string(d.ch_in));
     }
   }
+}
+
+}  // namespace
+
+void validate_folding(const nn::Model& model, const FoldingConfig& folding) {
+  validate_folding_layers(enumerate_mvtu_layers(model), folding);
+}
+
+void validate_folding(const CompiledModel& geometry, const FoldingConfig& folding) {
+  validate_folding_layers(enumerate_mvtu_layers(geometry), folding);
 }
 
 std::int64_t largest_divisor_at_most(std::int64_t value, std::int64_t cap) {
@@ -110,9 +143,11 @@ std::int64_t mvtu_layer_cycles(const MvtuLayerDesc& layer, const LayerFolding& f
   return out_pixels * neuron_folds * synapse_folds;
 }
 
-FoldingConfig folding_for_target_fps(const nn::Model& model, double target_fps, double clock_hz) {
+namespace {
+
+FoldingConfig folding_for_layers(const std::vector<MvtuLayerDesc>& layers,
+                                 double target_fps, double clock_hz) {
   require(target_fps > 0 && clock_hz > 0, "target fps and clock must be positive");
-  const std::vector<MvtuLayerDesc> layers = enumerate_mvtu_layers(model);
   FoldingConfig folding;
   folding.layers.assign(layers.size(), LayerFolding{1, 1});
 
@@ -156,6 +191,18 @@ FoldingConfig folding_for_target_fps(const nn::Model& model, double target_fps, 
     }
   }
   return folding;
+}
+
+}  // namespace
+
+FoldingConfig folding_for_target_fps(const nn::Model& model, double target_fps,
+                                     double clock_hz) {
+  return folding_for_layers(enumerate_mvtu_layers(model), target_fps, clock_hz);
+}
+
+FoldingConfig folding_for_target_fps(const CompiledModel& geometry, double target_fps,
+                                     double clock_hz) {
+  return folding_for_layers(enumerate_mvtu_layers(geometry), target_fps, clock_hz);
 }
 
 }  // namespace adaflow::hls

@@ -15,7 +15,13 @@
 
 namespace adaflow::hls {
 
-enum class StageKind { kConv, kPool, kFc };
+enum class StageKind { kConv, kPool, kFc, kConcat, kUpsample, kGlobalPool };
+
+/// MVTU stages (conv + fc) carry weights and a folding; the streaming
+/// stages (pool, concat, upsample, global-pool) are folding-free plumbing.
+inline bool is_mvtu_kind(StageKind kind) {
+  return kind == StageKind::kConv || kind == StageKind::kFc;
+}
 
 /// Geometry of one pipeline stage.
 struct StageDesc {

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "adaflow/hls/compiled_model.hpp"
 #include "adaflow/nn/model.hpp"
 
 namespace adaflow::hls {
@@ -59,6 +60,15 @@ void validate_folding(const nn::Model& model, const FoldingConfig& folding);
 /// not just powers of two — channel counts like 48 expose 3/6/12/24) until
 /// the target is met or no divisor remains.
 FoldingConfig folding_for_target_fps(const nn::Model& model, double target_fps, double clock_hz);
+
+/// Geometry-based counterparts: graph-lowered topologies (detection heads,
+/// branchy DAGs) carry no nn::Model, only an hls::CompiledModel stage list,
+/// so the folding machinery accepts the geometry directly. model_index is
+/// the stage index; weight_bits/act_bits are 0 (geometry carries no quant).
+std::vector<MvtuLayerDesc> enumerate_mvtu_layers(const CompiledModel& geometry);
+void validate_folding(const CompiledModel& geometry, const FoldingConfig& folding);
+FoldingConfig folding_for_target_fps(const CompiledModel& geometry, double target_fps,
+                                     double clock_hz);
 
 /// Largest divisor of \p value that is <= \p cap.
 std::int64_t largest_divisor_at_most(std::int64_t value, std::int64_t cap);

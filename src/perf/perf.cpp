@@ -10,8 +10,19 @@ namespace adaflow::perf {
 PerfModelConstants default_perf_constants() { return PerfModelConstants{}; }
 
 std::int64_t stage_cycles(const hls::StageDesc& d, const hls::LayerFolding* folding) {
-  if (d.kind == hls::StageKind::kPool) {
-    return d.out_dim * d.out_dim;  // one pooled window per cycle, channels unrolled
+  switch (d.kind) {
+    case hls::StageKind::kPool:
+      return d.out_dim * d.out_dim;  // one pooled window per cycle, channels unrolled
+    case hls::StageKind::kConcat:
+    case hls::StageKind::kUpsample:
+      // Streaming plumbing: one output pixel per cycle, channels unrolled on
+      // the stream width (concat merges, upsample replicates rows/columns).
+      return d.out_dim * d.out_dim;
+    case hls::StageKind::kGlobalPool:
+      // Consumes every input pixel once; emits a single reduced pixel.
+      return d.in_dim * d.in_dim;
+    default:
+      break;
   }
   require(folding != nullptr, "MVTU stage needs folding");
   const std::int64_t out_pixels = d.out_dim * d.out_dim;
@@ -44,7 +55,7 @@ PerfReport analyze(const hls::CompiledModel& model, const hls::FoldingConfig& fo
 
   for (const hls::CompiledStage& stage : model.stages) {
     const hls::LayerFolding* f = nullptr;
-    if (stage.desc.kind != hls::StageKind::kPool) {
+    if (hls::is_mvtu_kind(stage.desc.kind)) {
       f = &folding.layers[mvtu_ordinal++];
     }
     std::int64_t cycles = stage_cycles(stage, f);

@@ -337,6 +337,13 @@ std::string metrics_fingerprint(const fleet::FleetMetrics& m) {
   f.i64(m.integrity.repairs);
   f.f64(m.integrity.corrupt_time_s);
   f.f64(m.integrity.detection_latency_sum_s);
+  f.i64(m.detection.frames_scored);
+  f.i64(m.detection.true_positives);
+  f.i64(m.detection.false_positives);
+  f.i64(m.detection.missed_objects);
+  f.i64(m.detection.nms_pairs_total);
+  f.f64(m.detection.map_proxy_sum);
+  f.f64(m.detection.postprocess_s);
   f.i64(m.e2e_latency.count());
   f.f64(m.e2e_latency.sum_s());
   for (std::int64_t b : m.e2e_latency.buckets()) {

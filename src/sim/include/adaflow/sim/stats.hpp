@@ -243,4 +243,41 @@ struct ForecastStats {
   void divide(int runs);
 };
 
+/// Observability for detection workloads (src/detect): per-frame outcomes of
+/// the YOLO-style head + seeded NMS postprocess, scored when a frame enters
+/// service. All-zero for classification runs. The per-frame mAP proxy also
+/// feeds RunMetrics::qoe_accuracy_sum, so qoe() is the detection QoE
+/// (mAP proxy x processed-frame fraction) on these runs.
+struct DetectionStats {
+  std::int64_t frames_scored = 0;    ///< processed frames that ran the head
+  std::int64_t objects_total = 0;    ///< ground-truth objects in scored frames
+  std::int64_t candidates_total = 0; ///< raw proposals entering NMS
+  std::int64_t suppressed_total = 0; ///< proposals NMS removed
+  std::int64_t nms_pairs_total = 0;  ///< IoU pairs compared (the O(n^2) cost)
+  std::int64_t true_positives = 0;
+  std::int64_t false_positives = 0;
+  std::int64_t missed_objects = 0;
+  double postprocess_s = 0.0;   ///< summed NMS/decode service seconds
+  double map_proxy_sum = 0.0;   ///< summed per-frame mAP proxy
+
+  double mean_map_proxy() const {
+    return frames_scored > 0 ? map_proxy_sum / static_cast<double>(frames_scored) : 0.0;
+  }
+  double precision() const {
+    const std::int64_t detections = true_positives + false_positives;
+    return detections > 0 ? static_cast<double>(true_positives) /
+                                static_cast<double>(detections)
+                          : 0.0;
+  }
+  double recall() const {
+    return objects_total > 0 ? static_cast<double>(true_positives) /
+                                   static_cast<double>(objects_total)
+                             : 0.0;
+  }
+
+  void accumulate(const DetectionStats& other);
+  /// In-place mean over \p runs (counts rounded to nearest).
+  void divide(int runs);
+};
+
 }  // namespace adaflow::sim

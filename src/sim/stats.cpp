@@ -323,4 +323,35 @@ void ForecastStats::divide(int runs) {
   burst_windows = mean_count(burst_windows);
 }
 
+void DetectionStats::accumulate(const DetectionStats& other) {
+  frames_scored += other.frames_scored;
+  objects_total += other.objects_total;
+  candidates_total += other.candidates_total;
+  suppressed_total += other.suppressed_total;
+  nms_pairs_total += other.nms_pairs_total;
+  true_positives += other.true_positives;
+  false_positives += other.false_positives;
+  missed_objects += other.missed_objects;
+  postprocess_s += other.postprocess_s;
+  map_proxy_sum += other.map_proxy_sum;
+}
+
+void DetectionStats::divide(int runs) {
+  require(runs > 0, "DetectionStats::divide needs runs > 0");
+  auto mean_count = [runs](std::int64_t v) {
+    return static_cast<std::int64_t>(
+        std::llround(static_cast<double>(v) / static_cast<double>(runs)));
+  };
+  frames_scored = mean_count(frames_scored);
+  objects_total = mean_count(objects_total);
+  candidates_total = mean_count(candidates_total);
+  suppressed_total = mean_count(suppressed_total);
+  nms_pairs_total = mean_count(nms_pairs_total);
+  true_positives = mean_count(true_positives);
+  false_positives = mean_count(false_positives);
+  missed_objects = mean_count(missed_objects);
+  postprocess_s /= static_cast<double>(runs);
+  map_proxy_sum /= static_cast<double>(runs);
+}
+
 }  // namespace adaflow::sim

@@ -121,7 +121,7 @@ TEST(Library, LoadRejectsOldSchemaVersion) {
     FAIL() << "expected ConfigError";
   } catch (const ConfigError& e) {
     EXPECT_NE(std::string(e.what()).find("schema version 2"), std::string::npos) << e.what();
-    EXPECT_NE(std::string(e.what()).find("version 3"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("version 4"), std::string::npos) << e.what();
   }
 }
 

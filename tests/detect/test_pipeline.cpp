@@ -1,0 +1,134 @@
+/// Per-frame detection pipeline battery: IoU sanity, deterministic greedy
+/// NMS (input-order invariance, suppression of near-duplicates, pair
+/// accounting), simulate_frame determinism and its conservation ledger, and
+/// the cost/quality gradients the serving layer relies on (denser scenes
+/// cost more NMS pairs, better models score a higher mAP proxy).
+
+#include "adaflow/detect/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "adaflow/common/error.hpp"
+#include "adaflow/common/rng.hpp"
+
+namespace adaflow::detect {
+namespace {
+
+Box box(double x1, double y1, double x2, double y2, double conf) {
+  return Box{x1, y1, x2, y2, conf};
+}
+
+TEST(Iou, SanityValues) {
+  const Box a = box(0.1, 0.1, 0.5, 0.5, 1.0);
+  EXPECT_DOUBLE_EQ(iou(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(iou(a, box(0.6, 0.6, 0.9, 0.9, 1.0)), 0.0);  // disjoint
+  EXPECT_DOUBLE_EQ(iou(a, box(0.3, 0.3, 0.3, 0.3, 1.0)), 0.0);  // degenerate
+  // Half-overlap along one axis: inter 0.2x0.4, union 2*0.16 - 0.08.
+  const double v = iou(a, box(0.3, 0.1, 0.7, 0.5, 1.0));
+  EXPECT_NEAR(v, 0.08 / 0.24, 1e-12);
+}
+
+TEST(GreedyNms, SuppressesNearDuplicatesKeepsTheConfident) {
+  std::int64_t pairs = 0;
+  const std::vector<Box> kept = greedy_nms(
+      {box(0.1, 0.1, 0.5, 0.5, 0.6), box(0.11, 0.11, 0.51, 0.51, 0.9),
+       box(0.7, 0.7, 0.9, 0.9, 0.5)},
+      0.45, &pairs);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_DOUBLE_EQ(kept[0].confidence, 0.9);  // pick order: confidence first
+  EXPECT_DOUBLE_EQ(kept[1].confidence, 0.5);
+  EXPECT_GT(pairs, 0);
+}
+
+TEST(GreedyNms, InputOrderDoesNotChangeTheResult) {
+  std::vector<Box> boxes;
+  Rng rng(99);
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.uniform(0.0, 0.8);
+    const double y = rng.uniform(0.0, 0.8);
+    boxes.push_back(box(x, y, x + 0.15, y + 0.15, rng.uniform(0.3, 1.0)));
+  }
+  std::int64_t pairs_a = 0, pairs_b = 0;
+  const std::vector<Box> a = greedy_nms(boxes, 0.45, &pairs_a);
+  std::reverse(boxes.begin(), boxes.end());
+  const std::vector<Box> b = greedy_nms(boxes, 0.45, &pairs_b);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(pairs_a, pairs_b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].confidence, b[i].confidence) << i;
+    EXPECT_DOUBLE_EQ(a[i].x1, b[i].x1) << i;
+  }
+}
+
+TEST(DetectorModel, ValidateRejectsBadKnobs) {
+  DetectorModel model;
+  model.nms_iou_threshold = 1.5;
+  EXPECT_THROW(model.validate(), ConfigError);
+  model = DetectorModel{};
+  model.candidate_cost_s = -1.0;
+  EXPECT_THROW(model.validate(), ConfigError);
+}
+
+TEST(SimulateFrame, SameRngStateReplaysBitIdentically) {
+  const DetectorModel model;
+  Rng a(7), b(7);
+  for (int i = 0; i < 20; ++i) {
+    const FrameOutcome x = simulate_frame(a, 6.0, 0.8, model);
+    const FrameOutcome y = simulate_frame(b, 6.0, 0.8, model);
+    EXPECT_EQ(x.objects, y.objects);
+    EXPECT_EQ(x.candidates, y.candidates);
+    EXPECT_EQ(x.nms_pairs, y.nms_pairs);
+    EXPECT_EQ(x.true_positives, y.true_positives);
+    EXPECT_DOUBLE_EQ(x.map_proxy, y.map_proxy);
+    EXPECT_DOUBLE_EQ(x.postprocess_s, y.postprocess_s);
+  }
+}
+
+TEST(SimulateFrame, LedgerConservesOnEveryFrame) {
+  const DetectorModel model;
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const FrameOutcome f = simulate_frame(rng, 5.0, 0.7, model);
+    EXPECT_EQ(f.true_positives + f.missed, f.objects);
+    EXPECT_EQ(f.true_positives + f.false_positives, f.kept);
+    EXPECT_EQ(f.suppressed, f.candidates - f.kept);
+    EXPECT_GE(f.map_proxy, 0.0);
+    EXPECT_LE(f.map_proxy, 1.0);
+    EXPECT_GE(f.postprocess_s, 0.0);
+  }
+}
+
+TEST(SimulateFrame, DenserScenesCostMorePairs) {
+  const DetectorModel model;
+  Rng rng(21);
+  auto mean_pairs = [&](double density) {
+    std::int64_t total = 0;
+    for (int i = 0; i < 300; ++i) {
+      total += simulate_frame(rng, density, 0.8, model).nms_pairs;
+    }
+    return static_cast<double>(total) / 300.0;
+  };
+  const double quiet = mean_pairs(2.0);
+  const double crowded = mean_pairs(12.0);
+  // The NMS pair count is the O(n^2) driver: a 6x denser scene must cost far
+  // more than 6x the comparisons.
+  EXPECT_GT(crowded, 6.0 * quiet);
+}
+
+TEST(SimulateFrame, BetterModelsScoreAHigherMapProxy) {
+  const DetectorModel model;
+  Rng rng(33);
+  auto mean_map = [&](double accuracy) {
+    double total = 0.0;
+    for (int i = 0; i < 300; ++i) {
+      total += simulate_frame(rng, 6.0, accuracy, model).map_proxy;
+    }
+    return total / 300.0;
+  };
+  EXPECT_GT(mean_map(0.85), mean_map(0.45) + 0.05);
+}
+
+}  // namespace
+}  // namespace adaflow::detect

@@ -1,0 +1,125 @@
+/// End-to-end detection serving battery: run_detection determinism and its
+/// detection-QoE accounting, the scored-vs-processed contract of the service
+/// model, the static Flexible baseline, and fleet integration through
+/// FleetDevice::configure (per-device workload streams, aggregated
+/// FleetMetrics::detection, bit-identical replay).
+
+#include "adaflow/detect/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adaflow/common/error.hpp"
+#include "adaflow/core/runtime_manager.hpp"
+#include "adaflow/detect/yolo.hpp"
+#include "adaflow/edge/device_sim.hpp"
+#include "adaflow/fleet/fleet.hpp"
+#include "adaflow/fpga/device.hpp"
+
+namespace adaflow::detect {
+namespace {
+
+const core::AcceleratorLibrary& library() {
+  static const core::AcceleratorLibrary lib = detection_library(fpga::zcu104());
+  return lib;
+}
+
+SceneTrace test_scene() {
+  return rush_hour_scene(2.0, 9.0, 4.0, 3.0, 5.0, 16.0, 0.5, 0.05, 7);
+}
+
+TEST(RunDetection, PopulatesTheDetectionLedger) {
+  core::RuntimeManagerConfig manager;
+  manager.accuracy_threshold = 0.15;
+  core::RuntimeManager policy(library(), manager);
+  const edge::RunMetrics m =
+      run_detection(test_scene(), policy, edge::ServerConfig{}, DetectionRunConfig{}, 42);
+  EXPECT_GT(m.arrived, 0);
+  EXPECT_GT(m.processed, 0);
+  EXPECT_GT(m.detection.frames_scored, 0);
+  EXPECT_GT(m.detection.nms_pairs_total, 0);
+  EXPECT_GT(m.detection.map_proxy_sum, 0.0);
+  EXPECT_EQ(m.detection.true_positives + m.detection.missed_objects,
+            m.detection.objects_total);
+  // The frame in service at t_end is scored but never finishes.
+  const std::int64_t lead =
+      m.detection.frames_scored - static_cast<std::int64_t>(m.processed);
+  EXPECT_GE(lead, 0);
+  EXPECT_LE(lead, 1);
+  // Detection QoE: mean mAP proxy x processed fraction, so it can never
+  // exceed the mean per-frame quality.
+  EXPECT_GT(m.qoe(), 0.0);
+  EXPECT_LE(m.qoe(), m.detection.mean_map_proxy() + 1e-12);
+}
+
+TEST(RunDetection, SameSeedReplaysBitIdentically) {
+  core::RuntimeManagerConfig manager;
+  manager.accuracy_threshold = 0.15;
+  core::RuntimeManager a(library(), manager);
+  core::RuntimeManager b(library(), manager);
+  const edge::RunMetrics x =
+      run_detection(test_scene(), a, edge::ServerConfig{}, DetectionRunConfig{}, 42);
+  const edge::RunMetrics y =
+      run_detection(test_scene(), b, edge::ServerConfig{}, DetectionRunConfig{}, 42);
+  EXPECT_EQ(x.arrived, y.arrived);
+  EXPECT_EQ(x.processed, y.processed);
+  EXPECT_EQ(x.model_switches, y.model_switches);
+  EXPECT_EQ(x.detection.nms_pairs_total, y.detection.nms_pairs_total);
+  EXPECT_DOUBLE_EQ(x.detection.map_proxy_sum, y.detection.map_proxy_sum);
+  EXPECT_DOUBLE_EQ(x.qoe_accuracy_sum, y.qoe_accuracy_sum);
+}
+
+TEST(StaticFlexible, ServesOneVersionAndBoundsTheIndex) {
+  StaticFlexiblePolicy policy(library(), 1);
+  const edge::ServingMode mode = policy.initial_mode();
+  EXPECT_EQ(mode.accelerator, "Flexible");
+  EXPECT_EQ(mode.model_version, library().versions[1].version);
+  EXPECT_DOUBLE_EQ(mode.fps, library().versions[1].fps_flexible);
+  EXPECT_THROW(StaticFlexiblePolicy(library(), 99), ConfigError);
+}
+
+TEST(FleetIntegration, ConfigureHookAttachesPerDeviceWorkloads) {
+  const SceneTrace scene = test_scene();
+  DetectionWorkload workload(scene, DetectorModel{}, 1234);
+  core::RuntimeManagerConfig manager;
+  manager.accuracy_threshold = 0.15;
+
+  auto run_once = [&] {
+    fleet::FleetConfig config;
+    config.devices = fleet::homogeneous_devices(library(), manager, 2);
+    for (fleet::FleetDevice& d : config.devices) {
+      d.configure = [&workload](edge::DeviceSim& dev, std::size_t index) {
+        workload.attach(dev, index);
+      };
+    }
+    const edge::WorkloadTrace trace = workload_from_scene(scene, 400.0, 240.0);
+    auto router = fleet::make_router("least-loaded");
+    return fleet::run_fleet(trace, library(), config, *router, 42);
+  };
+
+  const fleet::FleetMetrics m = run_once();
+  EXPECT_GT(m.processed, 0);
+  EXPECT_GT(m.detection.frames_scored, 0);
+  EXPECT_GT(m.detection.map_proxy_sum, 0.0);
+  // The fleet aggregate is exactly the sum of the per-device ledgers.
+  std::int64_t per_device_scored = 0;
+  std::int64_t per_device_pairs = 0;
+  for (const fleet::FleetDeviceResult& d : m.devices) {
+    per_device_scored += d.metrics.detection.frames_scored;
+    per_device_pairs += d.metrics.detection.nms_pairs_total;
+    EXPECT_EQ(d.metrics.detection.true_positives + d.metrics.detection.missed_objects,
+              d.metrics.detection.objects_total)
+        << d.name;
+  }
+  EXPECT_EQ(m.detection.frames_scored, per_device_scored);
+  EXPECT_EQ(m.detection.nms_pairs_total, per_device_pairs);
+
+  // Same config + seed replays bit-identically even with the hooks installed.
+  const fleet::FleetMetrics again = run_once();
+  EXPECT_EQ(again.processed, m.processed);
+  EXPECT_EQ(again.detection.frames_scored, m.detection.frames_scored);
+  EXPECT_EQ(again.detection.nms_pairs_total, m.detection.nms_pairs_total);
+  EXPECT_DOUBLE_EQ(again.detection.map_proxy_sum, m.detection.map_proxy_sum);
+}
+
+}  // namespace
+}  // namespace adaflow::detect

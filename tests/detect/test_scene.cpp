@@ -1,0 +1,78 @@
+/// SceneTrace battery: constructor rejection paths, piecewise-constant
+/// lookup semantics, the density sweep helper, the rush-hour generator's
+/// shape and determinism, and the scene -> arrival-rate coupling.
+
+#include "adaflow/detect/scene.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow::detect {
+namespace {
+
+TEST(SceneTrace, ConstructorRejectsMalformedInputs) {
+  EXPECT_THROW(SceneTrace({}, {}, 10.0), ConfigError);                     // empty
+  EXPECT_THROW(SceneTrace({0.0, 5.0}, {1.0}, 10.0), ConfigError);          // mismatched
+  EXPECT_THROW(SceneTrace({1.0}, {2.0}, 10.0), ConfigError);               // first != 0
+  EXPECT_THROW(SceneTrace({0.0, 5.0, 4.0}, {1, 2, 3}, 10.0), ConfigError); // unsorted
+  EXPECT_THROW(SceneTrace({0.0, 5.0}, {1.0, -2.0}, 10.0), ConfigError);    // negative
+  EXPECT_THROW(SceneTrace({0.0, 5.0}, {1.0, 2.0}, 4.0), ConfigError);      // short
+}
+
+TEST(SceneTrace, PiecewiseConstantLookup) {
+  const SceneTrace scene({0.0, 5.0, 8.0}, {2.0, 6.0, 3.0}, 12.0);
+  EXPECT_DOUBLE_EQ(scene.density_at(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(scene.density_at(4.999), 2.0);
+  EXPECT_DOUBLE_EQ(scene.density_at(5.0), 6.0);  // boundaries open the next segment
+  EXPECT_DOUBLE_EQ(scene.density_at(7.5), 6.0);
+  EXPECT_DOUBLE_EQ(scene.density_at(8.0), 3.0);
+  EXPECT_DOUBLE_EQ(scene.density_at(11.9), 3.0);  // last segment runs to duration
+  EXPECT_DOUBLE_EQ(scene.duration(), 12.0);
+}
+
+TEST(SceneTrace, ScaledMultipliesEveryDensity) {
+  const SceneTrace scene({0.0, 5.0}, {2.0, 6.0}, 10.0);
+  const SceneTrace doubled = scene.scaled(2.0);
+  EXPECT_DOUBLE_EQ(doubled.density_at(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(doubled.density_at(6.0), 12.0);
+  EXPECT_DOUBLE_EQ(doubled.duration(), scene.duration());
+}
+
+TEST(RushHourScene, TrapezoidShapeWithBoundedJitter) {
+  const double base = 2.0, peak = 10.0, jitter = 0.05;
+  const SceneTrace scene = rush_hour_scene(base, peak, 10.0, 8.0, 12.0, 40.0, 0.5, jitter, 7);
+  // Before the onset the density sits at base (up to jitter); mid-hold it
+  // sits at the peak (up to jitter).
+  EXPECT_NEAR(scene.density_at(1.0), base, base * jitter + 1e-12);
+  EXPECT_NEAR(scene.density_at(24.0), peak, peak * jitter + 1e-12);
+  // The ramp is monotone in expectation: a mid-ramp sample lands strictly
+  // between the jittered envelopes of base and peak.
+  EXPECT_GT(scene.density_at(14.0), base * (1.0 + jitter));
+  EXPECT_LT(scene.density_at(14.0), peak * (1.0 + jitter));
+  EXPECT_DOUBLE_EQ(scene.duration(), 40.0);
+}
+
+TEST(RushHourScene, SeededAndDeterministic) {
+  const SceneTrace a = rush_hour_scene(2.0, 10.0, 10.0, 8.0, 12.0, 40.0, 0.5, 0.05, 7);
+  const SceneTrace b = rush_hour_scene(2.0, 10.0, 10.0, 8.0, 12.0, 40.0, 0.5, 0.05, 7);
+  const SceneTrace c = rush_hour_scene(2.0, 10.0, 10.0, 8.0, 12.0, 40.0, 0.5, 0.05, 8);
+  ASSERT_EQ(a.segment_densities().size(), b.segment_densities().size());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.segment_densities().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.segment_densities()[i], b.segment_densities()[i]) << i;
+    any_diff = any_diff || a.segment_densities()[i] != c.segment_densities()[i];
+  }
+  EXPECT_TRUE(any_diff) << "different seeds should jitter differently";
+}
+
+TEST(WorkloadFromScene, CouplesArrivalRateToDensity) {
+  const SceneTrace scene({0.0, 5.0}, {2.0, 6.0}, 10.0);
+  const edge::WorkloadTrace trace = workload_from_scene(scene, 200.0, 120.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(1.0), 200.0 + 120.0 * 2.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(6.0), 200.0 + 120.0 * 6.0);
+  EXPECT_DOUBLE_EQ(trace.duration(), scene.duration());
+}
+
+}  // namespace
+}  // namespace adaflow::detect

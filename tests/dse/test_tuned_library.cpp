@@ -91,7 +91,7 @@ TEST(TunedLibrary, StaleCacheIsRegenerated) {
   int version = 0;
   in >> magic >> version;
   EXPECT_EQ(magic, "adaflow-library");
-  EXPECT_EQ(version, 3);
+  EXPECT_EQ(version, 4);
   EXPECT_NO_THROW(load_library(path));
 }
 

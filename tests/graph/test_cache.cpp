@@ -1,0 +1,113 @@
+/// Library-cache v4 battery: the TSV schema carries the topology hash on its
+/// header line, loads reject older schemas and missing magics with a
+/// ConfigError, and load_or_generate_library treats a hash mismatch exactly
+/// like a stale schema — discard and regenerate, never serve a library built
+/// for a different topology.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "adaflow/common/error.hpp"
+#include "adaflow/core/library.hpp"
+#include "adaflow/core/library_generator.hpp"
+#include "adaflow/fpga/device.hpp"
+#include "adaflow/graph/builders.hpp"
+
+namespace adaflow::core {
+namespace {
+
+AcceleratorLibrary tiny_library(std::uint64_t hash) {
+  AcceleratorLibrary lib;
+  lib.model_name = "CNVW2A2";
+  lib.dataset_name = "SynthCIFAR10";
+  lib.topology_hash = hash;
+  lib.base_accuracy = 0.9;
+  lib.clock_hz = 100e6;
+  lib.reconfig_time_s = 0.145;
+  lib.folding_flexible.layers = {{4, 3}};
+  ModelVersion v;
+  v.version = "CNVW2A2@p0";
+  v.accuracy = 0.9;
+  v.fps_fixed = 450.0;
+  v.fps_flexible = 445.0;
+  v.folding_fixed.layers = {{4, 3}};
+  lib.versions.push_back(v);
+  return lib;
+}
+
+LibraryConfig tiny_config() {
+  LibraryConfig config;
+  config.rates = {0.0, 0.5};
+  config.base_epochs = 1;
+  config.retrain_epochs = 1;
+  return config;
+}
+
+datasets::DatasetSpec tiny_spec() { return datasets::synth_cifar10_spec(120, 60); }
+
+TEST(LibraryCacheV4, RoundTripPreservesTheTopologyHash) {
+  const std::string path = ::testing::TempDir() + "/cache_v4_roundtrip.tsv";
+  save_library(tiny_library(0xfeedbeefcafeULL), path);
+  const AcceleratorLibrary loaded = load_library(path);
+  EXPECT_EQ(loaded.topology_hash, 0xfeedbeefcafeULL);
+  EXPECT_EQ(loaded.model_name, "CNVW2A2");
+}
+
+TEST(LibraryCacheV4, OlderSchemaIsRejectedWithConfigError) {
+  const std::string path = ::testing::TempDir() + "/cache_v3_stale.tsv";
+  {
+    std::ofstream out(path);
+    out << "adaflow-library\t3\nCNVW2A2\tSynthCIFAR10\n";  // pre-hash schema
+  }
+  try {
+    load_library(path);
+    FAIL() << "v3 cache accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("schema version 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(LibraryCacheV4, TopologyHashMismatchRegeneratesTheCache) {
+  const std::string path = ::testing::TempDir() + "/cache_v4_mismatch.tsv";
+  std::remove(path.c_str());
+  const nn::CnvTopology narrow = nn::cnv_w2a2(10, 8);
+  nn::CnvTopology wide = narrow;  // same name, structurally different
+  for (std::int64_t& c : wide.conv_channels) {
+    c *= 2;
+  }
+
+  // Seed the cache with a library for the WRONG topology at the current
+  // schema version (a hash collision between the two builds is impossible:
+  // the widths differ).
+  save_library(tiny_library(graph::from_cnv(wide).topology_hash()), path);
+
+  const AcceleratorLibrary lib =
+      load_or_generate_library(path, fpga::zcu104(), tiny_config(), narrow, tiny_spec());
+  EXPECT_EQ(lib.topology_hash, graph::from_cnv(narrow).topology_hash());
+  EXPECT_EQ(lib.versions.size(), 2u);
+
+  // The rewritten cache now matches and is served without regeneration
+  // (identical numbers prove it came from the file, not a fresh training).
+  const AcceleratorLibrary again =
+      load_or_generate_library(path, fpga::zcu104(), tiny_config(), narrow, tiny_spec());
+  EXPECT_EQ(again.topology_hash, lib.topology_hash);
+  ASSERT_EQ(again.versions.size(), lib.versions.size());
+  EXPECT_DOUBLE_EQ(again.versions[1].fps_fixed, lib.versions[1].fps_fixed);
+  EXPECT_DOUBLE_EQ(again.versions[1].accuracy, lib.versions[1].accuracy);
+}
+
+TEST(LibraryCacheV4, GeneratedLibraryCarriesTheGraphHash) {
+  // The generator itself stamps the hash (not the cache layer): a freshly
+  // generated table must already match from_cnv's graph.
+  const nn::CnvTopology topology = nn::cnv_w2a2(10, 8);
+  const datasets::SyntheticDataset dataset = datasets::generate(tiny_spec());
+  LibraryGenerator generator(fpga::zcu104(), tiny_config());
+  const GeneratedLibrary out = generator.generate(topology, dataset);
+  EXPECT_EQ(out.table.topology_hash, graph::from_cnv(topology).topology_hash());
+}
+
+}  // namespace
+}  // namespace adaflow::core

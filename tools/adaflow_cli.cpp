@@ -15,8 +15,11 @@
 ///   tenant     --tenants N --scheduler S --partition P  multi-tenant serving
 ///   shard      --devices N --shards S --threads T   sharded parallel fleet sim
 ///   integrity  --upset-rate R --canary-interval C --scrub-period P  SEU integrity sim
+///   graph      --model M [--rate R]                 print a graph-IR topology
+///   detect     --policy P --duration D --peak-density N  detection serving sim
 ///
-/// Models: cnv-w2a2, cnv-w1a2, tfc-w1a2. Datasets: cifar, gtsrb, mnist.
+/// Models: cnv-w2a2, cnv-w1a2, tfc-w1a2 (plus yolo-tiny for graph/detect).
+/// Datasets: cifar, gtsrb, mnist.
 
 #include <cstdio>
 #include <memory>
@@ -27,7 +30,10 @@
 #include "adaflow/common/table.hpp"
 #include "adaflow/core/library_generator.hpp"
 #include "adaflow/core/runtime_manager.hpp"
+#include "adaflow/detect/runner.hpp"
+#include "adaflow/detect/yolo.hpp"
 #include "adaflow/dse/explorer.hpp"
+#include "adaflow/graph/builders.hpp"
 #include "adaflow/edge/server.hpp"
 #include "adaflow/fleet/fleet.hpp"
 #include "adaflow/forecast/tracker.hpp"
@@ -849,6 +855,112 @@ int cmd_tenant(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_graph(const std::vector<std::string>& args) {
+  ArgParser parser("adaflow graph", "print a model's graph-IR topology and hash");
+  parser.add_option("model", "cnv-w2a2 | cnv-w1a2 | tfc-w1a2 | yolo-tiny", "cnv-w2a2");
+  parser.add_option("rate", "channel-pruning rate (yolo-tiny only)", "0");
+  parser.add_option("classes", "classifier width of the cnv/tfc builders", "10");
+  parser.parse(args);
+
+  const std::string model = parser.option("model");
+  const double rate = parser.option_double("rate");
+  require(rate >= 0.0 && rate < 1.0,
+          "--rate must be in [0, 1), got '" + parser.option("rate") + "'");
+  const std::int64_t classes = parser.option_int("classes");
+  require(classes >= 2 && classes <= 1024,
+          "--classes must be in [2, 1024], got '" + parser.option("classes") + "'");
+  require(rate == 0.0 || model == "yolo-tiny",
+          "--rate only applies to yolo-tiny (the classification builders are "
+          "pruned by the library sweep, not the graph)");
+
+  graph::Graph g = [&]() -> graph::Graph {
+    if (model == "cnv-w2a2") {
+      return graph::from_cnv(nn::cnv_w2a2(classes));
+    }
+    if (model == "cnv-w1a2") {
+      return graph::from_cnv(nn::cnv_w1a2(classes));
+    }
+    if (model == "tfc-w1a2") {
+      return graph::from_mlp(nn::tfc_w1a2(classes));
+    }
+    if (model == "yolo-tiny") {
+      return detect::yolo_graph(detect::yolo_tiny(), rate);
+    }
+    throw NotFoundError("unknown model '" + model +
+                        "' (cnv-w2a2, cnv-w1a2, tfc-w1a2, yolo-tiny)");
+  }();
+  std::printf("%s", g.describe().c_str());
+  return 0;
+}
+
+int cmd_detect(const std::vector<std::string>& args) {
+  ArgParser parser("adaflow detect",
+                   "YOLO-style detection serving over a rush-hour scene (one device)");
+  parser.add_option("policy", "adaflow | finn | flexible", "adaflow");
+  parser.add_option("duration", "trace duration [s]", "30");
+  parser.add_option("base-density", "quiet-scene objects per frame", "2");
+  parser.add_option("peak-density", "rush-hour objects per frame", "10");
+  parser.add_option("threshold", "runtime-manager accuracy threshold (fraction)", "0.15");
+  parser.add_option("device", "zcu104 | zcu102 | pynq-z1", "zcu104");
+  parser.add_option("seed", "rng seed (same seed => bit-identical metrics)", "42");
+  parser.parse(args);
+
+  const double duration = parser.option_double("duration");
+  require(duration >= 4.0 && duration <= 3600.0,
+          "--duration must be in [4, 3600], got '" + parser.option("duration") + "'");
+  const double base_density = parser.option_nonnegative_double("base-density");
+  const double peak_density = parser.option_double("peak-density");
+  require(peak_density >= base_density,
+          "--peak-density must be >= --base-density, got '" +
+              parser.option("peak-density") + "'");
+  const double threshold = parser.option_double("threshold");
+  require(threshold >= 0.0 && threshold <= 1.0,
+          "--threshold must be in [0, 1], got '" + parser.option("threshold") + "'");
+  const auto seed = static_cast<std::uint64_t>(parser.option_int("seed"));
+
+  const core::AcceleratorLibrary lib =
+      detect::detection_library(fpga::device_by_name(parser.option("device")));
+  const detect::SceneTrace scene =
+      detect::rush_hour_scene(base_density, peak_density, 0.25 * duration, 0.2 * duration,
+                              0.3 * duration, duration, 0.5, 0.05, seed);
+
+  core::RuntimeManagerConfig rmc;
+  rmc.accuracy_threshold = threshold;
+  const std::string policy_name = parser.option("policy");
+  std::unique_ptr<edge::ServingPolicy> policy;
+  if (policy_name == "adaflow") {
+    policy = std::make_unique<core::RuntimeManager>(lib, rmc);
+  } else if (policy_name == "finn") {
+    policy = std::make_unique<core::StaticFinnPolicy>(lib);
+  } else if (policy_name == "flexible") {
+    policy = std::make_unique<detect::StaticFlexiblePolicy>(lib);
+  } else {
+    throw ConfigError("unknown policy '" + policy_name + "' (adaflow, finn, flexible)");
+  }
+
+  const edge::RunMetrics m = detect::run_detection(scene, *policy, edge::ServerConfig{},
+                                                   detect::DetectionRunConfig{}, seed);
+  std::printf("policy=%s duration=%.0fs density=%.1f..%.1f\n", policy_name.c_str(), duration,
+              base_density, peak_density);
+  std::printf("detection QoE  %s\n", format_percent(m.qoe(), 2).c_str());
+  std::printf("frame loss     %s\n", format_percent(m.frame_loss(), 2).c_str());
+  std::printf("mAP proxy      %s over %lld scored frames\n",
+              format_percent(m.detection.mean_map_proxy(), 2).c_str(),
+              static_cast<long long>(m.detection.frames_scored));
+  std::printf("precision      %s  recall %s\n",
+              format_percent(m.detection.precision(), 2).c_str(),
+              format_percent(m.detection.recall(), 2).c_str());
+  std::printf("NMS pairs      %lld (%.1f per frame)\n",
+              static_cast<long long>(m.detection.nms_pairs_total),
+              m.detection.frames_scored > 0
+                  ? static_cast<double>(m.detection.nms_pairs_total) /
+                        static_cast<double>(m.detection.frames_scored)
+                  : 0.0);
+  std::printf("switches       %d (%d reconfigurations)\n", m.model_switches,
+              m.reconfigurations);
+  return 0;
+}
+
 int cmd_integrity(const std::vector<std::string>& args) {
   ArgParser parser("adaflow integrity", "silent-corruption integrity simulation (one device)");
   parser.add_option("library", "library file (empty = built-in synthetic library)", "");
@@ -945,7 +1057,7 @@ int dispatch(int argc, char** argv) {
   const std::string usage =
       "usage: adaflow "
       "<devices|train|prune|eval|library|show|simulate|fleet|ingest|tune|forecast|tenant|shard|"
-      "integrity> [options]\n";
+      "integrity|graph|detect> [options]\n";
   if (argc < 2) {
     std::fprintf(stderr, "%s", usage.c_str());
     return 2;
@@ -996,6 +1108,12 @@ int dispatch(int argc, char** argv) {
   }
   if (command == "integrity") {
     return cmd_integrity(rest);
+  }
+  if (command == "graph") {
+    return cmd_graph(rest);
+  }
+  if (command == "detect") {
+    return cmd_detect(rest);
   }
   std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(), usage.c_str());
   return 2;

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full local gate: tier-1 release build (-Werror) + full test suite, fast
 # label groups for iterating on src/fleet, the resilience layer, src/forecast,
-# src/dse, src/ingest, src/tenant and src/shard, the fast suites again under
+# src/dse, src/ingest, src/tenant, src/shard, src/graph and src/detect, the
+# fast suites again under
 # AddressSanitizer + UndefinedBehaviorSanitizer (ADAFLOW_SANITIZE=ON), the
 # concurrency-bearing suites under ThreadSanitizer (ADAFLOW_TSAN=ON), and a
 # bench smoke tier gated against the committed baselines in bench/baselines/.
@@ -41,6 +42,12 @@ ctest --test-dir "$root/build" -L shard --output-on-failure -j "$jobs"
 echo "== integrity group (ctest -L integrity: silent-corruption tests + CLI validation + bench_integrity smoke) =="
 ctest --test-dir "$root/build" -L integrity --output-on-failure -j "$jobs"
 
+echo "== graph group (ctest -L graph: graph-IR tests + CLI validation) =="
+ctest --test-dir "$root/build" -L graph --output-on-failure -j "$jobs"
+
+echo "== detect group (ctest -L detect: detection tests + CLI validation + bench_detect smoke) =="
+ctest --test-dir "$root/build" -L detect --output-on-failure -j "$jobs"
+
 echo "== tier 2: ASan+UBSan unit tests =="
 cmake -B "$root/build-asan" -S "$root" -DADAFLOW_SANITIZE=ON \
   -DADAFLOW_BUILD_BENCH=OFF -DADAFLOW_BUILD_EXAMPLES=OFF
@@ -48,8 +55,9 @@ cmake --build "$root/build-asan" -j "$jobs" --target adaflow_unit_tests \
   --target adaflow_fleet_tests --target adaflow_chaos_tests \
   --target adaflow_forecast_tests --target adaflow_dse_tests \
   --target adaflow_ingest_tests --target adaflow_tenant_tests \
-  --target adaflow_shard_tests --target adaflow_integrity_tests --target adaflow_cli
-ctest --test-dir "$root/build-asan" -L 'unit|fleet|chaos|forecast|dse|ingest|tenant|shard|integrity' --output-on-failure -j "$jobs"
+  --target adaflow_shard_tests --target adaflow_integrity_tests \
+  --target adaflow_graph_tests --target adaflow_detect_tests --target adaflow_cli
+ctest --test-dir "$root/build-asan" -L 'unit|fleet|chaos|forecast|dse|ingest|tenant|shard|integrity|graph|detect' --output-on-failure -j "$jobs"
 
 # The concurrency surface lives in common/parallel (worker pool), the shard
 # engine (window barriers + mailboxes) and the fleet paths the shards drive,
@@ -71,7 +79,7 @@ echo "== tier 4: bench smoke runs gated against bench/baselines =="
 bench_gate="$root/build/bench-gate"
 rm -rf "$bench_gate"
 mkdir -p "$bench_gate"
-for b in fleet chaos forecast ingest tenant shard integrity; do
+for b in fleet chaos forecast ingest tenant shard integrity detect; do
   echo "-- bench_$b --smoke"
   (cd "$bench_gate" && "$root/build/bench/bench_$b" --smoke > "bench_$b.log" 2>&1) || {
     cat "$bench_gate/bench_$b.log"
